@@ -1,0 +1,82 @@
+//! End-to-end experiment-cell benchmarks — one group per table/figure of
+//! the paper, measuring how long regenerating a representative cell takes
+//! (at reduced scale; the full-scale regeneration binaries live in
+//! `src/bin/`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbppm_sim::{
+    run_experiment, run_proxy_experiment, ExperimentConfig, ModelSpec, ProxyExperimentConfig,
+};
+use pbppm_trace::{Trace, WorkloadConfig};
+
+fn bench_trace() -> Trace {
+    WorkloadConfig::tiny(23).generate()
+}
+
+/// One §4 cell per model — the unit of work behind Fig. 3/4 and Tables 1/2.
+fn bench_fig3_table1_cells(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig3-table1-cell");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("standard-ppm", ModelSpec::Standard { max_height: None }),
+        ("lrs-ppm", ModelSpec::Lrs),
+        ("pb-ppm", ModelSpec::pb_paper(true)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            let cfg = ExperimentConfig::paper_default(spec.clone(), 2);
+            b.iter(|| run_experiment(&trace, &cfg).counters.requests)
+        });
+    }
+    group.finish();
+}
+
+/// The Fig. 2 cell uses the height-3 standard model.
+fn bench_fig2_cell(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig2-cell");
+    group.sample_size(10);
+    group.bench_function("3-ppm", |b| {
+        let cfg = ExperimentConfig::paper_default(
+            ModelSpec::Standard { max_height: Some(3) },
+            2,
+        );
+        b.iter(|| {
+            let r = run_experiment(&trace, &cfg);
+            (r.popular_prefetch_fraction(), r.path_utilization())
+        })
+    });
+    group.finish();
+}
+
+/// One §5 (Fig. 5) proxy cell.
+fn bench_fig5_cell(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig5-cell");
+    group.sample_size(10);
+    for clients in [4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                let cfg = ProxyExperimentConfig {
+                    base: ExperimentConfig::paper_default(ModelSpec::pb_paper(true), 2),
+                    clients_per_proxy: clients,
+                    selection_seed: 7,
+                    min_client_views: 1,
+                    proxy_groups: 1,
+                };
+                b.iter(|| run_proxy_experiment(&trace, &cfg).requests)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_table1_cells,
+    bench_fig2_cell,
+    bench_fig5_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Substrate performance benchmarks: the LRU cache, the Zipf sampler, the
+//! sessionizer, the CLF parser, and workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pbppm_core::UrlId;
+use pbppm_sim::LruCache;
+use pbppm_trace::clf::{format_clf_line, parse_clf_line, ClfRecord};
+use pbppm_trace::{sessionize, SessionizerConfig, WorkloadConfig, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru-cache");
+    let ops = 10_000u64;
+    group.throughput(Throughput::Elements(ops));
+    group.bench_function("mixed-ops", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cache = LruCache::new(1 << 20);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..ops {
+                let url = UrlId(rng.gen_range(0..2000));
+                if cache.demand(url) == pbppm_sim::Lookup::Miss {
+                    cache.insert(url, rng.gen_range(500..20_000), false);
+                } else {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    let sampler = ZipfSampler::new(10_000, 1.0);
+    group.bench_function("sample-10k-ranks", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..n {
+                acc += sampler.sample(&mut rng);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_sessionize(c: &mut Criterion) {
+    let trace = WorkloadConfig::tiny(13).generate();
+    let mut group = c.benchmark_group("sessionize");
+    group.throughput(Throughput::Elements(trace.requests.len() as u64));
+    group.bench_function("tiny-trace", |b| {
+        let cfg = SessionizerConfig::default();
+        b.iter(|| sessionize(&trace.requests, &cfg).len())
+    });
+    group.finish();
+}
+
+fn bench_clf(c: &mut Criterion) {
+    // A batch of realistic lines, round-tripped.
+    let lines: Vec<String> = (0..1000)
+        .map(|i| {
+            format_clf_line(&ClfRecord {
+                host: format!("199.72.81.{}", i % 255),
+                time: 804_571_201 + i,
+                method: "GET".to_owned(),
+                path: format!("/history/apollo/a{i}.html"),
+                status: 200,
+                size: 6245,
+            })
+        })
+        .collect();
+    let mut group = c.benchmark_group("clf");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("parse-line", |b| {
+        b.iter(|| {
+            lines
+                .iter()
+                .map(|l| parse_clf_line(l).unwrap().size as u64)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload-gen");
+    group.sample_size(10);
+    group.bench_function("tiny", |b| {
+        b.iter(|| WorkloadConfig::tiny(17).generate().requests.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lru, bench_zipf, bench_sessionize, bench_clf, bench_workload_gen
+}
+criterion_main!(benches);

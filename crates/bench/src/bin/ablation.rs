@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::ablation`].
+
+fn main() {
+    pbppm_bench::experiments::ablation::run();
+}

@@ -1,0 +1,25 @@
+//! Regenerates every table and figure of the paper in sequence (the same
+//! code paths as the individual binaries; results land under `results/`).
+
+fn main() {
+    use pbppm_bench::experiments as e;
+    let steps: [(&str, fn()); 12] = [
+        ("fig1", e::fig1::run),
+        ("table1", e::table1::run),
+        ("table2", e::table2::run),
+        ("fig2", e::fig2::run),
+        ("fig3", e::fig3::run),
+        ("fig4", e::fig4::run),
+        ("fig5", e::fig5::run),
+        ("ablation", e::ablation::run),
+        ("threshold", e::threshold::run),
+        ("related", e::related::run),
+        ("quality", e::quality::run),
+        ("network", e::network::run),
+    ];
+    for (name, run) in steps {
+        println!("\n################ {name} ################");
+        run();
+    }
+    println!("\nall experiments regenerated; JSON results in results/");
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::fig1`].
+
+fn main() {
+    pbppm_bench::experiments::fig1::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::fig2`].
+
+fn main() {
+    pbppm_bench::experiments::fig2::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::fig3`].
+
+fn main() {
+    pbppm_bench::experiments::fig3::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::fig4`].
+
+fn main() {
+    pbppm_bench::experiments::fig4::run();
+}

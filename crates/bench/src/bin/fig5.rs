@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::fig5`].
+
+fn main() {
+    pbppm_bench::experiments::fig5::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::network`].
+
+fn main() {
+    pbppm_bench::experiments::network::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::quality`].
+
+fn main() {
+    pbppm_bench::experiments::quality::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::related`].
+
+fn main() {
+    pbppm_bench::experiments::related::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::table1`].
+
+fn main() {
+    pbppm_bench::experiments::table1::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::table2`].
+
+fn main() {
+    pbppm_bench::experiments::table2::run();
+}

@@ -1,0 +1,5 @@
+//! See [`pbppm_bench::experiments::threshold`].
+
+fn main() {
+    pbppm_bench::experiments::threshold::run();
+}

@@ -1,0 +1,57 @@
+//! Figure 2 — (left) percentage of prefetch hits that are popular
+//! documents, and (right) path utilization rates, versus training days on
+//! the NASA-like trace.
+//!
+//! The paper uses the height-3 standard model ("3-PPM") here, alongside LRS
+//! and PB-PPM. Shapes to reproduce:
+//!
+//! * popular documents account for ≥ 60% of prefetch hits in every model,
+//!   with PB-PPM the highest (70–75% in the paper) and the standard model
+//!   the lowest;
+//! * path utilization of 3-PPM and LRS *decays* as days accumulate (3-PPM
+//!   below 20%, LRS toward 40% in the paper), while PB-PPM stays far above
+//!   both (92–100% in the paper).
+
+use crate::{nasa_trace, pct, sweep, write_json, Table};
+use pbppm_sim::ModelSpec;
+
+pub fn run() {
+    let trace = nasa_trace();
+    let days: Vec<usize> = (1..=7).collect();
+    let models = vec![
+        ("3-PPM", ModelSpec::Standard { max_height: Some(3) }),
+        ("LRS", ModelSpec::Lrs),
+        ("PB-PPM", ModelSpec::pb_paper(true)),
+    ];
+    let cells = sweep(&trace, &models, &days);
+
+    let mut headers = vec!["days".to_string()];
+    headers.extend(days.iter().map(|d| d.to_string()));
+    let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut left = Table::new(
+        "Figure 2 (left) — popular share of prefetch hits, nasa-like",
+        &headers,
+    );
+    let mut right = Table::new(
+        "Figure 2 (right) — path utilization rate, nasa-like",
+        &headers,
+    );
+    for (label, _) in &models {
+        let mut lrow = vec![label.to_string()];
+        let mut rrow = vec![label.to_string()];
+        for &d in &days {
+            let cell = cells
+                .iter()
+                .find(|c| c.model == *label && c.days == d)
+                .expect("cell");
+            lrow.push(pct(cell.result.popular_prefetch_fraction()));
+            rrow.push(pct(cell.result.path_utilization()));
+        }
+        left.row(lrow);
+        right.row(rrow);
+    }
+    left.print();
+    right.print();
+    write_json("fig2", &cells);
+}

@@ -1,0 +1,61 @@
+//! Table 1 — space size in number of nodes used by each model on the
+//! NASA-like trace, as the number of training days grows from 1 to 7.
+//!
+//! Paper reference (NASA-KSC, July 1995):
+//!
+//! | days | 1 | 2 | 3 | 4 | 5 | 6 | 7 |
+//! |------|---|---|---|---|---|---|---|
+//! | PPM  | 424,387 | 1,080,950 | 1,674,680 | 2,588,131 | 3,115,732 | 3,575,437 | 4,133,146 |
+//! | LRS  | 9,715 | 19,567 | 33,233 | 44,325 | 56,635 | 70,247 | 82,525 |
+//! | PB   | 5,527 | 7,164 | 8,476 | 9,156 | 9,276 | 9,976 | 10,411 |
+//!
+//! The shape to reproduce: the standard model dwarfs both compact models
+//! and grows fastest; LRS grows steadily; PB-PPM stays smallest and grows
+//! slowest.
+
+use crate::{nasa_trace, paper_models, sweep, write_json, Table};
+
+pub fn run() {
+    let trace = nasa_trace();
+    let days: Vec<usize> = (1..=7).collect();
+    let models = paper_models();
+    let cells = sweep(&trace, &models, &days);
+
+    let mut headers = vec!["days".to_string()];
+    headers.extend(days.iter().map(|d| d.to_string()));
+    let mut table = Table::new(
+        format!("Table 1 — space (nodes), {} trace", trace.name),
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for (label, _) in &models {
+        let mut row = vec![label.to_string()];
+        for &d in &days {
+            let cell = cells
+                .iter()
+                .find(|c| c.model == *label && c.days == d)
+                .expect("cell");
+            row.push(cell.result.node_count.to_string());
+        }
+        table.row(row);
+    }
+    // The paper's headline ratio: LRS nodes over PB nodes per day.
+    let mut ratio = vec!["LRS/PB".to_string()];
+    for &d in &days {
+        let lrs = cells
+            .iter()
+            .find(|c| c.model == "LRS" && c.days == d)
+            .unwrap()
+            .result
+            .node_count;
+        let pb = cells
+            .iter()
+            .find(|c| c.model == "PB-PPM" && c.days == d)
+            .unwrap()
+            .result
+            .node_count;
+        ratio.push(format!("{:.1}x", lrs as f64 / pb.max(1) as f64));
+    }
+    table.row(ratio);
+    table.print();
+    write_json("table1", &cells);
+}

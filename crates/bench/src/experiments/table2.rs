@@ -1,0 +1,60 @@
+//! Table 2 — space size in number of nodes used by each model on the
+//! UCB-CS-like trace, as the number of training days grows from 1 to 5.
+//!
+//! Paper reference (UCB-CS, July 2000; PB with both space optimizations):
+//!
+//! | days | 1 | 2 | 3 | 4 | 5 |
+//! |------|---|---|---|---|---|
+//! | PPM  | 3,339,315 | 8,872,552 | 10,674,669 | 21,579,994 | 43,365,678 |
+//! | LRS  | 16,200 | 39,437 | 78,816 | 108,521 | 390,916 |
+//! | PB   | 3,804 | 4,609 | 6,192 | 7,684 | 10,981 |
+//!
+//! The shape to reproduce: "the space reductions by the popularity-based
+//! [model are] 10 to several dozen times compared with the LRS model", and
+//! the standard model is orders of magnitude larger still.
+
+use crate::{paper_models, sweep, ucb_trace, write_json, Table};
+
+pub fn run() {
+    let trace = ucb_trace();
+    let days: Vec<usize> = (1..=5).collect();
+    let models = paper_models();
+    let cells = sweep(&trace, &models, &days);
+
+    let mut headers = vec!["days".to_string()];
+    headers.extend(days.iter().map(|d| d.to_string()));
+    let mut table = Table::new(
+        format!("Table 2 — space (nodes), {} trace", trace.name),
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for (label, _) in &models {
+        let mut row = vec![label.to_string()];
+        for &d in &days {
+            let cell = cells
+                .iter()
+                .find(|c| c.model == *label && c.days == d)
+                .expect("cell");
+            row.push(cell.result.node_count.to_string());
+        }
+        table.row(row);
+    }
+    let mut ratio = vec!["LRS/PB".to_string()];
+    for &d in &days {
+        let lrs = cells
+            .iter()
+            .find(|c| c.model == "LRS" && c.days == d)
+            .unwrap()
+            .result
+            .node_count;
+        let pb = cells
+            .iter()
+            .find(|c| c.model == "PB-PPM" && c.days == d)
+            .unwrap()
+            .result
+            .node_count;
+        ratio.push(format!("{:.1}x", lrs as f64 / pb.max(1) as f64));
+    }
+    table.row(ratio);
+    table.print();
+    write_json("table2", &cells);
+}

@@ -1,0 +1,154 @@
+//! A small hand-rolled argument parser: positional arguments plus
+//! `--flag value` / `--switch` options. Good enough for a five-command
+//! tool, and keeps the dependency set at zero.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` options and bare `--switch`es (mapped to `""`).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// An option that expects a value got none.
+    MissingValue(String),
+    /// A required option was not given.
+    MissingOption(&'static str),
+    /// An option's value failed to parse.
+    BadValue(&'static str, String),
+    /// An option that is not recognized by the command.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "option --{k} expects a value"),
+            ArgError::MissingOption(k) => write!(f, "missing required option --{k}"),
+            ArgError::BadValue(k, v) => write!(f, "invalid value for --{k}: {v:?}"),
+            ArgError::Unknown(k) => write!(f, "unknown option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Switches (options that take no value) recognized anywhere.
+const SWITCHES: &[&str] = &["json", "aggressive-prune", "no-links", "help"];
+
+impl Args {
+    /// Parses raw arguments (excluding the program and command names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&key) {
+                    args.options.insert(key.to_owned(), String::new());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
+                    args.options.insert(key.to_owned(), value);
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// The value of a required `--key`.
+    pub fn require(&self, key: &'static str) -> Result<&str, ArgError> {
+        self.get(key).ok_or(ArgError::MissingOption(key))
+    }
+
+    /// A parsed `--key` value, or `default` when absent.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &'static str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue(key, v.to_owned())),
+        }
+    }
+
+    /// True when the bare switch `--key` was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Rejects any option not in `allowed` (switches included
+    /// automatically).
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) && !SWITCHES.contains(&key.as_str()) {
+                return Err(ArgError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_options_mix() {
+        let a = parse(&["file.log", "--seed", "7", "--json", "more"]).unwrap();
+        assert_eq!(a.positional, vec!["file.log", "more"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.switch("json"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse(&["--seed"]).unwrap_err(),
+            ArgError::MissingValue("seed".into())
+        );
+    }
+
+    #[test]
+    fn require_and_parsed() {
+        let a = parse(&["--days", "5"]).unwrap();
+        assert_eq!(a.require("days").unwrap(), "5");
+        assert!(a.require("out").is_err());
+        assert_eq!(a.get_parsed("days", 1usize).unwrap(), 5);
+        assert_eq!(a.get_parsed("seed", 42u64).unwrap(), 42);
+        let bad = parse(&["--days", "x"]).unwrap();
+        assert!(bad.get_parsed("days", 1usize).is_err());
+    }
+
+    #[test]
+    fn unknown_rejection() {
+        let a = parse(&["--bogus", "1"]).unwrap();
+        assert_eq!(
+            a.reject_unknown(&["seed"]).unwrap_err(),
+            ArgError::Unknown("bogus".into())
+        );
+        let b = parse(&["--seed", "1", "--json"]).unwrap();
+        assert!(b.reject_unknown(&["seed"]).is_ok());
+    }
+}

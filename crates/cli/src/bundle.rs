@@ -1,0 +1,150 @@
+//! The on-disk format for trained models: a model snapshot plus the URL
+//! interner it was trained against (snapshots store dense URL ids; the
+//! bundle makes them meaningful again).
+
+use pbppm_core::{
+    Interner, LrsPpm, PbPpm, Predictor, StandardPpm,
+};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A snapshot of any of the three tree-backed models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ModelSnapshot {
+    /// Popularity-based PPM.
+    Pb(pbppm_core::pb::PbSnapshot),
+    /// Standard PPM.
+    Standard(pbppm_core::standard::StandardSnapshot),
+    /// LRS-PPM.
+    Lrs(pbppm_core::lrs::LrsSnapshot),
+}
+
+/// A self-contained trained model file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedBundle {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// Human-readable model label ("PB-PPM", …).
+    pub label: String,
+    /// Interned URL strings, in id order (`urls[i]` is `UrlId(i)`).
+    pub urls: Vec<String>,
+    /// Sessions the model was trained on.
+    pub train_sessions: usize,
+    /// The model itself.
+    pub model: ModelSnapshot,
+}
+
+impl TrainedBundle {
+    /// Current format version.
+    pub const VERSION: u32 = 1;
+
+    /// Writes the bundle as JSON.
+    pub fn save(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a bundle back from JSON.
+    pub fn load(path: &Path) -> Result<Self, Box<dyn std::error::Error>> {
+        let json = std::fs::read_to_string(path)?;
+        let bundle: TrainedBundle = serde_json::from_str(&json)?;
+        if bundle.version != Self::VERSION {
+            return Err(format!(
+                "unsupported bundle version {} (expected {})",
+                bundle.version,
+                Self::VERSION
+            )
+            .into());
+        }
+        Ok(bundle)
+    }
+
+    /// Rebuilds the interner from the stored URL list.
+    pub fn interner(&self) -> Interner {
+        let mut interner = Interner::with_capacity(self.urls.len());
+        for url in &self.urls {
+            interner.intern(url);
+        }
+        interner
+    }
+
+    /// Instantiates the model behind the common [`Predictor`] interface.
+    pub fn instantiate(&self) -> Result<Box<dyn Predictor>, Box<dyn std::error::Error>> {
+        Ok(match &self.model {
+            ModelSnapshot::Pb(s) => Box::new(PbPpm::from_snapshot(s)?),
+            ModelSnapshot::Standard(s) => Box::new(StandardPpm::from_snapshot(s)?),
+            ModelSnapshot::Lrs(s) => Box::new(LrsPpm::from_snapshot(s)?),
+        })
+    }
+}
+
+/// Captures an interner's contents in id order.
+pub fn interner_urls(interner: &Interner) -> Vec<String> {
+    interner.iter().map(|(_, s)| s.to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbppm_core::{PbConfig, PopularityTable, UrlId};
+
+    #[test]
+    fn bundle_roundtrip_through_disk() {
+        let mut interner = Interner::new();
+        let a = interner.intern("/a.html");
+        let b = interner.intern("/b.html");
+        let mut pop = PopularityTable::builder();
+        for _ in 0..10 {
+            pop.record(a);
+            pop.record(b);
+        }
+        let mut model = PbPpm::new(pop.build(), PbConfig::default());
+        for _ in 0..3 {
+            model.train_session(&[a, b]);
+        }
+        model.finalize();
+
+        let bundle = TrainedBundle {
+            version: TrainedBundle::VERSION,
+            label: "PB-PPM".into(),
+            urls: interner_urls(&interner),
+            train_sessions: 3,
+            model: ModelSnapshot::Pb(model.to_snapshot()),
+        };
+        let path = std::env::temp_dir().join("pbppm-bundle-test.json");
+        bundle.save(&path).unwrap();
+        let loaded = TrainedBundle::load(&path).unwrap();
+        assert_eq!(loaded.label, "PB-PPM");
+        assert_eq!(loaded.train_sessions, 3);
+
+        let interner2 = loaded.interner();
+        assert_eq!(interner2.get("/a.html"), Some(a));
+        assert_eq!(interner2.resolve(UrlId(1)), Some("/b.html"));
+
+        let mut restored = loaded.instantiate().unwrap();
+        let mut out = Vec::new();
+        restored.predict(&[a], &mut out);
+        assert_eq!(out[0].url, b);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = std::env::temp_dir().join("pbppm-bundle-badver.json");
+        let mut interner = Interner::new();
+        interner.intern("/x");
+        let mut m = StandardPpm::unbounded();
+        m.train_session(&[UrlId(0)]);
+        m.finalize();
+        let bundle = TrainedBundle {
+            version: 999,
+            label: "PPM".into(),
+            urls: interner_urls(&interner),
+            train_sessions: 1,
+            model: ModelSnapshot::Standard(m.to_snapshot()),
+        };
+        let json = serde_json::to_string(&bundle).unwrap();
+        std::fs::write(&path, json).unwrap();
+        assert!(TrainedBundle::load(&path).is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! The CLI commands: generate, analyze, train, predict, simulate.
+
+use crate::args::Args;
+use crate::bundle::{interner_urls, ModelSnapshot, TrainedBundle};
+use pbppm_core::{LrsPpm, PbConfig, PbPpm, PopularityTable, Predictor, PruneConfig, StandardPpm};
+use pbppm_sim::{run_experiment, ExperimentConfig, ModelSpec};
+use pbppm_trace::clf::{format_clf_line, ClfRecord};
+use pbppm_trace::combined::{format_combined_line, trace_from_log, CombinedRecord, LogIngest};
+use pbppm_trace::{
+    classify_clients, sessionize, ClassifyConfig, ClientClass, Session, SessionStats,
+    SessionizerConfig, Trace, WorkloadConfig,
+};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+/// What `train_model` hands back: the label, the serializable snapshot,
+/// and the live model for immediate reporting.
+type TrainedModel = (String, ModelSnapshot, Box<dyn Predictor>);
+
+/// Seconds of 1995-07-01 04:00 UTC — the epoch generated logs start at,
+/// matching the real NASA-KSC file.
+const NASA_EPOCH: i64 = 804_571_200;
+
+fn workload_preset(name: &str, seed: u64) -> Result<WorkloadConfig, String> {
+    match name {
+        "nasa" => Ok(WorkloadConfig::nasa_like(seed)),
+        "ucb" => Ok(WorkloadConfig::ucb_like(seed)),
+        "tiny" => Ok(WorkloadConfig::tiny(seed)),
+        other => Err(format!("unknown preset {other:?} (expected nasa, ucb, or tiny)")),
+    }
+}
+
+/// `pbppm generate --preset nasa --out access.log [--seed N] [--days D]
+/// [--sessions S] [--format clf|combined]`
+pub fn generate(args: &Args) -> CmdResult {
+    args.reject_unknown(&["preset", "out", "seed", "days", "sessions", "format"])?;
+    let seed = args.get_parsed("seed", 1u64)?;
+    let mut cfg = workload_preset(args.get("preset").unwrap_or("nasa"), seed)?;
+    if let Some(days) = args.get("days") {
+        cfg.days = days.parse().map_err(|_| format!("bad --days {days:?}"))?;
+    }
+    if let Some(sessions) = args.get("sessions") {
+        cfg.sessions_per_day = sessions
+            .parse()
+            .map_err(|_| format!("bad --sessions {sessions:?}"))?;
+    }
+    let out = args.require("out")?;
+    let format = args.get("format").unwrap_or("clf");
+    if !matches!(format, "clf" | "combined") {
+        return Err(format!("unknown --format {format:?} (expected clf or combined)").into());
+    }
+    let trace = cfg.generate();
+    let file = std::fs::File::create(out)?;
+    let mut w = std::io::BufWriter::new(file);
+    for r in &trace.requests {
+        let host = trace
+            .clients
+            .resolve(pbppm_core::UrlId(r.client.0))
+            .unwrap_or("unknown")
+            .to_owned();
+        let is_robot = host.starts_with("robot");
+        let rec = ClfRecord {
+            host,
+            time: r.time as i64 + NASA_EPOCH,
+            method: "GET".to_owned(),
+            path: trace.urls.resolve(r.url).unwrap_or("/").to_owned(),
+            status: r.status,
+            size: r.size,
+        };
+        if format == "combined" {
+            let rec = CombinedRecord {
+                clf: rec,
+                referer: None,
+                user_agent: Some(
+                    if is_robot {
+                        "PBPPM-Crawler/1.0 (+http://example.org/bot)".to_owned()
+                    } else {
+                        "Mozilla/4.08 [en] (WinNT; U)".to_owned()
+                    },
+                ),
+            };
+            writeln!(w, "{}", format_combined_line(&rec))?;
+        } else {
+            writeln!(w, "{}", format_clf_line(&rec))?;
+        }
+    }
+    w.flush()?;
+    println!(
+        "wrote {}: {} requests, {} URLs, {} clients, {} day(s)",
+        out,
+        trace.requests.len(),
+        trace.distinct_urls(),
+        trace.clients.len(),
+        trace.days()
+    );
+    Ok(())
+}
+
+fn load_trace_full(path: &str) -> Result<(Trace, LogIngest), Box<dyn std::error::Error>> {
+    let file = std::fs::File::open(path)?;
+    let lines = std::io::BufReader::new(file).lines().map_while(Result::ok);
+    let (trace, ingest) = trace_from_log(path, lines);
+    eprintln!(
+        "parsed {path} ({:?}): {} accepted, {} filtered, {} malformed",
+        ingest.format, ingest.stats.accepted, ingest.stats.filtered, ingest.stats.malformed
+    );
+    if trace.requests.is_empty() {
+        return Err("no usable requests in the log".into());
+    }
+    Ok((trace, ingest))
+}
+
+fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    Ok(load_trace_full(path)?.0)
+}
+
+/// `pbppm analyze access.log [--json]`
+pub fn analyze(args: &Args) -> CmdResult {
+    args.reject_unknown(&[])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pbppm analyze <access.log>")?;
+    let (trace, ingest) = load_trace_full(path)?;
+    let ua_robots = ingest.robot_clients.iter().filter(|&&b| b).count();
+    let sessions = sessionize(&trace.requests, &SessionizerConfig::default());
+    let stats = SessionStats::of(&sessions);
+    let mut counts = PopularityTable::builder();
+    for s in &sessions {
+        for v in &s.views {
+            counts.record(v.url);
+        }
+    }
+    let pop = counts.build();
+    let hist = pop.grade_histogram();
+    let classes = classify_clients(&trace.requests, &ClassifyConfig::default());
+    let proxies = classes.iter().filter(|&&c| c == ClientClass::Proxy).count();
+    let popular_starts = sessions
+        .iter()
+        .filter(|s| pop.is_popular(s.views[0].url))
+        .count();
+
+    if args.switch("json") {
+        let summary = serde_json::json!({
+            "requests": trace.requests.len(),
+            "distinct_urls": trace.distinct_urls(),
+            "clients": trace.clients.len(),
+            "days": trace.days(),
+            "total_bytes": trace.total_bytes(),
+            "sessions": stats.count,
+            "mean_session_len": stats.mean_len,
+            "frac_len_le_9": stats.frac_len_le_9,
+            "grades": {"g3": hist[3], "g2": hist[2], "g1": hist[1], "g0": hist[0]},
+            "proxies": proxies,
+            "ua_robots": ua_robots,
+            "popular_start_fraction":
+                popular_starts as f64 / sessions.len().max(1) as f64,
+        });
+        println!("{}", serde_json::to_string_pretty(&summary)?);
+        return Ok(());
+    }
+    println!(
+        "{} requests, {} URLs, {} clients ({} proxies, {} UA-identified robots), {} day(s), {} MB",
+        trace.requests.len(),
+        trace.distinct_urls(),
+        trace.clients.len(),
+        proxies,
+        ua_robots,
+        trace.days(),
+        trace.total_bytes() / 1_000_000
+    );
+    println!(
+        "{} sessions: mean {:.2} views, {:.1}% with <= 9 views",
+        stats.count,
+        stats.mean_len,
+        100.0 * stats.frac_len_le_9
+    );
+    println!(
+        "popularity grades: {} G3 / {} G2 / {} G1 / {} G0; {:.1}% of sessions start popular",
+        hist[3],
+        hist[2],
+        hist[1],
+        hist[0],
+        100.0 * popular_starts as f64 / sessions.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn train_model(
+    kind: &str,
+    sessions: &[Session],
+    aggressive: bool,
+    no_links: bool,
+) -> Result<TrainedModel, Box<dyn std::error::Error>> {
+    let mut urls = Vec::new();
+    match kind {
+        "pb" => {
+            let mut counts = PopularityTable::builder();
+            for s in sessions {
+                for v in &s.views {
+                    counts.record(v.url);
+                }
+            }
+            let cfg = PbConfig {
+                prune: if aggressive {
+                    PruneConfig::aggressive()
+                } else {
+                    PruneConfig::default()
+                },
+                special_links: !no_links,
+                ..PbConfig::default()
+            };
+            let mut m = PbPpm::new(counts.build(), cfg);
+            for s in sessions {
+                urls.clear();
+                urls.extend(s.views.iter().map(|v| v.url));
+                m.train_session(&urls);
+            }
+            m.finalize();
+            let snap = ModelSnapshot::Pb(m.to_snapshot());
+            Ok(("PB-PPM".into(), snap, Box::new(m)))
+        }
+        "standard" => {
+            let mut m = StandardPpm::unbounded();
+            for s in sessions {
+                urls.clear();
+                urls.extend(s.views.iter().map(|v| v.url));
+                m.train_session(&urls);
+            }
+            m.finalize();
+            let snap = ModelSnapshot::Standard(m.to_snapshot());
+            Ok(("PPM".into(), snap, Box::new(m)))
+        }
+        "lrs" => {
+            let mut m = LrsPpm::new();
+            for s in sessions {
+                urls.clear();
+                urls.extend(s.views.iter().map(|v| v.url));
+                m.train_session(&urls);
+            }
+            m.finalize();
+            let snap = ModelSnapshot::Lrs(m.to_snapshot());
+            Ok(("LRS".into(), snap, Box::new(m)))
+        }
+        other => Err(format!("unknown model {other:?} (expected pb, standard, or lrs)").into()),
+    }
+}
+
+/// `pbppm train access.log --out model.json [--model pb|standard|lrs]
+/// [--days N] [--aggressive-prune] [--no-links]`
+pub fn train(args: &Args) -> CmdResult {
+    args.reject_unknown(&["out", "model", "days"])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pbppm train <access.log> --out model.json")?;
+    let out = args.require("out")?;
+    let trace = load_trace(path)?;
+    let days = args.get_parsed("days", usize::MAX)?;
+    let requests = if days == usize::MAX {
+        &trace.requests[..]
+    } else {
+        trace.first_days(days)
+    };
+    let sessions = sessionize(requests, &SessionizerConfig::default());
+    let (label, snapshot, model) = train_model(
+        args.get("model").unwrap_or("pb"),
+        &sessions,
+        args.switch("aggressive-prune"),
+        args.switch("no-links"),
+    )?;
+    let bundle = TrainedBundle {
+        version: TrainedBundle::VERSION,
+        label: label.clone(),
+        urls: interner_urls(&trace.urls),
+        train_sessions: sessions.len(),
+        model: snapshot,
+    };
+    bundle.save(Path::new(out))?;
+    println!(
+        "trained {label} on {} sessions: {} nodes -> {out}",
+        sessions.len(),
+        model.node_count()
+    );
+    Ok(())
+}
+
+/// `pbppm predict model.json --context "/a.html,/b.html" [--top N] [--json]`
+pub fn predict(args: &Args) -> CmdResult {
+    args.reject_unknown(&["context", "top"])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pbppm predict <model.json> --context \"/a,/b\"")?;
+    let bundle = TrainedBundle::load(Path::new(path))?;
+    let interner = bundle.interner();
+    let mut model = bundle.instantiate()?;
+    let top = args.get_parsed("top", 10usize)?;
+
+    let context_raw = args.require("context")?;
+    let mut context = Vec::new();
+    for part in context_raw.split(',') {
+        let part = part.trim();
+        match interner.get(part) {
+            Some(id) => context.push(id),
+            None => eprintln!("note: {part:?} was never seen in training; skipping"),
+        }
+    }
+    if context.is_empty() {
+        return Err("no usable context URLs".into());
+    }
+    let mut out = Vec::new();
+    model.predict(&context, &mut out);
+    out.truncate(top);
+    if args.switch("json") {
+        let rows: Vec<_> = out
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "url": interner.resolve(p.url),
+                    "probability": p.prob,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+    } else if out.is_empty() {
+        println!("no predictions for this context");
+    } else {
+        for p in &out {
+            println!("{:.3}  {}", p.prob, interner.resolve(p.url).unwrap_or("?"));
+        }
+    }
+    Ok(())
+}
+
+/// `pbppm simulate (<access.log> | --preset nasa) --model pb|standard|lrs|top10|o1
+/// [--train-days N] [--seed N] [--json]`
+pub fn simulate(args: &Args) -> CmdResult {
+    args.reject_unknown(&["preset", "model", "train-days", "seed"])?;
+    let trace = match args.positional.first() {
+        Some(path) => load_trace(path)?,
+        None => {
+            let seed = args.get_parsed("seed", 1u64)?;
+            workload_preset(args.get("preset").unwrap_or("nasa"), seed)?.generate()
+        }
+    };
+    let spec = match args.get("model").unwrap_or("pb") {
+        "pb" => ModelSpec::pb_paper(true),
+        "standard" => ModelSpec::Standard { max_height: None },
+        "3ppm" => ModelSpec::Standard { max_height: Some(3) },
+        "lrs" => ModelSpec::Lrs,
+        "o1" => ModelSpec::Order1,
+        "top10" => ModelSpec::TopN { n: 10 },
+        "none" => ModelSpec::NoPrefetch,
+        other => return Err(format!("unknown model {other:?}").into()),
+    };
+    let default_days = trace.days().saturating_sub(1).max(1);
+    let train_days = args.get_parsed("train-days", default_days)?;
+    let cfg = ExperimentConfig::paper_default(spec, train_days);
+    let r = run_experiment(&trace, &cfg);
+    if args.switch("json") {
+        println!("{}", serde_json::to_string_pretty(&r)?);
+        return Ok(());
+    }
+    println!(
+        "{} on {} — trained {} days ({} sessions), evaluated {} requests",
+        r.label, r.trace, r.train_days, r.train_sessions, r.eval_requests
+    );
+    println!(
+        "  hit ratio      {:>6.1}%   (caching only: {:.1}%)",
+        100.0 * r.hit_ratio(),
+        100.0 * r.baseline_hit_ratio()
+    );
+    println!("  latency saved  {:>6.1}%", 100.0 * r.latency_reduction());
+    println!("  traffic cost   {:>6.1}%", 100.0 * r.traffic_increment());
+    println!("  model size     {:>6} nodes", r.node_count);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! # pbppm-cli — the command-line toolkit
+//!
+//! Library half of the `pbppm` binary: argument parsing ([`args`]), the
+//! trained-model file format ([`bundle`]), and the command implementations
+//! ([`commands`]). The binary in `main.rs` is a thin dispatcher, which
+//! keeps every command testable as a plain function.
+
+pub mod args;
+pub mod bundle;
+pub mod commands;

@@ -1,0 +1,72 @@
+//! `pbppm` — the command-line interface to the PB-PPM web prefetching
+//! toolkit.
+//!
+//! ```text
+//! pbppm generate --preset nasa --out access.log    synthesize a CLF log
+//! pbppm analyze  access.log                        sessions, popularity, clients
+//! pbppm train    access.log --out model.json       train a prediction model
+//! pbppm predict  model.json --context "/a,/b"      what to prefetch next
+//! pbppm simulate access.log --model pb             full prefetching experiment
+//! ```
+
+use pbppm_cli::args::Args;
+use pbppm_cli::commands;
+
+const HELP: &str = "\
+pbppm — popularity-based PPM web prefetching toolkit
+
+USAGE:
+    pbppm <command> [arguments]
+
+COMMANDS:
+    generate   Synthesize a multi-day Common Log Format server log
+               --preset nasa|ucb|tiny  --out FILE  [--seed N] [--days D] [--sessions S]
+    analyze    Parse a CLF log and report sessions, popularity and clients
+               <access.log>  [--json]
+    train      Train a prediction model from a CLF log
+               <access.log>  --out model.json  [--model pb|standard|lrs]
+               [--days N] [--aggressive-prune] [--no-links]
+    predict    Query a trained model for prefetch candidates
+               <model.json>  --context \"/a.html,/b.html\"  [--top N] [--json]
+    simulate   Run a full trace-driven prefetching experiment
+               (<access.log> | --preset nasa|ucb|tiny [--seed N])
+               [--model pb|standard|3ppm|lrs|o1|top10|none] [--train-days N] [--json]
+    help       Show this message
+
+All commands are deterministic for a given input and seed.
+";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_owned());
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.switch("help") {
+        print!("{HELP}");
+        return;
+    }
+    let result = match command.as_str() {
+        "generate" => commands::generate(&args),
+        "analyze" => commands::analyze(&args),
+        "train" => commands::train(&args),
+        "predict" => commands::predict(&args),
+        "simulate" => commands::simulate(&args),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,148 @@
+//! A small, fast, non-cryptographic hasher (the rustc "Fx" hash).
+//!
+//! The default `SipHash 1-3` of `std::collections::HashMap` provides HashDoS
+//! resistance this workload does not need: keys are internally assigned
+//! `u32` ids, not attacker-controlled strings. The Fx multiply-rotate hash
+//! is the standard high-performance replacement (see the Rust Performance
+//! Book, "Hashing"); it is tiny, so we implement it here rather than pull in
+//! an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc multiply-rotate hasher.
+///
+/// Quality is low compared to SipHash but throughput is far higher,
+/// especially for the 4-byte integer keys (URL ids, client ids, node ids)
+/// that dominate this crate.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add_to_hash(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add_to_hash(u64::from(u32::from_le_bytes(bytes[..4].try_into().unwrap())));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            self.add_to_hash(u64::from(u16::from_le_bytes(bytes[..2].try_into().unwrap())));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_bytes(b"/index.html"), hash_bytes(b"/index.html"));
+    }
+
+    #[test]
+    fn distinguishes_close_inputs() {
+        assert_ne!(hash_bytes(b"/a"), hash_bytes(b"/b"));
+        assert_ne!(hash_bytes(b"\x01"), hash_bytes(b"\x02"));
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ba"));
+    }
+
+    #[test]
+    fn integer_writes_differ_from_each_other() {
+        let mut a = FxHasher::default();
+        a.write_u32(7);
+        let mut b = FxHasher::default();
+        b.write_u32(8);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn multi_word_write_covers_tail_lengths() {
+        // 8-, 4-, 2- and 1-byte tails must all contribute to the hash.
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=17 {
+            let bytes = vec![0xabu8; len];
+            assert!(seen.insert(hash_bytes(&bytes)), "collision at len {len}");
+        }
+    }
+}

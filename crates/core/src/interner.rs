@@ -1,0 +1,153 @@
+//! String interning: URLs (and other identifiers) mapped to dense `u32` ids.
+//!
+//! Every hot data structure in the models stores [`UrlId`]s rather than
+//! strings: ids are 4 bytes, hash in one multiply, and compare in one
+//! instruction, which is what makes the arena trie in [`crate::tree`] compact
+//! (see the Rust Performance Book, "Smaller Integers").
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier for an interned string (a URL in most of this crate).
+///
+/// Ids are assigned consecutively from zero in interning order, so they can
+/// index plain `Vec`s (`Vec<Grade>`, `Vec<u64>` access counters, …) without
+/// hashing at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UrlId(pub u32);
+
+impl UrlId {
+    /// The id as a `usize`, for direct `Vec` indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UrlId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Two-way map between strings and dense [`UrlId`]s.
+///
+/// Interning is append-only: ids are never recycled, and
+/// [`Interner::resolve`] of any previously returned id always succeeds.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: FxHashMap<Box<str>, UrlId>,
+    by_id: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with capacity for `n` strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            by_name: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            by_id: Vec::with_capacity(n),
+        }
+    }
+
+    /// Returns the id for `name`, interning it if it has not been seen.
+    pub fn intern(&mut self, name: &str) -> UrlId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = UrlId(u32::try_from(self.by_id.len()).expect("more than u32::MAX interned strings"));
+        let boxed: Box<str> = name.into();
+        self.by_id.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Returns the id for `name` if it has already been interned.
+    pub fn get(&self, name: &str) -> Option<UrlId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the string for `id`, or `None` if the id was never issued.
+    pub fn resolve(&self, id: UrlId) -> Option<&str> {
+        self.by_id.get(id.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (UrlId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (UrlId(i as u32), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("/a");
+        let a2 = i.intern("/a");
+        assert_eq!(a, a2);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        let a = i.intern("/a");
+        let b = i.intern("/b");
+        let c = i.intern("/c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let id = i.intern("/some/long/path.html");
+        assert_eq!(i.resolve(id), Some("/some/long/path.html"));
+        assert_eq!(i.resolve(UrlId(99)), None);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("/a"), None);
+        assert_eq!(i.len(), 0);
+        let id = i.intern("/a");
+        assert_eq!(i.get("/a"), Some(id));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("/x");
+        i.intern("/y");
+        let pairs: Vec<_> = i.iter().map(|(id, s)| (id.0, s.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "/x".to_owned()), (1, "/y".to_owned())]);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_key() {
+        let mut i = Interner::new();
+        let e = i.intern("");
+        assert_eq!(i.resolve(e), Some(""));
+    }
+}

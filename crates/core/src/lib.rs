@@ -1,0 +1,81 @@
+//! # pbppm-core — prediction models for web prefetching
+//!
+//! This crate implements the prediction side of *"Popularity-Based PPM: An
+//! Effective Web Prefetching Technique for High Accuracy and Low Storage"*
+//! (Xin Chen and Xiaodong Zhang, ICPP 2002): three Prediction-by-Partial-Match
+//! (PPM) model families built over a shared arena-allocated Markov prediction
+//! trie, plus the popularity machinery the paper's contribution rests on.
+//!
+//! ## Models
+//!
+//! * [`StandardPpm`] — the classic PPM forest: a branch is rooted at **every**
+//!   URL position of every access session, bounded (or unbounded) height.
+//!   Simple, accurate, and enormous.
+//! * [`LrsPpm`] — the Longest-Repeating-Subsequence model of Pitkow & Pirolli
+//!   (USENIX '99): only paths that occur at least twice survive finalization.
+//!   Small, but blind to anything that has not yet repeated.
+//! * [`PbPpm`] — the paper's contribution. Branch heights are proportional to
+//!   the *popularity grade* of the branch's heading URL, new roots are only
+//!   created on popularity ascents, special links duplicate popular nodes
+//!   under the branch root, and two post-build space optimizations prune the
+//!   tree. High accuracy at a fraction of the storage.
+//! * [`Order1Markov`] — a first-order Markov baseline used by several of the
+//!   related-work systems the paper cites; included as an extra comparator.
+//!
+//! All models implement the [`Predictor`] trait and can be driven by the
+//! trace-driven simulator in `pbppm-sim`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pbppm_core::{Interner, PopularityTable, PbPpm, PbConfig, Predictor};
+//!
+//! let mut urls = Interner::new();
+//! let (a, b, c) = (urls.intern("/index.html"), urls.intern("/docs"), urls.intern("/docs/faq"));
+//!
+//! // Popularity is learned from the training window (two-pass training).
+//! let mut pop = PopularityTable::builder();
+//! for _ in 0..100 { pop.record(a); }
+//! for _ in 0..10 { pop.record(b); }
+//! pop.record(c);
+//! let pop = pop.build();
+//!
+//! let mut model = PbPpm::new(pop, PbConfig::default());
+//! for _ in 0..8 { model.train_session(&[a, b, c]); }
+//! model.finalize();
+//!
+//! let mut out = Vec::new();
+//! model.predict(&[a], &mut out);
+//! assert_eq!(out[0].url, b); // after /index.html the model expects /docs
+//! ```
+
+pub mod eval;
+pub mod fxhash;
+pub mod interner;
+pub mod lrs;
+pub mod order1;
+pub mod pb;
+pub mod pb_online;
+pub mod popularity;
+pub mod predictor;
+pub mod prune;
+pub mod render;
+pub mod standard;
+pub mod stats;
+pub mod topn;
+pub mod tree;
+
+pub use eval::{evaluate, EvalConfig, PredictionQuality};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use interner::{Interner, UrlId};
+pub use lrs::LrsPpm;
+pub use order1::Order1Markov;
+pub use pb::{PbConfig, PbPpm};
+pub use pb_online::OnlinePbPpm;
+pub use popularity::{Grade, PopularityBuilder, PopularityTable, PopularityTracker};
+pub use predictor::{ModelKind, Prediction, Predictor};
+pub use prune::PruneConfig;
+pub use standard::StandardPpm;
+pub use topn::TopN;
+pub use stats::ModelStats;
+pub use tree::{NodeId, Tree};

@@ -1,0 +1,288 @@
+//! The **LRS-PPM** model (§3.2, second approach): Longest Repeating
+//! Subsequences, after Pitkow & Pirolli, *"Mining longest repeating
+//! subsequences to predict World Wide Web surfing"* (USENIX '99).
+//!
+//! A *repeating subsequence* is a contiguous URL sequence observed more than
+//! once across all sessions; the model keeps only repeating paths, which is
+//! equivalent to building the full suffix forest and discarding every node
+//! traversed fewer than `min_support` (= 2) times. Keeping each maximal
+//! repeating sequence *and* all of its suffix-rooted copies is what the paper
+//! describes as branches being "cut and paste into multiple sub-branches
+//! starting from different URLs" — the source of this model's node
+//! duplication and of its fast growth in Table 1/Figure 4.
+//!
+//! Training therefore proceeds exactly like standard PPM; the LRS extraction
+//! happens in [`LrsPpm::finalize`], which must be called before predicting.
+
+use crate::interner::UrlId;
+use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::stats::ModelStats;
+use crate::tree::Tree;
+
+/// Default occurrence threshold: "if an URL sequence is accessed twice or
+/// more, the sequence is considered as a frequently repeating one" (§4.1).
+pub const DEFAULT_MIN_SUPPORT: u64 = 2;
+
+/// LRS-PPM prediction model.
+#[derive(Debug, Clone)]
+pub struct LrsPpm {
+    tree: Tree,
+    min_support: u64,
+    max_height: usize,
+    finalized: bool,
+}
+
+impl Default for LrsPpm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LrsPpm {
+    /// Creates an LRS model with the paper's support threshold of 2.
+    pub fn new() -> Self {
+        Self::with_support(DEFAULT_MIN_SUPPORT)
+    }
+
+    /// Creates an LRS model with a custom support threshold (≥ 1).
+    pub fn with_support(min_support: u64) -> Self {
+        Self {
+            tree: Tree::new(),
+            min_support: min_support.max(1),
+            max_height: usize::from(u8::MAX),
+            finalized: false,
+        }
+    }
+
+    /// Caps the height of the training forest (defaults to unbounded; the
+    /// original design keeps whole repeating sessions).
+    pub fn with_max_height(mut self, h: u8) -> Self {
+        self.max_height = usize::from(h).max(1);
+        self
+    }
+
+    /// Read-only access to the underlying tree (tests, rendering).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Serializes the trained model for persistence.
+    pub fn to_snapshot(&self) -> LrsSnapshot {
+        LrsSnapshot {
+            tree: self.tree.to_snapshot(),
+            min_support: self.min_support,
+            max_height: self.max_height,
+            finalized: self.finalized,
+        }
+    }
+
+    /// Restores a model from a snapshot.
+    pub fn from_snapshot(snap: &LrsSnapshot) -> Result<Self, crate::tree::SnapshotError> {
+        Ok(Self {
+            tree: Tree::from_snapshot(&snap.tree)?,
+            min_support: snap.min_support,
+            max_height: snap.max_height,
+            finalized: snap.finalized,
+        })
+    }
+}
+
+/// A serializable image of a trained [`LrsPpm`] model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LrsSnapshot {
+    tree: crate::tree::TreeSnapshot,
+    min_support: u64,
+    max_height: usize,
+    finalized: bool,
+}
+
+impl Predictor for LrsPpm {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Lrs
+    }
+
+    fn train_session(&mut self, session: &[UrlId]) {
+        debug_assert!(!self.finalized, "train_session after finalize");
+        for start in 0..session.len() {
+            self.tree.insert_path(&session[start..], self.max_height);
+        }
+    }
+
+    /// Extracts the repeating subsequences: kills every node with fewer than
+    /// `min_support` traversals and compacts the arena.
+    fn finalize(&mut self) {
+        debug_assert!(!self.finalized, "finalize called twice");
+        let victims: Vec<_> = self
+            .tree
+            .iter_alive()
+            .filter(|&id| self.tree.node(id).count < self.min_support)
+            .collect();
+        for id in victims {
+            self.tree.kill_subtree(id);
+        }
+        self.tree.compact();
+        self.finalized = true;
+    }
+
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        debug_assert!(self.finalized, "predict before finalize");
+        out.clear();
+        if context.is_empty() {
+            return;
+        }
+        let Some(node) = self
+            .tree
+            .longest_predictive_match(context, self.max_height)
+        else {
+            return;
+        };
+        let parent_count = self.tree.node(node).count;
+        if parent_count == 0 {
+            return;
+        }
+        let mut marks = Vec::new();
+        for (url, child, count) in self.tree.children_of(node) {
+            out.push(Prediction::new(url, count as f64 / parent_count as f64));
+            marks.push(child);
+        }
+        self.tree.mark_path_used(node);
+        for m in marks {
+            self.tree.mark_used(m);
+        }
+        rank_predictions(out, usize::MAX);
+    }
+
+    fn node_count(&self) -> usize {
+        self.tree.node_count()
+    }
+
+    fn stats(&self) -> ModelStats {
+        ModelStats::of_tree(&self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    /// The paper's Figure 1 (right-of-left pair): the LRS tree for
+    /// `A B C A' B' C'` seen once keeps nothing — nothing repeats.
+    #[test]
+    fn single_occurrence_keeps_nothing() {
+        let mut m = LrsPpm::new();
+        m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+        m.finalize();
+        assert_eq!(m.node_count(), 0);
+    }
+
+    #[test]
+    fn repeated_sequences_survive() {
+        let mut m = LrsPpm::new();
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.train_session(&[u(0), u(1), u(3)]);
+        m.finalize();
+        // 0->1 repeats (twice); 1 as a suffix root repeats; 2 and 3 do not.
+        assert!(m.tree().descend(&[u(0), u(1)]).is_some());
+        assert!(m.tree().descend(&[u(0), u(1), u(2)]).is_none());
+        assert!(m.tree().descend(&[u(1)]).is_some());
+        assert!(m.tree().descend(&[u(2)]).is_none());
+        // Surviving nodes: 0, 0->1, 1 root.
+        assert_eq!(m.node_count(), 3);
+    }
+
+    #[test]
+    fn suffix_copies_are_kept_separately() {
+        // The "cut and paste" duplication: the repeating sequence A B C is
+        // stored under A, under B, and under C.
+        let mut m = LrsPpm::new();
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.finalize();
+        assert!(m.tree().descend(&[u(0), u(1), u(2)]).is_some());
+        assert!(m.tree().descend(&[u(1), u(2)]).is_some());
+        assert!(m.tree().descend(&[u(2)]).is_some());
+        assert_eq!(m.node_count(), 6);
+    }
+
+    #[test]
+    fn predicts_only_from_repeating_paths() {
+        let mut m = LrsPpm::new();
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(0), u(2)]); // seen once: pruned
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].url, u(1));
+        // Probability uses the *original* counts: 2 of 3 accesses to 0 led
+        // to 1.
+        assert!((out[0].prob - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_or_unrepeated_context_predicts_nothing() {
+        let mut m = LrsPpm::new();
+        m.train_session(&[u(0), u(1)]);
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn custom_support_threshold() {
+        let mut m = LrsPpm::with_support(3);
+        for _ in 0..2 {
+            m.train_session(&[u(0), u(1)]);
+        }
+        m.train_session(&[u(0), u(2)]);
+        m.finalize();
+        // Root 0 has count 3 and survives; both children have < 3.
+        assert_eq!(m.node_count(), 1);
+    }
+
+    #[test]
+    fn grows_faster_than_its_pruned_size_suggests() {
+        // Before finalize the LRS training forest is a full standard forest.
+        let mut m = LrsPpm::new();
+        m.train_session(&[u(0), u(1), u(2), u(3)]);
+        assert_eq!(m.tree().arena_len(), 4 + 3 + 2 + 1);
+        m.finalize();
+        assert_eq!(m.node_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions() {
+        let mut m = LrsPpm::new();
+        for _ in 0..3 {
+            m.train_session(&[u(0), u(1), u(2)]);
+        }
+        m.finalize();
+        let mut before = Vec::new();
+        m.predict(&[u(0)], &mut before);
+        let mut back = LrsPpm::from_snapshot(&m.to_snapshot()).unwrap();
+        assert_eq!(back.node_count(), m.node_count());
+        let mut after = Vec::new();
+        back.predict(&[u(0)], &mut after);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn longest_match_is_used() {
+        let mut m = LrsPpm::new();
+        for _ in 0..2 {
+            m.train_session(&[u(0), u(1), u(3)]);
+            m.train_session(&[u(9), u(1), u(4)]);
+        }
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0), u(1)], &mut out);
+        assert_eq!(out[0].url, u(3), "order-2 match must win over root 1");
+        assert!((out[0].prob - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! First-order Markov baseline.
+//!
+//! Several of the systems the paper cites in related work (Bestavros'
+//! speculation service, Padmanabhan & Mogul, Sarukkai's link prediction)
+//! predict from the current URL alone — a first-order Markov chain. It is
+//! included as an extra comparator: it is the degenerate `2-PPM` with a
+//! dedicated, even cheaper representation (a pair-count table instead of a
+//! trie).
+
+use crate::fxhash::FxHashMap;
+use crate::interner::UrlId;
+use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::stats::ModelStats;
+
+/// Transition counts out of one URL.
+#[derive(Debug, Clone, Default)]
+struct Row {
+    total: u64,
+    next: FxHashMap<UrlId, u64>,
+    used: bool,
+}
+
+/// First-order Markov prediction model.
+#[derive(Debug, Clone, Default)]
+pub struct Order1Markov {
+    rows: FxHashMap<UrlId, Row>,
+    finalized: bool,
+}
+
+impl Order1Markov {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for Order1Markov {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Order1
+    }
+
+    fn train_session(&mut self, session: &[UrlId]) {
+        debug_assert!(!self.finalized, "train_session after finalize");
+        for pair in session.windows(2) {
+            let row = self.rows.entry(pair[0]).or_default();
+            row.total += 1;
+            *row.next.entry(pair[1]).or_default() += 1;
+        }
+    }
+
+    fn finalize(&mut self) {
+        self.finalized = true;
+    }
+
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        out.clear();
+        let Some(current) = context.last() else {
+            return;
+        };
+        let Some(row) = self.rows.get_mut(current) else {
+            return;
+        };
+        row.used = true;
+        let total = row.total as f64;
+        for (&url, &count) in &row.next {
+            out.push(Prediction::new(url, count as f64 / total));
+        }
+        rank_predictions(out, usize::MAX);
+    }
+
+    /// Storage in "URL nodes": one per source URL plus one per stored
+    /// transition (mirrors how a height-2 trie would count).
+    fn node_count(&self) -> usize {
+        self.rows.len() + self.rows.values().map(|r| r.next.len()).sum::<usize>()
+    }
+
+    fn stats(&self) -> ModelStats {
+        let total_paths: usize = self.rows.values().map(|r| r.next.len()).sum();
+        let used_paths: usize = self
+            .rows
+            .values()
+            .filter(|r| r.used)
+            .map(|r| r.next.len())
+            .sum();
+        ModelStats {
+            nodes: self.node_count(),
+            roots: self.rows.len(),
+            max_depth: if total_paths > 0 { 2 } else { u8::from(!self.rows.is_empty()) },
+            total_paths,
+            used_paths,
+            memory_bytes: self.rows.len()
+                * (std::mem::size_of::<UrlId>() + std::mem::size_of::<Row>())
+                + total_paths * std::mem::size_of::<(UrlId, u64)>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    #[test]
+    fn learns_transition_probabilities() {
+        let mut m = Order1Markov::new();
+        m.train_session(&[u(0), u(1), u(0), u(1), u(0), u(2)]);
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].url, u(1));
+        assert!((out[0].prob - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_deeper_context() {
+        let mut m = Order1Markov::new();
+        m.train_session(&[u(5), u(0), u(1)]);
+        m.train_session(&[u(6), u(0), u(2)]);
+        m.finalize();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        m.predict(&[u(5), u(0)], &mut a);
+        m.predict(&[u(6), u(0)], &mut b);
+        assert_eq!(a, b, "only the last URL matters");
+    }
+
+    #[test]
+    fn node_count_counts_rows_and_transitions() {
+        let mut m = Order1Markov::new();
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.finalize();
+        // rows: 0, 1; transitions: 0->1, 1->2
+        assert_eq!(m.node_count(), 4);
+    }
+
+    #[test]
+    fn empty_and_unknown_are_safe() {
+        let mut m = Order1Markov::new();
+        m.train_session(&[u(0)]); // single click: no transition
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert!(out.is_empty());
+        m.predict(&[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(m.node_count(), 0);
+    }
+
+    #[test]
+    fn stats_track_usage() {
+        let mut m = Order1Markov::new();
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(2), u(3)]);
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        let s = m.stats();
+        assert_eq!(s.total_paths, 2);
+        assert_eq!(s.used_paths, 1);
+    }
+}

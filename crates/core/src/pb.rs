@@ -1,0 +1,664 @@
+//! The **popularity-based PPM** model — the paper's contribution (§3.4).
+//!
+//! The Markov prediction tree grows with a *variable* height per branch:
+//! a popular URL heads a set of long branches, a less popular document heads
+//! short ones. Four construction rules (§3.4) shape the tree:
+//!
+//! 1. **Grade-proportional heights.** A branch headed by a grade-*g* URL may
+//!    grow to `heights[g]` nodes (defaults 7/5/3/1 for grades 3/2/1/0 — the
+//!    values of §4.1).
+//! 2. **Bounded initial maximum height.** The default ceiling of 7 reflects
+//!    the paper's observation that more than 95% of access sessions have 9 or
+//!    fewer clicks.
+//! 3. **Special links.** While a branch grows, a URL that is *not* the
+//!    immediate successor of the branch head and whose grade exceeds the
+//!    head's grade (or is the highest grade) gets a **duplicated node**
+//!    linked directly under the branch root. When the current click is a
+//!    root, the linked duplicates yield additional predictions — popular
+//!    URLs get extra prefetching consideration.
+//! 4. **Root rule.** A URL starts a new root branch only at the session head
+//!    or when its popularity grade is higher than the grade of the URL just
+//!    before it. (Standard PPM roots a branch at *every* position; this rule
+//!    is what "limits the number of root nodes".)
+//!
+//! After construction, [`PbPpm::finalize`] applies the two space
+//! optimizations of [`crate::prune`].
+
+use crate::interner::UrlId;
+use crate::popularity::{Grade, PopularityTable};
+use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::prune::{prune, PruneConfig, PruneReport};
+use crate::stats::ModelStats;
+use crate::tree::{NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// Construction parameters for [`PbPpm`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PbConfig {
+    /// Maximum branch height per heading-URL grade, indexed by
+    /// [`Grade::level`]. The paper's §4.1 values are `[1, 3, 5, 7]`.
+    pub heights: [u8; 4],
+    /// Whether rule 3 special links are created (on in the paper; the
+    /// ablation benches turn it off).
+    pub special_links: bool,
+    /// Post-build space optimization applied by [`PbPpm::finalize`].
+    pub prune: PruneConfig,
+    /// Longest context considered when matching (defaults to the tallest
+    /// branch height + 1).
+    pub max_order: usize,
+}
+
+impl Default for PbConfig {
+    fn default() -> Self {
+        Self {
+            heights: [1, 3, 5, 7],
+            special_links: true,
+            prune: PruneConfig::default(),
+            max_order: 8,
+        }
+    }
+}
+
+impl PbConfig {
+    /// Branch height for a heading URL of grade `g`, at least 1.
+    #[inline]
+    pub fn height_for(&self, g: Grade) -> u8 {
+        self.heights[g.level() as usize].max(1)
+    }
+}
+
+/// One growing branch during session insertion.
+struct Cursor {
+    /// Deepest node inserted so far on this branch.
+    at: NodeId,
+    /// The branch's root (link target anchor).
+    root: NodeId,
+    /// Grade of the branch's heading URL.
+    head_grade: Grade,
+    /// How many more nodes this branch may accept.
+    remaining: u8,
+    /// Depth of `at` within the branch (head = 1).
+    depth: u8,
+}
+
+/// Popularity-based PPM prediction model.
+pub struct PbPpm {
+    tree: Tree,
+    pop: PopularityTable,
+    cfg: PbConfig,
+    finalized: bool,
+    prune_report: Option<PruneReport>,
+    /// Diagnostics: cumulative number of predictions emitted via special
+    /// links vs via branch matching (since construction).
+    pub emitted_link_preds: u64,
+    /// See [`PbPpm::emitted_link_preds`].
+    pub emitted_branch_preds: u64,
+    /// Occurrence index: URL → every alive branch node for that URL.
+    ///
+    /// Standard and LRS trees store every *suffix* of a sequence as its own
+    /// branch, so matching a context against branch roots is enough. PB-PPM
+    /// saves exactly that duplication (rule 4), which means the longest
+    /// context match must be sought at **interior** nodes: this index,
+    /// built once in [`PbPpm::finalize`], makes that lookup cheap.
+    by_url: crate::fxhash::FxHashMap<UrlId, Vec<NodeId>>,
+}
+
+impl PbPpm {
+    /// Creates a PB-PPM model over a frozen popularity table (the outcome of
+    /// the first training pass — see [`PopularityTable::builder`]).
+    pub fn new(pop: PopularityTable, cfg: PbConfig) -> Self {
+        Self {
+            tree: Tree::new(),
+            pop,
+            cfg,
+            finalized: false,
+            prune_report: None,
+            emitted_link_preds: 0,
+            emitted_branch_preds: 0,
+            by_url: crate::fxhash::FxHashMap::default(),
+        }
+    }
+
+    /// Length of the longest context suffix that matches the upward path
+    /// ending at `node` (at least 1: `node.url == *context.last()`).
+    fn match_len(&self, node: NodeId, context: &[UrlId]) -> usize {
+        let mut len = 0;
+        let mut cur = node;
+        for &url in context.iter().rev().take(self.cfg.max_order) {
+            if self.tree.node(cur).url != url {
+                break;
+            }
+            len += 1;
+            let parent = self.tree.node(cur).parent;
+            if parent.is_none() {
+                break;
+            }
+            cur = parent;
+        }
+        len
+    }
+
+    /// Read-only access to the underlying tree (tests, rendering).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The popularity table the model was built with.
+    pub fn popularity(&self) -> &PopularityTable {
+        &self.pop
+    }
+
+    /// What [`PbPpm::finalize`]'s space optimization removed, if it ran.
+    pub fn prune_report(&self) -> Option<PruneReport> {
+        self.prune_report
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PbConfig {
+        &self.cfg
+    }
+
+    /// Serializes the trained model (tree, popularity table, config) so a
+    /// server can persist it across restarts. Only meaningful after
+    /// [`Predictor::finalize`].
+    pub fn to_snapshot(&self) -> PbSnapshot {
+        PbSnapshot {
+            tree: self.tree.to_snapshot(),
+            pop: self.pop.clone(),
+            cfg: self.cfg,
+            finalized: self.finalized,
+        }
+    }
+
+    /// Restores a model from a snapshot, rebuilding the occurrence index.
+    pub fn from_snapshot(snap: &PbSnapshot) -> Result<Self, crate::tree::SnapshotError> {
+        let tree = Tree::from_snapshot(&snap.tree)?;
+        let mut by_url: crate::fxhash::FxHashMap<UrlId, Vec<NodeId>> =
+            crate::fxhash::FxHashMap::default();
+        for id in tree.iter_alive() {
+            let node = tree.node(id);
+            if !node.link_dup {
+                by_url.entry(node.url).or_default().push(id);
+            }
+        }
+        Ok(Self {
+            tree,
+            pop: snap.pop.clone(),
+            cfg: snap.cfg,
+            finalized: snap.finalized,
+            prune_report: None,
+            emitted_link_preds: 0,
+            emitted_branch_preds: 0,
+            by_url,
+        })
+    }
+}
+
+/// A serializable image of a trained [`PbPpm`] model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PbSnapshot {
+    tree: crate::tree::TreeSnapshot,
+    pop: PopularityTable,
+    cfg: PbConfig,
+    finalized: bool,
+}
+
+impl Predictor for PbPpm {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Pb
+    }
+
+    fn train_session(&mut self, session: &[UrlId]) {
+        debug_assert!(!self.finalized, "train_session after finalize");
+        let mut cursors: Vec<Cursor> = Vec::with_capacity(4);
+        let mut prev_grade = Grade::G0;
+        // A link's count answers "in how many of the branch's sessions was
+        // the popular URL revisited later?", so each (root, url) link is
+        // bumped at most once per session no matter how often the URL
+        // recurs.
+        let mut linked_this_session: Vec<(NodeId, UrlId)> = Vec::new();
+        for (i, &url) in session.iter().enumerate() {
+            let g = self.pop.grade(url);
+
+            // Rule 1/2: extend every branch that still has headroom.
+            cursors.retain_mut(|c| {
+                if c.remaining == 0 {
+                    return false;
+                }
+                c.at = self.tree.child_or_insert(c.at, url);
+                self.tree.bump(c.at);
+                c.remaining -= 1;
+                c.depth += 1;
+                // Rule 3: duplicate-and-link popular URLs that are not the
+                // head's immediate successor. A link back to the head itself
+                // would predict the page currently being served, so skip it.
+                if self.cfg.special_links
+                    && c.depth >= 3
+                    && (g > c.head_grade || g == Grade::MAX)
+                    && url != self.tree.node(c.root).url
+                    && !linked_this_session.contains(&(c.root, url))
+                {
+                    let dup = self.tree.link_or_insert(c.root, url);
+                    self.tree.bump(dup);
+                    linked_this_session.push((c.root, url));
+                }
+                true
+            });
+
+            // Rule 4: a new root at the session head or on a grade ascent.
+            if i == 0 || g > prev_grade {
+                let root = self.tree.root_or_insert(url);
+                self.tree.bump(root);
+                // If this root's branch is already being grown in this
+                // session, restart it rather than double-extend it.
+                cursors.retain(|c| c.root != root);
+                cursors.push(Cursor {
+                    at: root,
+                    root,
+                    head_grade: g,
+                    remaining: self.cfg.height_for(g) - 1,
+                    depth: 1,
+                });
+            }
+            prev_grade = g;
+        }
+    }
+
+    /// Applies the paper's post-build space optimizations (relative access
+    /// probability cut and absolute count cut) and compacts the arena.
+    fn finalize(&mut self) {
+        debug_assert!(!self.finalized, "finalize called twice");
+        self.prune_report = Some(prune(&mut self.tree, &self.cfg.prune));
+        // Build the occurrence index over the pruned, compacted arena.
+        self.by_url.clear();
+        for id in self.tree.iter_alive().collect::<Vec<_>>() {
+            let node = self.tree.node(id);
+            if !node.link_dup {
+                self.by_url.entry(node.url).or_default().push(id);
+            }
+        }
+        self.finalized = true;
+    }
+
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        out.clear();
+        let Some(&current) = context.last() else {
+            return;
+        };
+        debug_assert!(self.finalized, "predict before finalize");
+        let mut marks: Vec<NodeId> = Vec::new();
+
+        // Branch predictions via the longest matching context, sought at
+        // interior nodes (see the `by_url` field docs): among all nodes for
+        // the current URL, those with the longest upward match against the
+        // context vote with their children, weighted by node count.
+        if let Some(nodes) = self.by_url.get(&current) {
+            // Group candidate nodes by match length, longest first.
+            let mut scored: Vec<(usize, NodeId)> = nodes
+                .iter()
+                .filter(|&&id| self.tree.node(id).alive)
+                .map(|&id| (self.match_len(id, context), id))
+                .collect();
+            scored.sort_by_key(|&(len, _)| std::cmp::Reverse(len));
+            let mut i = 0;
+            while i < scored.len() {
+                let len = scored[i].0;
+                let mut j = i;
+                let mut parent_total = 0u64;
+                let mut votes: Vec<(UrlId, NodeId, u64)> = Vec::new();
+                while j < scored.len() && scored[j].0 == len {
+                    let node = scored[j].1;
+                    if self.tree.children_of(node).next().is_some() {
+                        parent_total += self.tree.node(node).count;
+                        for (url, child, count) in self.tree.children_of(node) {
+                            votes.push((url, child, count));
+                        }
+                    }
+                    j += 1;
+                }
+                if parent_total > 0 {
+                    // Aggregate votes per URL across same-length matches.
+                    let mut agg: crate::fxhash::FxHashMap<UrlId, u64> =
+                        crate::fxhash::FxHashMap::default();
+                    for &(url, child, count) in &votes {
+                        *agg.entry(url).or_default() += count;
+                        marks.push(child);
+                    }
+                    let matched: Vec<NodeId> = scored[i..j]
+                        .iter()
+                        .map(|&(_, node)| node)
+                        .filter(|&node| self.tree.children_of(node).next().is_some())
+                        .collect();
+                    for node in matched {
+                        self.tree.mark_path_used(node);
+                    }
+                    for (url, count) in agg {
+                        out.push(Prediction::new(url, count as f64 / parent_total as f64));
+                        self.emitted_branch_preds += 1;
+                    }
+                    break;
+                }
+                i = j;
+            }
+        }
+
+        // Additional predictions from the special links when the current
+        // click is a root (§3.4 rule 3, §4.1). A link's probability is the
+        // fraction of the branch's sessions in which the duplicated popular
+        // URL was visited later on — the "possibility" that pushing it now
+        // pays off before the session ends. On a home-oriented site the top
+        // entry pages clear the 0.25 policy threshold this way; on a site
+        // without a popular anchor they do not, and the channel stays quiet.
+        if let Some(root) = self.tree.root(current) {
+            let root_count = self.tree.node(root).count;
+            if root_count > 0 {
+                let links: Vec<(UrlId, NodeId, u64)> = self
+                    .tree
+                    .links_of(root)
+                    .map(|id| {
+                        let n = self.tree.node(id);
+                        (n.url, id, n.count)
+                    })
+                    .collect();
+                if !links.is_empty() {
+                    self.tree.mark_used(root);
+                }
+                for (url, id, count) in links {
+                    out.push(Prediction::new(url, count as f64 / root_count as f64));
+                    marks.push(id);
+                    self.emitted_link_preds += 1;
+                }
+            }
+        }
+
+        for m in marks {
+            self.tree.mark_used(m);
+        }
+        rank_predictions(out, usize::MAX);
+    }
+
+    fn node_count(&self) -> usize {
+        self.tree.node_count()
+    }
+
+    fn stats(&self) -> ModelStats {
+        ModelStats::of_tree(&self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::PopularityBuilder;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    /// Builds a popularity table where `grades[i]` is the grade of `UrlId(i)`.
+    fn pop_with_grades(grades: &[u8]) -> PopularityTable {
+        let mut b = PopularityBuilder::new();
+        for (i, &g) in grades.iter().enumerate() {
+            // Counts chosen so that with max = 1000 each URL lands in the
+            // wanted log10 bucket. Grade 0 = unseen (rp < 0.1% either way).
+            let count = match g {
+                3 => 1000,
+                2 => 50,
+                1 => 5,
+                _ => 0,
+            };
+            if count > 0 {
+                b.record_n(u(i as u32), count);
+            }
+        }
+        // anchor: ensure some url has 1000 so the scale is fixed
+        b.record_n(u(grades.len() as u32), 1000);
+        b.build()
+    }
+
+    fn no_prune() -> PbConfig {
+        PbConfig {
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        }
+    }
+
+    /// The paper's Figure 1 (right): PB-PPM for `A B C A' B' C'` with grades
+    /// 3/2/1 and maximum height 4 keeps two branches and one special link.
+    #[test]
+    fn figure1_right_shape() {
+        // A=0 B=1 C=2 A'=3 B'=4 C'=5
+        let pop = pop_with_grades(&[3, 2, 1, 3, 2, 1]);
+        let cfg = PbConfig {
+            heights: [1, 2, 3, 4], // figure's max height 4, grade-proportional
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        };
+        let mut m = PbPpm::new(pop, cfg);
+        m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+        m.finalize();
+        let t = m.tree();
+        // Roots: A (session head) and A' (grade ascent over C).
+        assert_eq!(t.root_count(), 2);
+        assert!(t.root(u(0)).is_some());
+        assert!(t.root(u(3)).is_some());
+        assert!(t.root(u(1)).is_none(), "B must not become a root");
+        // A's branch: A -> B -> C -> A' (height 4).
+        assert!(t.descend(&[u(0), u(1), u(2), u(3)]).is_some());
+        assert!(t.descend(&[u(0), u(1), u(2), u(3), u(4)]).is_none());
+        // A''s branch: A' -> B' -> C'.
+        assert!(t.descend(&[u(3), u(4), u(5)]).is_some());
+        // Special link: A ~> duplicated A' (grade 3, depth 4 in A's branch).
+        let root_a = t.root(u(0)).unwrap();
+        let links: Vec<UrlId> = t.links_of(root_a).map(|id| t.node(id).url).collect();
+        assert_eq!(links, vec![u(3)]);
+        // 7 branch nodes + 1 duplicated link node.
+        assert_eq!(m.node_count(), 8);
+    }
+
+    #[test]
+    fn branch_heights_follow_grades() {
+        let pop = pop_with_grades(&[3, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut m = PbPpm::new(pop.clone(), no_prune());
+        // Session of 9 URLs headed by a grade-3 URL: branch capped at 7.
+        m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5), u(6), u(7), u(8)]);
+        m.finalize();
+        assert_eq!(m.tree().max_depth(), 7);
+
+        // Headed by a grade-0 URL: height 1 (the head only).
+        let pop = pop_with_grades(&[0, 0, 0]);
+        let mut m = PbPpm::new(pop, no_prune());
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.finalize();
+        assert_eq!(m.tree().max_depth(), 1);
+    }
+
+    #[test]
+    fn root_rule_only_roots_on_grade_ascents() {
+        // grades: 2, 1, 1, 2, 3
+        let pop = pop_with_grades(&[2, 1, 1, 2, 3]);
+        let mut m = PbPpm::new(pop, no_prune());
+        m.train_session(&[u(0), u(1), u(2), u(3), u(4)]);
+        m.finalize();
+        let t = m.tree();
+        // Roots: 0 (head), 3 (2 > 1), 4 (3 > 2). Not 1, 2.
+        assert!(t.root(u(0)).is_some());
+        assert!(t.root(u(3)).is_some());
+        assert!(t.root(u(4)).is_some());
+        assert!(t.root(u(1)).is_none());
+        assert!(t.root(u(2)).is_none());
+        assert_eq!(t.root_count(), 3);
+    }
+
+    #[test]
+    fn special_links_require_distance_and_popularity() {
+        // Head grade 2; sequence head, x(g2 at depth 2 - immediate), y(g3 at
+        // depth 3), z(g1 at depth 4).
+        let pop = pop_with_grades(&[2, 3, 3, 1]);
+        let cfg = PbConfig {
+            heights: [4, 4, 4, 4],
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        };
+        let mut m = PbPpm::new(pop, cfg);
+        // 1 is grade 3 and immediately follows the head: no link, but it
+        // does become a root itself (grade ascent).
+        m.train_session(&[u(0), u(1), u(2), u(3)]);
+        m.finalize();
+        let t = m.tree();
+        let root0 = t.root(u(0)).unwrap();
+        let links: Vec<UrlId> = t.links_of(root0).map(|id| t.node(id).url).collect();
+        // Only u(2): grade 3 at depth 3 of branch 0. u(3) is grade 1: no.
+        assert_eq!(links, vec![u(2)]);
+    }
+
+    #[test]
+    fn disabling_special_links_removes_them() {
+        let pop = pop_with_grades(&[3, 2, 1, 3]);
+        let cfg = PbConfig {
+            special_links: false,
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        };
+        let mut m = PbPpm::new(pop, cfg);
+        m.train_session(&[u(0), u(1), u(2), u(3)]);
+        m.finalize();
+        let t = m.tree();
+        let root0 = t.root(u(0)).unwrap();
+        assert_eq!(t.links_of(root0).count(), 0);
+    }
+
+    #[test]
+    fn predicts_branch_children_and_linked_duplicates() {
+        let pop = pop_with_grades(&[3, 2, 1, 3, 2, 1]);
+        let cfg = PbConfig {
+            heights: [1, 2, 3, 4],
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        };
+        let mut m = PbPpm::new(pop, cfg);
+        m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        // Branch child B plus linked duplicate A'.
+        let urls: Vec<UrlId> = out.iter().map(|p| p.url).collect();
+        assert!(urls.contains(&u(1)));
+        assert!(urls.contains(&u(3)), "special link must add A'");
+    }
+
+    #[test]
+    fn link_predictions_only_fire_from_roots() {
+        let pop = pop_with_grades(&[3, 2, 1, 3]);
+        let mut m = PbPpm::new(pop, no_prune());
+        for _ in 0..2 {
+            m.train_session(&[u(0), u(1), u(2), u(3)]);
+        }
+        m.finalize();
+        let mut out = Vec::new();
+        // Context ending at u(1), which is not a root: only branch children.
+        m.predict(&[u(0), u(1)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].url, u(2));
+    }
+
+    #[test]
+    fn finalize_prunes_rare_branches() {
+        let pop = pop_with_grades(&[3, 2, 2]);
+        let cfg = PbConfig {
+            prune: PruneConfig {
+                relative_threshold: Some(0.10),
+                min_abs_count: None,
+            },
+            ..PbConfig::default()
+        };
+        let mut m = PbPpm::new(pop, cfg);
+        for _ in 0..99 {
+            m.train_session(&[u(0), u(1)]);
+        }
+        m.train_session(&[u(0), u(2)]); // 1% of root's traffic
+        let before = m.node_count();
+        m.finalize();
+        let report = m.prune_report().unwrap();
+        assert_eq!(report.nodes_before, before);
+        assert!(m.node_count() < before);
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert!(out.iter().all(|p| p.url != u(2)), "pruned child gone");
+    }
+
+    #[test]
+    fn repeated_training_accumulates_counts_not_nodes() {
+        let pop = pop_with_grades(&[3, 2, 1]);
+        let mut m = PbPpm::new(pop, no_prune());
+        m.train_session(&[u(0), u(1), u(2)]);
+        let n = m.node_count();
+        for _ in 0..10 {
+            m.train_session(&[u(0), u(1), u(2)]);
+        }
+        assert_eq!(m.node_count(), n);
+        let t = m.tree();
+        let root = t.root(u(0)).unwrap();
+        assert_eq!(t.node(root).count, 11);
+    }
+
+    #[test]
+    fn unknown_url_grade_defaults_to_zero() {
+        let pop = pop_with_grades(&[3]);
+        let mut m = PbPpm::new(pop, no_prune());
+        // u(77) was never graded: it may not root a branch mid-session
+        // unless preceded by something of even lower grade.
+        m.train_session(&[u(0), u(77)]);
+        m.finalize();
+        assert!(m.tree().root(u(77)).is_none());
+        assert!(m.tree().descend(&[u(0), u(77)]).is_some());
+    }
+
+    #[test]
+    fn session_restarting_same_root_does_not_double_count() {
+        let pop = pop_with_grades(&[3, 0]);
+        let mut m = PbPpm::new(pop, no_prune());
+        // A x A x: A roots twice within one session.
+        m.train_session(&[u(0), u(1), u(0), u(1)]);
+        m.finalize();
+        let t = m.tree();
+        let root = t.root(u(0)).unwrap();
+        assert_eq!(t.node(root).count, 2);
+        // Child u(1) under A was visited twice but inserted once.
+        let child = t.descend(&[u(0), u(1)]).unwrap();
+        assert_eq!(t.node(child).count, 2);
+        // Nodes: root A, child x, and the deep copy of A recorded before the
+        // branch restarted (A x A). No self-link is created.
+        assert_eq!(m.node_count(), 3);
+        assert_eq!(t.links_of(root).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions_and_links() {
+        let pop = pop_with_grades(&[3, 2, 1, 3, 2, 1]);
+        let mut m = PbPpm::new(pop, no_prune());
+        for _ in 0..4 {
+            m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+        }
+        m.finalize();
+        let mut before = Vec::new();
+        m.predict(&[u(0)], &mut before);
+        let snap = m.to_snapshot();
+        let mut back = PbPpm::from_snapshot(&snap).unwrap();
+        assert_eq!(back.node_count(), m.node_count());
+        let mut after = Vec::new();
+        back.predict(&[u(0)], &mut after);
+        assert_eq!(before, after, "branch and link predictions must survive");
+    }
+
+    #[test]
+    fn empty_context_and_empty_session_are_safe() {
+        let pop = pop_with_grades(&[3]);
+        let mut m = PbPpm::new(pop, no_prune());
+        m.train_session(&[]);
+        m.finalize();
+        let mut out = vec![Prediction::new(u(0), 1.0)];
+        m.predict(&[], &mut out);
+        assert!(out.is_empty());
+    }
+}

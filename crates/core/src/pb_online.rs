@@ -1,0 +1,240 @@
+//! An **online** popularity-based PPM: sliding-window retraining.
+//!
+//! The paper's simulator trains offline ("the models are dynamically
+//! maintained and updated based on historical data during a period of
+//! time") and notes that "the popularities of different URLs can be ranked
+//! by a server dynamically from time to time" (§3.1). This module is that
+//! production shape: the model keeps the most recent `window` sessions,
+//! and every `rebuild_every` sessions re-ranks popularity over the window
+//! and rebuilds the (small — that is the whole point) PB-PPM tree from it.
+//!
+//! Rebuilding a PB-PPM tree is cheap precisely because of the paper's
+//! design: the tree is orders of magnitude smaller than a standard PPM
+//! forest, so periodic reconstruction costs milliseconds, while the
+//! sliding window keeps the popularity ranking fresh — the stale-grade
+//! problem an incremental update of a two-pass model would otherwise have.
+
+use crate::interner::UrlId;
+use crate::pb::{PbConfig, PbPpm};
+use crate::popularity::PopularityTable;
+use crate::predictor::{ModelKind, Prediction, Predictor};
+use crate::stats::ModelStats;
+use std::collections::VecDeque;
+
+/// Sliding-window online PB-PPM.
+pub struct OnlinePbPpm {
+    cfg: PbConfig,
+    window: VecDeque<Vec<UrlId>>,
+    max_window: usize,
+    rebuild_every: usize,
+    since_rebuild: usize,
+    rebuilds: u64,
+    model: Option<PbPpm>,
+}
+
+impl OnlinePbPpm {
+    /// Creates an online model keeping the last `max_window` sessions and
+    /// rebuilding every `rebuild_every` new sessions (both at least 1).
+    pub fn new(cfg: PbConfig, max_window: usize, rebuild_every: usize) -> Self {
+        Self {
+            cfg,
+            window: VecDeque::new(),
+            max_window: max_window.max(1),
+            rebuild_every: rebuild_every.max(1),
+            since_rebuild: 0,
+            rebuilds: 0,
+            model: None,
+        }
+    }
+
+    /// How many times the inner model has been rebuilt.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Sessions currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The current inner model, if one has been built yet.
+    pub fn current(&self) -> Option<&PbPpm> {
+        self.model.as_ref()
+    }
+
+    /// Rebuilds the inner model from the window now.
+    pub fn rebuild(&mut self) {
+        let mut counts = PopularityTable::builder();
+        for s in &self.window {
+            for &u in s {
+                counts.record(u);
+            }
+        }
+        let mut model = PbPpm::new(counts.build(), self.cfg);
+        for s in &self.window {
+            model.train_session(s);
+        }
+        model.finalize();
+        self.model = Some(model);
+        self.since_rebuild = 0;
+        self.rebuilds += 1;
+    }
+}
+
+impl Predictor for OnlinePbPpm {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Pb
+    }
+
+    fn train_session(&mut self, session: &[UrlId]) {
+        if session.is_empty() {
+            return;
+        }
+        if self.window.len() == self.max_window {
+            self.window.pop_front();
+        }
+        self.window.push_back(session.to_vec());
+        self.since_rebuild += 1;
+        if self.since_rebuild >= self.rebuild_every {
+            self.rebuild();
+        }
+    }
+
+    /// Forces a rebuild so the model reflects every session seen so far.
+    /// Unlike the offline models, the online model may keep training after
+    /// this.
+    fn finalize(&mut self) {
+        self.rebuild();
+    }
+
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        out.clear();
+        if let Some(model) = &mut self.model {
+            model.predict(context, out);
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.model.as_ref().map_or(0, |m| m.node_count())
+    }
+
+    fn stats(&self) -> ModelStats {
+        self.model.as_ref().map_or_else(ModelStats::default, |m| m.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::PruneConfig;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    fn cfg() -> PbConfig {
+        PbConfig {
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_model_predicts_nothing() {
+        let mut m = OnlinePbPpm::new(cfg(), 100, 10);
+        let mut out = vec![Prediction::new(u(0), 1.0)];
+        m.predict(&[u(0)], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(m.node_count(), 0);
+    }
+
+    #[test]
+    fn rebuilds_on_schedule() {
+        let mut m = OnlinePbPpm::new(cfg(), 100, 3);
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(0), u(1)]);
+        assert_eq!(m.rebuild_count(), 0);
+        m.train_session(&[u(0), u(1)]);
+        assert_eq!(m.rebuild_count(), 1);
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert_eq!(out[0].url, u(1));
+    }
+
+    #[test]
+    fn matches_offline_model_when_window_covers_everything() {
+        let sessions: Vec<Vec<UrlId>> = (0..20)
+            .map(|i| vec![u(0), u(1 + (i % 3) as u32)])
+            .collect();
+        let mut online = OnlinePbPpm::new(cfg(), 1000, 1000);
+        let mut counts = PopularityTable::builder();
+        for s in &sessions {
+            online.train_session(s);
+            for &x in s {
+                counts.record(x);
+            }
+        }
+        online.finalize();
+        let mut offline = PbPpm::new(counts.build(), cfg());
+        for s in &sessions {
+            offline.train_session(s);
+        }
+        offline.finalize();
+
+        assert_eq!(online.node_count(), offline.node_count());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        online.predict(&[u(0)], &mut a);
+        offline.predict(&[u(0)], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_forgets_old_behaviour() {
+        // First 30 sessions: 0 -> 1. Next 30 (window size): 0 -> 2.
+        let mut m = OnlinePbPpm::new(cfg(), 30, 5);
+        for _ in 0..30 {
+            m.train_session(&[u(0), u(1)]);
+        }
+        for _ in 0..30 {
+            m.train_session(&[u(0), u(2)]);
+        }
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert_eq!(out[0].url, u(2));
+        assert!(
+            out.iter().all(|p| p.url != u(1)),
+            "pre-window behaviour must be forgotten: {out:?}"
+        );
+    }
+
+    #[test]
+    fn node_count_stays_bounded_by_the_window() {
+        let mut m = OnlinePbPpm::new(cfg(), 20, 10);
+        // A stream with ever-new URLs: an offline model would grow forever.
+        let mut sizes = Vec::new();
+        for i in 0..200u32 {
+            m.train_session(&[u(0), u(100 + i), u(200 + i)]);
+            if i % 10 == 9 {
+                sizes.push(m.node_count());
+            }
+        }
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().skip(2).min().unwrap();
+        assert!(
+            max <= 2 * min.max(1),
+            "window should bound growth: sizes {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn training_after_finalize_is_allowed() {
+        let mut m = OnlinePbPpm::new(cfg(), 10, 1);
+        m.train_session(&[u(0), u(1)]);
+        m.finalize();
+        m.train_session(&[u(0), u(1)]);
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert!(!out.is_empty());
+    }
+}

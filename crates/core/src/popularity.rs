@@ -1,0 +1,376 @@
+//! URL popularity: relative popularity, log₁₀ grades, and trackers.
+//!
+//! §3.1 of the paper defines the **relative popularity** of a URL as the
+//! number of accesses to it divided by the number of accesses to the most
+//! popular URL of the trace, and buckets it into four **grades** on a log₁₀
+//! scale:
+//!
+//! | Grade | Relative popularity `rp` |
+//! |-------|--------------------------|
+//! | 3     | `rp ≥ 0.1`               |
+//! | 2     | `0.01 ≤ rp < 0.1`        |
+//! | 1     | `0.001 ≤ rp < 0.01`      |
+//! | 0     | `rp < 0.001`             |
+//!
+//! Grades drive every popularity-based decision in [`crate::pb`]: branch
+//! heights, the root-creation rule, and special links.
+
+use crate::interner::UrlId;
+use serde::{Deserialize, Serialize};
+
+/// A popularity grade on the paper's four-step log₁₀ scale.
+///
+/// Ordering follows popularity: `Grade::G0 < Grade::G3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Grade {
+    /// Relative popularity below 0.1%.
+    G0 = 0,
+    /// Relative popularity in `[0.1%, 1%)`.
+    G1 = 1,
+    /// Relative popularity in `[1%, 10%)`.
+    G2 = 2,
+    /// Relative popularity of at least 10%.
+    G3 = 3,
+}
+
+impl Grade {
+    /// All grades, least popular first.
+    pub const ALL: [Grade; 4] = [Grade::G0, Grade::G1, Grade::G2, Grade::G3];
+
+    /// The highest grade on the scale.
+    pub const MAX: Grade = Grade::G3;
+
+    /// Buckets a relative popularity in `[0, 1]` into a grade.
+    #[inline]
+    pub fn from_relative_popularity(rp: f64) -> Grade {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&rp), "rp out of range: {rp}");
+        if rp >= 0.1 {
+            Grade::G3
+        } else if rp >= 0.01 {
+            Grade::G2
+        } else if rp >= 0.001 {
+            Grade::G1
+        } else {
+            Grade::G0
+        }
+    }
+
+    /// The grade as a small integer in `0..=3`.
+    #[inline]
+    pub fn level(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a grade from an integer level, clamping to `0..=3`.
+    #[inline]
+    pub fn from_level(level: u8) -> Grade {
+        match level {
+            0 => Grade::G0,
+            1 => Grade::G1,
+            2 => Grade::G2,
+            _ => Grade::G3,
+        }
+    }
+}
+
+/// Accumulates access counts during the first training pass.
+///
+/// Build one with [`PopularityTable::builder`], feed it every request of the
+/// training window via [`PopularityBuilder::record`], and call
+/// [`PopularityBuilder::build`] to freeze it into a [`PopularityTable`].
+#[derive(Debug, Default, Clone)]
+pub struct PopularityBuilder {
+    counts: Vec<u64>,
+}
+
+impl PopularityBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access to `url`.
+    #[inline]
+    pub fn record(&mut self, url: UrlId) {
+        self.record_n(url, 1);
+    }
+
+    /// Records `n` accesses to `url`.
+    #[inline]
+    pub fn record_n(&mut self, url: UrlId, n: u64) {
+        let idx = url.index();
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Access count recorded so far for `url`.
+    pub fn count(&self, url: UrlId) -> u64 {
+        self.counts.get(url.index()).copied().unwrap_or(0)
+    }
+
+    /// Freezes the counts into an immutable table of grades.
+    pub fn build(self) -> PopularityTable {
+        PopularityTable::from_counts(self.counts)
+    }
+}
+
+/// Immutable per-URL popularity information for one training window.
+///
+/// URLs never seen during training get [`Grade::G0`] and zero relative
+/// popularity — the paper's trees give unknown documents the least
+/// consideration, which this default preserves.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PopularityTable {
+    counts: Vec<u64>,
+    grades: Vec<Grade>,
+    max_count: u64,
+    total: u64,
+}
+
+impl PopularityTable {
+    /// Starts accumulating counts for a new table.
+    pub fn builder() -> PopularityBuilder {
+        PopularityBuilder::new()
+    }
+
+    /// Builds the table directly from a dense per-URL count vector
+    /// (`counts[url.index()]` = number of accesses).
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let max_count = counts.iter().copied().max().unwrap_or(0);
+        let total = counts.iter().sum();
+        let grades = counts
+            .iter()
+            .map(|&c| {
+                if max_count == 0 {
+                    Grade::G0
+                } else {
+                    Grade::from_relative_popularity(c as f64 / max_count as f64)
+                }
+            })
+            .collect();
+        Self {
+            counts,
+            grades,
+            max_count,
+            total,
+        }
+    }
+
+    /// The popularity grade of `url` ([`Grade::G0`] if never seen).
+    #[inline]
+    pub fn grade(&self, url: UrlId) -> Grade {
+        self.grades.get(url.index()).copied().unwrap_or(Grade::G0)
+    }
+
+    /// Relative popularity of `url`: its access count over the most popular
+    /// URL's access count. Zero if never seen or if the table is empty.
+    pub fn relative_popularity(&self, url: UrlId) -> f64 {
+        if self.max_count == 0 {
+            return 0.0;
+        }
+        self.count(url) as f64 / self.max_count as f64
+    }
+
+    /// Raw access count for `url` in the training window.
+    #[inline]
+    pub fn count(&self, url: UrlId) -> u64 {
+        self.counts.get(url.index()).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Access count of the most popular URL.
+    pub fn max_count(&self) -> u64 {
+        self.max_count
+    }
+
+    /// Number of URLs with a nonzero count.
+    pub fn distinct_urls(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// How many URLs fall into each grade (index = grade level).
+    ///
+    /// Only URLs with at least one access are counted: an all-zero tail of
+    /// ids that were interned but never requested would otherwise inflate G0.
+    pub fn grade_histogram(&self) -> [usize; 4] {
+        let mut hist = [0usize; 4];
+        for (i, &g) in self.grades.iter().enumerate() {
+            if self.counts[i] > 0 {
+                hist[g.level() as usize] += 1;
+            }
+        }
+        hist
+    }
+
+    /// True when `url` counts as a "popular document" in the paper's Figure 2
+    /// sense (grade 2 or 3 — the top two log₁₀ buckets).
+    #[inline]
+    pub fn is_popular(&self, url: UrlId) -> bool {
+        self.grade(url) >= Grade::G2
+    }
+}
+
+/// An *online* popularity tracker: re-grades URLs periodically.
+///
+/// The paper notes that "the popularities of different URLs can be ranked by
+/// a server dynamically from time to time" (§3.1). `PopularityTracker` is that
+/// dynamic variant: it accumulates counts continuously and refreshes its
+/// frozen [`PopularityTable`] snapshot every `refresh_every` recorded
+/// accesses. The PB-PPM ablation benches compare it against the two-pass
+/// offline table.
+#[derive(Debug, Clone)]
+pub struct PopularityTracker {
+    builder: PopularityBuilder,
+    snapshot: PopularityTable,
+    since_refresh: u64,
+    refresh_every: u64,
+}
+
+impl PopularityTracker {
+    /// Creates a tracker that refreshes its grade snapshot every
+    /// `refresh_every` recorded accesses (minimum 1).
+    pub fn new(refresh_every: u64) -> Self {
+        Self {
+            builder: PopularityBuilder::new(),
+            snapshot: PopularityTable::default(),
+            since_refresh: 0,
+            refresh_every: refresh_every.max(1),
+        }
+    }
+
+    /// Records an access and refreshes the snapshot when due.
+    pub fn record(&mut self, url: UrlId) {
+        self.builder.record(url);
+        self.since_refresh += 1;
+        if self.since_refresh >= self.refresh_every {
+            self.refresh();
+        }
+    }
+
+    /// Forces a snapshot refresh now.
+    pub fn refresh(&mut self) {
+        self.snapshot = self.builder.clone().build();
+        self.since_refresh = 0;
+    }
+
+    /// The current frozen snapshot (possibly stale by up to
+    /// `refresh_every - 1` accesses).
+    pub fn snapshot(&self) -> &PopularityTable {
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(counts: &[u64]) -> PopularityTable {
+        PopularityTable::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn grade_boundaries_match_the_log10_scale() {
+        assert_eq!(Grade::from_relative_popularity(1.0), Grade::G3);
+        assert_eq!(Grade::from_relative_popularity(0.1), Grade::G3);
+        assert_eq!(Grade::from_relative_popularity(0.0999), Grade::G2);
+        assert_eq!(Grade::from_relative_popularity(0.01), Grade::G2);
+        assert_eq!(Grade::from_relative_popularity(0.00999), Grade::G1);
+        assert_eq!(Grade::from_relative_popularity(0.001), Grade::G1);
+        assert_eq!(Grade::from_relative_popularity(0.000999), Grade::G0);
+        assert_eq!(Grade::from_relative_popularity(0.0), Grade::G0);
+    }
+
+    #[test]
+    fn grades_order_by_popularity() {
+        assert!(Grade::G3 > Grade::G2);
+        assert!(Grade::G2 > Grade::G1);
+        assert!(Grade::G1 > Grade::G0);
+    }
+
+    #[test]
+    fn level_roundtrip() {
+        for g in Grade::ALL {
+            assert_eq!(Grade::from_level(g.level()), g);
+        }
+        assert_eq!(Grade::from_level(200), Grade::G3); // clamped
+    }
+
+    #[test]
+    fn table_grades_relative_to_the_most_popular_url() {
+        // counts: 1000, 100, 10, 1, 0 -> rp 1.0, 0.1, 0.01, 0.001, 0
+        let t = table(&[1000, 100, 10, 1, 0]);
+        assert_eq!(t.grade(UrlId(0)), Grade::G3);
+        assert_eq!(t.grade(UrlId(1)), Grade::G3); // 0.1 is inclusive
+        assert_eq!(t.grade(UrlId(2)), Grade::G2);
+        assert_eq!(t.grade(UrlId(3)), Grade::G1);
+        assert_eq!(t.grade(UrlId(4)), Grade::G0);
+        assert_eq!(t.grade(UrlId(5)), Grade::G0); // never interned
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let mut b = PopularityBuilder::new();
+        b.record(UrlId(2));
+        b.record_n(UrlId(2), 4);
+        b.record(UrlId(0));
+        assert_eq!(b.count(UrlId(2)), 5);
+        let t = b.build();
+        assert_eq!(t.count(UrlId(2)), 5);
+        assert_eq!(t.count(UrlId(1)), 0);
+        assert_eq!(t.total_accesses(), 6);
+        assert_eq!(t.max_count(), 5);
+    }
+
+    #[test]
+    fn empty_table_is_all_g0() {
+        let t = PopularityTable::default();
+        assert_eq!(t.grade(UrlId(0)), Grade::G0);
+        assert_eq!(t.relative_popularity(UrlId(0)), 0.0);
+        assert_eq!(t.grade_histogram(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_ignores_zero_count_urls() {
+        let t = table(&[100, 10, 0, 0]);
+        let h = t.grade_histogram();
+        assert_eq!(h.iter().sum::<usize>(), 2);
+        assert_eq!(h[3], 2); // 100 -> G3; 10 -> rp 0.1 -> G3
+    }
+
+    #[test]
+    fn popular_means_grade_two_or_higher() {
+        let t = table(&[1000, 20, 2, 1]);
+        assert!(t.is_popular(UrlId(0)));
+        assert!(t.is_popular(UrlId(1))); // rp 0.02 -> G2
+        assert!(!t.is_popular(UrlId(2))); // rp 0.002 -> G1
+        assert!(!t.is_popular(UrlId(3)));
+    }
+
+    #[test]
+    fn tracker_refreshes_on_schedule() {
+        let mut tr = PopularityTracker::new(3);
+        tr.record(UrlId(0));
+        tr.record(UrlId(0));
+        // Not refreshed yet: snapshot still empty.
+        assert_eq!(tr.snapshot().grade(UrlId(0)), Grade::G0);
+        tr.record(UrlId(0));
+        // Third access triggered a refresh.
+        assert_eq!(tr.snapshot().grade(UrlId(0)), Grade::G3);
+    }
+
+    #[test]
+    fn tracker_manual_refresh() {
+        let mut tr = PopularityTracker::new(1_000_000);
+        tr.record(UrlId(1));
+        assert_eq!(tr.snapshot().grade(UrlId(1)), Grade::G0);
+        tr.refresh();
+        assert_eq!(tr.snapshot().grade(UrlId(1)), Grade::G3);
+    }
+}

@@ -1,0 +1,161 @@
+//! The common interface all prediction models implement.
+
+use crate::interner::UrlId;
+use crate::stats::ModelStats;
+use serde::{Deserialize, Serialize};
+
+/// One predicted next access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The URL the model expects to be requested next.
+    pub url: UrlId,
+    /// Conditional probability estimate in `(0, 1]`.
+    pub prob: f64,
+}
+
+impl Prediction {
+    /// Convenience constructor.
+    pub fn new(url: UrlId, prob: f64) -> Self {
+        Self { url, prob }
+    }
+}
+
+/// Which model family a [`Predictor`] belongs to (used by configs, result
+/// tables and the experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Standard PPM with the given maximum branch height
+    /// (`None` = unbounded, the paper's upper-bound configuration).
+    Standard {
+        /// Maximum branch height; `None` leaves branches unbounded.
+        max_height: Option<u8>,
+    },
+    /// Longest-Repeating-Subsequence PPM.
+    Lrs,
+    /// Popularity-based PPM (the paper's contribution).
+    Pb,
+    /// First-order Markov baseline.
+    Order1,
+    /// Popularity-only Top-N baseline (Markatos & Chronaki).
+    TopN {
+        /// How many top documents are pushed.
+        n: usize,
+    },
+}
+
+impl ModelKind {
+    /// Short human-readable label used in printed tables.
+    pub fn label(&self) -> String {
+        match self {
+            ModelKind::Standard { max_height: None } => "PPM".to_owned(),
+            ModelKind::Standard {
+                max_height: Some(h),
+            } => format!("{h}-PPM"),
+            ModelKind::Lrs => "LRS-PPM".to_owned(),
+            ModelKind::Pb => "PB-PPM".to_owned(),
+            ModelKind::Order1 => "O1-Markov".to_owned(),
+            ModelKind::TopN { n } => format!("Top-{n}"),
+        }
+    }
+}
+
+/// A trainable next-URL prediction model.
+///
+/// ## Protocol
+///
+/// 1. call [`Predictor::train_session`] for every access session of the
+///    training window (sessions come from `pbppm-trace`'s sessionizer);
+/// 2. call [`Predictor::finalize`] once — LRS extraction and PB-PPM space
+///    optimization happen here;
+/// 3. call [`Predictor::predict`] for each request of the evaluation window.
+///
+/// `predict` takes `&mut self` because models record which tree paths were
+/// exercised (the paper's *path utilization* metric); prediction never
+/// changes what a model would predict.
+pub trait Predictor: Send {
+    /// The model family.
+    fn kind(&self) -> ModelKind;
+
+    /// Trains on one access session (the URL sequence one client visited
+    /// without a 30-minute gap). Empty sessions are ignored.
+    fn train_session(&mut self, session: &[UrlId]);
+
+    /// Finishes training. Must be called exactly once, after the last
+    /// `train_session` and before the first `predict`.
+    fn finalize(&mut self);
+
+    /// Predicts the next URLs given `context`, the URLs of the current
+    /// session so far (oldest first, current click last). Predictions are
+    /// appended to `out` sorted by descending probability; `out` is cleared
+    /// first. No probability threshold is applied here — thresholding is a
+    /// prefetch-policy decision made by the caller.
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>);
+
+    /// The paper's space metric: number of URL nodes the model stores.
+    fn node_count(&self) -> usize;
+
+    /// Structural statistics snapshot.
+    fn stats(&self) -> ModelStats;
+}
+
+/// Sorts predictions by descending probability (ties broken by URL id so
+/// output order is deterministic) and truncates to `max`.
+pub fn rank_predictions(out: &mut Vec<Prediction>, max: usize) {
+    out.sort_by(|a, b| {
+        b.prob
+            .partial_cmp(&a.prob)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.url.cmp(&b.url))
+    });
+    // One URL can be suggested by several mechanisms (e.g. PB's branch match
+    // and a special link); keep the highest-probability copy.
+    let mut seen = crate::fxhash::FxHashSet::default();
+    out.retain(|p| seen.insert(p.url));
+    out.truncate(max);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ModelKind::Standard { max_height: None }.label(), "PPM");
+        assert_eq!(
+            ModelKind::Standard {
+                max_height: Some(3)
+            }
+            .label(),
+            "3-PPM"
+        );
+        assert_eq!(ModelKind::Lrs.label(), "LRS-PPM");
+        assert_eq!(ModelKind::Pb.label(), "PB-PPM");
+    }
+
+    #[test]
+    fn rank_sorts_dedups_and_truncates() {
+        let mut v = vec![
+            Prediction::new(u(1), 0.5),
+            Prediction::new(u(2), 0.9),
+            Prediction::new(u(1), 0.7),
+            Prediction::new(u(3), 0.1),
+        ];
+        rank_predictions(&mut v, 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].url, u(2));
+        assert_eq!(v[1].url, u(1));
+        assert_eq!(v[1].prob, 0.7); // higher-probability duplicate won
+    }
+
+    #[test]
+    fn rank_breaks_probability_ties_by_url() {
+        let mut v = vec![Prediction::new(u(9), 0.5), Prediction::new(u(1), 0.5)];
+        rank_predictions(&mut v, 10);
+        assert_eq!(v[0].url, u(1));
+        assert_eq!(v[1].url, u(9));
+    }
+}

@@ -1,0 +1,147 @@
+//! ASCII rendering of prediction trees (Figure 1 and debugging).
+//!
+//! Produces the box-drawing layout conventional for trees:
+//!
+//! ```text
+//! /index.html/3
+//! ├── /docs/2
+//! │   └── /docs/faq/1
+//! └── ~> /news/2          (special link to a duplicated node)
+//! ```
+//!
+//! Node labels are `url/count`, matching the `A/1 B/1 …` annotations of the
+//! paper's Figure 1. Output is deterministic: roots and children are ordered
+//! by URL id.
+
+use crate::interner::{Interner, UrlId};
+use crate::tree::{NodeId, Tree};
+use std::fmt::Write as _;
+
+/// Renders the whole forest. When `names` is given, URLs print as their
+/// interned strings; otherwise as `u<id>`.
+pub fn render_tree(tree: &Tree, names: Option<&Interner>) -> String {
+    let mut out = String::new();
+    let mut roots: Vec<NodeId> = tree.iter_roots().collect();
+    roots.sort_by_key(|&id| tree.node(id).url);
+    for root in roots {
+        render_node(tree, root, names, "", "", &mut out);
+    }
+    out
+}
+
+fn label(tree: &Tree, id: NodeId, names: Option<&Interner>) -> String {
+    let node = tree.node(id);
+    let name = url_label(node.url, names);
+    format!("{name}/{}", node.count)
+}
+
+fn url_label(url: UrlId, names: Option<&Interner>) -> String {
+    match names.and_then(|n| n.resolve(url)) {
+        Some(s) => s.to_owned(),
+        None => url.to_string(),
+    }
+}
+
+fn render_node(
+    tree: &Tree,
+    id: NodeId,
+    names: Option<&Interner>,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+) {
+    let _ = writeln!(out, "{prefix}{}", label(tree, id, names));
+    let mut kids: Vec<NodeId> = tree.children_of(id).map(|(_, c, _)| c).collect();
+    kids.sort_by_key(|&c| tree.node(c).url);
+    let links: Vec<NodeId> = {
+        let mut l: Vec<NodeId> = tree.links_of(id).collect();
+        l.sort_by_key(|&c| tree.node(c).url);
+        l
+    };
+    let last_index = kids.len() + links.len();
+    let mut i = 0;
+    for &kid in &kids {
+        i += 1;
+        let (branch, cont) = if i == last_index {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
+        render_node(
+            tree,
+            kid,
+            names,
+            &format!("{child_prefix}{branch}"),
+            &format!("{child_prefix}{cont}"),
+            out,
+        );
+    }
+    for &link in &links {
+        i += 1;
+        let branch = if i == last_index { "└── " } else { "├── " };
+        let _ = writeln!(out, "{child_prefix}{branch}~> {}", label(tree, link, names));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    #[test]
+    fn renders_empty_tree_as_empty_string() {
+        assert_eq!(render_tree(&Tree::new(), None), "");
+    }
+
+    #[test]
+    fn renders_simple_chain() {
+        let mut t = Tree::new();
+        t.insert_path(&[u(0), u(1), u(2)], usize::MAX);
+        let s = render_tree(&t, None);
+        assert_eq!(s, "u0/1\n└── u1/1\n    └── u2/1\n");
+    }
+
+    #[test]
+    fn renders_siblings_with_tee_and_elbow() {
+        let mut t = Tree::new();
+        t.insert_path(&[u(0), u(1)], usize::MAX);
+        t.insert_path(&[u(0), u(2)], usize::MAX);
+        let s = render_tree(&t, None);
+        assert_eq!(s, "u0/2\n├── u1/1\n└── u2/1\n");
+    }
+
+    #[test]
+    fn renders_links_with_arrow() {
+        let mut t = Tree::new();
+        let r = t.root_or_insert(u(0));
+        t.bump(r);
+        let l = t.link_or_insert(r, u(9));
+        t.bump(l);
+        let s = render_tree(&t, None);
+        assert!(s.contains("~> u9/1"), "got: {s}");
+    }
+
+    #[test]
+    fn uses_interned_names_when_available() {
+        let mut names = Interner::new();
+        let a = names.intern("/index.html");
+        let mut t = Tree::new();
+        let r = t.root_or_insert(a);
+        t.bump(r);
+        let s = render_tree(&t, Some(&names));
+        assert_eq!(s, "/index.html/1\n");
+    }
+
+    #[test]
+    fn roots_render_in_url_order() {
+        let mut t = Tree::new();
+        t.insert_path(&[u(5)], usize::MAX);
+        t.insert_path(&[u(1)], usize::MAX);
+        let s = render_tree(&t, None);
+        let first = s.lines().next().unwrap();
+        assert_eq!(first, "u1/1");
+    }
+}

@@ -1,0 +1,281 @@
+//! The **standard PPM** model (§3.2, first approach).
+//!
+//! For every access session `s₀ s₁ … sₙ₋₁` a branch is created from *every*
+//! position: the suffix starting at `sᵢ` is inserted under a root for `sᵢ`,
+//! truncated to the configured maximum height. With a fixed height `m` this
+//! is the classic order-(m−1) PPM forest used by Palpanas & Mendelzon and by
+//! Fan et al.; with no height limit it is the paper's "upper bound of
+//! prediction accuracy" configuration used in §4.
+//!
+//! Its two weaknesses — motivating PB-PPM — are reproduced faithfully here:
+//! storage grows with every distinct subsequence ever observed, and most
+//! stored paths are never used for a prediction.
+
+use crate::interner::UrlId;
+use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::stats::ModelStats;
+use crate::tree::Tree;
+
+/// Standard PPM prediction model.
+#[derive(Debug, Clone)]
+pub struct StandardPpm {
+    tree: Tree,
+    max_height: Option<u8>,
+    /// Longest context (in URLs) considered when matching.
+    max_order: usize,
+    finalized: bool,
+}
+
+impl StandardPpm {
+    /// Creates a standard PPM model with branches capped at `max_height`
+    /// nodes (`None` = unbounded, bounded in practice by session length).
+    pub fn new(max_height: Option<u8>) -> Self {
+        let max_order = max_height.map_or(usize::from(u8::MAX), |h| usize::from(h).max(1));
+        Self {
+            tree: Tree::new(),
+            max_height,
+            max_order,
+            finalized: false,
+        }
+    }
+
+    /// The conventional "3-PPM" used throughout the paper's §3 figures.
+    pub fn order3() -> Self {
+        Self::new(Some(3))
+    }
+
+    /// The unbounded-height configuration of §4 ("upper bound").
+    pub fn unbounded() -> Self {
+        Self::new(None)
+    }
+
+    /// Read-only access to the underlying tree (tests, rendering).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Serializes the trained model for persistence.
+    pub fn to_snapshot(&self) -> StandardSnapshot {
+        StandardSnapshot {
+            tree: self.tree.to_snapshot(),
+            max_height: self.max_height,
+            finalized: self.finalized,
+        }
+    }
+
+    /// Restores a model from a snapshot.
+    pub fn from_snapshot(snap: &StandardSnapshot) -> Result<Self, crate::tree::SnapshotError> {
+        Ok(Self {
+            tree: Tree::from_snapshot(&snap.tree)?,
+            max_height: snap.max_height,
+            max_order: snap
+                .max_height
+                .map_or(usize::from(u8::MAX), |h| usize::from(h).max(1)),
+            finalized: snap.finalized,
+        })
+    }
+}
+
+/// A serializable image of a trained [`StandardPpm`] model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StandardSnapshot {
+    tree: crate::tree::TreeSnapshot,
+    max_height: Option<u8>,
+    finalized: bool,
+}
+
+impl Predictor for StandardPpm {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Standard {
+            max_height: self.max_height,
+        }
+    }
+
+    fn train_session(&mut self, session: &[UrlId]) {
+        debug_assert!(!self.finalized, "train_session after finalize");
+        let h = self
+            .max_height
+            .map_or(usize::from(u8::MAX), usize::from)
+            .max(1);
+        for start in 0..session.len() {
+            self.tree.insert_path(&session[start..], h);
+        }
+    }
+
+    fn finalize(&mut self) {
+        self.finalized = true;
+    }
+
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        out.clear();
+        if context.is_empty() {
+            return;
+        }
+        let Some(node) = self.tree.longest_predictive_match(context, self.max_order) else {
+            return;
+        };
+        let parent_count = self.tree.node(node).count;
+        if parent_count == 0 {
+            return;
+        }
+        let mut marks = Vec::new();
+        for (url, child, count) in self.tree.children_of(node) {
+            out.push(Prediction::new(url, count as f64 / parent_count as f64));
+            marks.push(child);
+        }
+        self.tree.mark_path_used(node);
+        for m in marks {
+            self.tree.mark_used(m);
+        }
+        rank_predictions(out, usize::MAX);
+    }
+
+    fn node_count(&self) -> usize {
+        self.tree.node_count()
+    }
+
+    fn stats(&self) -> ModelStats {
+        ModelStats::of_tree(&self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    /// The paper's Figure 1 (left): standard PPM for the access sequence
+    /// `A B C A' B' C'` stores a branch from every position.
+    #[test]
+    fn figure1_left_shape() {
+        // A=0 B=1 C=2 A'=3 B'=4 C'=5, max height 4 as in the figure.
+        let mut m = StandardPpm::new(Some(4));
+        m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+        m.finalize();
+        // Six roots, one per position.
+        assert_eq!(m.tree().root_count(), 6);
+        // Branch from A holds A B C A' (height 4).
+        assert!(m.tree().descend(&[u(0), u(1), u(2), u(3)]).is_some());
+        assert!(m.tree().descend(&[u(0), u(1), u(2), u(3), u(4)]).is_none());
+        // Total nodes: 4 + 4 + 4 + 3 + 2 + 1 = 18.
+        assert_eq!(m.node_count(), 18);
+    }
+
+    #[test]
+    fn predicts_next_url_with_correct_probability() {
+        let mut m = StandardPpm::unbounded();
+        // After A: B twice, C once.
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(0), u(2)]);
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].url, u(1));
+        assert!((out[0].prob - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(out[1].url, u(2));
+        assert!((out[1].prob - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_match_beats_shorter_contexts() {
+        let mut m = StandardPpm::unbounded();
+        // Globally after B, C is most common; but after A B, D always follows.
+        m.train_session(&[u(1), u(2)]); // B C
+        m.train_session(&[u(1), u(2)]);
+        m.train_session(&[u(0), u(1), u(3)]); // A B D
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0), u(1)], &mut out);
+        assert_eq!(out[0].url, u(3), "order-2 context must win");
+        assert!((out[0].prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falls_back_to_shorter_suffix_when_long_context_unknown() {
+        let mut m = StandardPpm::unbounded();
+        m.train_session(&[u(1), u(2)]);
+        m.finalize();
+        let mut out = Vec::new();
+        // u(9) was never seen; the suffix [u(1)] still matches.
+        m.predict(&[u(9), u(1)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].url, u(2));
+    }
+
+    #[test]
+    fn unknown_context_predicts_nothing() {
+        let mut m = StandardPpm::unbounded();
+        m.train_session(&[u(1), u(2)]);
+        m.finalize();
+        let mut out = vec![Prediction::new(u(0), 1.0)];
+        m.predict(&[u(7)], &mut out);
+        assert!(out.is_empty(), "out must be cleared and left empty");
+        m.predict(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_session_is_ignored() {
+        let mut m = StandardPpm::unbounded();
+        m.train_session(&[]);
+        m.finalize();
+        assert_eq!(m.node_count(), 0);
+    }
+
+    #[test]
+    fn height_limit_bounds_prediction_order() {
+        let mut m = StandardPpm::new(Some(2));
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.finalize();
+        // Branch from 0 holds only 0->1; matching context [0,1] must use the
+        // suffix [1] (branch 1->2), not a depth-3 path.
+        let mut out = Vec::new();
+        m.predict(&[u(0), u(1)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].url, u(2));
+    }
+
+    #[test]
+    fn node_count_grows_with_distinct_subsequences() {
+        let mut m = StandardPpm::unbounded();
+        m.train_session(&[u(0), u(1), u(2)]);
+        let n1 = m.node_count();
+        m.train_session(&[u(0), u(1), u(2)]); // identical: no growth
+        assert_eq!(m.node_count(), n1);
+        m.train_session(&[u(0), u(1), u(3)]); // one new leaf + suffixes
+        assert!(m.node_count() > n1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions() {
+        let mut m = StandardPpm::new(Some(4));
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.train_session(&[u(0), u(1), u(3)]);
+        m.finalize();
+        let mut before = Vec::new();
+        m.predict(&[u(0), u(1)], &mut before);
+        let mut back = StandardPpm::from_snapshot(&m.to_snapshot()).unwrap();
+        assert_eq!(back.node_count(), m.node_count());
+        let mut after = Vec::new();
+        back.predict(&[u(0), u(1)], &mut after);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn prediction_marks_paths_used() {
+        let mut m = StandardPpm::unbounded();
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(2), u(3)]);
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        let s = m.stats();
+        assert!(s.used_paths >= 1);
+        assert!(s.used_paths < s.total_paths);
+    }
+}

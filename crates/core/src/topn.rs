@@ -1,0 +1,178 @@
+//! The **Top-N** baseline — Markatos & Chronaki's "Top-10 approach to
+//! prefetching on the Web" (ICS-FORTH TR-173), cited in the paper's related
+//! work: "Web servers regularly push their most popular documents to Web
+//! proxies, and proxies then push those documents to the active clients."
+//!
+//! The model ignores context entirely: it always predicts the server's N
+//! most popular documents, with probabilities proportional to their share
+//! of training accesses. It is the purest popularity-only strategy, and
+//! bounding PB-PPM against it separates how much of PB-PPM's win comes from
+//! *popularity* alone versus from the Markov structure.
+
+use crate::interner::UrlId;
+use crate::predictor::{ModelKind, Prediction, Predictor};
+use crate::stats::ModelStats;
+
+/// Top-N popular-documents prediction model.
+#[derive(Debug, Clone)]
+pub struct TopN {
+    n: usize,
+    counts: Vec<u64>,
+    total: u64,
+    /// `(url, count)` of the N most popular documents, best first.
+    top: Vec<(UrlId, u64)>,
+    used: bool,
+    finalized: bool,
+}
+
+impl TopN {
+    /// Creates a Top-N model (Markatos's paper used N = 10).
+    pub fn new(n: usize) -> Self {
+        Self {
+            n: n.max(1),
+            counts: Vec::new(),
+            total: 0,
+            top: Vec::new(),
+            used: false,
+            finalized: false,
+        }
+    }
+
+    /// The classic Top-10 configuration.
+    pub fn top10() -> Self {
+        Self::new(10)
+    }
+
+    /// The current top list (after [`TopN::finalize`]), best first.
+    pub fn top_list(&self) -> &[(UrlId, u64)] {
+        &self.top
+    }
+}
+
+impl Predictor for TopN {
+    fn kind(&self) -> ModelKind {
+        ModelKind::TopN { n: self.n }
+    }
+
+    fn train_session(&mut self, session: &[UrlId]) {
+        debug_assert!(!self.finalized, "train_session after finalize");
+        for &url in session {
+            let idx = url.index();
+            if idx >= self.counts.len() {
+                self.counts.resize(idx + 1, 0);
+            }
+            self.counts[idx] += 1;
+            self.total += 1;
+        }
+    }
+
+    fn finalize(&mut self) {
+        debug_assert!(!self.finalized, "finalize called twice");
+        let mut ranked: Vec<(UrlId, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (UrlId(i as u32), c))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.n);
+        self.top = ranked;
+        self.finalized = true;
+    }
+
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        debug_assert!(self.finalized, "predict before finalize");
+        out.clear();
+        if context.is_empty() || self.total == 0 {
+            return;
+        }
+        self.used = true;
+        let current = *context.last().unwrap();
+        for &(url, count) in &self.top {
+            if url != current {
+                out.push(Prediction::new(url, count as f64 / self.total as f64));
+            }
+        }
+    }
+
+    /// Storage: one node per remembered top document.
+    fn node_count(&self) -> usize {
+        self.top.len()
+    }
+
+    fn stats(&self) -> ModelStats {
+        ModelStats {
+            nodes: self.top.len(),
+            roots: self.top.len(),
+            max_depth: u8::from(!self.top.is_empty()),
+            total_paths: self.top.len(),
+            used_paths: if self.used { self.top.len() } else { 0 },
+            memory_bytes: self.top.capacity() * std::mem::size_of::<(UrlId, u64)>()
+                + self.counts.capacity() * std::mem::size_of::<u64>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    #[test]
+    fn ranks_by_count() {
+        let mut m = TopN::new(2);
+        m.train_session(&[u(0), u(1), u(1), u(2), u(2), u(2)]);
+        m.finalize();
+        assert_eq!(m.top_list(), &[(u(2), 3), (u(1), 2)]);
+        assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn predictions_are_popularity_shares_and_skip_current() {
+        let mut m = TopN::new(3);
+        m.train_session(&[u(0), u(0), u(0), u(1)]);
+        m.finalize();
+        let mut out = Vec::new();
+        m.predict(&[u(9)], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].url, u(0));
+        assert!((out[0].prob - 0.75).abs() < 1e-12);
+        // The current document itself is never suggested.
+        m.predict(&[u(0)], &mut out);
+        assert!(out.iter().all(|p| p.url != u(0)));
+    }
+
+    #[test]
+    fn context_does_not_matter() {
+        let mut m = TopN::top10();
+        m.train_session(&[u(0), u(1), u(2)]);
+        m.finalize();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        m.predict(&[u(5), u(6), u(7)], &mut a);
+        m.predict(&[u(7)], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut m = TopN::new(2);
+        m.train_session(&[u(3), u(1), u(2)]);
+        m.finalize();
+        assert_eq!(m.top_list(), &[(u(1), 1), (u(2), 1)]);
+    }
+
+    #[test]
+    fn empty_training_is_safe() {
+        let mut m = TopN::top10();
+        m.finalize();
+        let mut out = vec![Prediction::new(u(0), 1.0)];
+        m.predict(&[u(0)], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(m.node_count(), 0);
+    }
+}

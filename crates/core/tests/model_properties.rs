@@ -1,0 +1,289 @@
+//! Property tests checking the models against brute-force reference
+//! implementations.
+
+use pbppm_core::{
+    Grade, LrsPpm, PbConfig, PbPpm, PopularityTable, Prediction, Predictor, PruneConfig,
+    StandardPpm, UrlId,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn sessions_strategy(urls: u32, max_len: usize, max_sessions: usize) -> BoxedStrategy<Vec<Vec<UrlId>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..urls).prop_map(UrlId), 1..max_len),
+        1..max_sessions,
+    )
+    .boxed()
+}
+
+// ------------------------------------------------------------ standard PPM
+
+/// Brute-force next-URL distribution for the *longest* context suffix that
+/// (a) occurred in training as a contiguous subsequence with a successor and
+/// (b) is at most `max_order` long.
+fn reference_standard_predict(
+    sessions: &[Vec<UrlId>],
+    context: &[UrlId],
+    max_order: usize,
+) -> Option<HashMap<UrlId, (u64, u64)>> {
+    let longest = context.len().min(max_order);
+    for k in (1..=longest).rev() {
+        let suffix = &context[context.len() - k..];
+        let mut occurrences = 0u64;
+        let mut nexts: HashMap<UrlId, u64> = HashMap::new();
+        for s in sessions {
+            if s.len() < k {
+                continue;
+            }
+            for start in 0..=s.len() - k {
+                if &s[start..start + k] == suffix {
+                    occurrences += 1;
+                    if start + k < s.len() {
+                        *nexts.entry(s[start + k]).or_default() += 1;
+                    }
+                }
+            }
+        }
+        if !nexts.is_empty() {
+            return Some(
+                nexts
+                    .into_iter()
+                    .map(|(url, count)| (url, (count, occurrences)))
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The standard PPM's predictions match a brute-force scan of the
+    /// training sessions: same support set, same count/occurrence ratios.
+    #[test]
+    fn standard_ppm_matches_brute_force(
+        sessions in sessions_strategy(8, 7, 20),
+        ctx_session in 0usize..20,
+        ctx_len in 1usize..5,
+    ) {
+        let mut model = StandardPpm::unbounded();
+        for s in &sessions {
+            model.train_session(s);
+        }
+        model.finalize();
+
+        let src = &sessions[ctx_session % sessions.len()];
+        let context = &src[..ctx_len.min(src.len())];
+
+        let mut out: Vec<Prediction> = Vec::new();
+        model.predict(context, &mut out);
+        let reference = reference_standard_predict(&sessions, context, usize::from(u8::MAX));
+
+        match reference {
+            None => prop_assert!(out.is_empty(), "model predicted {:?}, reference nothing", out),
+            Some(map) => {
+                prop_assert_eq!(out.len(), map.len());
+                for p in &out {
+                    let &(count, total) = map.get(&p.url).expect("unexpected prediction");
+                    let expected = count as f64 / total as f64;
+                    prop_assert!((p.prob - expected).abs() < 1e-9,
+                        "url {:?}: {} vs {}", p.url, p.prob, expected);
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------- LRS
+
+/// Brute force: the set of contiguous subsequences occurring at least
+/// `support` times across all sessions (counting every occurrence,
+/// overlapping included) — exactly the paths the LRS tree must retain.
+fn reference_repeating_subsequences(
+    sessions: &[Vec<UrlId>],
+    support: u64,
+) -> HashSet<Vec<UrlId>> {
+    let mut counts: HashMap<Vec<UrlId>, u64> = HashMap::new();
+    for s in sessions {
+        for start in 0..s.len() {
+            for end in start + 1..=s.len() {
+                *counts.entry(s[start..end].to_vec()).or_default() += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c >= support)
+        .map(|(seq, _)| seq)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After finalize, the LRS tree contains a root-anchored path for a
+    /// sequence iff the sequence repeats (>= 2 occurrences) in training.
+    #[test]
+    fn lrs_retains_exactly_the_repeating_subsequences(
+        sessions in sessions_strategy(5, 6, 12),
+    ) {
+        let mut model = LrsPpm::new();
+        for s in &sessions {
+            model.train_session(s);
+        }
+        model.finalize();
+        let repeating = reference_repeating_subsequences(&sessions, 2);
+
+        // Every repeating subsequence must be a walkable path.
+        for seq in &repeating {
+            prop_assert!(
+                model.tree().descend(seq).is_some(),
+                "repeating {:?} missing from the LRS tree", seq
+            );
+        }
+        // Every walkable root-to-node path must repeat. Enumerate paths by
+        // DFS over the (small) tree.
+        let tree = model.tree();
+        for root in tree.iter_roots() {
+            let mut stack = vec![(root, vec![tree.node(root).url])];
+            while let Some((node, path)) = stack.pop() {
+                prop_assert!(
+                    repeating.contains(&path),
+                    "stored path {:?} does not repeat in training", path
+                );
+                for (url, child, _) in tree.children_of(node) {
+                    let mut next = path.clone();
+                    next.push(url);
+                    stack.push((child, next));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- PB-PPM
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural invariants of the PB tree for random popularity tables:
+    /// branch heights never exceed the grade cap of their head, root URLs
+    /// are session heads or grade ascents, and pruning is monotone.
+    #[test]
+    fn pb_tree_invariants(
+        sessions in sessions_strategy(10, 8, 16),
+        counts in prop::collection::vec(0u64..2000, 10),
+    ) {
+        let pop = PopularityTable::from_counts(counts);
+        let cfg = PbConfig {
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        };
+        let mut model = PbPpm::new(pop.clone(), cfg);
+        for s in &sessions {
+            model.train_session(s);
+        }
+        let unpruned_nodes = model.node_count();
+        model.finalize();
+        prop_assert_eq!(model.node_count(), unpruned_nodes, "disabled prune must not shrink");
+
+        let tree = model.tree();
+        // Height caps: walk each root, depth bounded by its head's grade.
+        for root in tree.iter_roots() {
+            let head_grade = pop.grade(tree.node(root).url);
+            let cap = cfg.height_for(head_grade);
+            let mut stack = vec![(root, 1u8)];
+            while let Some((node, depth)) = stack.pop() {
+                prop_assert!(depth <= cap,
+                    "depth {} exceeds cap {} for grade {:?}", depth, cap, head_grade);
+                for (_, child, _) in tree.children_of(node) {
+                    stack.push((child, depth + 1));
+                }
+            }
+        }
+        // Root rule: every root URL appears as a session head or as a
+        // grade ascent somewhere in training.
+        let mut legal_roots: HashSet<UrlId> = HashSet::new();
+        for s in &sessions {
+            legal_roots.insert(s[0]);
+            for w in s.windows(2) {
+                if pop.grade(w[1]) > pop.grade(w[0]) {
+                    legal_roots.insert(w[1]);
+                }
+            }
+        }
+        for root in tree.iter_roots() {
+            prop_assert!(legal_roots.contains(&tree.node(root).url));
+        }
+
+        // Pruning monotonicity, and grade-3 links only.
+        let mut pruned = PbPpm::new(pop.clone(), PbConfig {
+            prune: PruneConfig::aggressive(),
+            ..cfg
+        });
+        for s in &sessions {
+            pruned.train_session(s);
+        }
+        pruned.finalize();
+        prop_assert!(pruned.node_count() <= unpruned_nodes);
+
+        // Link targets are either above their head's grade or grade 3.
+        for root in tree.iter_roots() {
+            let head_grade = pop.grade(tree.node(root).url);
+            for link in tree.links_of(root) {
+                let g = pop.grade(tree.node(link).url);
+                prop_assert!(g > head_grade || g == Grade::MAX);
+            }
+        }
+    }
+
+    /// PB-PPM's branch predictions never exceed probability 1 and are
+    /// supported by actual training transitions.
+    #[test]
+    fn pb_predictions_are_supported_by_training(
+        sessions in sessions_strategy(8, 7, 16),
+        counts in prop::collection::vec(0u64..2000, 8),
+    ) {
+        let pop = PopularityTable::from_counts(counts);
+        let mut model = PbPpm::new(pop, PbConfig {
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        });
+        for s in &sessions {
+            model.train_session(s);
+        }
+        model.finalize();
+
+        // Every (a -> b) adjacency seen anywhere in training.
+        let mut adjacent: HashSet<(UrlId, UrlId)> = HashSet::new();
+        let mut later: HashSet<(UrlId, UrlId)> = HashSet::new();
+        for s in &sessions {
+            for w in s.windows(2) {
+                adjacent.insert((w[0], w[1]));
+            }
+            for i in 0..s.len() {
+                for j in i + 1..s.len() {
+                    later.insert((s[i], s[j]));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for s in sessions.iter().take(8) {
+            for i in 0..s.len() {
+                model.predict(&s[..=i], &mut out);
+                for p in &out {
+                    prop_assert!(p.prob > 0.0 && p.prob <= 1.0 + 1e-9);
+                    // A prediction is justified by a training adjacency from
+                    // the current URL, or (via a special link) by the URL
+                    // having followed the current one later in a session.
+                    prop_assert!(
+                        adjacent.contains(&(s[i], p.url)) || later.contains(&(s[i], p.url)),
+                        "prediction {:?} after {:?} unsupported by training",
+                        p.url, s[i]
+                    );
+                }
+            }
+        }
+    }
+}

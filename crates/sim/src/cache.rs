@@ -1,0 +1,388 @@
+//! A byte-capacity LRU cache.
+//!
+//! The paper's simulator gives each proxy a 16 GB disk cache and each
+//! browser a 1 MB cache, both managed with LRU (§2.2). This implementation
+//! is an intrusive doubly-linked list over a slab of slots plus a hash map —
+//! O(1) hit, insert, and eviction, no per-entry allocation after warm-up.
+//!
+//! Entries remember whether they were **prefetched** and not yet demanded;
+//! the first demand access returns that flag (and clears it), which is how
+//! the simulator attributes hits to prefetching (Fig. 2 left, Fig. 5).
+
+use pbppm_core::{FxHashMap, UrlId};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    url: UrlId,
+    size: u64,
+    prev: usize,
+    next: usize,
+    prefetched: bool,
+}
+
+/// Outcome of a demand lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Not in the cache.
+    Miss,
+    /// In the cache via a regular (demand) fetch, or already demanded once.
+    Hit,
+    /// In the cache via prefetch, demanded now for the first time.
+    PrefetchHit,
+}
+
+/// Byte-capacity LRU cache of documents.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    map: FxHashMap<UrlId, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    evictions: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            map: FxHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            evictions: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Demand lookup: promotes on hit and reports prefetch attribution.
+    pub fn demand(&mut self, url: UrlId) -> Lookup {
+        let Some(&idx) = self.map.get(&url) else {
+            return Lookup::Miss;
+        };
+        self.detach(idx);
+        self.push_front(idx);
+        if self.slots[idx].prefetched {
+            self.slots[idx].prefetched = false;
+            Lookup::PrefetchHit
+        } else {
+            Lookup::Hit
+        }
+    }
+
+    /// Non-promoting, non-mutating membership test (used by the prefetch
+    /// policy to avoid pushing what is already cached).
+    pub fn contains(&self, url: UrlId) -> bool {
+        self.map.contains_key(&url)
+    }
+
+    /// Inserts (or refreshes) a document of `size` bytes, evicting LRU
+    /// entries as needed. Documents larger than the whole cache are not
+    /// cached at all. Returns `false` in that case.
+    ///
+    /// Re-inserting an existing document updates its size, promotes it, and
+    /// — when `prefetched` is false — clears its prefetch attribution;
+    /// a prefetch of an already-cached document leaves attribution as is.
+    pub fn insert(&mut self, url: UrlId, size: u64, prefetched: bool) -> bool {
+        if size > self.capacity {
+            // Too big to ever fit: also drop any stale smaller copy.
+            self.remove(url);
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&url) {
+            self.used = self.used - self.slots[idx].size + size;
+            self.slots[idx].size = size;
+            if !prefetched {
+                self.slots[idx].prefetched = false;
+            }
+            self.detach(idx);
+            self.push_front(idx);
+            self.evict_to_fit();
+            return true;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    url,
+                    size,
+                    prev: NIL,
+                    next: NIL,
+                    prefetched,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    url,
+                    size,
+                    prev: NIL,
+                    next: NIL,
+                    prefetched,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(url, idx);
+        self.used += size;
+        self.push_front(idx);
+        self.evict_to_fit();
+        true
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used > self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "over capacity with empty list");
+            // Never evict the entry we just promoted to the head unless it
+            // is the only one (then the list is consistent anyway).
+            self.remove_slot(victim);
+            self.evictions += 1;
+        }
+    }
+
+    fn remove_slot(&mut self, idx: usize) {
+        self.detach(idx);
+        self.used -= self.slots[idx].size;
+        self.map.remove(&self.slots[idx].url);
+        self.free.push(idx);
+    }
+
+    /// Removes a document if present; returns whether it was there.
+    pub fn remove(&mut self, url: UrlId) -> bool {
+        if let Some(&idx) = self.map.get(&url) {
+            self.remove_slot(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// URLs currently cached, most recently used first (test/debug helper).
+    pub fn iter_mru(&self) -> impl Iterator<Item = UrlId> + '_ {
+        struct Iter<'a> {
+            cache: &'a LruCache,
+            cur: usize,
+        }
+        impl Iterator for Iter<'_> {
+            type Item = UrlId;
+            fn next(&mut self) -> Option<UrlId> {
+                if self.cur == NIL {
+                    return None;
+                }
+                let slot = &self.cache.slots[self.cur];
+                self.cur = slot.next;
+                Some(slot.url)
+            }
+        }
+        Iter {
+            cache: self,
+            cur: self.head,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    #[test]
+    fn basic_insert_and_hit() {
+        let mut c = LruCache::new(100);
+        assert_eq!(c.demand(u(1)), Lookup::Miss);
+        assert!(c.insert(u(1), 40, false));
+        assert_eq!(c.demand(u(1)), Lookup::Hit);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 40);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 40, false);
+        c.insert(u(2), 40, false);
+        c.demand(u(1)); // 1 is now MRU
+        c.insert(u(3), 40, false); // must evict 2
+        assert_eq!(c.demand(u(2)), Lookup::Miss);
+        assert_eq!(c.demand(u(1)), Lookup::Hit);
+        assert_eq!(c.demand(u(3)), Lookup::Hit);
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = LruCache::new(100);
+        for i in 0..50 {
+            c.insert(u(i), 7, false);
+            assert!(c.used_bytes() <= 100);
+        }
+    }
+
+    #[test]
+    fn oversized_objects_are_not_cached() {
+        let mut c = LruCache::new(100);
+        assert!(!c.insert(u(1), 101, false));
+        assert_eq!(c.demand(u(1)), Lookup::Miss);
+        assert_eq!(c.len(), 0);
+        // Exactly capacity fits.
+        assert!(c.insert(u(2), 100, false));
+        assert_eq!(c.demand(u(2)), Lookup::Hit);
+    }
+
+    #[test]
+    fn oversized_reinsert_drops_stale_copy() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 50, false);
+        assert!(!c.insert(u(1), 200, false));
+        assert_eq!(c.demand(u(1)), Lookup::Miss);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn prefetch_attribution_fires_once() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 10, true);
+        assert_eq!(c.demand(u(1)), Lookup::PrefetchHit);
+        assert_eq!(c.demand(u(1)), Lookup::Hit, "only the first touch counts");
+    }
+
+    #[test]
+    fn demand_insert_clears_prefetch_flag() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 10, true);
+        c.insert(u(1), 10, false); // demand re-fetch
+        assert_eq!(c.demand(u(1)), Lookup::Hit);
+    }
+
+    #[test]
+    fn prefetch_of_cached_doc_keeps_demand_status() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 10, false);
+        c.insert(u(1), 10, true); // server pushes it again
+        assert_eq!(c.demand(u(1)), Lookup::Hit, "already demanded: no re-attribution");
+    }
+
+    #[test]
+    fn resize_on_reinsert_updates_used_bytes() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 10, false);
+        c.insert(u(1), 60, false);
+        assert_eq!(c.used_bytes(), 60);
+        c.insert(u(2), 40, false);
+        assert_eq!(c.used_bytes(), 100);
+        c.insert(u(1), 90, false); // grows, evicts 2
+        assert_eq!(c.used_bytes(), 90);
+        assert!(!c.contains(u(2)));
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 10, false);
+        assert!(c.remove(u(1)));
+        assert!(!c.remove(u(1)));
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.demand(u(1)), Lookup::Miss);
+    }
+
+    #[test]
+    fn mru_order_is_maintained() {
+        let mut c = LruCache::new(1000);
+        c.insert(u(1), 1, false);
+        c.insert(u(2), 1, false);
+        c.insert(u(3), 1, false);
+        c.demand(u(1));
+        let order: Vec<u32> = c.iter_mru().map(|x| x.0).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut c = LruCache::new(10);
+        for i in 0..100 {
+            c.insert(u(i), 5, false);
+        }
+        // Only 2 can fit; the slab must not have grown to 100.
+        assert_eq!(c.len(), 2);
+        assert!(c.slots.len() <= 4, "slots grew to {}", c.slots.len());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        assert!(!c.insert(u(1), 1, false));
+        assert!(c.insert(u(2), 0, false), "zero-size object fits anywhere");
+        assert_eq!(c.demand(u(1)), Lookup::Miss);
+    }
+
+    #[test]
+    fn contains_does_not_promote() {
+        let mut c = LruCache::new(2);
+        c.insert(u(1), 1, false);
+        c.insert(u(2), 1, false);
+        assert!(c.contains(u(1)));
+        c.insert(u(3), 1, false); // evicts 1 (contains() must not have promoted it)
+        assert!(!c.contains(u(1)));
+        assert!(c.contains(u(2)));
+    }
+}

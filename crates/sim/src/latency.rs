@@ -1,0 +1,146 @@
+//! The access-latency model.
+//!
+//! The paper estimates "connection times and data transferring times by
+//! using the method presented in [Jin & Bestavros, ICDCS'00], where the
+//! connection time and the data transferring time are obtained by applying
+//! a least squares fit to measured latency in traces versus the size
+//! variations of documents" — i.e. a linear model
+//!
+//! ```text
+//! latency(size) = connect_secs + size / bytes_per_sec
+//! ```
+//!
+//! [`LatencyModel::fit`] implements the same least-squares procedure so the
+//! model can be calibrated from `(size, latency)` samples; the defaults are
+//! representative late-90s WAN figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear document-fetch latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-request connection setup time, seconds.
+    pub connect_secs: f64,
+    /// Transfer bandwidth, bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            connect_secs: 0.13,
+            bytes_per_sec: 30_000.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of fetching `size` bytes from the server, seconds.
+    #[inline]
+    pub fn fetch_secs(&self, size: u64) -> f64 {
+        self.connect_secs + size as f64 / self.bytes_per_sec
+    }
+
+    /// Latency of serving a document from a local cache (assumed
+    /// negligible, as in the paper's hit accounting).
+    #[inline]
+    pub fn hit_secs(&self) -> f64 {
+        0.0
+    }
+
+    /// Least-squares fit of `(size_bytes, latency_secs)` samples, the
+    /// Jin–Bestavros calibration. Returns `None` with fewer than two
+    /// distinct sizes. A non-positive fitted slope (all-equal latencies)
+    /// yields effectively infinite bandwidth; a non-positive intercept is
+    /// clamped to zero.
+    pub fn fit(samples: &[(u64, f64)]) -> Option<Self> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|s| s.0 as f64).sum();
+        let sy: f64 = samples.iter().map(|s| s.1).sum();
+        let sxx: f64 = samples.iter().map(|s| (s.0 as f64) * (s.0 as f64)).sum();
+        let sxy: f64 = samples.iter().map(|s| (s.0 as f64) * s.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-9 {
+            return None; // all sizes equal: slope undefined
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Some(Self {
+            connect_secs: intercept.max(0.0),
+            bytes_per_sec: if slope > 1e-12 { 1.0 / slope } else { f64::INFINITY },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_latency_is_linear_in_size() {
+        let m = LatencyModel {
+            connect_secs: 0.1,
+            bytes_per_sec: 1000.0,
+        };
+        assert!((m.fetch_secs(0) - 0.1).abs() < 1e-12);
+        assert!((m.fetch_secs(500) - 0.6).abs() < 1e-12);
+        assert!((m.fetch_secs(2000) - 2.1).abs() < 1e-12);
+        assert_eq!(m.hit_secs(), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_linear_data() {
+        let truth = LatencyModel {
+            connect_secs: 0.25,
+            bytes_per_sec: 4000.0,
+        };
+        let samples: Vec<(u64, f64)> = (1..=20)
+            .map(|i| {
+                let size = i * 512;
+                (size, truth.fetch_secs(size))
+            })
+            .collect();
+        let fitted = LatencyModel::fit(&samples).unwrap();
+        assert!((fitted.connect_secs - 0.25).abs() < 1e-9);
+        assert!((fitted.bytes_per_sec - 4000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fit_handles_noise() {
+        let truth = LatencyModel::default();
+        let samples: Vec<(u64, f64)> = (1..=100)
+            .map(|i| {
+                let size = i * 1000;
+                // deterministic +-2% "noise"
+                let noise = 1.0 + 0.02 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                (size, truth.fetch_secs(size) * noise)
+            })
+            .collect();
+        let fitted = LatencyModel::fit(&samples).unwrap();
+        assert!((fitted.connect_secs - truth.connect_secs).abs() < 0.05);
+        assert!((fitted.bytes_per_sec - truth.bytes_per_sec).abs() / truth.bytes_per_sec < 0.1);
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert!(LatencyModel::fit(&[]).is_none());
+        assert!(LatencyModel::fit(&[(100, 1.0)]).is_none());
+        assert!(LatencyModel::fit(&[(100, 1.0), (100, 2.0)]).is_none());
+        // Flat latencies: infinite bandwidth, intercept = the flat value.
+        let m = LatencyModel::fit(&[(100, 1.0), (200, 1.0), (300, 1.0)]).unwrap();
+        assert!((m.connect_secs - 1.0).abs() < 1e-9);
+        assert!(m.bytes_per_sec.is_infinite());
+        assert!((m.fetch_secs(10_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_intercept_clamps_to_zero() {
+        // Latency grows faster than linear at small sizes: fitted intercept
+        // can go negative; the model clamps it.
+        let m = LatencyModel::fit(&[(1000, 0.001), (2000, 1.0), (3000, 2.0)]).unwrap();
+        assert!(m.connect_secs >= 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The paper's four performance metrics (§2.3) and their raw counters.
+//!
+//! * **Hit ratio** — requests served by a browser/proxy cache (demand-cached
+//!   or prefetched) over all requests.
+//! * **Latency reduction** — average access latency saved per request,
+//!   relative to the same configuration without prefetching.
+//! * **Space** — number of URL nodes of the prediction model (reported from
+//!   [`pbppm_core::ModelStats`], not here).
+//! * **Traffic increment** — total transferred bytes over useful bytes,
+//!   minus one.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw event counters accumulated by a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Demand requests (page views) processed.
+    pub requests: u64,
+    /// Bytes the clients actually wanted (sum of requested document sizes).
+    pub useful_bytes: u64,
+    /// Bytes the server transferred (demand misses + prefetches).
+    pub sent_bytes: u64,
+    /// Demand hits on regularly cached documents.
+    pub cache_hits: u64,
+    /// Demand hits that were the first touch of a prefetched document.
+    pub prefetch_hits: u64,
+    /// ... of which the document was popular (grade ≥ 2).
+    pub prefetch_hits_popular: u64,
+    /// Documents pushed by the prefetcher.
+    pub prefetched_docs: u64,
+    /// Bytes pushed by the prefetcher.
+    pub prefetched_bytes: u64,
+    /// Total access latency experienced by clients, seconds.
+    pub latency_secs: f64,
+}
+
+impl Counters {
+    /// Total demand hits (cache + prefetch).
+    pub fn hits(&self) -> u64 {
+        self.cache_hits + self.prefetch_hits
+    }
+
+    /// The paper's hit ratio. Zero when no requests were made.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.requests as f64
+        }
+    }
+
+    /// The paper's traffic increment: `sent / useful - 1`.
+    /// Zero when no useful bytes were requested.
+    pub fn traffic_increment(&self) -> f64 {
+        if self.useful_bytes == 0 {
+            0.0
+        } else {
+            self.sent_bytes as f64 / self.useful_bytes as f64 - 1.0
+        }
+    }
+
+    /// Mean latency per request, seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.latency_secs / self.requests as f64
+        }
+    }
+
+    /// Fraction of prefetch hits whose document is popular (Fig. 2 left).
+    /// Zero when there were no prefetch hits.
+    pub fn popular_prefetch_fraction(&self) -> f64 {
+        if self.prefetch_hits == 0 {
+            0.0
+        } else {
+            self.prefetch_hits_popular as f64 / self.prefetch_hits as f64
+        }
+    }
+
+    /// Fraction of prefetched documents that were eventually demanded —
+    /// the prefetch *accuracy* (a useful diagnostic, not a headline metric).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetched_docs == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetched_docs as f64
+        }
+    }
+
+    /// Merges another counter set into this one (used when aggregating
+    /// per-client or per-shard counters).
+    pub fn merge(&mut self, other: &Counters) {
+        self.requests += other.requests;
+        self.useful_bytes += other.useful_bytes;
+        self.sent_bytes += other.sent_bytes;
+        self.cache_hits += other.cache_hits;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_hits_popular += other.prefetch_hits_popular;
+        self.prefetched_docs += other.prefetched_docs;
+        self.prefetched_bytes += other.prefetched_bytes;
+        self.latency_secs += other.latency_secs;
+    }
+}
+
+/// Relative latency reduction of `with` against `baseline` (both from the
+/// same eval window; `baseline` is the no-prefetch run).
+///
+/// Returns 0 when the baseline saw no latency at all.
+pub fn latency_reduction(with: &Counters, baseline: &Counters) -> f64 {
+    if baseline.latency_secs <= 0.0 {
+        0.0
+    } else {
+        (baseline.latency_secs - with.latency_secs) / baseline.latency_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_on_empty_counters_are_zero() {
+        let c = Counters::default();
+        assert_eq!(c.hit_ratio(), 0.0);
+        assert_eq!(c.traffic_increment(), 0.0);
+        assert_eq!(c.mean_latency(), 0.0);
+        assert_eq!(c.popular_prefetch_fraction(), 0.0);
+        assert_eq!(c.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_combines_both_hit_kinds() {
+        let c = Counters {
+            requests: 10,
+            cache_hits: 3,
+            prefetch_hits: 2,
+            ..Counters::default()
+        };
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_increment_matches_definition() {
+        let c = Counters {
+            useful_bytes: 1000,
+            sent_bytes: 1140,
+            ..Counters::default()
+        };
+        assert!((c.traffic_increment() - 0.14).abs() < 1e-12);
+        // Prefetching nothing, all hits: sent can be below useful.
+        let c2 = Counters {
+            useful_bytes: 1000,
+            sent_bytes: 500,
+            ..Counters::default()
+        };
+        assert!(c2.traffic_increment() < 0.0);
+    }
+
+    #[test]
+    fn latency_reduction_relative_to_baseline() {
+        let base = Counters {
+            requests: 10,
+            latency_secs: 20.0,
+            ..Counters::default()
+        };
+        let with = Counters {
+            requests: 10,
+            latency_secs: 12.0,
+            ..Counters::default()
+        };
+        assert!((latency_reduction(&with, &base) - 0.4).abs() < 1e-12);
+        assert_eq!(latency_reduction(&with, &Counters::default()), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Counters {
+            requests: 1,
+            useful_bytes: 2,
+            sent_bytes: 3,
+            cache_hits: 4,
+            prefetch_hits: 5,
+            prefetch_hits_popular: 6,
+            prefetched_docs: 7,
+            prefetched_bytes: 8,
+            latency_secs: 9.0,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.prefetched_bytes, 16);
+        assert!((a.latency_secs - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_and_popular_fraction() {
+        let c = Counters {
+            prefetched_docs: 10,
+            prefetch_hits: 4,
+            prefetch_hits_popular: 3,
+            ..Counters::default()
+        };
+        assert!((c.prefetch_accuracy() - 0.4).abs() < 1e-12);
+        assert!((c.popular_prefetch_fraction() - 0.75).abs() < 1e-12);
+    }
+}

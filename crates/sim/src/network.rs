@@ -1,0 +1,301 @@
+//! Network effects of prefetching: a shared, finite-bandwidth server link.
+//!
+//! The paper's latency model charges every fetch the same connect +
+//! transfer time, which is accurate while the server's egress link is far
+//! from saturation. Crovella & Barford ("The network effects of
+//! prefetching", INFOCOM '98 — cited in the paper's related work) showed
+//! the catch: prefetch traffic queues behind demand traffic, so an
+//! aggressive prefetcher can *increase* user-visible latency under load.
+//!
+//! This module reproduces that experiment: demand and prefetch transfers
+//! share one FIFO link; sweeping the link capacity moves the system from
+//! underload (prefetching saves latency) to saturation (prefetching's
+//! extra bytes hurt everyone). [`run_network_experiment`] measures one
+//! cell; the `network` bench binary sweeps the capacity axis.
+
+use crate::cache::{Lookup, LruCache};
+use crate::config::ExperimentConfig;
+use crate::server::PrefetchServer;
+use pbppm_core::{FxHashMap, PopularityTable, UrlId};
+use pbppm_trace::{sessionize, ClientId, DocCatalog, Session, Trace};
+use serde::{Deserialize, Serialize};
+
+/// A FIFO shared link with finite bandwidth.
+#[derive(Debug, Clone)]
+pub struct SharedLink {
+    bytes_per_sec: f64,
+    free_at: f64,
+    busy_secs: f64,
+    queued_bytes: u64,
+}
+
+impl SharedLink {
+    /// Creates a link with the given capacity (bytes per second).
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "capacity must be positive");
+        Self {
+            bytes_per_sec,
+            free_at: 0.0,
+            busy_secs: 0.0,
+            queued_bytes: 0,
+        }
+    }
+
+    /// Queues a `size`-byte transfer arriving at `now`; returns its
+    /// completion time. FIFO: the transfer starts when the link frees up.
+    pub fn transfer(&mut self, now: f64, size: u64) -> f64 {
+        let start = self.free_at.max(now);
+        let duration = size as f64 / self.bytes_per_sec;
+        self.free_at = start + duration;
+        self.busy_secs += duration;
+        self.queued_bytes += size;
+        self.free_at
+    }
+
+    /// Total bytes ever queued on the link.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Link utilization over `[0, horizon]` seconds.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            0.0
+        } else {
+            (self.busy_secs / horizon).min(1.0)
+        }
+    }
+}
+
+/// Outcome of one bandwidth-constrained run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCounters {
+    /// Demand requests processed.
+    pub requests: u64,
+    /// Demand requests served from cache.
+    pub hits: u64,
+    /// Total user-visible latency, seconds (hits cost zero).
+    pub latency_secs: f64,
+    /// Bytes put on the link (demand misses + prefetches).
+    pub sent_bytes: u64,
+    /// Documents pushed by the prefetcher.
+    pub prefetched_docs: u64,
+    /// Link utilization over the evaluation window.
+    pub utilization: f64,
+}
+
+impl NetworkCounters {
+    /// Mean user-visible latency per request.
+    pub fn mean_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.latency_secs / self.requests as f64
+        }
+    }
+}
+
+/// Result of [`run_network_experiment`]: the prefetching run and its
+/// caching-only baseline on the same link capacity.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkRunResult {
+    /// Link capacity, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Counters with prefetching.
+    pub with_prefetch: NetworkCounters,
+    /// Counters without prefetching.
+    pub baseline: NetworkCounters,
+}
+
+impl NetworkRunResult {
+    /// Relative latency change from prefetching: negative = prefetching
+    /// *hurt* (the saturation regime).
+    pub fn latency_reduction(&self) -> f64 {
+        let base = self.baseline.mean_latency();
+        if base <= 0.0 {
+            0.0
+        } else {
+            (base - self.with_prefetch.mean_latency()) / base
+        }
+    }
+}
+
+struct ClientState {
+    cache: LruCache,
+    ctx: Vec<UrlId>,
+    last_time: u64,
+}
+
+fn network_pass(
+    mut server: Option<&mut PrefetchServer>,
+    views: &[(u64, ClientId, UrlId)],
+    catalog: &DocCatalog,
+    cfg: &ExperimentConfig,
+    bytes_per_sec: f64,
+) -> NetworkCounters {
+    let mut link = SharedLink::new(bytes_per_sec);
+    let mut clients: FxHashMap<ClientId, ClientState> = FxHashMap::default();
+    let mut counters = NetworkCounters::default();
+    let mut push: Vec<(UrlId, u64)> = Vec::new();
+    let t0 = views.first().map_or(0, |v| v.0);
+
+    for &(time, client, url) in views {
+        let state = clients.entry(client).or_insert_with(|| ClientState {
+            cache: LruCache::new(cfg.browser_cache_bytes),
+            ctx: Vec::new(),
+            last_time: time,
+        });
+        // Session gap resets the context.
+        if time.saturating_sub(state.last_time) > cfg.sessionizer.idle_gap_secs {
+            state.ctx.clear();
+        }
+        state.last_time = time;
+        if state.ctx.len() == cfg.context_cap.max(1) {
+            state.ctx.remove(0);
+        }
+        state.ctx.push(url);
+
+        let now = (time - t0) as f64;
+        let size = u64::from(catalog.size(url)).max(1);
+        counters.requests += 1;
+        if state.cache.demand(url) != Lookup::Miss {
+            counters.hits += 1;
+            continue;
+        }
+        // Demand transfer queues on the shared link.
+        let done = link.transfer(now, size);
+        counters.latency_secs += cfg.latency.connect_secs + (done - now);
+        counters.sent_bytes += size;
+        state.cache.insert(url, size, false);
+        if let Some(server) = server.as_deref_mut() {
+            let cache = &state.cache;
+            server.decide(&state.ctx, catalog, |u| cache.contains(u), &mut push);
+            for &(purl, psize) in &push {
+                // Prefetch transfers consume the same link but nobody waits
+                // on them directly — their cost is the queueing they inflict
+                // on later demand transfers.
+                link.transfer(now, psize);
+                counters.sent_bytes += psize;
+                counters.prefetched_docs += 1;
+                state.cache.insert(purl, psize, true);
+            }
+        }
+    }
+    let horizon = views.last().map_or(0.0, |v| (v.0 - t0) as f64);
+    counters.utilization = link.utilization(horizon.max(1.0));
+    counters
+}
+
+/// Runs the bandwidth-constrained experiment: train as usual, then replay
+/// the evaluation day against a link of `bytes_per_sec`, with and without
+/// prefetching.
+pub fn run_network_experiment(
+    trace: &Trace,
+    cfg: &ExperimentConfig,
+    bytes_per_sec: f64,
+) -> NetworkRunResult {
+    let train_sessions = sessionize(trace.first_days(cfg.train_days), &cfg.sessionizer);
+    let eval_sessions = sessionize(
+        trace.day_span(cfg.train_days, cfg.train_days + cfg.eval_days.max(1)),
+        &cfg.sessionizer,
+    );
+    let mut catalog = DocCatalog::from_sessions(&train_sessions);
+    catalog.observe_sessions(&eval_sessions);
+    let mut popb = PopularityTable::builder();
+    for s in &train_sessions {
+        for v in &s.views {
+            popb.record(v.url);
+        }
+    }
+    let popularity = popb.build();
+
+    // Time-ordered view stream (the link is shared across all clients).
+    let mut views: Vec<(u64, ClientId, UrlId)> = eval_sessions
+        .iter()
+        .flat_map(|s: &Session| s.views.iter().map(|v| (v.time, s.client, v.url)))
+        .collect();
+    views.sort_unstable_by_key(|&(t, c, _)| (t, c));
+
+    let baseline = network_pass(None, &views, &catalog, cfg, bytes_per_sec);
+    let model = cfg.model.build(&train_sessions, &popularity);
+    let with_prefetch = match model {
+        None => baseline,
+        Some(model) => {
+            let mut server = PrefetchServer::new(model, cfg.policy);
+            network_pass(Some(&mut server), &views, &catalog, cfg, bytes_per_sec)
+        }
+    };
+    NetworkRunResult {
+        bytes_per_sec,
+        with_prefetch,
+        baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelSpec;
+    use pbppm_trace::WorkloadConfig;
+
+    #[test]
+    fn link_is_fifo_and_accounts_time() {
+        let mut link = SharedLink::new(100.0);
+        // 100-byte transfer at t=0: done at 1.0.
+        assert!((link.transfer(0.0, 100) - 1.0).abs() < 1e-9);
+        // Next arrives at 0.5 but queues: done at 2.0.
+        assert!((link.transfer(0.5, 100) - 2.0).abs() < 1e-9);
+        // Arrival after the queue drains starts immediately.
+        assert!((link.transfer(5.0, 100) - 6.0).abs() < 1e-9);
+        assert_eq!(link.bytes_transferred(), 300);
+        assert!((link.utilization(6.0) - 0.5).abs() < 1e-9);
+        assert_eq!(link.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SharedLink::new(0.0);
+    }
+
+    #[test]
+    fn prefetching_helps_on_a_fast_link_and_hurts_on_a_slow_one() {
+        let trace = WorkloadConfig::tiny(7).generate();
+        let cfg = ExperimentConfig::paper_default(ModelSpec::pb_paper(true), 2);
+        let fast = run_network_experiment(&trace, &cfg, 1e9);
+        assert!(
+            fast.latency_reduction() > 0.0,
+            "ample bandwidth: prefetch hits should reduce latency ({})",
+            fast.latency_reduction()
+        );
+        // A link ~1000x slower: persistent queueing, prefetch bytes poison
+        // the queue.
+        let slow = run_network_experiment(&trace, &cfg, 20_000.0);
+        assert!(
+            slow.latency_reduction() < fast.latency_reduction(),
+            "saturation must erode the prefetching gain ({} vs {})",
+            slow.latency_reduction(),
+            fast.latency_reduction()
+        );
+        assert!(slow.with_prefetch.utilization >= slow.baseline.utilization);
+    }
+
+    #[test]
+    fn baseline_and_prefetch_runs_see_identical_demand() {
+        let trace = WorkloadConfig::tiny(3).generate();
+        let cfg = ExperimentConfig::paper_default(ModelSpec::Lrs, 2);
+        let r = run_network_experiment(&trace, &cfg, 1e6);
+        assert_eq!(r.with_prefetch.requests, r.baseline.requests);
+        assert!(r.with_prefetch.sent_bytes >= r.baseline.sent_bytes);
+        assert!(r.with_prefetch.hits >= r.baseline.hits);
+    }
+
+    #[test]
+    fn no_prefetch_spec_degenerates_to_baseline() {
+        let trace = WorkloadConfig::tiny(3).generate();
+        let cfg = ExperimentConfig::paper_default(ModelSpec::NoPrefetch, 2);
+        let r = run_network_experiment(&trace, &cfg, 1e6);
+        assert_eq!(r.with_prefetch, r.baseline);
+        assert_eq!(r.latency_reduction(), 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The §5 deployment: prefetching between a web server and a proxy.
+//!
+//! 1–32 randomly selected clients sit behind one shared proxy. Every request
+//! first tries the client's own browser cache (1 MB), then the proxy's
+//! 16 GB cache, then goes to the server. The server pushes prefetched
+//! documents into the **proxy** cache, so "the total document hits come from
+//! three sources: (1) hits on browsers, (2) hits on the cached documents in
+//! the proxy, and (3) hits on the prefetched documents in the proxy".
+//!
+//! Crucially, the server sees the proxy as *one* client: the request stream
+//! it predicts from is the time-interleaved merge of all users behind the
+//! proxy. Deep-context models degrade as more users interleave, while
+//! PB-PPM's predictions — anchored at the current URL and its special
+//! links — are largely insensitive to the garbling. This is the §5
+//! mechanism behind the paper's curves converging/diverging with client
+//! count.
+
+use crate::cache::{Lookup, LruCache};
+use crate::config::ExperimentConfig;
+use crate::metrics::Counters;
+use crate::server::PrefetchServer;
+use pbppm_core::{FxHashMap, PopularityTable, UrlId};
+use pbppm_trace::{sessionize, ClientId, DocCatalog, Session, Trace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one server↔proxy experiment cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProxyExperimentConfig {
+    /// Model, thresholds, training window, caches, latency — as in §4.
+    pub base: ExperimentConfig,
+    /// How many clients connect through the proxy (1–32 in Fig. 5).
+    pub clients_per_proxy: usize,
+    /// Seed for the random client selection.
+    pub selection_seed: u64,
+    /// Only clients with at least this many evaluation-window page views
+    /// are candidates for selection (the §5 experiment connects *active*
+    /// clients to the proxy; a client with two views tells us nothing).
+    pub min_client_views: usize,
+    /// Number of independent proxy groups simulated and aggregated: each
+    /// group gets its own `clients_per_proxy` disjoint random clients and
+    /// its own proxy cache, and the reported counters are the sums. More
+    /// groups mean smoother curves (1 = the paper's literal single proxy).
+    pub proxy_groups: usize,
+}
+
+/// Outcome of one server↔proxy cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProxyRunResult {
+    /// Model label.
+    pub label: String,
+    /// Clients behind the proxy.
+    pub clients: usize,
+    /// Page views processed.
+    pub requests: u64,
+    /// Hits in the clients' own browser caches.
+    pub browser_hits: u64,
+    /// Hits on demand-cached documents in the proxy.
+    pub proxy_hits: u64,
+    /// First-touch hits on prefetched documents in the proxy.
+    pub proxy_prefetch_hits: u64,
+    /// Full counters (traffic, latency) of the run.
+    pub counters: Counters,
+    /// Counters of the caching-only baseline.
+    pub baseline: Counters,
+}
+
+impl ProxyRunResult {
+    /// Total hit ratio over all three hit sources (Fig. 5 left).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.browser_hits + self.proxy_hits + self.proxy_prefetch_hits) as f64
+                / self.requests as f64
+        }
+    }
+
+    /// Traffic increment between server and proxy (Fig. 5 right), relative
+    /// to the caching-only baseline's transfers.
+    pub fn traffic_increment(&self) -> f64 {
+        if self.baseline.sent_bytes == 0 {
+            0.0
+        } else {
+            self.counters.sent_bytes as f64 / self.baseline.sent_bytes as f64 - 1.0
+        }
+    }
+}
+
+struct ProxyPassOutcome {
+    counters: Counters,
+    browser_hits: u64,
+    proxy_hits: u64,
+    proxy_prefetch_hits: u64,
+}
+
+fn proxy_pass(
+    mut server: Option<&mut PrefetchServer>,
+    sessions: &[&Session],
+    catalog: &DocCatalog,
+    popularity: &PopularityTable,
+    cfg: &ExperimentConfig,
+) -> ProxyPassOutcome {
+    let mut browsers: FxHashMap<ClientId, LruCache> = FxHashMap::default();
+    let mut proxy = LruCache::new(cfg.proxy_cache_bytes);
+    let mut counters = Counters::default();
+    let (mut browser_hits, mut proxy_hits, mut proxy_prefetch_hits) = (0u64, 0u64, 0u64);
+    // The server's view: one merged, time-interleaved stream from the
+    // proxy's address. Contexts from different users garble each other —
+    // the price of aggregation the paper's §5 explores.
+    let mut ctx: Vec<UrlId> = Vec::new();
+    let mut push: Vec<(UrlId, u64)> = Vec::new();
+
+    // Merge all selected sessions' views into proxy arrival order.
+    let mut stream: Vec<(u64, ClientId, UrlId)> = sessions
+        .iter()
+        .flat_map(|s| s.views.iter().map(|v| (v.time, s.client, v.url)))
+        .collect();
+    stream.sort_by_key(|&(t, c, _)| (t, c));
+
+    for (_, client, url) in stream {
+        let browser = browsers
+            .entry(client)
+            .or_insert_with(|| LruCache::new(cfg.browser_cache_bytes));
+        if ctx.len() == cfg.context_cap.max(1) {
+            ctx.remove(0);
+        }
+        ctx.push(url);
+        let size = u64::from(catalog.size(url)).max(1);
+        counters.requests += 1;
+        counters.useful_bytes += size;
+        if browser.demand(url) != Lookup::Miss {
+            browser_hits += 1;
+            counters.cache_hits += 1;
+            counters.latency_secs += cfg.latency.hit_secs();
+            continue;
+        }
+        match proxy.demand(url) {
+            Lookup::PrefetchHit => {
+                proxy_prefetch_hits += 1;
+                counters.prefetch_hits += 1;
+                if popularity.is_popular(url) {
+                    counters.prefetch_hits_popular += 1;
+                }
+                // Serve to the browser from the proxy: near-local.
+                counters.latency_secs += cfg.latency.hit_secs();
+                browser.insert(url, size, false);
+            }
+            Lookup::Hit => {
+                proxy_hits += 1;
+                counters.cache_hits += 1;
+                counters.latency_secs += cfg.latency.hit_secs();
+                browser.insert(url, size, false);
+            }
+            Lookup::Miss => {
+                counters.sent_bytes += size;
+                counters.latency_secs += cfg.latency.fetch_secs(size);
+                proxy.insert(url, size, false);
+                browser.insert(url, size, false);
+                if let Some(server) = server.as_deref_mut() {
+                    server.decide(&ctx, catalog, |u| proxy.contains(u), &mut push);
+                    for &(purl, psize) in &push {
+                        counters.sent_bytes += psize;
+                        counters.prefetched_docs += 1;
+                        counters.prefetched_bytes += psize;
+                        proxy.insert(purl, psize, true);
+                    }
+                }
+            }
+        }
+    }
+    ProxyPassOutcome {
+        counters,
+        browser_hits,
+        proxy_hits,
+        proxy_prefetch_hits,
+    }
+}
+
+/// Runs one server↔proxy experiment cell.
+pub fn run_proxy_experiment(trace: &Trace, cfg: &ProxyExperimentConfig) -> ProxyRunResult {
+    let base = &cfg.base;
+    let train_reqs = trace.first_days(base.train_days);
+    let eval_reqs = trace.day_span(base.train_days, base.train_days + base.eval_days.max(1));
+
+    let train_sessions = sessionize(train_reqs, &base.sessionizer);
+    let mut eval_sessions = sessionize(eval_reqs, &base.sessionizer);
+    eval_sessions.sort_by_key(Session::start);
+
+    let mut catalog = DocCatalog::from_sessions(&train_sessions);
+    catalog.observe_sessions(&eval_sessions);
+
+    let mut popb = PopularityTable::builder();
+    for s in &train_sessions {
+        for v in &s.views {
+            popb.record(v.url);
+        }
+    }
+    let popularity = popb.build();
+
+    // Randomly select the clients behind the proxy, among those active
+    // enough in the evaluation window.
+    let mut views_per_client: FxHashMap<ClientId, usize> = FxHashMap::default();
+    for s in &eval_sessions {
+        *views_per_client.entry(s.client).or_default() += s.views.len();
+    }
+    let mut active: Vec<ClientId> = views_per_client
+        .iter()
+        .filter(|&(_, &v)| v >= cfg.min_client_views.max(1))
+        .map(|(&c, _)| c)
+        .collect();
+    active.sort();
+    let mut rng = StdRng::seed_from_u64(cfg.selection_seed);
+    active.shuffle(&mut rng);
+
+    // Carve disjoint groups of `clients_per_proxy` from the shuffled pool.
+    let per_group = cfg.clients_per_proxy.max(1);
+    let groups = cfg.proxy_groups.max(1).min(active.len().max(1));
+    let mut model = base.model.build(&train_sessions, &popularity);
+    let mut server = model
+        .take()
+        .map(|m| PrefetchServer::new(m, base.policy));
+
+    let mut outcome = ProxyPassOutcome {
+        counters: Counters::default(),
+        browser_hits: 0,
+        proxy_hits: 0,
+        proxy_prefetch_hits: 0,
+    };
+    let mut baseline = Counters::default();
+    let mut clients_used = 0;
+    for g in 0..groups {
+        let lo = g * per_group;
+        if lo >= active.len() {
+            break;
+        }
+        let hi = (lo + per_group).min(active.len());
+        let mut group: Vec<ClientId> = active[lo..hi].to_vec();
+        group.sort();
+        let selected: Vec<&Session> = eval_sessions
+            .iter()
+            .filter(|s| group.binary_search(&s.client).is_ok())
+            .collect();
+        let b = proxy_pass(None, &selected, &catalog, &popularity, base);
+        baseline.merge(&b.counters);
+        let o = proxy_pass(
+            server.as_mut().map(|s| s as &mut PrefetchServer),
+            &selected,
+            &catalog,
+            &popularity,
+            base,
+        );
+        outcome.counters.merge(&o.counters);
+        outcome.browser_hits += o.browser_hits;
+        outcome.proxy_hits += o.proxy_hits;
+        outcome.proxy_prefetch_hits += o.proxy_prefetch_hits;
+        clients_used = clients_used.max(hi - lo);
+    }
+
+    ProxyRunResult {
+        label: base.model.label(),
+        clients: clients_used,
+        requests: outcome.counters.requests,
+        browser_hits: outcome.browser_hits,
+        proxy_hits: outcome.proxy_hits,
+        proxy_prefetch_hits: outcome.proxy_prefetch_hits,
+        counters: outcome.counters,
+        baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelSpec;
+    use pbppm_core::PbConfig;
+    use pbppm_trace::WorkloadConfig;
+
+    fn cell(model: ModelSpec, clients: usize) -> ProxyRunResult {
+        let trace = WorkloadConfig::tiny(11).generate();
+        let cfg = ProxyExperimentConfig {
+            base: ExperimentConfig::paper_default(model, 2),
+            clients_per_proxy: clients,
+            selection_seed: 5,
+            min_client_views: 1,
+            proxy_groups: 1,
+        };
+        run_proxy_experiment(&trace, &cfg)
+    }
+
+    #[test]
+    fn hits_decompose_into_three_sources() {
+        let r = cell(ModelSpec::Pb(PbConfig::default()), 8);
+        assert!(r.requests > 0);
+        assert_eq!(
+            r.counters.hits(),
+            r.browser_hits + r.proxy_hits + r.proxy_prefetch_hits
+        );
+        assert!(r.hit_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn prefetching_beats_the_baseline_hit_ratio() {
+        let r = cell(ModelSpec::Pb(PbConfig::default()), 16);
+        assert!(r.counters.hits() >= r.baseline.hits());
+        assert!(r.counters.prefetched_docs > 0);
+    }
+
+    #[test]
+    fn more_clients_more_requests() {
+        let small = cell(ModelSpec::NoPrefetch, 1);
+        let large = cell(ModelSpec::NoPrefetch, 16);
+        assert!(large.requests > small.requests);
+        assert!(large.clients > small.clients);
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_seed() {
+        let a = cell(ModelSpec::Lrs, 4);
+        let b = cell(ModelSpec::Lrs, 4);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn clients_capped_by_active_population() {
+        let r = cell(ModelSpec::NoPrefetch, 10_000);
+        assert!(r.clients < 10_000, "cannot select more clients than exist");
+    }
+}

@@ -1,0 +1,212 @@
+//! The prefetching web server: wraps a prediction model and applies the
+//! prefetch policy (§4.1) to turn raw predictions into push decisions.
+
+use crate::config::PrefetchPolicy;
+use pbppm_core::{Prediction, Predictor, UrlId};
+use pbppm_trace::DocCatalog;
+
+/// A server-side prefetch engine.
+///
+/// The server owns the trained model; on every (miss) request it receives
+/// the client's current session context and answers with the list of
+/// documents to push alongside the response.
+pub struct PrefetchServer {
+    model: Box<dyn Predictor>,
+    policy: PrefetchPolicy,
+    scratch: Vec<Prediction>,
+}
+
+impl PrefetchServer {
+    /// Wraps a trained model with a policy.
+    pub fn new(model: Box<dyn Predictor>, policy: PrefetchPolicy) -> Self {
+        Self {
+            model,
+            policy,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &PrefetchPolicy {
+        &self.policy
+    }
+
+    /// Immutable access to the wrapped model (for stats reporting).
+    pub fn model(&self) -> &dyn Predictor {
+        &*self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut dyn Predictor {
+        &mut *self.model
+    }
+
+    /// Decides what to push for a request whose session context is
+    /// `context` (current URL last). Candidates already cached at the
+    /// requester (per `is_cached`) and the currently requested document are
+    /// skipped; survivors are appended to `out` as `(url, size)`,
+    /// best-first, at most `policy.max_per_request` of them.
+    pub fn decide<F>(
+        &mut self,
+        context: &[UrlId],
+        catalog: &DocCatalog,
+        is_cached: F,
+        out: &mut Vec<(UrlId, u64)>,
+    ) where
+        F: Fn(UrlId) -> bool,
+    {
+        out.clear();
+        let Some(&current) = context.last() else {
+            return;
+        };
+        self.model.predict(context, &mut self.scratch);
+        for p in &self.scratch {
+            if out.len() >= self.policy.max_per_request {
+                break;
+            }
+            if p.prob < self.policy.prob_threshold || p.url == current {
+                continue;
+            }
+            let size = u64::from(catalog.size(p.url));
+            if size == 0 || size > self.policy.size_threshold {
+                continue;
+            }
+            if is_cached(p.url) {
+                continue;
+            }
+            out.push((p.url, size));
+        }
+        if out.is_empty() && self.policy.always_push_top {
+            for p in &self.scratch {
+                if p.url == current {
+                    continue;
+                }
+                let size = u64::from(catalog.size(p.url));
+                if size == 0 || size > self.policy.size_threshold || is_cached(p.url) {
+                    continue;
+                }
+                out.push((p.url, size));
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelSpec;
+    use pbppm_core::PopularityTable;
+    use pbppm_trace::{ClientId, DocKind, PageView, Session};
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    fn trained_server(policy: PrefetchPolicy) -> PrefetchServer {
+        // After 0: 1 three times, 2 once => p(1)=0.75, p(2)=0.25.
+        let sessions: Vec<Session> = [[0u32, 1], [0, 1], [0, 1], [0, 2]]
+            .iter()
+            .map(|pair| Session {
+                client: ClientId(0),
+                views: pair
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &url)| PageView {
+                        time: i as u64,
+                        url: u(url),
+                        bytes: 100,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let pop = PopularityTable::default();
+        let model = ModelSpec::Standard { max_height: None }
+            .build(&sessions, &pop)
+            .unwrap();
+        PrefetchServer::new(model, policy)
+    }
+
+    fn catalog(sizes: &[(u32, u32)]) -> DocCatalog {
+        let mut c = DocCatalog::default();
+        for &(url, size) in sizes {
+            c.observe(u(url), size, DocKind::Html);
+        }
+        c
+    }
+
+    #[test]
+    fn pushes_predictions_above_threshold() {
+        let mut s = trained_server(PrefetchPolicy::default());
+        let cat = catalog(&[(1, 500), (2, 500)]);
+        let mut out = Vec::new();
+        s.decide(&[u(0)], &cat, |_| false, &mut out);
+        // p(1)=0.75 and p(2)=0.25 both pass the 0.25 threshold.
+        assert_eq!(out, vec![(u(1), 500), (u(2), 500)]);
+    }
+
+    #[test]
+    fn probability_threshold_filters() {
+        let mut s = trained_server(PrefetchPolicy {
+            prob_threshold: 0.5,
+            ..PrefetchPolicy::default()
+        });
+        let cat = catalog(&[(1, 500), (2, 500)]);
+        let mut out = Vec::new();
+        s.decide(&[u(0)], &cat, |_| false, &mut out);
+        assert_eq!(out, vec![(u(1), 500)]);
+    }
+
+    #[test]
+    fn size_threshold_filters() {
+        let mut s = trained_server(PrefetchPolicy {
+            size_threshold: 400,
+            ..PrefetchPolicy::default()
+        });
+        let cat = catalog(&[(1, 500), (2, 300)]);
+        let mut out = Vec::new();
+        s.decide(&[u(0)], &cat, |_| false, &mut out);
+        assert_eq!(out, vec![(u(2), 300)], "500-byte doc exceeds threshold");
+    }
+
+    #[test]
+    fn cached_and_unknown_docs_are_skipped() {
+        let mut s = trained_server(PrefetchPolicy::default());
+        // URL 2 has no catalogued size: skipped.
+        let cat = catalog(&[(1, 500)]);
+        let mut out = Vec::new();
+        s.decide(&[u(0)], &cat, |url| url == u(1), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn never_pushes_the_current_document() {
+        let mut s = trained_server(PrefetchPolicy::default());
+        let cat = catalog(&[(0, 100), (1, 500), (2, 500)]);
+        let mut out = Vec::new();
+        s.decide(&[u(0)], &cat, |_| false, &mut out);
+        assert!(out.iter().all(|&(url, _)| url != u(0)));
+    }
+
+    #[test]
+    fn respects_max_per_request() {
+        let mut s = trained_server(PrefetchPolicy {
+            max_per_request: 1,
+            ..PrefetchPolicy::default()
+        });
+        let cat = catalog(&[(1, 500), (2, 500)]);
+        let mut out = Vec::new();
+        s.decide(&[u(0)], &cat, |_| false, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, u(1), "best prediction first");
+    }
+
+    #[test]
+    fn empty_context_pushes_nothing() {
+        let mut s = trained_server(PrefetchPolicy::default());
+        let cat = catalog(&[(1, 500)]);
+        let mut out = vec![(u(9), 9)];
+        s.decide(&[], &cat, |_| false, &mut out);
+        assert!(out.is_empty());
+    }
+}

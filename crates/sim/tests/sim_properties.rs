@@ -1,0 +1,57 @@
+//! Property tests for the simulation substrate.
+
+use pbppm_sim::SharedLink;
+use proptest::prelude::*;
+
+proptest! {
+    /// FIFO link invariants under arbitrary arrival/size sequences:
+    /// completions are non-decreasing, each transfer takes at least its
+    /// service time, the busy time is exactly the sum of service times, and
+    /// utilization never exceeds 1.
+    #[test]
+    fn shared_link_invariants(
+        capacity in 1.0f64..1e7,
+        jobs in prop::collection::vec((0u32..10_000, 1u64..1_000_000), 1..100),
+    ) {
+        let mut link = SharedLink::new(capacity);
+        // Arrivals must be non-decreasing (the simulator replays in time
+        // order): accumulate the deltas.
+        let mut now = 0.0f64;
+        let mut last_done = 0.0f64;
+        let mut total_service = 0.0f64;
+        let mut total_bytes = 0u64;
+        for &(dt, size) in &jobs {
+            now += dt as f64 / 100.0;
+            let done = link.transfer(now, size);
+            let service = size as f64 / capacity;
+            total_service += service;
+            total_bytes += size;
+            prop_assert!(done >= now + service - 1e-9,
+                "transfer finished before its service time");
+            prop_assert!(done >= last_done - 1e-9, "FIFO completions must be ordered");
+            last_done = done;
+        }
+        prop_assert_eq!(link.bytes_transferred(), total_bytes);
+        // Over a horizon covering all work, utilization = busy/horizon <= 1.
+        let horizon = last_done.max(1e-9);
+        let util = link.utilization(horizon);
+        prop_assert!(util <= 1.0 + 1e-9);
+        prop_assert!((util - (total_service / horizon).min(1.0)).abs() < 1e-6);
+    }
+
+    /// An idle-then-busy link: a transfer arriving after the queue drains
+    /// starts immediately (no phantom queueing).
+    #[test]
+    fn no_phantom_queueing(sizes in prop::collection::vec(1u64..100_000, 1..20)) {
+        let capacity = 1e5;
+        let mut link = SharedLink::new(capacity);
+        let mut t = 0.0;
+        for &size in &sizes {
+            // Arrive strictly after the link is guaranteed free.
+            t += 1.0 + size as f64 / capacity;
+            let done = link.transfer(t, size);
+            prop_assert!((done - (t + size as f64 / capacity)).abs() < 1e-9,
+                "idle link must start transfers immediately");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The document catalog: what the simulated web server knows about each URL.
+//!
+//! Prefetching needs a size for every document it considers pushing (both
+//! thresholds in §4.1/§5 are size thresholds) — the catalog provides it,
+//! built from the observed trace exactly as a server would know its own
+//! file sizes.
+
+use crate::event::{DocKind, Request};
+use pbppm_core::UrlId;
+
+/// Per-URL document information derived from a trace.
+#[derive(Debug, Clone, Default)]
+pub struct DocCatalog {
+    sizes: Vec<u32>,
+    kinds: Vec<Option<DocKind>>,
+}
+
+impl DocCatalog {
+    /// Builds a catalog from requests. For URLs observed with several sizes
+    /// (aborted transfers, `304`s logged with size 0, …) the largest
+    /// observed size wins — that is the file's real size.
+    pub fn from_requests(requests: &[Request]) -> Self {
+        let mut cat = Self::default();
+        for r in requests {
+            cat.observe(r.url, r.size, r.kind);
+        }
+        cat
+    }
+
+    /// Builds a catalog at the *page-view* level: each view's bytes include
+    /// its folded embedded images, so a catalogued "document" is a page
+    /// together with its embedded files — exactly the unit the paper
+    /// records ("we record them with the HTML files", §2.2) and the unit
+    /// the prefetcher pushes.
+    pub fn from_sessions(sessions: &[crate::session::Session]) -> Self {
+        let mut cat = Self::default();
+        cat.observe_sessions(sessions);
+        cat
+    }
+
+    /// Adds more sessions' views to the catalog.
+    pub fn observe_sessions(&mut self, sessions: &[crate::session::Session]) {
+        for s in sessions {
+            for v in &s.views {
+                let size = u32::try_from(v.bytes).unwrap_or(u32::MAX);
+                self.observe(v.url, size, DocKind::Html);
+            }
+        }
+    }
+
+    /// Records one observation of a document.
+    pub fn observe(&mut self, url: UrlId, size: u32, kind: DocKind) {
+        let idx = url.index();
+        if idx >= self.sizes.len() {
+            self.sizes.resize(idx + 1, 0);
+            self.kinds.resize(idx + 1, None);
+        }
+        self.sizes[idx] = self.sizes[idx].max(size);
+        self.kinds[idx].get_or_insert(kind);
+    }
+
+    /// Size in bytes of `url`, or 0 if unknown.
+    #[inline]
+    pub fn size(&self, url: UrlId) -> u32 {
+        self.sizes.get(url.index()).copied().unwrap_or(0)
+    }
+
+    /// Document kind of `url`, if it has ever been observed.
+    pub fn kind(&self, url: UrlId) -> Option<DocKind> {
+        self.kinds.get(url.index()).copied().flatten()
+    }
+
+    /// Number of catalogued URLs (ids with at least one observation).
+    pub fn len(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_some()).count()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ClientId;
+
+    fn req(url: u32, size: u32, kind: DocKind) -> Request {
+        Request {
+            time: 0,
+            client: ClientId(0),
+            url: UrlId(url),
+            size,
+            status: 200,
+            kind,
+        }
+    }
+
+    #[test]
+    fn builds_from_requests_keeping_max_size() {
+        let cat = DocCatalog::from_requests(&[
+            req(0, 100, DocKind::Html),
+            req(0, 0, DocKind::Html), // a 304
+            req(1, 50, DocKind::Image),
+        ]);
+        assert_eq!(cat.size(UrlId(0)), 100);
+        assert_eq!(cat.size(UrlId(1)), 50);
+        assert_eq!(cat.kind(UrlId(0)), Some(DocKind::Html));
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn unknown_urls_are_size_zero() {
+        let cat = DocCatalog::default();
+        assert_eq!(cat.size(UrlId(7)), 0);
+        assert_eq!(cat.kind(UrlId(7)), None);
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn first_kind_wins() {
+        let mut cat = DocCatalog::default();
+        cat.observe(UrlId(0), 10, DocKind::Html);
+        cat.observe(UrlId(0), 10, DocKind::Other);
+        assert_eq!(cat.kind(UrlId(0)), Some(DocKind::Html));
+    }
+}

@@ -1,0 +1,377 @@
+//! Common Log Format (CLF) parsing and formatting.
+//!
+//! The paper's traces — NASA Kennedy Space Center (July 1995) and UCB-CS
+//! (July 2000) — are published in NCSA Common Log Format:
+//!
+//! ```text
+//! host ident user [01/Jul/1995:00:00:01 -0400] "GET /history/ HTTP/1.0" 200 6245
+//! ```
+//!
+//! This module parses that format (tolerating the quirks those two logs
+//! actually contain: missing protocol field, `-` sizes, stray whitespace)
+//! and can format records back, which the tests use for round-tripping and
+//! the examples use to materialize synthetic traces as real log files.
+
+use crate::event::{ClientId, DocKind, Request, Trace};
+use std::fmt;
+
+/// One parsed CLF line, before interning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClfRecord {
+    /// Remote host (IP or name).
+    pub host: String,
+    /// Seconds since the Unix epoch, UTC.
+    pub time: i64,
+    /// HTTP method (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// HTTP status code.
+    pub status: u16,
+    /// Response bytes (0 when logged as `-`).
+    pub size: u32,
+}
+
+/// Why a CLF line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClfParseError {
+    /// The line does not have the `host … [time] "request" status size` shape.
+    Malformed(&'static str),
+    /// The timestamp field is not a valid CLF date.
+    BadTimestamp,
+    /// The status field is not a number.
+    BadStatus,
+}
+
+impl fmt::Display for ClfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClfParseError::Malformed(what) => write!(f, "malformed CLF line: {what}"),
+            ClfParseError::BadTimestamp => write!(f, "bad CLF timestamp"),
+            ClfParseError::BadStatus => write!(f, "bad status code"),
+        }
+    }
+}
+
+impl std::error::Error for ClfParseError {}
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Days from 1970-01-01 to `y-m-d` (proleptic Gregorian). Howard Hinnant's
+/// `days_from_civil` algorithm.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: civil date for a day count from the epoch.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parses `01/Jul/1995:00:00:01 -0400` into Unix seconds (UTC).
+fn parse_clf_time(s: &str) -> Option<i64> {
+    // dd/Mon/yyyy:HH:MM:SS ±HHMM
+    let (date, tz) = s.split_once(' ')?;
+    let mut parts = date.split(&['/', ':'][..]);
+    let d: u32 = parts.next()?.parse().ok()?;
+    let mon_name = parts.next()?;
+    let m = MONTHS.iter().position(|&mn| mn.eq_ignore_ascii_case(mon_name))? as u32 + 1;
+    let y: i64 = parts.next()?.parse().ok()?;
+    let hh: i64 = parts.next()?.parse().ok()?;
+    let mm: i64 = parts.next()?.parse().ok()?;
+    let ss: i64 = parts.next()?.parse().ok()?;
+    if !(1..=31).contains(&d) || !(0..24).contains(&hh) || !(0..60).contains(&mm) || !(0..61).contains(&ss)
+    {
+        return None;
+    }
+    let local = days_from_civil(y, m, d) * 86_400 + hh * 3600 + mm * 60 + ss;
+    // Timezone: ±HHMM east of UTC; subtract to get UTC.
+    let tz = tz.trim();
+    let (sign, digits) = match tz.split_at_checked(1)? {
+        ("+", rest) => (1i64, rest),
+        ("-", rest) => (-1i64, rest),
+        _ => return None,
+    };
+    if digits.len() != 4 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let tz_h: i64 = digits[..2].parse().ok()?;
+    let tz_m: i64 = digits[2..].parse().ok()?;
+    Some(local - sign * (tz_h * 3600 + tz_m * 60))
+}
+
+/// Formats Unix seconds (UTC) as a CLF timestamp with a `+0000` zone.
+fn format_clf_time(t: i64) -> String {
+    let days = t.div_euclid(86_400);
+    let secs = t.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{:02}/{}/{:04}:{:02}:{:02}:{:02} +0000",
+        d,
+        MONTHS[(m - 1) as usize],
+        y,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60
+    )
+}
+
+/// Parses one CLF line.
+pub fn parse_clf_line(line: &str) -> Result<ClfRecord, ClfParseError> {
+    let line = line.trim();
+    // host [ident user are ignored]
+    let (host, rest) = line
+        .split_once(' ')
+        .ok_or(ClfParseError::Malformed("no host field"))?;
+    // timestamp between [ ]
+    let lb = rest.find('[').ok_or(ClfParseError::Malformed("no ["))?;
+    let rb = rest[lb..]
+        .find(']')
+        .map(|i| i + lb)
+        .ok_or(ClfParseError::Malformed("no ]"))?;
+    let time = parse_clf_time(&rest[lb + 1..rb]).ok_or(ClfParseError::BadTimestamp)?;
+    let rest = &rest[rb + 1..];
+    // request between quotes
+    let q1 = rest.find('"').ok_or(ClfParseError::Malformed("no quote"))?;
+    let q2 = rest[q1 + 1..]
+        .rfind('"')
+        .map(|i| i + q1 + 1)
+        .ok_or(ClfParseError::Malformed("unterminated quote"))?;
+    if q2 <= q1 {
+        return Err(ClfParseError::Malformed("empty request"));
+    }
+    let request = &rest[q1 + 1..q2];
+    let mut req_parts = request.split_ascii_whitespace();
+    let method = req_parts
+        .next()
+        .ok_or(ClfParseError::Malformed("no method"))?
+        .to_owned();
+    // Old logs sometimes have just "GET /path" with no protocol; and some
+    // have a bare path. Treat a missing path as malformed.
+    let path = req_parts
+        .next()
+        .ok_or(ClfParseError::Malformed("no path"))?
+        .to_owned();
+    // status and size after the closing quote
+    let mut tail = rest[q2 + 1..].split_ascii_whitespace();
+    let status: u16 = tail
+        .next()
+        .ok_or(ClfParseError::Malformed("no status"))?
+        .parse()
+        .map_err(|_| ClfParseError::BadStatus)?;
+    let size = match tail.next() {
+        None | Some("-") => 0,
+        Some(s) => s.parse().unwrap_or(0),
+    };
+    Ok(ClfRecord {
+        host: host.to_owned(),
+        time,
+        method,
+        path,
+        status,
+        size,
+    })
+}
+
+/// Formats a record as a CLF line (UTC timestamp).
+pub fn format_clf_line(r: &ClfRecord) -> String {
+    format!(
+        "{} - - [{}] \"{} {} HTTP/1.0\" {} {}",
+        r.host,
+        format_clf_time(r.time),
+        r.method,
+        r.path,
+        r.status,
+        r.size
+    )
+}
+
+/// Outcome of building a [`Trace`] from CLF lines.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClfStats {
+    /// Lines successfully turned into requests.
+    pub accepted: usize,
+    /// Lines dropped as malformed.
+    pub malformed: usize,
+    /// Lines dropped by the method/status filter.
+    pub filtered: usize,
+}
+
+/// Builds a [`Trace`] from an iterator of CLF lines.
+///
+/// Mirrors the paper's preprocessing: only successful (`2xx`/`304`) `GET`
+/// requests are kept; everything else — errors, POSTs, malformed lines — is
+/// dropped and tallied. Times are shifted so the first accepted request is
+/// at second 0.
+pub fn trace_from_clf<I, S>(name: &str, lines: I) -> (Trace, ClfStats)
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut trace = Trace::new(name);
+    let mut stats = ClfStats::default();
+    let mut records = Vec::new();
+    for line in lines {
+        let line = line.as_ref();
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_clf_line(line) {
+            Err(_) => stats.malformed += 1,
+            Ok(r) => {
+                let ok_status = (200..300).contains(&r.status) || r.status == 304;
+                if r.method != "GET" || !ok_status {
+                    stats.filtered += 1;
+                } else {
+                    records.push(r);
+                }
+            }
+        }
+    }
+    records.sort_by_key(|r| r.time);
+    let epoch = records.first().map_or(0, |r| r.time);
+    for r in &records {
+        let url = trace.urls.intern(&r.path);
+        let client = ClientId(trace.clients.intern(&r.host).0);
+        trace.requests.push(Request {
+            time: (r.time - epoch).max(0) as u64,
+            client,
+            url,
+            size: r.size,
+            status: r.status,
+            kind: DocKind::from_url(&r.path),
+        });
+        stats.accepted += 1;
+    }
+    (trace, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NASA_LINE: &str = r#"199.72.81.55 - - [01/Jul/1995:00:00:01 -0400] "GET /history/apollo/ HTTP/1.0" 200 6245"#;
+
+    #[test]
+    fn parses_a_real_nasa_line() {
+        let r = parse_clf_line(NASA_LINE).unwrap();
+        assert_eq!(r.host, "199.72.81.55");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/history/apollo/");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.size, 6245);
+        // 1995-07-01 00:00:01 -0400 = 1995-07-01 04:00:01 UTC = 804571201
+        assert_eq!(r.time, 804_571_201);
+    }
+
+    #[test]
+    fn parses_missing_protocol_and_dash_size() {
+        let r = parse_clf_line(
+            r#"host - - [01/Jan/1970:00:00:00 +0000] "GET /x.html" 304 -"#,
+        )
+        .unwrap();
+        assert_eq!(r.time, 0);
+        assert_eq!(r.size, 0);
+        assert_eq!(r.status, 304);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_clf_line("").is_err());
+        assert!(parse_clf_line("just one field").is_err());
+        assert!(parse_clf_line(r#"h - - [bad time] "GET / HTTP/1.0" 200 1"#).is_err());
+        assert!(parse_clf_line(r#"h - - [01/Jul/1995:00:00:01 -0400] "GET / HTTP/1.0" xx 1"#).is_err());
+        assert!(parse_clf_line(r#"h - - [01/Jul/1995:00:00:01 -0400] no quotes 200 1"#).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_time_fields() {
+        for bad in [
+            "32/Jul/1995:00:00:01 -0400",
+            "01/Foo/1995:00:00:01 -0400",
+            "01/Jul/1995:24:00:01 -0400",
+            "01/Jul/1995:00:61:01 -0400",
+            "01/Jul/1995:00:00:01 -040", // short tz
+            "01/Jul/1995:00:00:01",      // no tz
+        ] {
+            assert!(parse_clf_time(bad).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn civil_date_roundtrip() {
+        for &z in &[-1_000_000i64, -1, 0, 1, 9_315, 10_000, 2_932_896] {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+        // Known anchors.
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1995, 7, 1), 9_312);
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        let r = ClfRecord {
+            host: "10.0.0.1".to_owned(),
+            time: 804_571_201,
+            method: "GET".to_owned(),
+            path: "/a/b.html".to_owned(),
+            status: 200,
+            size: 1234,
+        };
+        let line = format_clf_line(&r);
+        let r2 = parse_clf_line(&line).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn trace_from_clf_filters_and_rebases_time() {
+        let lines = [
+            NASA_LINE.to_owned(),
+            r#"h2 - - [01/Jul/1995:00:00:11 -0400] "GET /img/x.gif HTTP/1.0" 200 500"#.to_owned(),
+            r#"h2 - - [01/Jul/1995:00:00:12 -0400] "POST /cgi HTTP/1.0" 200 1"#.to_owned(),
+            r#"h2 - - [01/Jul/1995:00:00:13 -0400] "GET /missing.html HTTP/1.0" 404 0"#.to_owned(),
+            "garbage line".to_owned(),
+        ];
+        let (t, stats) = trace_from_clf("test", &lines);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.filtered, 2);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(t.requests.len(), 2);
+        assert_eq!(t.requests[0].time, 0);
+        assert_eq!(t.requests[1].time, 10);
+        assert_eq!(t.requests[1].kind, DocKind::Image);
+        assert_eq!(t.urls.len(), 2);
+        assert_eq!(t.clients.len(), 2);
+    }
+
+    #[test]
+    fn trace_from_clf_sorts_out_of_order_lines() {
+        let lines = [
+            r#"h - - [01/Jan/1970:00:00:30 +0000] "GET /b.html HTTP/1.0" 200 1"#,
+            r#"h - - [01/Jan/1970:00:00:10 +0000] "GET /a.html HTTP/1.0" 200 1"#,
+        ];
+        let (t, _) = trace_from_clf("test", lines);
+        assert_eq!(t.requests[0].time, 0);
+        assert_eq!(t.urls.resolve(t.requests[0].url), Some("/a.html"));
+        assert_eq!(t.requests[1].time, 20);
+    }
+}

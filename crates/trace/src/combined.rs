@@ -1,0 +1,322 @@
+//! NCSA **Combined** Log Format: Common Log Format plus quoted referrer
+//! and user-agent fields —
+//!
+//! ```text
+//! host - - [time] "GET /x HTTP/1.0" 200 123 "http://ref/" "Mozilla/4.0"
+//! ```
+//!
+//! The user-agent field is what makes principled **robot detection**
+//! possible (the §2.2 request-rate heuristic is the fallback for plain CLF
+//! logs, where nothing better exists). [`trace_from_log`] auto-detects the
+//! format, so every CLI command works on either.
+
+use crate::clf::{parse_clf_line, ClfParseError, ClfRecord, ClfStats};
+use crate::event::{ClientId, DocKind, Request, Trace};
+
+/// One parsed Combined Log Format line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinedRecord {
+    /// The Common Log Format core.
+    pub clf: ClfRecord,
+    /// The `Referer` header (`None` when logged as `-`).
+    pub referer: Option<String>,
+    /// The `User-Agent` header (`None` when logged as `-`).
+    pub user_agent: Option<String>,
+}
+
+/// Byte ranges of the `"…"` fields in a line.
+fn quoted_spans(line: &str) -> Vec<(usize, usize)> {
+    let bytes = line.as_bytes();
+    let mut spans = Vec::new();
+    let mut start = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'"' {
+            match start.take() {
+                None => start = Some(i + 1),
+                Some(s) => spans.push((s, i)),
+            }
+        }
+    }
+    spans
+}
+
+fn dash_to_none(s: &str) -> Option<String> {
+    let s = s.trim();
+    if s.is_empty() || s == "-" {
+        None
+    } else {
+        Some(s.to_owned())
+    }
+}
+
+/// Parses one Combined Log Format line.
+pub fn parse_combined_line(line: &str) -> Result<CombinedRecord, ClfParseError> {
+    let spans = quoted_spans(line);
+    if spans.len() < 3 {
+        return Err(ClfParseError::Malformed("combined format needs 3 quoted fields"));
+    }
+    // The CLF core is everything up to (and including) the first quoted
+    // field plus the status/size tokens that follow it.
+    let referer_span = spans[spans.len() - 2];
+    let agent_span = spans[spans.len() - 1];
+    let core_end = referer_span.0 - 1; // position of the referer's opening quote
+    let clf = parse_clf_line(&line[..core_end])?;
+    Ok(CombinedRecord {
+        clf,
+        referer: dash_to_none(&line[referer_span.0..referer_span.1]),
+        user_agent: dash_to_none(&line[agent_span.0..agent_span.1]),
+    })
+}
+
+/// Formats a record as a Combined Log Format line.
+pub fn format_combined_line(r: &CombinedRecord) -> String {
+    format!(
+        "{} \"{}\" \"{}\"",
+        crate::clf::format_clf_line(&r.clf),
+        r.referer.as_deref().unwrap_or("-"),
+        r.user_agent.as_deref().unwrap_or("-"),
+    )
+}
+
+/// Substrings (lowercase) that mark a user agent as a robot. The list
+/// covers the crawlers that actually appear in late-90s/2000s logs plus
+/// the generic conventions still in use.
+const ROBOT_MARKERS: &[&str] = &[
+    "bot", "crawler", "spider", "slurp", "archiver", "wget", "curl", "libwww", "harvest",
+    "scooter", "teleport", "webcopier", "fetch",
+];
+
+/// True when a user-agent string identifies an automated client.
+pub fn is_robot_agent(user_agent: &str) -> bool {
+    let ua = user_agent.to_ascii_lowercase();
+    ROBOT_MARKERS.iter().any(|m| ua.contains(m))
+}
+
+/// A web log's on-disk dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Plain Common Log Format (one quoted field).
+    Common,
+    /// Combined Log Format (request + referrer + user agent).
+    Combined,
+}
+
+/// Sniffs the dialect from one (parsable) line.
+pub fn detect_format(line: &str) -> Option<LogFormat> {
+    if parse_combined_line(line).is_ok() {
+        Some(LogFormat::Combined)
+    } else if parse_clf_line(line).is_ok() {
+        Some(LogFormat::Common)
+    } else {
+        None
+    }
+}
+
+/// Parse statistics plus per-client robot classification.
+#[derive(Debug, Default, Clone)]
+pub struct LogIngest {
+    /// Accept/filter/malformed counts.
+    pub stats: ClfStats,
+    /// The detected dialect (`None` when no line ever parsed).
+    pub format: Option<LogFormat>,
+    /// `robot_clients[client.index()]` — true when any of the client's
+    /// requests carried a robot user agent. Empty for plain CLF logs.
+    pub robot_clients: Vec<bool>,
+}
+
+/// Builds a [`Trace`] from an iterator of log lines in either dialect.
+///
+/// The dialect is detected from the first parsable line; subsequent lines
+/// are parsed in that dialect (mixed-dialect files count the minority as
+/// malformed). Filtering matches [`crate::clf::trace_from_clf`]: successful
+/// `GET`s only, times rebased to the first accepted request.
+pub fn trace_from_log<I, S>(name: &str, lines: I) -> (Trace, LogIngest)
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut ingest = LogIngest::default();
+    let mut records: Vec<(ClfRecord, Option<String>)> = Vec::new();
+    for line in lines {
+        let line = line.as_ref();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if ingest.format.is_none() {
+            ingest.format = detect_format(line);
+        }
+        let parsed: Result<(ClfRecord, Option<String>), ClfParseError> = match ingest.format {
+            Some(LogFormat::Combined) => {
+                parse_combined_line(line).map(|r| (r.clf, r.user_agent))
+            }
+            _ => parse_clf_line(line).map(|r| (r, None)),
+        };
+        match parsed {
+            Err(_) => ingest.stats.malformed += 1,
+            Ok((r, ua)) => {
+                let ok_status = (200..300).contains(&r.status) || r.status == 304;
+                if r.method != "GET" || !ok_status {
+                    ingest.stats.filtered += 1;
+                } else {
+                    records.push((r, ua));
+                }
+            }
+        }
+    }
+    records.sort_by_key(|(r, _)| r.time);
+    let epoch = records.first().map_or(0, |(r, _)| r.time);
+    let mut trace = Trace::new(name);
+    for (r, ua) in &records {
+        let url = trace.urls.intern(&r.path);
+        let client = ClientId(trace.clients.intern(&r.host).0);
+        let idx = client.index();
+        if idx >= ingest.robot_clients.len() {
+            ingest.robot_clients.resize(idx + 1, false);
+        }
+        if ua.as_deref().is_some_and(is_robot_agent) {
+            ingest.robot_clients[idx] = true;
+        }
+        trace.requests.push(Request {
+            time: (r.time - epoch).max(0) as u64,
+            client,
+            url,
+            size: r.size,
+            status: r.status,
+            kind: DocKind::from_url(&r.path),
+        });
+        ingest.stats.accepted += 1;
+    }
+    (trace, ingest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COMBINED: &str = concat!(
+        r#"66.249.66.1 - - [01/Jul/2000:10:00:00 -0700] "GET /index.html HTTP/1.0" 200 5120 "#,
+        r#""http://www.example.edu/" "Googlebot/2.1 (+http://www.google.com/bot.html)""#
+    );
+
+    #[test]
+    fn parses_a_combined_line() {
+        let r = parse_combined_line(COMBINED).unwrap();
+        assert_eq!(r.clf.host, "66.249.66.1");
+        assert_eq!(r.clf.path, "/index.html");
+        assert_eq!(r.clf.status, 200);
+        assert_eq!(r.clf.size, 5120);
+        assert_eq!(r.referer.as_deref(), Some("http://www.example.edu/"));
+        assert!(r.user_agent.as_deref().unwrap().starts_with("Googlebot"));
+    }
+
+    #[test]
+    fn dashes_become_none() {
+        let line = r#"h - - [01/Jan/1970:00:00:00 +0000] "GET /a.html HTTP/1.0" 200 10 "-" "-""#;
+        let r = parse_combined_line(line).unwrap();
+        assert_eq!(r.referer, None);
+        assert_eq!(r.user_agent, None);
+    }
+
+    #[test]
+    fn plain_clf_is_not_combined() {
+        let line = r#"h - - [01/Jan/1970:00:00:00 +0000] "GET /a.html HTTP/1.0" 200 10"#;
+        assert!(parse_combined_line(line).is_err());
+        assert_eq!(detect_format(line), Some(LogFormat::Common));
+        assert_eq!(detect_format(COMBINED), Some(LogFormat::Combined));
+        assert_eq!(detect_format("garbage"), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rec = CombinedRecord {
+            clf: ClfRecord {
+                host: "10.0.0.1".into(),
+                time: 1_000_000,
+                method: "GET".into(),
+                path: "/a/b.html".into(),
+                status: 200,
+                size: 42,
+            },
+            referer: Some("http://r/".into()),
+            user_agent: Some("Mozilla/4.0 (compatible)".into()),
+        };
+        let line = format_combined_line(&rec);
+        assert_eq!(parse_combined_line(&line).unwrap(), rec);
+        // None fields round-trip through "-".
+        let rec2 = CombinedRecord {
+            referer: None,
+            user_agent: None,
+            ..rec
+        };
+        assert_eq!(
+            parse_combined_line(&format_combined_line(&rec2)).unwrap(),
+            rec2
+        );
+    }
+
+    #[test]
+    fn robot_agents_detected() {
+        for ua in [
+            "Googlebot/2.1",
+            "Mozilla/5.0 (compatible; YandexBot/3.0)",
+            "msnbot/1.0",
+            "Wget/1.12",
+            "curl/7.1",
+            "Teleport Pro/1.29",
+            "ia_archiver",
+        ] {
+            assert!(is_robot_agent(ua), "{ua}");
+        }
+        for ua in [
+            "Mozilla/4.08 [en] (WinNT; U)",
+            "Mozilla/5.0 (Macintosh; Intel Mac OS X)",
+            "Opera/9.80",
+        ] {
+            assert!(!is_robot_agent(ua), "{ua}");
+        }
+    }
+
+    #[test]
+    fn trace_from_log_detects_combined_and_flags_robots() {
+        let lines = [
+            COMBINED.to_owned(),
+            concat!(
+                r#"10.0.0.9 - - [01/Jul/2000:10:00:05 -0700] "GET /b.html HTTP/1.0" 200 99 "#,
+                r#""-" "Mozilla/4.08 [en]""#
+            )
+            .to_owned(),
+        ];
+        let (trace, ingest) = trace_from_log("t", &lines);
+        assert_eq!(ingest.format, Some(LogFormat::Combined));
+        assert_eq!(ingest.stats.accepted, 2);
+        assert_eq!(trace.requests.len(), 2);
+        let bot = trace.clients.get("66.249.66.1").unwrap();
+        let human = trace.clients.get("10.0.0.9").unwrap();
+        assert!(ingest.robot_clients[bot.0 as usize]);
+        assert!(!ingest.robot_clients[human.0 as usize]);
+    }
+
+    #[test]
+    fn trace_from_log_falls_back_to_plain_clf() {
+        let lines = [
+            r#"h1 - - [01/Jul/1995:00:00:01 -0400] "GET /a.html HTTP/1.0" 200 100"#,
+            r#"h1 - - [01/Jul/1995:00:00:02 -0400] "GET /b.html HTTP/1.0" 200 100"#,
+        ];
+        let (trace, ingest) = trace_from_log("t", lines);
+        assert_eq!(ingest.format, Some(LogFormat::Common));
+        assert_eq!(trace.requests.len(), 2);
+        assert!(ingest.robot_clients.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn extra_quotes_inside_agent_do_not_break_parsing() {
+        // Some agents contain parens/semicolons; quotes inside fields are
+        // not legal in the format, but the parser anchors on the LAST two
+        // quoted fields, so a path with spaces... must still fail cleanly.
+        let weird = r#"h - - [01/Jan/1970:00:00:00 +0000] "GET /x HTTP/1.0" 200 5 "ref" "A "quoted" agent""#;
+        // 5 quote spans: parser takes the last two as referer/agent.
+        let r = parse_combined_line(weird);
+        // Either parses with a truncated agent or errors; must not panic.
+        let _ = r;
+    }
+}

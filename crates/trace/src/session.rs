@@ -1,0 +1,326 @@
+//! Sessionization — the paper's §2.2 preprocessing.
+//!
+//! * The requests of each client are cut into **access sessions**: "if a
+//!   client has been idle for more than 30 minutes, we assume that the next
+//!   request from the client starts a new access session".
+//! * **Embedded images are folded**: "if an HTML file of the same client is
+//!   followed by image files in 10 seconds, we consider the image file as an
+//!   embedded file in the HTML file. For these embedded files, we record
+//!   them with the HTML files." A folded image contributes its bytes to the
+//!   page view of its host HTML document instead of appearing as its own
+//!   step in the session.
+
+use crate::event::{ClientId, DocKind, Request, Trace};
+use pbppm_core::{FxHashMap, UrlId};
+use serde::{Deserialize, Serialize};
+
+/// One page view within a session: the URL plus the bytes it cost the
+/// server (document plus folded embedded images).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageView {
+    /// Request time (seconds since trace epoch).
+    pub time: u64,
+    /// The document's URL.
+    pub url: UrlId,
+    /// Bytes transferred for the document and its folded embedded images.
+    pub bytes: u64,
+}
+
+/// One access session: consecutive page views of a single client with no
+/// idle gap larger than the configured threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The client the session belongs to.
+    pub client: ClientId,
+    /// The page views, in time order; never empty.
+    pub views: Vec<PageView>,
+}
+
+impl Session {
+    /// Time of the first view.
+    pub fn start(&self) -> u64 {
+        self.views.first().map_or(0, |v| v.time)
+    }
+
+    /// The URL sequence of the session (what the models train on).
+    pub fn urls(&self) -> Vec<UrlId> {
+        self.views.iter().map(|v| v.url).collect()
+    }
+
+    /// Number of page views ("clicks").
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Always false: sessions are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+/// Sessionizer parameters (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionizerConfig {
+    /// Idle gap that starts a new session (paper: 30 minutes).
+    pub idle_gap_secs: u64,
+    /// Window after an HTML request within which an image request from the
+    /// same client is considered embedded (paper: 10 seconds).
+    pub embed_window_secs: u64,
+    /// Whether embedded-image folding is performed at all.
+    pub fold_embedded: bool,
+}
+
+impl Default for SessionizerConfig {
+    fn default() -> Self {
+        Self {
+            idle_gap_secs: 30 * 60,
+            embed_window_secs: 10,
+            fold_embedded: true,
+        }
+    }
+}
+
+/// Splits a trace (or any slice of its requests) into access sessions.
+///
+/// Sessions are returned ordered by `(client, start time)`; requests need
+/// only be time-ordered per client, which a time-sorted trace guarantees.
+pub fn sessionize(requests: &[Request], cfg: &SessionizerConfig) -> Vec<Session> {
+    // Group per client, preserving time order.
+    let mut per_client: FxHashMap<ClientId, Vec<&Request>> = FxHashMap::default();
+    for r in requests {
+        per_client.entry(r.client).or_default().push(r);
+    }
+    let mut clients: Vec<ClientId> = per_client.keys().copied().collect();
+    clients.sort();
+
+    let mut sessions = Vec::new();
+    for client in clients {
+        let reqs = &per_client[&client];
+        let mut current: Vec<PageView> = Vec::new();
+        let mut last_time: Option<u64> = None;
+        // Time of the most recent HTML request, for the embed window.
+        let mut last_html_time: Option<u64> = None;
+
+        for r in reqs {
+            if let Some(lt) = last_time {
+                debug_assert!(r.time >= lt, "requests must be time-ordered per client");
+                if r.time - lt > cfg.idle_gap_secs {
+                    if !current.is_empty() {
+                        sessions.push(Session {
+                            client,
+                            views: std::mem::take(&mut current),
+                        });
+                    }
+                    last_html_time = None;
+                }
+            }
+            last_time = Some(r.time);
+
+            let fold = cfg.fold_embedded
+                && r.kind == DocKind::Image
+                && last_html_time.is_some_and(|ht| r.time - ht <= cfg.embed_window_secs)
+                && !current.is_empty();
+            if fold {
+                // Recorded with the HTML file: bytes only, no session step.
+                current.last_mut().unwrap().bytes += u64::from(r.size);
+            } else {
+                if r.kind == DocKind::Html {
+                    last_html_time = Some(r.time);
+                }
+                current.push(PageView {
+                    time: r.time,
+                    url: r.url,
+                    bytes: u64::from(r.size),
+                });
+            }
+        }
+        if !current.is_empty() {
+            sessions.push(Session {
+                client,
+                views: current,
+            });
+        }
+    }
+    sessions
+}
+
+/// Convenience: sessionizes an entire trace with default parameters.
+pub fn sessionize_trace(trace: &Trace) -> Vec<Session> {
+    sessionize(&trace.requests, &SessionizerConfig::default())
+}
+
+/// Summary statistics over a set of sessions (used by `analyze_log` and the
+/// workload-calibration tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Number of sessions.
+    pub count: usize,
+    /// Mean session length in page views.
+    pub mean_len: f64,
+    /// Maximum session length.
+    pub max_len: usize,
+    /// Fraction of sessions with at most 9 views (the paper reports > 95%).
+    pub frac_len_le_9: f64,
+}
+
+impl SessionStats {
+    /// Computes the statistics.
+    pub fn of(sessions: &[Session]) -> Self {
+        if sessions.is_empty() {
+            return Self::default();
+        }
+        let lens: Vec<usize> = sessions.iter().map(Session::len).collect();
+        let total: usize = lens.iter().sum();
+        Self {
+            count: sessions.len(),
+            mean_len: total as f64 / sessions.len() as f64,
+            max_len: lens.iter().copied().max().unwrap_or(0),
+            frac_len_le_9: lens.iter().filter(|&&l| l <= 9).count() as f64 / sessions.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(time: u64, client: u32, url: u32, kind: DocKind, size: u32) -> Request {
+        Request {
+            time,
+            client: ClientId(client),
+            url: UrlId(url),
+            size,
+            status: 200,
+            kind,
+        }
+    }
+
+    #[test]
+    fn splits_on_idle_gap() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 10),
+            req(100, 0, 2, DocKind::Html, 10),
+            req(100 + 1801, 0, 3, DocKind::Html, 10), // 30min + 1s later
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].len(), 2);
+        assert_eq!(s[1].len(), 1);
+    }
+
+    #[test]
+    fn gap_is_exclusive_at_exactly_the_threshold() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 10),
+            req(1800, 0, 2, DocKind::Html, 10), // exactly 30 minutes: same session
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].len(), 2);
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 10),
+            req(1, 1, 2, DocKind::Html, 10),
+            req(2, 0, 3, DocKind::Html, 10),
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s.len(), 2);
+        let c0 = s.iter().find(|x| x.client == ClientId(0)).unwrap();
+        assert_eq!(c0.urls(), vec![UrlId(1), UrlId(3)]);
+    }
+
+    #[test]
+    fn folds_embedded_images_into_the_html_view() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 1000),
+            req(3, 0, 10, DocKind::Image, 200),
+            req(9, 0, 11, DocKind::Image, 300),
+            req(40, 0, 2, DocKind::Html, 500),
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].len(), 2, "images folded, not separate views");
+        assert_eq!(s[0].views[0].bytes, 1500);
+        assert_eq!(s[0].views[1].bytes, 500);
+    }
+
+    #[test]
+    fn late_images_are_their_own_views() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 1000),
+            req(11, 0, 10, DocKind::Image, 200), // outside the 10 s window
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s[0].len(), 2);
+        assert_eq!(s[0].views[1].url, UrlId(10));
+    }
+
+    #[test]
+    fn image_with_no_preceding_html_is_a_view() {
+        let reqs = vec![req(0, 0, 10, DocKind::Image, 200)];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].len(), 1);
+    }
+
+    #[test]
+    fn embed_window_is_relative_to_the_html_not_the_previous_image() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 100),
+            req(8, 0, 10, DocKind::Image, 1), // folded (8 <= 10)
+            req(16, 0, 11, DocKind::Image, 1), // 16 s after the HTML: not folded
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s[0].len(), 2);
+        assert_eq!(s[0].views[0].bytes, 101);
+    }
+
+    #[test]
+    fn folding_can_be_disabled() {
+        let cfg = SessionizerConfig {
+            fold_embedded: false,
+            ..SessionizerConfig::default()
+        };
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 100),
+            req(1, 0, 10, DocKind::Image, 1),
+        ];
+        let s = sessionize(&reqs, &cfg);
+        assert_eq!(s[0].len(), 2);
+    }
+
+    #[test]
+    fn gap_resets_the_embed_window() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 100),
+            req(2000, 0, 10, DocKind::Image, 1), // new session, no HTML before it
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].views[0].url, UrlId(10));
+    }
+
+    #[test]
+    fn empty_input_no_sessions() {
+        assert!(sessionize(&[], &SessionizerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn stats() {
+        let reqs = vec![
+            req(0, 0, 1, DocKind::Html, 10),
+            req(1, 0, 2, DocKind::Html, 10),
+            req(5000, 0, 3, DocKind::Html, 10),
+        ];
+        let s = sessionize(&reqs, &SessionizerConfig::default());
+        let st = SessionStats::of(&s);
+        assert_eq!(st.count, 2);
+        assert!((st.mean_len - 1.5).abs() < 1e-12);
+        assert_eq!(st.max_len, 2);
+        assert_eq!(st.frac_len_le_9, 1.0);
+        assert_eq!(SessionStats::of(&[]), SessionStats::default());
+    }
+}

@@ -1,0 +1,474 @@
+//! A hierarchical web-site model.
+//!
+//! Real server file trees — which both of the paper's traces come from — are
+//! hierarchical: a few entry pages fan out into section pages, which fan out
+//! into leaf documents. The paper leans on this structure repeatedly ("this
+//! is common due to the hierarchical structure of Web pages", §3.3), and the
+//! three surfing regularities are statements about walks over it.
+//!
+//! [`SiteModel::generate`] builds such a site: `levels` tiers of HTML pages,
+//! geometric growth per tier, each page linking to a handful of next-tier
+//! pages (with occasional cross links and back-to-entry links), log-normally
+//! sized, with a few embedded images each. The session generator in
+//! [`crate::synth`] walks this structure.
+
+use crate::event::DocKind;
+use pbppm_core::{Interner, UrlId};
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the generated site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteConfig {
+    /// Number of level-0 (entry) pages.
+    pub entry_pages: usize,
+    /// Number of page tiers (≥ 1).
+    pub levels: usize,
+    /// Pages per tier grow by this factor each level down.
+    pub branching: usize,
+    /// Outgoing links per page.
+    pub links_per_page: usize,
+    /// Fraction of links that jump to a uniformly random page instead of a
+    /// child in the next tier (site irregularity).
+    pub cross_link_prob: f64,
+    /// `ln`-space mean of HTML page sizes.
+    pub html_size_log_mean: f64,
+    /// Added to the `ln`-space size mean per tier descended: leaf content
+    /// (galleries, downloads, long documents) is bigger than entry pages.
+    pub size_log_level_boost: f64,
+    /// `ln`-space sigma of HTML page sizes.
+    pub html_size_log_sigma: f64,
+    /// `ln`-space mean of embedded image sizes.
+    pub image_size_log_mean: f64,
+    /// `ln`-space sigma of embedded image sizes.
+    pub image_size_log_sigma: f64,
+    /// Maximum embedded images per page (uniform 0..=max).
+    pub max_embedded: u8,
+    /// Bottom-tier "leave the leaf" links: `false` points every bottom page
+    /// at the same few top entry pages (a home-oriented site like NASA-KSC),
+    /// `true` scatters them over random entries (a federated site with no
+    /// central home, like a department server).
+    pub scattered_home_links: bool,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        Self {
+            entry_pages: 30,
+            levels: 4,
+            branching: 5,
+            links_per_page: 6,
+            cross_link_prob: 0.1,
+            // exp(8.1) ≈ 3.3 KB median HTML (mid-90s scale), heavy tail
+            html_size_log_mean: 8.1,
+            size_log_level_boost: 0.0,
+            html_size_log_sigma: 0.9,
+            // exp(7.8) ≈ 2.4 KB median image
+            image_size_log_mean: 7.8,
+            image_size_log_sigma: 1.0,
+            max_embedded: 3,
+            scattered_home_links: false,
+        }
+    }
+}
+
+/// One HTML page of the site.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Interned URL of the page.
+    pub url: UrlId,
+    /// Page size in bytes.
+    pub size: u32,
+    /// Tier (0 = entry).
+    pub level: u8,
+    /// Outgoing links as page indices, ordered most-likely-first; the
+    /// session generator picks among them with a skewed distribution.
+    pub links: Vec<u32>,
+    /// Embedded images: `(url, size)`.
+    pub embedded: Vec<(UrlId, u32)>,
+}
+
+/// The generated site.
+#[derive(Debug, Clone)]
+pub struct SiteModel {
+    /// All pages; tiers are contiguous index ranges.
+    pub pages: Vec<Page>,
+    /// `level_start[l]..level_start[l+1]` are the indices of tier `l`.
+    pub level_start: Vec<u32>,
+    /// URL interner holding page and image URLs (and later any fresh
+    /// one-off URLs the workload generator mints).
+    pub urls: Interner,
+}
+
+impl SiteModel {
+    /// Generates a site from `cfg` using `rng`.
+    pub fn generate<R: Rng + ?Sized>(cfg: &SiteConfig, rng: &mut R) -> Self {
+        assert!(cfg.levels >= 1, "need at least one level");
+        assert!(cfg.entry_pages >= 1, "need at least one entry page");
+        let mut urls = Interner::new();
+        let html_size = LogNormal::new(cfg.html_size_log_mean, cfg.html_size_log_sigma)
+            .expect("bad html size params");
+        let img_size = LogNormal::new(cfg.image_size_log_mean, cfg.image_size_log_sigma)
+            .expect("bad image size params");
+
+        // Tier sizes: entry_pages * branching^level.
+        let mut level_start = vec![0u32];
+        let mut count = cfg.entry_pages;
+        for _ in 0..cfg.levels {
+            let prev = *level_start.last().unwrap();
+            level_start.push(prev + count as u32);
+            count = count.saturating_mul(cfg.branching).max(1);
+        }
+        let total = *level_start.last().unwrap() as usize;
+
+        let mut pages = Vec::with_capacity(total);
+        for level in 0..cfg.levels {
+            let lo = level_start[level] as usize;
+            let hi = level_start[level + 1] as usize;
+            let boost = (cfg.size_log_level_boost * level as f64).exp();
+            for i in lo..hi {
+                let url = urls.intern(&format!("/l{level}/p{i}.html"));
+                let size = ((html_size.sample(rng) * boost) as u32).clamp(256, 2_000_000);
+                let n_embedded = rng.gen_range(0..=cfg.max_embedded);
+                let embedded = (0..n_embedded)
+                    .map(|e| {
+                        let iu = urls.intern(&format!("/img/p{i}_{e}.gif"));
+                        let isz = (img_size.sample(rng) as u32).clamp(128, 1_000_000);
+                        (iu, isz)
+                    })
+                    .collect();
+                pages.push(Page {
+                    url,
+                    size,
+                    level: level as u8,
+                    links: Vec::new(),
+                    embedded,
+                });
+            }
+        }
+
+        // Wire links tier by tier.
+        for level in 0..cfg.levels {
+            let lo = level_start[level] as usize;
+            let hi = level_start[level + 1] as usize;
+            if level + 1 == cfg.levels {
+                // Bottom tier: stable "leave the leaf" links back to entry
+                // pages. In the home-oriented layout every bottom page
+                // points at the same few top entries in rank order — users
+                // leaving the bottom of the hierarchy overwhelmingly return
+                // to the home page, the recurring popular transition
+                // PB-PPM's special links exploit. In the scattered layout
+                // each page points at its own random entries, so returns
+                // disperse and no single popular target accumulates.
+                let n = cfg.links_per_page.min(cfg.entry_pages).max(1);
+                for (i, page) in pages.iter_mut().enumerate().take(hi).skip(lo) {
+                    page.links = if cfg.scattered_home_links {
+                        (0..n)
+                            .map(|_| rng.gen_range(0..cfg.entry_pages) as u32)
+                            .filter(|&t| t as usize != i)
+                            .collect()
+                    } else {
+                        (0..n as u32).filter(|&t| t as usize != i).collect()
+                    };
+                    if page.links.is_empty() {
+                        page.links.push(((i + 1) % total) as u32);
+                    }
+                }
+                continue;
+            }
+            let next_lo = level_start[level + 1] as usize;
+            let next_hi = level_start[level + 2] as usize;
+            let next_span = next_hi - next_lo;
+            #[allow(clippy::needless_range_loop)] // two disjoint index uses
+            for i in lo..hi {
+                let mut links = Vec::with_capacity(cfg.links_per_page);
+                // Primary children: a contiguous window into the next tier,
+                // anchored by this page's offset — gives each page its own
+                // favourite descendants, hence repeatable paths.
+                let offset = ((i - lo) * cfg.branching) % next_span.max(1);
+                for k in 0..cfg.links_per_page {
+                    let target = if rng.gen_bool(cfg.cross_link_prob) {
+                        rng.gen_range(0..total) as u32
+                    } else {
+                        (next_lo + (offset + k) % next_span.max(1)) as u32
+                    };
+                    if target as usize != i {
+                        links.push(target);
+                    }
+                }
+                if links.is_empty() {
+                    links.push(next_lo as u32);
+                }
+                pages[i].links = links;
+            }
+        }
+
+        Self {
+            pages,
+            level_start,
+            urls,
+        }
+    }
+
+    /// Perturbs the links of every page at tier `min_level` or deeper
+    /// (except the bottom tier's stable return-home links): each link is
+    /// retargeted to a uniformly random page of the next tier with
+    /// probability `retarget_frac`, then the link order is reshuffled.
+    ///
+    /// Link order is what the session generator's skewed choice keys on, so
+    /// a reshuffle changes which descendants are "favourites", and a
+    /// retarget changes which descendants are reachable at all. Calling
+    /// this at each day boundary models the volatility of deep surfing:
+    /// which leaf documents are hot churns daily, while the popular top of
+    /// the site stays stable — the property the paper leans on ("the
+    /// popularity of Web files is normally stable over a long period", §1).
+    pub fn reshuffle_deep_links<R: Rng + ?Sized>(
+        &mut self,
+        min_level: u8,
+        retarget_frac: f64,
+        rng: &mut R,
+    ) {
+        use rand::seq::SliceRandom;
+        let bottom = (self.level_start.len() - 2) as u8;
+        let level_start = self.level_start.clone();
+        for (i, p) in self.pages.iter_mut().enumerate() {
+            if p.level >= min_level && p.level < bottom {
+                if retarget_frac > 0.0 {
+                    let next_lo = level_start[p.level as usize + 1];
+                    let next_hi = level_start[p.level as usize + 2];
+                    for link in &mut p.links {
+                        if rng.gen_bool(retarget_frac.clamp(0.0, 1.0)) {
+                            let t = rng.gen_range(next_lo..next_hi);
+                            if t as usize != i {
+                                *link = t;
+                            }
+                        }
+                    }
+                }
+                p.links.shuffle(rng);
+            }
+        }
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when the site has no pages (never the case after `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of entry (tier-0) pages.
+    pub fn entry_count(&self) -> usize {
+        self.level_start[1] as usize
+    }
+
+    /// Document kind of a page (always HTML in this model).
+    pub fn kind(&self) -> DocKind {
+        DocKind::Html
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> SiteConfig {
+        SiteConfig {
+            entry_pages: 4,
+            levels: 3,
+            branching: 3,
+            links_per_page: 4,
+            ..SiteConfig::default()
+        }
+    }
+
+    #[test]
+    fn tier_sizes_grow_geometrically() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let site = SiteModel::generate(&small_cfg(), &mut rng);
+        assert_eq!(site.level_start, vec![0, 4, 16, 52]);
+        assert_eq!(site.len(), 52);
+        assert_eq!(site.entry_count(), 4);
+    }
+
+    #[test]
+    fn links_point_to_the_next_tier_or_entries() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = SiteConfig {
+            cross_link_prob: 0.0,
+            ..small_cfg()
+        };
+        let site = SiteModel::generate(&cfg, &mut rng);
+        for (i, p) in site.pages.iter().enumerate() {
+            assert!(!p.links.is_empty(), "page {i} has no links");
+            for &t in &p.links {
+                let t_level = site.pages[t as usize].level;
+                if p.level as usize + 1 < cfg.levels {
+                    assert_eq!(t_level, p.level + 1, "page {i} -> {t}");
+                } else {
+                    assert_eq!(t_level, 0, "bottom tier must link to entries");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_links() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SiteConfig {
+            cross_link_prob: 0.5,
+            ..small_cfg()
+        };
+        let site = SiteModel::generate(&cfg, &mut rng);
+        for (i, p) in site.pages.iter().enumerate() {
+            assert!(p.links.iter().all(|&t| t as usize != i));
+        }
+    }
+
+    #[test]
+    fn urls_are_unique_and_resolvable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let site = SiteModel::generate(&small_cfg(), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for p in &site.pages {
+            assert!(seen.insert(p.url), "duplicate page url");
+            assert!(site.urls.resolve(p.url).is_some());
+            for &(iu, _) in &p.embedded {
+                assert!(site.urls.resolve(iu).unwrap().starts_with("/img/"));
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_within_clamps() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let site = SiteModel::generate(&small_cfg(), &mut rng);
+        for p in &site.pages {
+            assert!((256..=2_000_000).contains(&p.size));
+            for &(_, s) in &p.embedded {
+                assert!((128..=1_000_000).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = small_cfg();
+        let a = SiteModel::generate(&cfg, &mut StdRng::seed_from_u64(5));
+        let b = SiteModel::generate(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_eq!(pa.url, pb.url);
+            assert_eq!(pa.size, pb.size);
+            assert_eq!(pa.links, pb.links);
+        }
+    }
+
+    #[test]
+    fn reshuffle_changes_order_but_not_membership() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SiteConfig {
+            entry_pages: 6,
+            levels: 4,
+            branching: 4,
+            links_per_page: 6,
+            cross_link_prob: 0.0,
+            ..SiteConfig::default()
+        };
+        let mut site = SiteModel::generate(&cfg, &mut rng);
+        let before: Vec<Vec<u32>> = site.pages.iter().map(|p| p.links.clone()).collect();
+        site.reshuffle_deep_links(1, 0.0, &mut rng);
+        let mut any_reordered = false;
+        for (i, p) in site.pages.iter().enumerate() {
+            let mut a = before[i].clone();
+            let mut b = p.links.clone();
+            if p.level >= 1 && (p.level as usize) < cfg.levels - 1 {
+                any_reordered |= before[i] != p.links;
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "order-only reshuffle must keep the link set");
+            } else {
+                assert_eq!(before[i], p.links, "level-0 and bottom links are stable");
+            }
+        }
+        assert!(any_reordered, "something should have moved");
+    }
+
+    #[test]
+    fn retargeting_changes_link_sets_within_the_next_tier() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SiteConfig {
+            entry_pages: 6,
+            levels: 4,
+            branching: 4,
+            cross_link_prob: 0.0,
+            ..SiteConfig::default()
+        };
+        let mut site = SiteModel::generate(&cfg, &mut rng);
+        let before: Vec<Vec<u32>> = site.pages.iter().map(|p| p.links.clone()).collect();
+        site.reshuffle_deep_links(1, 1.0, &mut rng);
+        let mut any_retargeted = false;
+        for (i, p) in site.pages.iter().enumerate() {
+            if p.level >= 1 && (p.level as usize) < cfg.levels - 1 {
+                let mut a = before[i].clone();
+                let mut b = p.links.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                any_retargeted |= a != b;
+                // Retargets stay within the next tier.
+                for &t in &p.links {
+                    assert_eq!(site.pages[t as usize].level, p.level + 1);
+                }
+            }
+        }
+        assert!(any_retargeted);
+    }
+
+    #[test]
+    fn scattered_home_links_spread_over_entries() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = SiteConfig {
+            entry_pages: 40,
+            levels: 3,
+            branching: 4,
+            links_per_page: 5,
+            scattered_home_links: true,
+            ..SiteConfig::default()
+        };
+        let site = SiteModel::generate(&cfg, &mut rng);
+        let bottom_lo = site.level_start[2] as usize;
+        let mut targets = std::collections::HashSet::new();
+        for p in &site.pages[bottom_lo..] {
+            for &t in &p.links {
+                assert_eq!(site.pages[t as usize].level, 0);
+                targets.insert(t);
+            }
+        }
+        assert!(
+            targets.len() > cfg.links_per_page,
+            "scattered links must cover more entries than any single page's list"
+        );
+    }
+
+    #[test]
+    fn single_level_site_links_to_entries() {
+        let cfg = SiteConfig {
+            entry_pages: 5,
+            levels: 1,
+            ..SiteConfig::default()
+        };
+        let site = SiteModel::generate(&cfg, &mut StdRng::seed_from_u64(2));
+        assert_eq!(site.len(), 5);
+        for p in &site.pages {
+            for &t in &p.links {
+                assert_eq!(site.pages[t as usize].level, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The session random-walk generator — the paper's three regularities in
+//! executable form.
+//!
+//! * **Regularity 1** — "majority clients start their access sessions from
+//!   popular URLs of a server": with probability
+//!   [`SessionGenConfig::start_popular_frac`] a session starts at an entry
+//!   page drawn Zipf([`SessionGenConfig::entry_alpha`]); otherwise it starts
+//!   at a uniformly random page of any tier.
+//! * **Regularity 2** — "majority long access sessions are headed by popular
+//!   URLs": sessions that started at a top-decile entry continue with an
+//!   extra [`SessionGenConfig::popular_len_boost`] on top of the base
+//!   continue probability.
+//! * **Regularity 3** — "accessing paths … start from popular URLs, move to
+//!   less popular URLs, and exit from the least": the continue probability
+//!   decays by [`SessionGenConfig::continue_decay`] per tier, so walks die
+//!   out as they descend.
+//!
+//! Link choices are skewed ([`SessionGenConfig::link_skew`]) so that the
+//! same few paths recur — the signal every PPM variant learns. A small
+//! [`SessionGenConfig::new_url_prob`] mints one-off URLs never seen again
+//! (cold documents: bursty growth for the standard model, noise for all).
+
+use crate::site::SiteModel;
+use crate::zipf::ZipfSampler;
+use pbppm_core::UrlId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One step of a generated session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visit {
+    /// A visit to site page `pages[idx]`.
+    Page(u32),
+    /// A one-off document minted for this visit: `(url, size)`.
+    Fresh(UrlId, u32),
+}
+
+/// Session-walk parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionGenConfig {
+    /// Probability that a session starts at a Zipf-drawn entry page
+    /// (Regularity 1); otherwise it starts at a uniformly random page.
+    pub start_popular_frac: f64,
+    /// Zipf exponent over the entry pages.
+    pub entry_alpha: f64,
+    /// Zipf exponent over a page's ordered link list (predictability knob).
+    pub link_skew: f64,
+    /// Multiplicative decay of the link skew per tier descended: deep
+    /// surfing is noisier than top-level navigation (`1.0` = no decay).
+    pub link_skew_level_decay: f64,
+    /// Probability of continuing from a tier-0 page.
+    pub base_continue: f64,
+    /// Multiplicative decay of the continue probability per tier descended
+    /// (Regularity 3).
+    pub continue_decay: f64,
+    /// Extra continue probability when the session started at a top-decile
+    /// entry (Regularity 2).
+    pub popular_len_boost: f64,
+    /// Hard cap on session length.
+    pub max_len: usize,
+    /// Probability that a step jumps back to a (Zipf-drawn) entry page
+    /// instead of following a link — the "return home" click. Per-step the
+    /// probability of any *specific* popular page is tiny, but summed over
+    /// a session the popular pages absorb most returns; this is the diffuse
+    /// popular-revisit behaviour PB-PPM's special links are built to catch.
+    pub jump_home_prob: f64,
+    /// Probability that a step visits a freshly minted one-off URL.
+    pub new_url_prob: f64,
+    /// `ln`-space mean size for fresh one-off documents.
+    pub fresh_size_log_mean: f64,
+}
+
+impl Default for SessionGenConfig {
+    fn default() -> Self {
+        Self {
+            start_popular_frac: 0.8,
+            entry_alpha: 1.0,
+            link_skew: 1.2,
+            link_skew_level_decay: 1.0,
+            base_continue: 0.75,
+            continue_decay: 0.9,
+            popular_len_boost: 0.12,
+            max_len: 25,
+            jump_home_prob: 0.0,
+            new_url_prob: 0.03,
+            fresh_size_log_mean: 8.5,
+        }
+    }
+}
+
+/// Reusable sampler state for one workload generation run.
+pub struct SessionGen {
+    cfg: SessionGenConfig,
+    entry_sampler: ZipfSampler,
+    /// One link sampler per `(tier, fan-out)`: `link_samplers[level][n]`.
+    link_samplers: Vec<Vec<Option<ZipfSampler>>>,
+    fresh_counter: u64,
+}
+
+impl SessionGen {
+    /// Prepares samplers for walking `site` under `cfg`.
+    pub fn new(cfg: SessionGenConfig, site: &SiteModel) -> Self {
+        let entry_sampler = ZipfSampler::new(site.entry_count(), cfg.entry_alpha);
+        let max_fanout = site.pages.iter().map(|p| p.links.len()).max().unwrap_or(1);
+        let levels = site.level_start.len() - 1;
+        let mut link_samplers = vec![vec![None; max_fanout + 1]; levels];
+        for p in &site.pages {
+            let n = p.links.len();
+            let l = p.level as usize;
+            if n > 0 && link_samplers[l][n].is_none() {
+                let skew = cfg.link_skew * cfg.link_skew_level_decay.powi(p.level as i32);
+                link_samplers[l][n] = Some(ZipfSampler::new(n, skew.max(0.0)));
+            }
+        }
+        Self {
+            cfg,
+            entry_sampler,
+            link_samplers,
+            fresh_counter: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SessionGenConfig {
+        &self.cfg
+    }
+
+    /// Generates one **robot** (crawler) session: a long, systematic,
+    /// breadth-first-ish sweep starting at entry page `start_entry`,
+    /// visiting up to `max_pages` pages in deterministic link order.
+    ///
+    /// Robots are what made mid-90s/2000s server logs pathological for
+    /// PPM-family models: their sweeps mint enormous numbers of deep paths,
+    /// and because popular crawlers (and re-crawls) repeat the *same*
+    /// sweeps, those paths pass LRS's repetition filter too. The UCB-CS
+    /// trace's extreme LRS growth in the paper's Table 2 is this effect.
+    pub fn gen_robot_session(
+        &mut self,
+        site: &SiteModel,
+        start_entry: u32,
+        max_pages: usize,
+    ) -> Vec<Visit> {
+        let mut visits = Vec::with_capacity(max_pages);
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; site.len()];
+        let start = (start_entry as usize % site.entry_count().max(1)) as u32;
+        queue.push_back(start);
+        seen[start as usize] = true;
+        while let Some(page) = queue.pop_front() {
+            visits.push(Visit::Page(page));
+            if visits.len() >= max_pages.max(1) {
+                break;
+            }
+            for &next in &site.pages[page as usize].links {
+                if !seen[next as usize] {
+                    seen[next as usize] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        visits
+    }
+
+    /// Generates one session's visit sequence. `day` tags fresh one-off
+    /// URLs so they are unique across the whole trace.
+    pub fn gen_session<R: Rng + ?Sized>(
+        &mut self,
+        site: &mut SiteModel,
+        rng: &mut R,
+        day: usize,
+    ) -> Vec<Visit> {
+        self.gen_session_from(site, rng, day, None)
+    }
+
+    /// Like [`SessionGen::gen_session`], but when `start` is given and the
+    /// popular-start coin comes up, the session begins at that page instead
+    /// of a fresh Zipf draw — this is how per-client favourite entries
+    /// (revisit locality) are injected by the workload generator.
+    pub fn gen_session_from<R: Rng + ?Sized>(
+        &mut self,
+        site: &mut SiteModel,
+        rng: &mut R,
+        day: usize,
+        start: Option<u32>,
+    ) -> Vec<Visit> {
+        let start_popular = rng.gen_bool(self.cfg.start_popular_frac.clamp(0.0, 1.0));
+        let mut current: u32 = if start_popular {
+            start.unwrap_or_else(|| self.entry_sampler.sample(rng) as u32)
+        } else {
+            rng.gen_range(0..site.len()) as u32
+        };
+        // Regularity 2: top-decile entries head longer sessions.
+        let boosted = start_popular
+            && (current as usize) < (site.entry_count() / 10).max(1);
+
+        let mut visits = Vec::with_capacity(6);
+        loop {
+            visits.push(Visit::Page(current));
+            if visits.len() >= self.cfg.max_len.max(1) {
+                break;
+            }
+            let level = site.pages[current as usize].level;
+            let mut p_cont =
+                self.cfg.base_continue * self.cfg.continue_decay.powi(i32::from(level));
+            if boosted {
+                p_cont += self.cfg.popular_len_boost;
+            }
+            if !rng.gen_bool(p_cont.clamp(0.0, 0.999)) {
+                break;
+            }
+            if self.cfg.new_url_prob > 0.0 && rng.gen_bool(self.cfg.new_url_prob) {
+                // A one-off document (e.g. a fresh news item): visited once,
+                // never linked, never repeated.
+                self.fresh_counter += 1;
+                let n = self.fresh_counter;
+                let url = site.urls.intern(&format!("/day{day}/one-off{n}.html"));
+                let size = (self.cfg.fresh_size_log_mean.exp()
+                    * (0.5 + rng.gen::<f64>() * 1.5)) as u32;
+                visits.push(Visit::Fresh(url, size.max(256)));
+                if visits.len() >= self.cfg.max_len.max(1) {
+                    break;
+                }
+                // The walk resumes from the page that embedded the one-off.
+                if !rng.gen_bool(p_cont.clamp(0.0, 0.999)) {
+                    break;
+                }
+            }
+            if self.cfg.jump_home_prob > 0.0
+                && level > 0
+                && rng.gen_bool(self.cfg.jump_home_prob.clamp(0.0, 1.0))
+            {
+                current = self.entry_sampler.sample(rng) as u32;
+                continue;
+            }
+            let links = &site.pages[current as usize].links;
+            debug_assert!(!links.is_empty());
+            let pick = match &self.link_samplers[level as usize][links.len()] {
+                Some(s) => s.sample(rng),
+                None => 0,
+            };
+            current = links[pick];
+        }
+        visits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(cfg: SessionGenConfig) -> (SiteModel, SessionGen, StdRng) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let site = SiteModel::generate(
+            &SiteConfig {
+                entry_pages: 10,
+                levels: 3,
+                branching: 4,
+                ..SiteConfig::default()
+            },
+            &mut rng,
+        );
+        let gen = SessionGen::new(cfg, &site);
+        (site, gen, rng)
+    }
+
+    #[test]
+    fn sessions_are_nonempty_and_capped() {
+        let cfg = SessionGenConfig {
+            max_len: 5,
+            ..SessionGenConfig::default()
+        };
+        let (mut site, mut gen, mut rng) = setup(cfg);
+        for day in 0..50 {
+            let s = gen.gen_session(&mut site, &mut rng, day);
+            assert!(!s.is_empty());
+            assert!(s.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn visits_follow_site_links() {
+        let cfg = SessionGenConfig {
+            new_url_prob: 0.0,
+            ..SessionGenConfig::default()
+        };
+        let (mut site, mut gen, mut rng) = setup(cfg);
+        for _ in 0..100 {
+            let s = gen.gen_session(&mut site, &mut rng, 0);
+            for w in s.windows(2) {
+                if let (Visit::Page(a), Visit::Page(b)) = (w[0], w[1]) {
+                    assert!(
+                        site.pages[a as usize].links.contains(&b),
+                        "walk must follow links"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popular_starts_dominate_when_configured() {
+        let cfg = SessionGenConfig {
+            start_popular_frac: 1.0,
+            ..SessionGenConfig::default()
+        };
+        let (mut site, mut gen, mut rng) = setup(cfg);
+        for _ in 0..200 {
+            let s = gen.gen_session(&mut site, &mut rng, 0);
+            let Visit::Page(first) = s[0] else {
+                panic!("fresh first visit")
+            };
+            assert_eq!(site.pages[first as usize].level, 0);
+        }
+    }
+
+    #[test]
+    fn fresh_urls_are_unique() {
+        let cfg = SessionGenConfig {
+            new_url_prob: 0.5,
+            ..SessionGenConfig::default()
+        };
+        let (mut site, mut gen, mut rng) = setup(cfg);
+        let mut fresh = std::collections::HashSet::new();
+        for day in 0..20 {
+            for v in gen.gen_session(&mut site, &mut rng, day) {
+                if let Visit::Fresh(u, size) = v {
+                    assert!(fresh.insert(u), "fresh URL repeated");
+                    assert!(size >= 256);
+                }
+            }
+        }
+        assert!(!fresh.is_empty(), "expected some fresh URLs at p=0.5");
+    }
+
+    #[test]
+    fn no_fresh_urls_when_disabled() {
+        let cfg = SessionGenConfig {
+            new_url_prob: 0.0,
+            ..SessionGenConfig::default()
+        };
+        let (mut site, mut gen, mut rng) = setup(cfg);
+        for day in 0..20 {
+            for v in gen.gen_session(&mut site, &mut rng, day) {
+                assert!(matches!(v, Visit::Page(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn continue_decay_shortens_deep_walks() {
+        // With heavy decay, sessions starting at the bottom tier are shorter
+        // on average than sessions starting at entries.
+        let base = SessionGenConfig {
+            new_url_prob: 0.0,
+            popular_len_boost: 0.0,
+            continue_decay: 0.4,
+            max_len: 50,
+            ..SessionGenConfig::default()
+        };
+        let (mut site, _, mut rng) = setup(base.clone());
+        let mut top = SessionGen::new(
+            SessionGenConfig {
+                start_popular_frac: 1.0,
+                ..base.clone()
+            },
+            &site,
+        );
+        let mut anywhere = SessionGen::new(
+            SessionGenConfig {
+                start_popular_frac: 0.0,
+                ..base
+            },
+            &site,
+        );
+        let mean = |g: &mut SessionGen, site: &mut SiteModel, rng: &mut StdRng| {
+            let total: usize = (0..500).map(|_| g.gen_session(site, rng, 0).len()).sum();
+            total as f64 / 500.0
+        };
+        let m_top = mean(&mut top, &mut site, &mut rng);
+        let m_any = mean(&mut anywhere, &mut site, &mut rng);
+        assert!(
+            m_top > m_any,
+            "entry-started sessions should be longer: {m_top} vs {m_any}"
+        );
+    }
+
+    #[test]
+    fn robot_sessions_sweep_systematically() {
+        let (mut site, mut gen, _) = setup(SessionGenConfig::default());
+        let visits = gen.gen_robot_session(&site, 0, 30);
+        assert_eq!(visits.len(), 30);
+        // All visits are pages, no duplicates (BFS marks seen).
+        let mut seen = std::collections::HashSet::new();
+        for v in &visits {
+            match v {
+                Visit::Page(p) => assert!(seen.insert(*p), "robot revisited {p}"),
+                Visit::Fresh(..) => panic!("robots visit real pages only"),
+            }
+        }
+        // Starts at the requested entry.
+        assert_eq!(visits[0], Visit::Page(0));
+        // Deterministic: same sweep twice.
+        let again = gen.gen_robot_session(&site, 0, 30);
+        assert_eq!(visits, again);
+        // Different seed entry -> different sweep.
+        let other = gen.gen_robot_session(&site, 1, 30);
+        assert_ne!(visits, other);
+        let _ = &mut site;
+    }
+
+    #[test]
+    fn robot_sweep_capped_by_site_size() {
+        let (site, mut gen, _) = setup(SessionGenConfig::default());
+        let visits = gen.gen_robot_session(&site, 0, 1_000_000);
+        assert!(visits.len() <= site.len());
+        assert!(visits.len() > site.len() / 2, "BFS should reach most pages");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SessionGenConfig::default();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(123);
+            let mut site = SiteModel::generate(&SiteConfig::default(), &mut rng);
+            let mut gen = SessionGen::new(cfg.clone(), &site);
+            (0..10)
+                .map(|d| gen.gen_session(&mut site, &mut rng, d))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

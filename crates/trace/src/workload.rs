@@ -1,0 +1,396 @@
+//! Multi-day workload presets producing complete [`Trace`]s.
+//!
+//! Two presets mirror the paper's two traces:
+//!
+//! * [`WorkloadConfig::nasa_like`] — NASA Kennedy Space Center, July 1995:
+//!   strongly hierarchical surfing, Zipf(≈1.0) entry popularity, most
+//!   sessions starting at popular entries, popular entries heading long
+//!   sessions, stable day-over-day popularity. This is the trace on which
+//!   the paper's PB-PPM wins everything.
+//! * [`WorkloadConfig::ucb_like`] — UC Berkeley CS department, July 2000:
+//!   the paper singles out its "irregularity": "the popularity grades of the
+//!   starting URLs are evenly distributed … and some of the popular entries
+//!   may not lead to long sessions". The preset therefore flattens the
+//!   popularity skew, lowers the popular-start fraction, removes the
+//!   popular-length boost, weakens link skew, and mints more one-off URLs.
+//!
+//! Requests are emitted raw — HTML page requests followed by their embedded
+//! image requests a few seconds later — so the §2.2 sessionizer is exercised
+//! end to end, exactly as it would be on a real log.
+
+use crate::event::{ClientId, DocKind, Request, Trace, DAY_SECS};
+use crate::site::{SiteConfig, SiteModel};
+use crate::synth::{SessionGen, SessionGenConfig, Visit};
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Complete description of a synthetic multi-day workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Workload name (used in trace and table labels).
+    pub name: String,
+    /// Master RNG seed: equal configs generate identical traces.
+    pub seed: u64,
+    /// Number of simulated days.
+    pub days: usize,
+    /// Sessions generated per day.
+    pub sessions_per_day: usize,
+    /// Size of the client (address) pool.
+    pub n_clients: usize,
+    /// Zipf exponent of client activity — a heavy head makes a few
+    /// addresses behave like proxies.
+    pub client_alpha: f64,
+    /// Site structure.
+    pub site: SiteConfig,
+    /// Session walk behaviour.
+    pub gen: SessionGenConfig,
+    /// Mean think time between page views, seconds (exponential).
+    pub think_mean_secs: f64,
+    /// Embedded image requests arrive within this many seconds of the page.
+    pub embedded_delay_max: u64,
+    /// At each day boundary, reshuffle the link preferences of pages at
+    /// this tier or deeper (`None` = fully stable site). Models the daily
+    /// churn of deep content while the popular top stays stable.
+    pub daily_reshuffle_min_level: Option<u8>,
+    /// Fraction of deep links retargeted (not merely reordered) at each
+    /// day boundary; only meaningful with `daily_reshuffle_min_level`.
+    pub daily_retarget_frac: f64,
+    /// Per-client revisit locality: each client is assigned this many
+    /// favourite entry pages (Zipf-drawn at setup) and starts its popular
+    /// sessions among them. `0` disables the mechanism (every session draws
+    /// a fresh Zipf start).
+    pub client_favorites: usize,
+    /// Robot (crawler) sweeps per day. Robots request pages in systematic
+    /// link order at machine pace; pairs of crawls share a seed so their
+    /// sweeps repeat — the traffic that bloats PPM-family trees (and, via
+    /// repetition, LRS) on real logs. `0` disables robots.
+    pub robot_crawls_per_day: usize,
+    /// Pages per robot sweep.
+    pub robot_crawl_pages: usize,
+}
+
+impl WorkloadConfig {
+    /// The NASA-KSC-like preset (see module docs).
+    pub fn nasa_like(seed: u64) -> Self {
+        Self {
+            name: "nasa-like".to_owned(),
+            seed,
+            days: 8,
+            sessions_per_day: 3000,
+            n_clients: 1200,
+            client_alpha: 0.4,
+            site: SiteConfig {
+                entry_pages: 30,
+                levels: 4,
+                branching: 5,
+                links_per_page: 6,
+                cross_link_prob: 0.08,
+                size_log_level_boost: 0.3,
+                ..SiteConfig::default()
+            },
+            gen: SessionGenConfig {
+                start_popular_frac: 0.85,
+                entry_alpha: 1.0,
+                link_skew: 1.7,
+                link_skew_level_decay: 0.85,
+                base_continue: 0.80,
+                continue_decay: 0.90,
+                popular_len_boost: 0.12,
+                max_len: 25,
+                jump_home_prob: 0.15,
+                new_url_prob: 0.04,
+                fresh_size_log_mean: 8.5,
+            },
+            think_mean_secs: 40.0,
+            embedded_delay_max: 5,
+            daily_reshuffle_min_level: Some(1),
+            daily_retarget_frac: 0.15,
+            client_favorites: 4,
+            robot_crawls_per_day: 2,
+            robot_crawl_pages: 100,
+        }
+    }
+
+    /// The UCB-CS-like preset (see module docs).
+    pub fn ucb_like(seed: u64) -> Self {
+        Self {
+            name: "ucb-like".to_owned(),
+            seed,
+            days: 6,
+            sessions_per_day: 3000,
+            n_clients: 1500,
+            client_alpha: 0.4,
+            site: SiteConfig {
+                entry_pages: 80,
+                levels: 4,
+                branching: 5,
+                links_per_page: 7,
+                cross_link_prob: 0.25,
+                size_log_level_boost: 0.15,
+                scattered_home_links: true,
+                ..SiteConfig::default()
+            },
+            gen: SessionGenConfig {
+                start_popular_frac: 0.45,
+                entry_alpha: 0.6,
+                link_skew: 1.6,
+                link_skew_level_decay: 0.95,
+                base_continue: 0.72,
+                continue_decay: 0.92,
+                popular_len_boost: 0.0,
+                max_len: 25,
+                jump_home_prob: 0.0,
+                new_url_prob: 0.12,
+                fresh_size_log_mean: 8.5,
+            },
+            think_mean_secs: 40.0,
+            embedded_delay_max: 5,
+            daily_reshuffle_min_level: None,
+            daily_retarget_frac: 0.0,
+            client_favorites: 1,
+            robot_crawls_per_day: 6,
+            robot_crawl_pages: 160,
+        }
+    }
+
+    /// A tiny fast workload for tests.
+    pub fn tiny(seed: u64) -> Self {
+        let mut cfg = Self::nasa_like(seed);
+        cfg.name = "tiny".to_owned();
+        cfg.days = 3;
+        cfg.sessions_per_day = 120;
+        cfg.n_clients = 30;
+        cfg.site.entry_pages = 8;
+        cfg.site.levels = 3;
+        cfg.site.branching = 3;
+        cfg.robot_crawls_per_day = 1;
+        cfg.robot_crawl_pages = 40;
+        cfg
+    }
+
+    /// Generates the trace (deterministic in the config, including `seed`).
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut site = SiteModel::generate(&self.site, &mut rng);
+        let mut gen = SessionGen::new(self.gen.clone(), &site);
+        let client_sampler = ZipfSampler::new(self.n_clients.max(1), self.client_alpha);
+
+        let mut trace = Trace::new(self.name.clone());
+        for c in 0..self.n_clients.max(1) {
+            trace.clients.intern(&format!("client{c}"));
+        }
+        // Robot addresses come after the human pool.
+        let robot_base = trace.clients.len() as u32;
+        for r in 0..self.robot_crawls_per_day {
+            trace.clients.intern(&format!("robot{r}"));
+        }
+
+        // Per-client favourite entries: the source of revisit locality.
+        let entry_sampler = ZipfSampler::new(self.site.entry_pages.max(1), self.gen.entry_alpha);
+        let favorites: Vec<Vec<u32>> = (0..self.n_clients.max(1))
+            .map(|_| {
+                (0..self.client_favorites)
+                    .map(|_| entry_sampler.sample(&mut rng) as u32)
+                    .collect()
+            })
+            .collect();
+
+        for day in 0..self.days {
+            if day > 0 {
+                if let Some(min_level) = self.daily_reshuffle_min_level {
+                    site.reshuffle_deep_links(min_level, self.daily_retarget_frac, &mut rng);
+                }
+            }
+            // Robot sweeps: pairs of crawls share a seed entry, so the same
+            // systematic path repeats within the day.
+            for r in 0..self.robot_crawls_per_day {
+                let client = ClientId(robot_base + r as u32);
+                // The first two crawls of each day share a seed (their
+                // sweeps repeat — LRS keeps them); the rest sweep from
+                // distinct seeds (one-shot paths — only the standard model
+                // keeps those). Seeds advance day over day, so new content
+                // keeps arriving: the growth driver of real-log PPM trees.
+                let group = if r < 2 { 0 } else { r };
+                let seed_entry = (day * (self.robot_crawls_per_day + 1) + group) as u32;
+                let visits = gen.gen_robot_session(&site, seed_entry, self.robot_crawl_pages);
+                let mut t = day as u64 * DAY_SECS + rng.gen_range(0..DAY_SECS / 2);
+                for visit in visits {
+                    if let Visit::Page(idx) = visit {
+                        let page = &site.pages[idx as usize];
+                        trace.requests.push(Request {
+                            time: t,
+                            client,
+                            url: page.url,
+                            size: page.size,
+                            status: 200,
+                            kind: DocKind::Html,
+                        });
+                        t += rng.gen_range(1..=3);
+                    }
+                }
+            }
+            for _ in 0..self.sessions_per_day {
+                let client = ClientId(client_sampler.sample(&mut rng) as u32);
+                let mut t = day as u64 * DAY_SECS + rng.gen_range(0..DAY_SECS);
+                let start = {
+                    let favs = &favorites[client.index()];
+                    if favs.is_empty() {
+                        None
+                    } else {
+                        Some(favs[rng.gen_range(0..favs.len())])
+                    }
+                };
+                let visits = gen.gen_session_from(&mut site, &mut rng, day, start);
+                for visit in visits {
+                    match visit {
+                        Visit::Page(idx) => {
+                            let page = &site.pages[idx as usize];
+                            trace.requests.push(Request {
+                                time: t,
+                                client,
+                                url: page.url,
+                                size: page.size,
+                                status: 200,
+                                kind: DocKind::Html,
+                            });
+                            for &(iu, isz) in &page.embedded {
+                                let dt = rng.gen_range(0..=self.embedded_delay_max);
+                                trace.requests.push(Request {
+                                    time: t + dt,
+                                    client,
+                                    url: iu,
+                                    size: isz,
+                                    status: 200,
+                                    kind: DocKind::Image,
+                                });
+                            }
+                        }
+                        Visit::Fresh(url, size) => {
+                            trace.requests.push(Request {
+                                time: t,
+                                client,
+                                url,
+                                size,
+                                status: 200,
+                                kind: DocKind::Html,
+                            });
+                        }
+                    }
+                    // Exponential think time, kept below the 30-minute
+                    // session gap so a generated session stays one session.
+                    let think = -self.think_mean_secs * (1.0 - rng.gen::<f64>()).ln();
+                    t += (think as u64).clamp(8, 900);
+                }
+            }
+        }
+        trace.urls = site.urls;
+        trace.sort();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{sessionize_trace, SessionStats};
+    use crate::zipf::empirical_alpha;
+
+    #[test]
+    fn tiny_workload_generates_requests_over_all_days() {
+        let t = WorkloadConfig::tiny(1).generate();
+        assert!(!t.requests.is_empty());
+        // Sessions started late on the last day may spill past midnight.
+        assert!(t.days() >= 3 && t.days() <= 4, "days = {}", t.days());
+        for d in 0..3 {
+            assert!(!t.day(d).is_empty(), "day {d} empty");
+        }
+        // Sorted by time.
+        assert!(t.requests.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WorkloadConfig::tiny(7).generate();
+        let b = WorkloadConfig::tiny(7).generate();
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadConfig::tiny(1).generate();
+        let b = WorkloadConfig::tiny(2).generate();
+        assert_ne!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn sessions_match_paper_shape() {
+        let t = WorkloadConfig::tiny(3).generate();
+        let sessions = sessionize_trace(&t);
+        let stats = SessionStats::of(&sessions);
+        assert!(stats.count > 50);
+        // The paper: >95% of sessions have <= 9 clicks. Heavy clients merge
+        // overlapping sessions, so allow a little slack on a tiny workload.
+        assert!(
+            stats.frac_len_le_9 > 0.80,
+            "frac_len_le_9 = {}",
+            stats.frac_len_le_9
+        );
+        assert!(stats.mean_len >= 1.0);
+    }
+
+    #[test]
+    fn url_popularity_is_skewed() {
+        let t = WorkloadConfig::tiny(5).generate();
+        let mut counts = vec![0u64; t.urls.len()];
+        for r in &t.requests {
+            if r.kind == DocKind::Html {
+                counts[r.url.index()] += 1;
+            }
+        }
+        let alpha = empirical_alpha(&counts).expect("enough URLs");
+        assert!(alpha > 0.4, "popularity should be skewed, alpha={alpha}");
+    }
+
+    #[test]
+    fn embedded_images_follow_their_pages() {
+        let t = WorkloadConfig::tiny(9).generate();
+        assert!(t
+            .requests
+            .iter()
+            .any(|r| r.kind == DocKind::Image));
+    }
+
+    #[test]
+    fn robot_traffic_is_emitted_and_attributed_to_robot_clients() {
+        let cfg = WorkloadConfig::tiny(4);
+        let trace = cfg.generate();
+        let robot0 = trace.clients.get("robot0").expect("robot client interned");
+        let robot_reqs = trace
+            .requests
+            .iter()
+            .filter(|r| r.client.0 == robot0.0)
+            .count();
+        assert!(robot_reqs > 0, "robots must produce traffic");
+        // Robots request pages back-to-back, so they form long sessions.
+        let sessions = crate::session::sessionize(&trace.requests, &Default::default());
+        let robot_max = sessions
+            .iter()
+            .filter(|s| s.client.0 == robot0.0)
+            .map(|s| s.len())
+            .max()
+            .unwrap();
+        assert!(robot_max >= cfg.robot_crawl_pages / 2, "robot sessions are long");
+    }
+
+    #[test]
+    fn nasa_and_ucb_presets_differ_in_shape() {
+        let nasa = WorkloadConfig::nasa_like(0);
+        let ucb = WorkloadConfig::ucb_like(0);
+        assert!(nasa.gen.start_popular_frac > ucb.gen.start_popular_frac);
+        assert!(nasa.gen.link_skew > ucb.gen.link_skew);
+        assert!(nasa.gen.new_url_prob < ucb.gen.new_url_prob);
+        assert!(nasa.gen.popular_len_boost > ucb.gen.popular_len_boost);
+    }
+}

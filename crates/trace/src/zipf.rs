@@ -1,0 +1,177 @@
+//! Zipf-distributed sampling and rank-frequency estimation.
+//!
+//! Web popularity is famously Zipf-like, and the paper's three surfing
+//! regularities are all statements about that skew. The synthetic workloads
+//! sample entry pages, link choices and client activity from [`ZipfSampler`].
+//!
+//! The sampler precomputes the cumulative distribution once (O(n)) and draws
+//! by binary search (O(log n)) — rejection-free and allocation-free per
+//! sample, which matters because a workload draws millions of times.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^alpha`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `alpha >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad alpha: {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (`n > 0` is enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of `rank`.
+    pub fn prob(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draws one rank.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Least-squares estimate of the Zipf exponent from observed counts.
+///
+/// Sorts counts descending and fits `log(count) = a - alpha * log(rank)`;
+/// zero counts are skipped. Returns `None` with fewer than two nonzero
+/// counts. Used by the calibration tests to check that generated workloads
+/// have the skew they claim.
+pub fn empirical_alpha(counts: &[u64]) -> Option<f64> {
+    let mut sorted: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    if sorted.len() < 2 {
+        return None;
+    }
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let pts: Vec<(f64, f64)> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.prob(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = ZipfSampler::new(50, 0.8);
+        for r in 1..50 {
+            assert!(z.prob(0) >= z.prob(r));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.prob(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_cover_all_ranks_and_skew_correctly() {
+        let z = ZipfSampler::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        assert!(counts[0] > counts[9] * 5, "rank 0 should dominate rank 9");
+        // Empirical frequency of rank 0 close to analytic probability.
+        let f0 = counts[0] as f64 / 100_000.0;
+        assert!((f0 - z.prob(0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn empirical_alpha_recovers_the_exponent() {
+        // Perfect Zipf(1.2) counts.
+        let counts: Vec<u64> = (1..=200u64)
+            .map(|r| ((1e9 / (r as f64).powf(1.2)) as u64).max(1))
+            .collect();
+        let alpha = empirical_alpha(&counts).unwrap();
+        assert!((alpha - 1.2).abs() < 0.05, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn empirical_alpha_degenerate_inputs() {
+        assert_eq!(empirical_alpha(&[]), None);
+        assert_eq!(empirical_alpha(&[5]), None);
+        assert_eq!(empirical_alpha(&[0, 0, 5]), None);
+        // All-equal counts: alpha ~ 0.
+        let alpha = empirical_alpha(&[10, 10, 10, 10]).unwrap();
+        assert!(alpha.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

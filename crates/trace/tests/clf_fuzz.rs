@@ -1,0 +1,53 @@
+//! Property/fuzz tests for the Common Log Format parser: arbitrary input
+//! must never panic, and valid records must round-trip.
+
+use pbppm_trace::clf::{format_clf_line, parse_clf_line, ClfRecord};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser is total: any string either parses or returns an error,
+    /// never panics, never loops.
+    #[test]
+    fn parser_never_panics(line in ".*") {
+        let _ = parse_clf_line(&line);
+    }
+
+    /// Same, for inputs that *look* like log lines (higher hit rate on the
+    /// interesting branches than fully random strings).
+    #[test]
+    fn parser_never_panics_on_log_shaped_input(
+        host in "[a-z0-9.]{1,20}",
+        bracket in "[0-9A-Za-z/: +-]{0,30}",
+        method in "[A-Z]{0,8}",
+        path in "[ -~]{0,40}",
+        status in "[0-9a-z-]{0,6}",
+        size in "[0-9-]{0,12}",
+    ) {
+        let line = format!("{host} - - [{bracket}] \"{method} {path}\" {status} {size}");
+        let _ = parse_clf_line(&line);
+    }
+
+    /// Every structurally valid record survives format -> parse unchanged.
+    #[test]
+    fn roundtrip_valid_records(
+        host in "[a-z0-9.-]{1,30}",
+        time in 0i64..4_000_000_000i64,
+        path in "/[!-~&&[^\"\\\\]]{0,50}",
+        status in 100u16..600,
+        size in 0u32..100_000_000,
+    ) {
+        let rec = ClfRecord {
+            host,
+            time,
+            method: "GET".to_owned(),
+            path,
+            status,
+            size,
+        };
+        let line = format_clf_line(&rec);
+        let parsed = parse_clf_line(&line).expect("formatted line must parse");
+        prop_assert_eq!(parsed, rec);
+    }
+}

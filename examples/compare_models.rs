@@ -1,0 +1,64 @@
+//! Compare the three prediction models (plus the first-order Markov
+//! baseline) on one synthetic workload, reporting the paper's four metrics.
+//!
+//! ```sh
+//! cargo run --release --example compare_models            # NASA-like
+//! cargo run --release --example compare_models -- ucb     # UCB-like
+//! cargo run --release --example compare_models -- tiny    # fast smoke run
+//! ```
+
+use pbppm::sim::{run_experiment, ExperimentConfig, ModelSpec};
+use pbppm::trace::WorkloadConfig;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "nasa".to_owned());
+    let (workload, train_days) = match which.as_str() {
+        "ucb" => (WorkloadConfig::ucb_like(1), 4),
+        "tiny" => (WorkloadConfig::tiny(1), 2),
+        _ => (WorkloadConfig::nasa_like(1), 5),
+    };
+    println!("generating the {} trace ...", workload.name);
+    let trace = workload.generate();
+    println!(
+        "{} requests, {} distinct URLs, {} days; training on {} day(s), evaluating the next\n",
+        trace.requests.len(),
+        trace.distinct_urls(),
+        trace.days(),
+        train_days,
+    );
+
+    println!(
+        "{:<10} {:>9} {:>8} {:>9} {:>9} {:>9} {:>10}",
+        "model", "nodes", "hit", "latency-", "traffic+", "pop-frac", "path-util"
+    );
+    for spec in [
+        ModelSpec::Standard { max_height: None },
+        ModelSpec::Standard { max_height: Some(3) },
+        ModelSpec::Lrs,
+        ModelSpec::pb_paper(true),
+        ModelSpec::Order1,
+    ] {
+        let cfg = ExperimentConfig::paper_default(spec, train_days);
+        let r = run_experiment(&trace, &cfg);
+        println!(
+            "{:<10} {:>9} {:>7.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>9.1}%",
+            r.label,
+            r.node_count,
+            100.0 * r.hit_ratio(),
+            100.0 * r.latency_reduction(),
+            100.0 * r.traffic_increment(),
+            100.0 * r.popular_prefetch_fraction(),
+            100.0 * r.path_utilization(),
+        );
+    }
+    let base = run_experiment(
+        &trace,
+        &ExperimentConfig::paper_default(ModelSpec::NoPrefetch, train_days),
+    );
+    println!(
+        "{:<10} {:>9} {:>7.1}%  (caching only)",
+        "baseline",
+        0,
+        100.0 * base.hit_ratio()
+    );
+}

@@ -1,0 +1,63 @@
+//! Persist a trained model across server restarts: train PB-PPM, snapshot
+//! it to JSON, reload it, and verify the reloaded model predicts
+//! identically. (Snapshots are plain `serde` types — any format works;
+//! JSON keeps the example dependency-free.)
+//!
+//! ```sh
+//! cargo run --release --example persist_model
+//! ```
+
+use pbppm::core::{PbConfig, PbPpm, PopularityTable, Prediction, Predictor, PruneConfig};
+use pbppm::trace::{sessionize_trace, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train on a synthetic workload.
+    let trace = WorkloadConfig::tiny(3).generate();
+    let sessions = sessionize_trace(&trace);
+    let mut counts = PopularityTable::builder();
+    for s in &sessions {
+        for v in &s.views {
+            counts.record(v.url);
+        }
+    }
+    let mut model = PbPpm::new(
+        counts.build(),
+        PbConfig {
+            prune: PruneConfig::aggressive(),
+            ..PbConfig::default()
+        },
+    );
+    for s in &sessions {
+        model.train_session(&s.urls());
+    }
+    model.finalize();
+    println!("trained: {} nodes from {} sessions", model.node_count(), sessions.len());
+
+    // Snapshot to disk.
+    let path = std::env::temp_dir().join("pbppm-model.json");
+    let json = serde_json::to_string(&model.to_snapshot())?;
+    std::fs::write(&path, &json)?;
+    println!("saved {} ({} KB)", path.display(), json.len() / 1024);
+
+    // ... server restarts ...
+
+    // Reload and verify.
+    let loaded: pbppm::core::pb::PbSnapshot = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    let mut restored = PbPpm::from_snapshot(&loaded)?;
+    assert_eq!(restored.node_count(), model.node_count());
+
+    let mut fresh: Vec<Prediction> = Vec::new();
+    let mut reloaded: Vec<Prediction> = Vec::new();
+    let mut checked = 0;
+    for s in sessions.iter().take(200) {
+        let urls = s.urls();
+        for i in 0..urls.len() {
+            model.predict(&urls[..=i], &mut fresh);
+            restored.predict(&urls[..=i], &mut reloaded);
+            assert_eq!(fresh, reloaded, "predictions diverged after reload");
+            checked += 1;
+        }
+    }
+    println!("restored model matches on {checked} contexts — safe to serve");
+    Ok(())
+}

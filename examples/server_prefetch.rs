@@ -1,0 +1,116 @@
+//! Drive the complete server-side prefetching pipeline by hand — the same
+//! steps `pbppm::sim::run_experiment` performs, spelled out with the public
+//! API so each stage is visible: sessionize, grade popularity, train,
+//! prune, then serve a day of requests with prefetching.
+//!
+//! ```sh
+//! cargo run --release --example server_prefetch
+//! ```
+
+use pbppm::core::{PbConfig, PopularityTable, Predictor, PruneConfig};
+use pbppm::sim::{ExperimentConfig, LruCache, ModelSpec, PrefetchServer};
+use pbppm::trace::{sessionize, DocCatalog, SessionizerConfig, WorkloadConfig};
+
+fn main() {
+    // --- the raw material: a NASA-like multi-day server log ---------------
+    let trace = WorkloadConfig::nasa_like(1).generate();
+    let train_days = 5;
+
+    // --- §2.2 preprocessing: sessions and the document catalog ------------
+    let sess_cfg = SessionizerConfig::default();
+    let train_sessions = sessionize(trace.first_days(train_days), &sess_cfg);
+    let eval_sessions = sessionize(trace.day_span(train_days, train_days + 1), &sess_cfg);
+    let mut catalog = DocCatalog::from_sessions(&train_sessions);
+    catalog.observe_sessions(&eval_sessions);
+    println!(
+        "training: {} sessions over {train_days} days; evaluating {} sessions",
+        train_sessions.len(),
+        eval_sessions.len()
+    );
+
+    // --- two-pass training: popularity first, then the tree ---------------
+    let mut counts = PopularityTable::builder();
+    for s in &train_sessions {
+        for v in &s.views {
+            counts.record(v.url);
+        }
+    }
+    let popularity = counts.build();
+    let hist = popularity.grade_histogram();
+    println!(
+        "popularity grades: {} G3, {} G2, {} G1, {} G0 (of {} URLs)",
+        hist[3],
+        hist[2],
+        hist[1],
+        hist[0],
+        popularity.distinct_urls()
+    );
+
+    let mut model = pbppm::core::PbPpm::new(
+        popularity.clone(),
+        PbConfig {
+            prune: PruneConfig::aggressive(),
+            ..PbConfig::default()
+        },
+    );
+    for s in &train_sessions {
+        model.train_session(&s.urls());
+    }
+    model.finalize();
+    let report = model.prune_report().unwrap();
+    println!(
+        "model: {} nodes after space optimization (pruned {} of {})",
+        model.node_count(),
+        report.removed(),
+        report.nodes_before
+    );
+
+    // --- serve the evaluation day ------------------------------------------
+    let policy = pbppm::sim::PrefetchPolicy::paper_default_for(&ModelSpec::pb_paper(true));
+    let mut server = PrefetchServer::new(Box::new(model), policy);
+    let cfg = ExperimentConfig::paper_default(ModelSpec::pb_paper(true), train_days);
+
+    let mut cache = LruCache::new(cfg.browser_cache_bytes); // one shared toy cache
+    let (mut hits, mut prefetch_hits, mut requests) = (0u64, 0u64, 0u64);
+    let mut pushed = 0u64;
+    let mut push = Vec::new();
+    let mut ctx = Vec::new();
+    for s in &eval_sessions {
+        ctx.clear();
+        for v in &s.views {
+            if ctx.len() == cfg.context_cap {
+                ctx.remove(0);
+            }
+            ctx.push(v.url);
+            requests += 1;
+            match cache.demand(v.url) {
+                pbppm::sim::Lookup::Hit => hits += 1,
+                pbppm::sim::Lookup::PrefetchHit => {
+                    hits += 1;
+                    prefetch_hits += 1;
+                }
+                pbppm::sim::Lookup::Miss => {
+                    cache.insert(v.url, u64::from(catalog.size(v.url)).max(1), false);
+                    server.decide(&ctx, &catalog, |u| cache.contains(u), &mut push);
+                    for &(purl, psize) in &push {
+                        pushed += 1;
+                        cache.insert(purl, psize, true);
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "\nday {}: {} requests, {} hits ({:.1}%), {} of them on prefetched documents; {} documents pushed",
+        train_days + 1,
+        requests,
+        hits,
+        100.0 * hits as f64 / requests as f64,
+        prefetch_hits,
+        pushed
+    );
+    println!(
+        "model stats after serving: path utilization {:.1}%",
+        100.0 * server.model().stats().path_utilization()
+    );
+}

@@ -1,0 +1,22 @@
+//! # pbppm — popularity-based PPM web prefetching
+//!
+//! Facade crate for the reproduction of *"Popularity-Based PPM: An Effective
+//! Web Prefetching Technique for High Accuracy and Low Storage"* (Xin Chen
+//! and Xiaodong Zhang, ICPP 2002).
+//!
+//! It re-exports the three workspace crates:
+//!
+//! * [`core`] (`pbppm-core`) — the prediction models: standard PPM, LRS-PPM,
+//!   popularity-based PPM, and a first-order Markov baseline.
+//! * [`trace`] (`pbppm-trace`) — the trace substrate: Common Log Format
+//!   parsing, sessionization, and synthetic NASA-like / UCB-like workloads.
+//! * [`sim`] (`pbppm-sim`) — the trace-driven simulator: LRU caches, latency
+//!   model, prefetching server, browser/proxy deployments, and metrics.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the `pbppm-bench`
+//! crate for the binaries that regenerate every table and figure of the
+//! paper.
+
+pub use pbppm_core as core;
+pub use pbppm_sim as sim;
+pub use pbppm_trace as trace;

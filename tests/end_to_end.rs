@@ -1,0 +1,128 @@
+//! End-to-end integration: workload generation → sessionization → training
+//! → prefetch simulation, across all three crates via the facade.
+
+use pbppm::core::{PopularityTable, Prediction};
+use pbppm::sim::{run_experiment, ExperimentConfig, ModelSpec};
+use pbppm::trace::{sessionize_trace, WorkloadConfig};
+
+fn all_specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Standard { max_height: None },
+        ModelSpec::Standard { max_height: Some(3) },
+        ModelSpec::Lrs,
+        ModelSpec::pb_paper(true),
+        ModelSpec::pb_paper(false),
+        ModelSpec::Order1,
+    ]
+}
+
+#[test]
+fn every_model_trains_and_predicts_on_a_real_workload() {
+    let trace = WorkloadConfig::tiny(11).generate();
+    let sessions = sessionize_trace(&trace);
+    assert!(sessions.len() > 50);
+
+    let mut counts = PopularityTable::builder();
+    for s in &sessions {
+        for v in &s.views {
+            counts.record(v.url);
+        }
+    }
+    let pop = counts.build();
+
+    for spec in all_specs() {
+        let mut model = spec.build(&sessions, &pop).expect("model");
+        assert!(model.node_count() > 0, "{} empty", spec.label());
+        // Predict from the first few sessions' prefixes: probabilities must
+        // be valid and the current URL never suggested.
+        let mut out: Vec<Prediction> = Vec::new();
+        let mut any = false;
+        for s in sessions.iter().take(50) {
+            let urls = s.urls();
+            for i in 0..urls.len() {
+                model.predict(&urls[..=i], &mut out);
+                for p in &out {
+                    assert!(p.prob > 0.0 && p.prob <= 1.0 + 1e-9, "{}: bad prob {}", spec.label(), p.prob);
+                }
+                // Sorted by descending probability.
+                assert!(
+                    out.windows(2).all(|w| w[0].prob >= w[1].prob),
+                    "{}: unsorted predictions",
+                    spec.label()
+                );
+                // No duplicate URLs.
+                let mut urls_seen = std::collections::HashSet::new();
+                assert!(out.iter().all(|p| urls_seen.insert(p.url)));
+                any |= !out.is_empty();
+            }
+        }
+        assert!(any, "{} never predicted anything", spec.label());
+    }
+}
+
+#[test]
+fn experiment_metrics_are_well_formed() {
+    let trace = WorkloadConfig::tiny(5).generate();
+    for spec in all_specs() {
+        let cfg = ExperimentConfig::paper_default(spec, 2);
+        let r = run_experiment(&trace, &cfg);
+        assert!(r.eval_requests > 0);
+        assert!((0.0..=1.0).contains(&r.hit_ratio()), "{}", r.label);
+        assert!((0.0..=1.0).contains(&r.baseline_hit_ratio()));
+        assert!(r.latency_reduction() <= 1.0);
+        assert!(r.traffic_increment() >= 0.0, "{}: prefetching cannot reduce server transfers", r.label);
+        assert!((0.0..=1.0).contains(&r.popular_prefetch_fraction()));
+        assert!((0.0..=1.0).contains(&r.path_utilization()));
+        assert_eq!(r.counters.requests, r.baseline.requests);
+        assert!(r.counters.hits() <= r.counters.requests);
+        assert!(
+            r.counters.sent_bytes >= r.baseline.sent_bytes,
+            "{}: pushes only add transfers",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let a = {
+        let trace = WorkloadConfig::tiny(9).generate();
+        let cfg = ExperimentConfig::paper_default(ModelSpec::pb_paper(true), 2);
+        run_experiment(&trace, &cfg)
+    };
+    let b = {
+        let trace = WorkloadConfig::tiny(9).generate();
+        let cfg = ExperimentConfig::paper_default(ModelSpec::pb_paper(true), 2);
+        run_experiment(&trace, &cfg)
+    };
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.baseline, b.baseline);
+    assert_eq!(a.node_count, b.node_count);
+}
+
+#[test]
+fn prefetching_never_hurts_the_hit_ratio_on_the_reference_workloads() {
+    let trace = WorkloadConfig::tiny(3).generate();
+    for spec in all_specs() {
+        let cfg = ExperimentConfig::paper_default(spec, 2);
+        let r = run_experiment(&trace, &cfg);
+        assert!(
+            r.hit_ratio() >= r.baseline_hit_ratio() - 1e-9,
+            "{}: {} < baseline {}",
+            r.label,
+            r.hit_ratio(),
+            r.baseline_hit_ratio()
+        );
+    }
+}
+
+#[test]
+fn zero_and_oversized_training_windows_are_safe() {
+    let trace = WorkloadConfig::tiny(2).generate();
+    for days in [0usize, 1, 50] {
+        let cfg = ExperimentConfig::paper_default(ModelSpec::pb_paper(true), days);
+        let r = run_experiment(&trace, &cfg);
+        // days >= trace length leaves an empty eval window: must not panic.
+        assert!(r.eval_requests == r.counters.requests);
+    }
+}

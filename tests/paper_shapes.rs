@@ -1,0 +1,154 @@
+//! The paper's qualitative results as assertions, on reduced-scale variants
+//! of the reference workloads (full scale runs in `pbppm-bench`; these keep
+//! the test suite fast while still exercising realistic traces).
+//!
+//! Tolerances are deliberately generous: these tests pin the *shape* of the
+//! reproduction — who wins, and in which direction the curves move — not
+//! exact numbers.
+
+use pbppm::sim::{run_experiment, ExperimentConfig, ModelSpec};
+use pbppm::trace::{Trace, WorkloadConfig};
+
+fn small_nasa() -> Trace {
+    let mut cfg = WorkloadConfig::nasa_like(1);
+    cfg.sessions_per_day = 1200;
+    cfg.days = 5;
+    cfg.n_clients = 500;
+    cfg.generate()
+}
+
+struct Three {
+    ppm: pbppm::sim::RunResult,
+    lrs: pbppm::sim::RunResult,
+    pb: pbppm::sim::RunResult,
+}
+
+fn run_three(trace: &Trace, days: usize) -> Three {
+    let run = |spec| run_experiment(trace, &ExperimentConfig::paper_default(spec, days));
+    Three {
+        ppm: run(ModelSpec::Standard { max_height: None }),
+        lrs: run(ModelSpec::Lrs),
+        pb: run(ModelSpec::pb_paper(true)),
+    }
+}
+
+#[test]
+fn nasa_hit_ratio_ranking_pb_first() {
+    let trace = small_nasa();
+    let r = run_three(&trace, 3);
+    assert!(
+        r.pb.hit_ratio() > r.ppm.hit_ratio(),
+        "PB {} vs PPM {}",
+        r.pb.hit_ratio(),
+        r.ppm.hit_ratio()
+    );
+    assert!(
+        r.pb.hit_ratio() > r.lrs.hit_ratio(),
+        "PB {} vs LRS {}",
+        r.pb.hit_ratio(),
+        r.lrs.hit_ratio()
+    );
+    // All models beat caching alone.
+    assert!(r.ppm.hit_ratio() > r.ppm.baseline_hit_ratio());
+    assert!(r.lrs.hit_ratio() > r.lrs.baseline_hit_ratio());
+}
+
+#[test]
+fn nasa_latency_reduction_pb_first() {
+    let trace = small_nasa();
+    let r = run_three(&trace, 3);
+    assert!(r.pb.latency_reduction() > r.ppm.latency_reduction());
+    assert!(r.pb.latency_reduction() > r.lrs.latency_reduction());
+}
+
+#[test]
+fn space_ranking_ppm_dwarfs_lrs_dwarfs_pb() {
+    let trace = small_nasa();
+    let r = run_three(&trace, 3);
+    assert!(
+        r.ppm.node_count > 3 * r.lrs.node_count,
+        "PPM {} vs LRS {}",
+        r.ppm.node_count,
+        r.lrs.node_count
+    );
+    assert!(
+        r.lrs.node_count > 2 * r.pb.node_count,
+        "LRS {} vs PB {}",
+        r.lrs.node_count,
+        r.pb.node_count
+    );
+}
+
+#[test]
+fn space_grows_fastest_for_ppm_and_slowest_for_pb() {
+    let trace = small_nasa();
+    let one = run_three(&trace, 1);
+    let four = run_three(&trace, 4);
+    let growth = |a: usize, b: usize| b as f64 / a.max(1) as f64;
+    let ppm_growth = growth(one.ppm.node_count, four.ppm.node_count);
+    let pb_growth = growth(one.pb.node_count, four.pb.node_count);
+    let lrs_growth = growth(one.lrs.node_count, four.lrs.node_count);
+    assert!(ppm_growth > 1.5, "standard model must keep growing");
+    assert!(
+        pb_growth <= lrs_growth * 1.25,
+        "PB growth {pb_growth} should not outpace LRS growth {lrs_growth}"
+    );
+}
+
+#[test]
+fn path_utilization_pb_far_above_baselines_and_decaying_for_them() {
+    let trace = small_nasa();
+    let r = run_three(&trace, 3);
+    assert!(
+        r.pb.path_utilization() > 2.0 * r.ppm.path_utilization(),
+        "PB {} vs PPM {}",
+        r.pb.path_utilization(),
+        r.ppm.path_utilization()
+    );
+    assert!(r.pb.path_utilization() > r.lrs.path_utilization());
+    // Fig. 2 right: the standard model's utilization decays as the history
+    // window grows.
+    let early = run_experiment(
+        &trace,
+        &ExperimentConfig::paper_default(ModelSpec::Standard { max_height: Some(3) }, 1),
+    );
+    let late = run_experiment(
+        &trace,
+        &ExperimentConfig::paper_default(ModelSpec::Standard { max_height: Some(3) }, 4),
+    );
+    assert!(
+        late.path_utilization() < early.path_utilization(),
+        "3-PPM utilization should decay: {} -> {}",
+        early.path_utilization(),
+        late.path_utilization()
+    );
+}
+
+#[test]
+fn popular_documents_dominate_prefetch_hits() {
+    let trace = small_nasa();
+    let r = run_three(&trace, 3);
+    for (label, res) in [("PPM", &r.ppm), ("LRS", &r.lrs), ("PB", &r.pb)] {
+        assert!(
+            res.popular_prefetch_fraction() >= 0.6,
+            "{label}: popular fraction {}",
+            res.popular_prefetch_fraction()
+        );
+    }
+    assert!(r.pb.popular_prefetch_fraction() >= r.ppm.popular_prefetch_fraction() - 0.05);
+}
+
+#[test]
+fn ucb_margins_shrink_but_pb_stays_cost_effective() {
+    let mut cfg = WorkloadConfig::ucb_like(1);
+    cfg.sessions_per_day = 1200;
+    cfg.days = 4;
+    cfg.n_clients = 600;
+    let trace = cfg.generate();
+    let r = run_three(&trace, 2);
+    // PB remains competitive on hits...
+    assert!(r.pb.hit_ratio() + 0.05 > r.ppm.hit_ratio());
+    // ...while storing a small fraction of the nodes.
+    assert!(r.ppm.node_count > 5 * r.pb.node_count);
+    assert!(r.lrs.node_count > r.pb.node_count);
+}
