@@ -9,13 +9,34 @@
 //! 7 days vs PB-PPM on 1), and results land in their slot without locking
 //! on the hot path.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count wherever a thread count
+/// of `0` ("auto") is in effect. The CLI `--threads` flag and
+/// `ExperimentConfig::threads` take precedence over it.
+pub const THREADS_ENV: &str = "PBPPM_THREADS";
+
+/// Resolves a requested worker count: `0` means auto — `PBPPM_THREADS` if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (serial execution if even that is unknown).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Applies `f` to every item, in parallel, preserving input order in the
 /// output. `threads == 0` (the default entry point [`parallel_map`]) uses
-/// the machine's available parallelism.
+/// [`resolve_threads`]: `PBPPM_THREADS` or the available parallelism.
 pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -25,12 +46,7 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        threads
-    }
-    .min(items.len());
+    let threads = resolve_threads(threads).min(items.len());
 
     if threads <= 1 {
         return items.iter().map(&f).collect();
@@ -38,26 +54,29 @@ where
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
-/// [`parallel_map_with`] using all available cores.
+/// [`parallel_map_with`] with an auto-resolved worker count.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -123,5 +142,12 @@ mod tests {
             (x, acc).0
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn explicit_count_wins_over_auto() {
+        // Non-zero counts pass through untouched; zero resolves to >= 1.
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
     }
 }

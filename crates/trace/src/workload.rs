@@ -227,7 +227,7 @@ impl WorkloadConfig {
                             status: 200,
                             kind: DocKind::Html,
                         });
-                        t += rng.gen_range(1..=3);
+                        t += rng.gen_range(1u64..=3);
                     }
                 }
             }

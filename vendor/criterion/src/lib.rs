@@ -1,0 +1,354 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` interface and the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` call surface, backed by a simple
+//! wall-clock sampler: per benchmark it auto-sizes an iteration batch to
+//! ~10 ms, takes `sample_size` samples, and prints min/median/max (plus
+//! throughput when configured). No statistics beyond that, no HTML reports,
+//! no baseline files.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration for one timed batch.
+const TARGET_BATCH: Duration = Duration::from_millis(10);
+
+/// Measurement configuration and sink.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// Units of work per iteration, for derived throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` under `<group>/<name>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        run_benchmark(&id, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Times `f(bencher, input)` under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        run_benchmark(&name, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (flush point; nothing buffered here).
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    calibrated: bool,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            calibrated: false,
+        }
+    }
+
+    /// Times `routine`, auto-sizing the batch so one sample takes ~10 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: double the batch until it is long enough to time.
+        if !self.calibrated {
+            loop {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= TARGET_BATCH || self.iters_per_sample >= 1 << 30 {
+                    break;
+                }
+                self.iters_per_sample = if elapsed.is_zero() {
+                    self.iters_per_sample * 8
+                } else {
+                    // Scale straight to the target, with headroom.
+                    let scale = TARGET_BATCH.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                    (self.iters_per_sample as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+                };
+            }
+            self.calibrated = true;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // Setup cost is excluded by timing each call individually; batches
+        // stay at one iteration per sample.
+        self.iters_per_sample = 1;
+        self.calibrated = true;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`iter_batched`], passing the input by reference.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iters_per_sample = 1;
+        self.calibrated = true;
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher::new(sample_size);
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let iters = bencher.iters_per_sample;
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let median = per_iter[per_iter.len() / 2];
+    print!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / (median / 1e9);
+        print!("  thrpt: {} {unit}", fmt_count(rate));
+    }
+    println!();
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3}K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Declares a group of benchmark functions, with optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); none are
+            // meaningful to this stand-in, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("selftest");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter_batched(|| vec![n; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_all_forms() {
+        let mut c = Criterion::default().sample_size(3);
+        trivial_bench(&mut c);
+        c.bench_function("bare", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(plain_group, trivial_bench);
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default().sample_size(2);
+        targets = trivial_bench
+    }
+
+    #[test]
+    fn groups_execute() {
+        plain_group();
+        configured_group();
+    }
+}

@@ -1,0 +1,752 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] /
+//! [`prop_assert!`] macros, [`strategy::Strategy`] with `prop_map`/`boxed`,
+//! integer/float range strategies, tuple strategies, [`collection::vec`],
+//! [`prop_oneof!`] unions, and regex-subset string strategies
+//! (`"[a-z]{1,20}"`-style patterns).
+//!
+//! Differences from upstream: cases are generated from a seed derived from
+//! the test name (fully deterministic, overridable via `PROPTEST_SEED`),
+//! and failing cases are reported but **not shrunk**.
+
+pub mod test_runner {
+    /// Why a test case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+        /// The input was rejected (unused here, kept for API parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG used to drive generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded with `seed`.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a over the test path, mixed with `PROPTEST_SEED` if set: every
+    /// test gets its own deterministic stream.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let extra = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        h ^ extra
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy applying `f` to every generated value.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (see [`prop_oneof!`]).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    // Bias towards the boundaries now and then: edge cases
+                    // are where properties break.
+                    match rng.below(16) {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => ((self.start as i128) + rng.below(span) as i128) as $t,
+                    }
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    match rng.below(16) {
+                        0 => lo,
+                        1 => hi,
+                        _ => ((lo as i128) + (rng.next_u64() as u128 % span) as i128) as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String patterns are strategies: a regex subset (literals, `.`,
+    /// `[...]` classes with ranges and `&&[^...]` subtraction, `*`/`+`/
+    /// `{m,n}` quantifiers) generating matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    );
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Acceptable size arguments for [`vec`].
+    pub trait IntoSizeRange {
+        /// The inclusive (min, max) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Generates `Vec`s whose length falls in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A strategy for vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation backing `"pattern"` strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// Upper repetition bound for open quantifiers (`*`, `+`).
+    const OPEN_REP_MAX: u32 = 32;
+
+    #[derive(Debug)]
+    enum Atom {
+        Literal(char),
+        /// `.` — any character (drawn from a fuzz-friendly pool).
+        Any,
+        /// `[...]`: allowed chars minus excluded chars.
+        Class {
+            allowed: Vec<char>,
+            negated: bool,
+        },
+    }
+
+    #[derive(Debug)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    /// Generates a string matching the supported regex subset of `pattern`.
+    ///
+    /// Panics on unsupported syntax so a bad pattern fails loudly at test
+    /// time instead of silently generating garbage.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let span = piece.max - piece.min + 1;
+            let reps = piece.min + rng.below(u64::from(span)) as u32;
+            for _ in 0..reps {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Any => {
+                // Mostly printable ASCII, occasionally exotic: controls,
+                // non-ASCII, and quote/backslash to poke parser edges.
+                match rng.below(16) {
+                    0 => ['\n', '\t', '\r', '\u{0}', 'é', '\u{30c6}', '"', '\\', '[', ']']
+                        [rng.below(10) as usize],
+                    _ => char::from(b' ' + rng.below(95) as u8),
+                }
+            }
+            Atom::Class { allowed, negated } => {
+                if *negated {
+                    // Printable ASCII not in the set.
+                    loop {
+                        let c = char::from(b' ' + rng.below(95) as u8);
+                        if !allowed.contains(&c) {
+                            return c;
+                        }
+                    }
+                } else {
+                    assert!(!allowed.is_empty(), "empty character class");
+                    allowed[rng.below(allowed.len() as u64) as usize]
+                }
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let (atom, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    atom
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 1;
+                    Atom::Literal(unescape(c))
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Parses `[...]` starting just past the `[`; returns the atom and the
+    /// index just past the closing `]`. Supports ranges (`a-z`), escapes,
+    /// leading `^` negation, and `&&[^...]` subtraction.
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Atom, usize) {
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut allowed = Vec::new();
+        let mut excluded = Vec::new();
+        loop {
+            match chars.get(i) {
+                None => panic!("unterminated character class in pattern {pattern:?}"),
+                Some(']') => {
+                    i += 1;
+                    break;
+                }
+                Some('&') if chars.get(i + 1) == Some(&'&') => {
+                    // `&&[^...]`: subtract the nested negated class.
+                    assert!(
+                        chars.get(i + 2) == Some(&'[') && chars.get(i + 3) == Some(&'^'),
+                        "only `&&[^...]` subtraction is supported in pattern {pattern:?}"
+                    );
+                    let (inner, next) = parse_class(chars, i + 3, pattern);
+                    match inner {
+                        Atom::Class {
+                            allowed: inner_set,
+                            negated: true,
+                        } => excluded.extend(inner_set),
+                        _ => unreachable!("nested class starts with ^"),
+                    }
+                    i = next;
+                    // The subtraction must close the outer class.
+                    assert!(
+                        chars.get(i) == Some(&']'),
+                        "`&&[^...]` must end the class in pattern {pattern:?}"
+                    );
+                    i += 1;
+                    break;
+                }
+                Some(&c) => {
+                    let lo = if c == '\\' {
+                        i += 1;
+                        unescape(*chars.get(i).unwrap_or_else(|| {
+                            panic!("dangling escape in pattern {pattern:?}")
+                        }))
+                    } else {
+                        c
+                    };
+                    i += 1;
+                    // `a-z` range, unless `-` is the final char before `]`.
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+                        i += 1;
+                        let hi_c = chars[i];
+                        let hi = if hi_c == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            hi_c
+                        };
+                        i += 1;
+                        assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                        for code in lo as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(code) {
+                                allowed.push(ch);
+                            }
+                        }
+                    } else {
+                        allowed.push(lo);
+                    }
+                }
+            }
+        }
+        allowed.retain(|c| !excluded.contains(c));
+        (Atom::Class { allowed, negated }, i)
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+        match chars.get(i) {
+            Some('*') => (0, OPEN_REP_MAX, i + 1),
+            Some('+') => (1, OPEN_REP_MAX, i + 1),
+            Some('?') => (0, 1, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated {{}} in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, "")) => (parse_num(lo, pattern), OPEN_REP_MAX),
+                    Some((lo, hi)) => (parse_num(lo, pattern), parse_num(hi, pattern)),
+                    None => {
+                        let n = parse_num(&body, pattern);
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    fn parse_num(s: &str, pattern: &str) -> u32 {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier bound in pattern {pattern:?}"))
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(...)` works.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0u8..5, 1..20)) {
+///         prop_assert!(v.len() < 20);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::new(
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..config.cases {
+                let case_seed = rng.next_u64();
+                let mut case_rng = $crate::test_runner::TestRng::new(case_seed);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut case_rng);
+                let outcome = (move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{} (case seed {}): {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        case_seed,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(l == r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "{:?} != {:?}: {}",
+                            l,
+                            r,
+                            format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "{:?} == {:?}", l, r);
+            }
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_expected_shapes() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let s = crate::string::generate_matching("[a-z0-9.]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'));
+
+            let p = crate::string::generate_matching("/[!-~&&[^\"\\\\]]{0,50}", &mut rng);
+            assert!(p.starts_with('/'));
+            assert!(p.chars().skip(1).all(|c| ('!'..='~').contains(&c) && c != '"' && c != '\\'),
+                "{p:?}");
+
+            let t = crate::string::generate_matching("[0-9A-Za-z/: +-]{0,30}", &mut rng);
+            assert!(t.chars().all(|c| c.is_ascii_alphanumeric()
+                || matches!(c, '/' | ':' | ' ' | '+' | '-')));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds_and_hit_edges() {
+        let mut rng = TestRng::new(2);
+        let strat = 5u32..10;
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = strat.generate(&mut rng);
+            assert!((5..10).contains(&v));
+            seen_lo |= v == 5;
+            seen_hi |= v == 9;
+        }
+        assert!(seen_lo && seen_hi, "edge bias should hit both bounds");
+    }
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut rng = TestRng::new(3);
+        let strat = crate::collection::vec(0u8..4, 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(crate::test_runner::Config::with_cases(32))]
+
+        #[test]
+        fn self_test_macro_works(x in 1u64..100, v in crate::collection::vec(0u32..7, 1..5)) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+    }
+}
