@@ -3,7 +3,7 @@
 
 fn main() {
     use pbppm_bench::experiments as e;
-    let steps: [(&str, fn()); 12] = [
+    let steps: [(&str, fn()); 13] = [
         ("fig1", e::fig1::run),
         ("table1", e::table1::run),
         ("table2", e::table2::run),
@@ -16,6 +16,7 @@ fn main() {
         ("related", e::related::run),
         ("quality", e::quality::run),
         ("network", e::network::run),
+        ("throughput", e::throughput::run),
     ];
     for (name, run) in steps {
         println!("\n################ {name} ################");

@@ -1,0 +1,7 @@
+//! Measures prediction and simulation throughput and writes the perf
+//! baseline (`BENCH_throughput.json`). With `PBPPM_PERF_BASELINE` set it
+//! doubles as the perf-regression gate — see `scripts/perf-gate.sh`.
+
+fn main() {
+    pbppm_bench::experiments::throughput::run();
+}

@@ -16,3 +16,4 @@ pub mod related;
 pub mod table1;
 pub mod table2;
 pub mod threshold;
+pub mod throughput;

@@ -16,6 +16,7 @@
 //! | `related` | order-1 Markov, Top-N, and online PB-PPM comparisons |
 //! | `quality` | offline prediction accuracy (coverage, precision@k, MRR) |
 //! | `network` | Crovella–Barford network effects under offered load |
+//! | `throughput` | predict/simulate throughput + the perf-regression gate |
 //! | `all`    | everything above, in sequence |
 //!
 //! Every binary prints an aligned text table *and* writes machine-readable

@@ -287,6 +287,9 @@ pub fn train(args: &Args) -> CmdResult {
 }
 
 /// `pbppm predict model.json --context "/a.html,/b.html" [--top N] [--json]`
+///
+/// Several contexts can be separated by `;` — they are answered in one
+/// batched [`Predictor::predict_many`] call.
 pub fn predict(args: &Args) -> CmdResult {
     args.reject_unknown(&["context", "top"])?;
     let path = args
@@ -299,45 +302,81 @@ pub fn predict(args: &Args) -> CmdResult {
     let top = args.get_parsed("top", 10usize)?;
 
     let context_raw = args.require("context")?;
-    let mut context = Vec::new();
-    for part in context_raw.split(',') {
-        let part = part.trim();
-        match interner.get(part) {
-            Some(id) => context.push(id),
-            None => eprintln!("note: {part:?} was never seen in training; skipping"),
+    let mut contexts: Vec<Vec<pbppm_core::UrlId>> = Vec::new();
+    for group in context_raw.split(';') {
+        let mut context = Vec::new();
+        for part in group.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match interner.get(part) {
+                Some(id) => context.push(id),
+                None => eprintln!("note: {part:?} was never seen in training; skipping"),
+            }
         }
+        if context.is_empty() {
+            return Err("no usable context URLs".into());
+        }
+        contexts.push(context);
     }
-    if context.is_empty() {
-        return Err("no usable context URLs".into());
+
+    let slices: Vec<&[pbppm_core::UrlId]> = contexts.iter().map(Vec::as_slice).collect();
+    let mut outs = Vec::new();
+    model.predict_many(&slices, &mut outs);
+    for out in &mut outs {
+        out.truncate(top);
     }
-    let mut out = Vec::new();
-    model.predict(&context, &mut out);
-    out.truncate(top);
+
     if args.switch("json") {
-        let rows: Vec<_> = out
-            .iter()
-            .map(|p| {
-                serde_json::json!({
-                    "url": interner.resolve(p.url),
-                    "probability": p.prob,
+        let render = |out: &[pbppm_core::Prediction]| -> Vec<serde_json::Value> {
+            out.iter()
+                .map(|p| {
+                    serde_json::json!({
+                        "url": interner.resolve(p.url),
+                        "probability": p.prob,
+                    })
                 })
-            })
-            .collect();
-        println!("{}", serde_json::to_string_pretty(&rows)?);
-    } else if out.is_empty() {
-        println!("no predictions for this context");
-    } else {
-        for p in &out {
-            println!("{:.3}  {}", p.prob, interner.resolve(p.url).unwrap_or("?"));
+                .collect()
+        };
+        if outs.len() == 1 {
+            println!("{}", serde_json::to_string_pretty(&render(&outs[0]))?);
+        } else {
+            let rows: Vec<_> = contexts
+                .iter()
+                .zip(&outs)
+                .map(|(ctx, out)| {
+                    let urls: Vec<_> = ctx.iter().filter_map(|&u| interner.resolve(u)).collect();
+                    serde_json::json!({"context": urls, "predictions": render(out)})
+                })
+                .collect();
+            println!("{}", serde_json::to_string_pretty(&rows)?);
+        }
+        return Ok(());
+    }
+    for (i, (ctx, out)) in contexts.iter().zip(&outs).enumerate() {
+        if outs.len() > 1 {
+            let urls: Vec<_> = ctx
+                .iter()
+                .map(|&u| interner.resolve(u).unwrap_or("?"))
+                .collect();
+            println!("context {}: {}", i + 1, urls.join(" -> "));
+        }
+        if out.is_empty() {
+            println!("no predictions for this context");
+        } else {
+            for p in out {
+                println!("{:.3}  {}", p.prob, interner.resolve(p.url).unwrap_or("?"));
+            }
         }
     }
     Ok(())
 }
 
 /// `pbppm simulate (<access.log> | --preset nasa) --model pb|standard|lrs|top10|o1
-/// [--train-days N] [--seed N] [--json]`
+/// [--train-days N] [--seed N] [--threads N] [--json]`
 pub fn simulate(args: &Args) -> CmdResult {
-    args.reject_unknown(&["preset", "model", "train-days", "seed"])?;
+    args.reject_unknown(&["preset", "model", "train-days", "seed", "threads"])?;
     let trace = match args.positional.first() {
         Some(path) => load_trace(path)?,
         None => {
@@ -357,7 +396,8 @@ pub fn simulate(args: &Args) -> CmdResult {
     };
     let default_days = trace.days().saturating_sub(1).max(1);
     let train_days = args.get_parsed("train-days", default_days)?;
-    let cfg = ExperimentConfig::paper_default(spec, train_days);
+    let mut cfg = ExperimentConfig::paper_default(spec, train_days);
+    cfg.threads = args.get_parsed("threads", 0usize)?;
     let r = run_experiment(&trace, &cfg);
     if args.switch("json") {
         println!("{}", serde_json::to_string_pretty(&r)?);

@@ -26,11 +26,13 @@ COMMANDS:
     train      Train a prediction model from a CLF log
                <access.log>  --out model.json  [--model pb|standard|lrs]
                [--days N] [--aggressive-prune] [--no-links]
-    predict    Query a trained model for prefetch candidates
+    predict    Query a trained model for prefetch candidates; separate
+               multiple contexts with ';' for one batched query
                <model.json>  --context \"/a.html,/b.html\"  [--top N] [--json]
     simulate   Run a full trace-driven prefetching experiment
                (<access.log> | --preset nasa|ucb|tiny [--seed N])
-               [--model pb|standard|3ppm|lrs|o1|top10|none] [--train-days N] [--json]
+               [--model pb|standard|3ppm|lrs|o1|top10|none] [--train-days N]
+               [--threads N] [--json]
     help       Show this message
 
 All commands are deterministic for a given input and seed.

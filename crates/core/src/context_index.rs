@@ -1,0 +1,578 @@
+//! Hashed context matching — the fingerprint fast path shared by all trees.
+//!
+//! The PPM models answer one question on every click: *which stored branch
+//! nodes spell the last `ℓ` URLs of the live context?* The baseline answers
+//! it by walking candidate nodes upward one URL at a time ([`Tree::descend`]
+//! for the suffix-rooted models, an occurrence scan for PB-PPM). This module
+//! replaces that scan with a rolling-hash fingerprint index:
+//!
+//! * every node carries a polynomial **path hash** of its root-to-node URL
+//!   sequence, `P(node) = P(parent)·B + h(url)` (wrapping arithmetic,
+//!   see [`Tree::rebuild_path_hashes`]);
+//! * the hash of any *window* of `ℓ` URLs ending at a node is recovered in
+//!   O(1) from two path hashes: `W = P(node) − P(ancestor_ℓ)·B^ℓ`;
+//! * the live context's suffix hashes obey the same recurrence
+//!   ([`ContextHashes`]), so "which nodes match the last `ℓ` clicks?"
+//!   becomes one bucket lookup keyed by `(ℓ, W)`.
+//!
+//! Hash-bucket collisions are possible (64-bit fingerprints, no chaining of
+//! URL ids), so every candidate is **verified** with the original upward
+//! walk before it is used ([`match_top`]). The fast path is therefore
+//! bit-identical to the scan it replaces — the property tests in
+//! `tests/model_properties.rs` pin exactly that.
+//!
+//! For the windows mode the index goes one step further: a popular URL's
+//! length-1 bucket holds *every* occurrence of that URL, so answering a
+//! one-click context by iterating the bucket would be the very occurrence
+//! scan the index exists to replace. [`ContextIndex::windows`] therefore
+//! precomputes a [`WindowGroup`] per bucket — the summed parent count and
+//! per-successor vote totals of all members, sub-totalled by the URL each
+//! member's stored path *extends* with above the window. A clean bucket is
+//! verified against the query with a single representative walk, and
+//! PB-PPM's maximality exclusion becomes one subtraction instead of a
+//! per-member filter. Buckets whose members genuinely disagree about the
+//! window's content (a real 64-bit collision, detected at build time) are
+//! flagged dirty and answered member by member as before.
+
+use crate::fxhash::FxHashMap;
+use crate::interner::UrlId;
+use crate::tree::{NodeId, Tree};
+
+/// Base of the rolling polynomial hash. Odd, so multiplication by it is a
+/// bijection modulo 2^64 and windows of different content rarely collide.
+pub const HASH_BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mixes a URL id into a 64-bit digit for the polynomial hash
+/// (splitmix64 finisher — consecutive interner ids must not hash close).
+#[inline]
+pub fn hash_url(url: UrlId) -> u64 {
+    let mut z = u64::from(url.0).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds the window length into the fingerprint so a length-2 window never
+/// shares a bucket with a length-3 window of the same rolling hash.
+#[inline]
+fn bucket_key(len: usize, hash: u64) -> u64 {
+    hash ^ (len as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+/// Rolling hashes of the suffixes of a live context, reusable across calls.
+///
+/// After [`ContextHashes::compute`], `suffix_hash(ℓ)` equals the path hash
+/// a tree branch spelling the last `ℓ` context URLs would carry.
+#[derive(Debug, Clone, Default)]
+pub struct ContextHashes {
+    suffix: Vec<u64>,
+}
+
+impl ContextHashes {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the hashes of the suffixes of `context` up to `max_len`
+    /// URLs, replacing any previous contents.
+    pub fn compute(&mut self, context: &[UrlId], max_len: usize) {
+        self.suffix.clear();
+        let mut h = 0u64;
+        let mut pow = 1u64;
+        for &url in context.iter().rev().take(max_len) {
+            h = h.wrapping_add(hash_url(url).wrapping_mul(pow));
+            pow = pow.wrapping_mul(HASH_BASE);
+            self.suffix.push(h);
+        }
+    }
+
+    /// Longest suffix length available (≤ the `max_len` given to `compute`).
+    pub fn max_len(&self) -> usize {
+        self.suffix.len()
+    }
+
+    /// The rolling hash of the last `len` context URLs (`1 ≤ len ≤ max_len`).
+    #[inline]
+    pub fn suffix_hash(&self, len: usize) -> u64 {
+        self.suffix[len - 1]
+    }
+}
+
+/// Verifies that the upward path ending at `node` spells `suffix` (oldest
+/// URL topmost), returning the topmost matched node on success.
+///
+/// This is the collision check that keeps the hashed fast path bit-identical
+/// to the original walk: a bucket hit is only a *candidate* until this
+/// passes.
+pub fn match_top(tree: &Tree, node: NodeId, suffix: &[UrlId]) -> Option<NodeId> {
+    let mut cur = node;
+    let mut iter = suffix.iter().rev();
+    let &last = iter.next()?;
+    if tree.node(cur).url != last {
+        return None;
+    }
+    for &url in iter {
+        let parent = tree.node(cur).parent;
+        if parent.is_none() {
+            return None; // stored path is shorter than the suffix
+        }
+        cur = parent;
+        if tree.node(cur).url != url {
+            return None;
+        }
+    }
+    Some(cur)
+}
+
+/// Precomputed vote aggregates for one windows-mode bucket.
+///
+/// All members of a clean bucket spell the same window of URLs, so the
+/// answer to "the context's longest match is this window — what do its
+/// occurrences predict?" is the same for every query and can be summed
+/// once at build time. Members are sub-grouped by their **extension** —
+/// the URL their stored path continues with *above* the window (`None`
+/// when the window already starts at a branch root) — because PB-PPM's
+/// grouping excludes members whose match would extend to a longer context
+/// suffix: at query time that exclusion is a subtraction of one sub-group.
+#[derive(Debug, Clone)]
+pub struct WindowGroup {
+    /// Representative member: one upward walk against it verifies the
+    /// whole bucket's content against the query suffix.
+    pub(crate) rep: NodeId,
+    /// Build-time hash collision: members disagree about the window's
+    /// content, so queries must verify and aggregate member by member.
+    pub(crate) dirty: bool,
+    /// Summed count of all members that have alive children (the group's
+    /// vote denominator when nothing is excluded).
+    pub(crate) total: u64,
+    /// Per-successor vote totals over all voting members, sorted by URL.
+    pub(crate) votes: Vec<(UrlId, u64)>,
+    /// Sub-aggregates per extension URL, sorted by extension.
+    pub(crate) subs: Vec<SubGroup>,
+}
+
+/// The slice of a [`WindowGroup`] contributed by members sharing one
+/// extension URL.
+#[derive(Debug, Clone)]
+pub(crate) struct SubGroup {
+    /// URL the members' stored paths continue with above the window;
+    /// `None` when the window starts at a branch root (never excluded).
+    pub(crate) ext: Option<UrlId>,
+    /// Summed count of this sub-group's voting members.
+    pub(crate) total: u64,
+    /// Per-successor vote totals, sorted by URL (a subset of the group's).
+    pub(crate) votes: Vec<(UrlId, u64)>,
+    /// The voting members themselves (for deferred used-path marking).
+    pub(crate) voters: Vec<NodeId>,
+    /// Their alive children (for deferred used-node marking).
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl WindowGroup {
+    /// The sub-group whose members extend the window with `ext`, if any.
+    #[inline]
+    pub(crate) fn sub_for(&self, ext: UrlId) -> Option<&SubGroup> {
+        self.subs
+            .binary_search_by_key(&Some(ext), |s| s.ext)
+            .ok()
+            .map(|i| &self.subs[i])
+    }
+}
+
+/// True when the length-`len` windows ending at `a` and `b` spell the same
+/// URLs. Both nodes must be at depth ≥ `len` (guaranteed for filed window
+/// entries).
+fn same_window(tree: &Tree, a: NodeId, b: NodeId, len: usize) -> bool {
+    let (mut x, mut y) = (a, b);
+    for step in 0..len {
+        if tree.node(x).url != tree.node(y).url {
+            return false;
+        }
+        if step + 1 < len {
+            x = tree.node(x).parent;
+            y = tree.node(y).parent;
+        }
+    }
+    true
+}
+
+/// Fingerprint → node-bucket index over a [`Tree`], keyed by
+/// `(window length, rolling window hash)`.
+///
+/// Two build modes cover the two matching disciplines the models use:
+///
+/// * [`ContextIndex::full_paths`] — one entry per node, keyed by its full
+///   root-to-node path. Standard and LRS PPM store every suffix as its own
+///   branch, so a context can only ever match a *complete* root path; this
+///   mode makes [`ContextIndex::longest_predictive`] a drop-in replacement
+///   for [`Tree::longest_predictive_match`].
+/// * [`ContextIndex::windows`] — one entry per node per window length up to
+///   `max_order`. PB-PPM saves the suffix duplication (rule 4), so its
+///   longest context match must be sought at interior nodes; this mode
+///   replaces its linear occurrence scan.
+///
+/// Both builders rebuild the tree's path hashes first, so they want `&mut
+/// Tree`; afterwards the index is immutable and lookups take `&self`, which
+/// is what lets the evaluation engine share one model across worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct ContextIndex {
+    buckets: FxHashMap<u64, Vec<NodeId>>,
+    /// Windows mode only: precomputed aggregates per bucket, same keys as
+    /// `buckets`. Empty in full-paths mode.
+    groups: FxHashMap<u64, WindowGroup>,
+    entries: usize,
+}
+
+impl ContextIndex {
+    /// Builds the full-root-path index (standard/LRS matching discipline).
+    pub fn full_paths(tree: &mut Tree) -> Self {
+        tree.rebuild_path_hashes();
+        let mut index = ContextIndex::default();
+        for id in tree.iter_alive() {
+            let node = tree.node(id);
+            if node.link_dup {
+                continue; // never reachable by descending from a root
+            }
+            index.insert(usize::from(node.depth), tree.path_hash(id), id);
+        }
+        index
+    }
+
+    /// Builds the all-windows index (PB-PPM matching discipline): every
+    /// alive branch node is filed under each suffix window of its upward
+    /// path, up to `max_order` URLs, and every bucket gets its
+    /// [`WindowGroup`] vote aggregates precomputed.
+    pub fn windows(tree: &mut Tree, max_order: usize) -> Self {
+        tree.rebuild_path_hashes();
+        let mut index = ContextIndex::default();
+        // Phase 1: file every (node, window) entry, remembering the window
+        // length and the member's extension URL per bucket.
+        let mut raw: FxHashMap<u64, (usize, Vec<(NodeId, Option<UrlId>)>)> =
+            FxHashMap::default();
+        for id in tree.iter_alive() {
+            let node = tree.node(id);
+            if node.link_dup {
+                continue;
+            }
+            let p_node = tree.path_hash(id);
+            let max_len = usize::from(node.depth).min(max_order);
+            let mut anc = id;
+            let mut pow = 1u64;
+            for len in 1..=max_len {
+                pow = pow.wrapping_mul(HASH_BASE);
+                let parent = tree.node(anc).parent;
+                let above = if parent.is_none() {
+                    0
+                } else {
+                    tree.path_hash(parent)
+                };
+                let hash = p_node.wrapping_sub(above.wrapping_mul(pow));
+                let ext = if parent.is_none() {
+                    None
+                } else {
+                    Some(tree.node(parent).url)
+                };
+                let entry = raw
+                    .entry(bucket_key(len, hash))
+                    .or_insert_with(|| (len, Vec::new()));
+                entry.1.push((id, ext));
+                if parent.is_none() {
+                    break;
+                }
+                anc = parent;
+            }
+        }
+        // Phase 2: aggregate each bucket into its WindowGroup.
+        for (key, (len, members)) in raw {
+            index.entries += members.len();
+            let rep = members[0].0;
+            let dirty = members
+                .iter()
+                .skip(1)
+                .any(|&(m, _)| !same_window(tree, rep, m, len));
+            let mut group = WindowGroup {
+                rep,
+                dirty,
+                total: 0,
+                votes: Vec::new(),
+                subs: Vec::new(),
+            };
+            if !dirty {
+                for &(m, ext) in &members {
+                    let mut kids = tree.children_of(m).peekable();
+                    if kids.peek().is_none() {
+                        continue; // leaves never vote
+                    }
+                    let count = tree.node(m).count;
+                    group.total += count;
+                    let pos = match group.subs.iter().position(|s| s.ext == ext) {
+                        Some(p) => p,
+                        None => {
+                            group.subs.push(SubGroup {
+                                ext,
+                                total: 0,
+                                votes: Vec::new(),
+                                voters: Vec::new(),
+                                children: Vec::new(),
+                            });
+                            group.subs.len() - 1
+                        }
+                    };
+                    let sub = &mut group.subs[pos];
+                    sub.total += count;
+                    sub.voters.push(m);
+                    for (url, child, ccount) in kids {
+                        sub.children.push(child);
+                        match sub.votes.iter().position(|v| v.0 == url) {
+                            Some(i) => sub.votes[i].1 += ccount,
+                            None => sub.votes.push((url, ccount)),
+                        }
+                    }
+                }
+                group.subs.sort_by_key(|s| s.ext);
+                let mut votes: Vec<(UrlId, u64)> = Vec::new();
+                for sub in &mut group.subs {
+                    sub.votes.sort_unstable_by_key(|v| v.0);
+                    for &(url, count) in &sub.votes {
+                        match votes.iter().position(|v| v.0 == url) {
+                            Some(i) => votes[i].1 += count,
+                            None => votes.push((url, count)),
+                        }
+                    }
+                }
+                votes.sort_unstable_by_key(|v| v.0);
+                group.votes = votes;
+            }
+            index
+                .buckets
+                .insert(key, members.into_iter().map(|(m, _)| m).collect());
+            index.groups.insert(key, group);
+        }
+        index
+    }
+
+    fn insert(&mut self, len: usize, hash: u64, id: NodeId) {
+        self.buckets.entry(bucket_key(len, hash)).or_default().push(id);
+        self.entries += 1;
+    }
+
+    /// Unverified candidates whose window of length `len` hashes to `hash`.
+    #[inline]
+    pub fn candidates(&self, len: usize, hash: u64) -> &[NodeId] {
+        self.buckets
+            .get(&bucket_key(len, hash))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The precomputed aggregate for the `(len, hash)` bucket, with the
+    /// bucket key it is filed under (windows mode only).
+    #[inline]
+    pub(crate) fn group(&self, len: usize, hash: u64) -> Option<(u64, &WindowGroup)> {
+        let key = bucket_key(len, hash);
+        self.groups.get(&key).map(|g| (key, g))
+    }
+
+    /// Resolves a bucket key recorded in a
+    /// [`crate::predictor::PredictUsage`] back to its aggregate.
+    #[inline]
+    pub(crate) fn group_by_key(&self, key: u64) -> Option<&WindowGroup> {
+        self.groups.get(&key)
+    }
+
+    /// Test hook: flags every windows-mode group dirty, forcing queries
+    /// down the per-member fallback path.
+    #[cfg(test)]
+    pub(crate) fn force_dirty(&mut self) {
+        for g in self.groups.values_mut() {
+            g.dirty = true;
+        }
+    }
+
+    /// Total (node, window) entries filed.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Approximate resident bytes (for storage reporting alongside
+    /// [`Tree::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<(u64, Vec<NodeId>)>()
+            + self
+                .buckets
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+            + self.groups.capacity() * std::mem::size_of::<(u64, WindowGroup)>()
+            + self
+                .groups
+                .values()
+                .map(|g| {
+                    g.votes.capacity() * std::mem::size_of::<(UrlId, u64)>()
+                        + g.subs.capacity() * std::mem::size_of::<SubGroup>()
+                        + g.subs
+                            .iter()
+                            .map(|s| {
+                                s.votes.capacity() * std::mem::size_of::<(UrlId, u64)>()
+                                    + (s.voters.capacity() + s.children.capacity())
+                                        * std::mem::size_of::<NodeId>()
+                            })
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+
+    /// Hashed drop-in for [`Tree::longest_predictive_match`]: the deepest
+    /// full-root-path suffix match of `context` that has at least one alive
+    /// child. Only meaningful over a [`ContextIndex::full_paths`] index.
+    pub fn longest_predictive(
+        &self,
+        tree: &Tree,
+        context: &[UrlId],
+        max_order: usize,
+        hashes: &mut ContextHashes,
+    ) -> Option<NodeId> {
+        let len = context.len();
+        let longest = len.min(max_order).min(usize::from(u8::MAX));
+        hashes.compute(context, longest);
+        for k in (1..=longest).rev() {
+            let suffix = &context[len - k..];
+            for &id in self.candidates(k, hashes.suffix_hash(k)) {
+                let node = tree.node(id);
+                if !node.alive || usize::from(node.depth) != k {
+                    continue;
+                }
+                if match_top(tree, id, suffix).is_none() {
+                    continue; // bucket collision
+                }
+                if tree.children_of(id).next().is_some() {
+                    return Some(id);
+                }
+                // The verified node is unique for a full path (the tree is a
+                // trie); a leaf match falls back to a shorter suffix.
+                break;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    fn chain_tree(paths: &[&[u32]]) -> Tree {
+        let mut t = Tree::new();
+        for p in paths {
+            let path: Vec<UrlId> = p.iter().map(|&n| u(n)).collect();
+            t.insert_path(&path, usize::MAX);
+        }
+        t
+    }
+
+    #[test]
+    fn suffix_hash_matches_path_hash_of_equal_branch() {
+        // A branch spelling [7, 3, 9] must carry the same hash as the
+        // length-3 suffix of any context ending in ... 7 3 9.
+        let mut t = chain_tree(&[&[7, 3, 9]]);
+        t.rebuild_path_hashes();
+        let node = t.descend(&[u(7), u(3), u(9)]).unwrap();
+        let mut h = ContextHashes::new();
+        h.compute(&[u(1), u(7), u(3), u(9)], 3);
+        assert_eq!(h.suffix_hash(3), t.path_hash(node));
+    }
+
+    #[test]
+    fn window_entries_cover_interior_suffixes() {
+        let mut t = chain_tree(&[&[1, 2, 3]]);
+        let idx = ContextIndex::windows(&mut t, 8);
+        // Node "3" is indexed under windows [3], [2,3], [1,2,3].
+        let mut h = ContextHashes::new();
+        h.compute(&[u(2), u(3)], 2);
+        let node3 = t.descend(&[u(1), u(2), u(3)]).unwrap();
+        assert!(idx.candidates(2, h.suffix_hash(2)).contains(&node3));
+        h.compute(&[u(3)], 1);
+        assert!(idx.candidates(1, h.suffix_hash(1)).contains(&node3));
+        assert_eq!(idx.len(), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn window_groups_aggregate_votes_by_extension() {
+        // Two branches share the interior window [2, 3]; its group sums
+        // both "3" nodes and keeps one sub-aggregate per extension URL.
+        let mut t = chain_tree(&[&[1, 2, 3, 4], &[5, 2, 3, 6]]);
+        let idx = ContextIndex::windows(&mut t, 8);
+        let mut h = ContextHashes::new();
+        h.compute(&[u(2), u(3)], 2);
+        let (_, g) = idx.group(2, h.suffix_hash(2)).unwrap();
+        assert!(!g.dirty);
+        assert_eq!(g.total, 2);
+        assert_eq!(g.votes, vec![(u(4), 1), (u(6), 1)]);
+        assert_eq!(g.subs.len(), 2);
+        let s1 = g.sub_for(u(1)).unwrap();
+        assert_eq!((s1.total, s1.votes.clone()), (1, vec![(u(4), 1)]));
+        assert_eq!(s1.voters.len(), 1);
+        assert_eq!(s1.children.len(), 1);
+        assert!(g.sub_for(u(9)).is_none());
+        // A window starting at a branch root has no extension.
+        h.compute(&[u(1), u(2)], 2);
+        let (_, g) = idx.group(2, h.suffix_hash(2)).unwrap();
+        assert_eq!(g.subs.len(), 1);
+        assert_eq!(g.subs[0].ext, None);
+        // Leaves are members but never voters: the length-1 bucket of "4".
+        h.compute(&[u(4)], 1);
+        let (_, g) = idx.group(1, h.suffix_hash(1)).unwrap();
+        assert_eq!(g.total, 0);
+        assert!(g.votes.is_empty());
+        assert_eq!(idx.candidates(1, h.suffix_hash(1)).len(), 1);
+    }
+
+    #[test]
+    fn match_top_rejects_wrong_paths() {
+        let t = {
+            let mut t = chain_tree(&[&[1, 2, 3]]);
+            t.rebuild_path_hashes();
+            t
+        };
+        let node = t.descend(&[u(1), u(2), u(3)]).unwrap();
+        assert!(match_top(&t, node, &[u(2), u(3)]).is_some());
+        assert!(match_top(&t, node, &[u(9), u(3)]).is_none());
+        assert!(match_top(&t, node, &[u(3)]).is_some());
+        // Suffix longer than the stored path: no match.
+        assert!(match_top(&t, node, &[u(0), u(1), u(2), u(3)]).is_none());
+        assert!(match_top(&t, node, &[]).is_none());
+    }
+
+    #[test]
+    fn longest_predictive_agrees_with_tree_walk() {
+        let mut t = chain_tree(&[&[1, 2, 3], &[2, 3, 4], &[3, 4], &[5]]);
+        let idx = ContextIndex::full_paths(&mut t);
+        let mut h = ContextHashes::new();
+        for ctx in [
+            vec![u(1), u(2)],
+            vec![u(2), u(3)],
+            vec![u(9), u(2), u(3)],
+            vec![u(3)],
+            vec![u(5)], // leaf-only root: must fall through to None
+            vec![u(99)],
+            vec![],
+        ] {
+            for order in [1usize, 2, 8] {
+                assert_eq!(
+                    idx.longest_predictive(&t, &ctx, order, &mut h),
+                    t.longest_predictive_match(&ctx, order),
+                    "ctx {ctx:?} order {order}"
+                );
+            }
+        }
+    }
+}

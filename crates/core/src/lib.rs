@@ -49,6 +49,7 @@
 //! assert_eq!(out[0].url, b); // after /index.html the model expects /docs
 //! ```
 
+pub mod context_index;
 pub mod eval;
 pub mod fxhash;
 pub mod interner;
@@ -65,6 +66,7 @@ pub mod stats;
 pub mod topn;
 pub mod tree;
 
+pub use context_index::{ContextHashes, ContextIndex};
 pub use eval::{evaluate, EvalConfig, PredictionQuality};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interner::{Interner, UrlId};
@@ -73,7 +75,7 @@ pub use order1::Order1Markov;
 pub use pb::{PbConfig, PbPpm};
 pub use pb_online::OnlinePbPpm;
 pub use popularity::{Grade, PopularityBuilder, PopularityTable, PopularityTracker};
-pub use predictor::{ModelKind, Prediction, Predictor};
+pub use predictor::{ModelKind, PredictUsage, Prediction, Predictor};
 pub use prune::PruneConfig;
 pub use standard::StandardPpm;
 pub use topn::TopN;

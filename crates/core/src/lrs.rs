@@ -14,10 +14,11 @@
 //! Training therefore proceeds exactly like standard PPM; the LRS extraction
 //! happens in [`LrsPpm::finalize`], which must be called before predicting.
 
+use crate::context_index::{ContextHashes, ContextIndex};
 use crate::interner::UrlId;
-use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::predictor::{rank_predictions, ModelKind, PredictUsage, Prediction, Predictor};
 use crate::stats::ModelStats;
-use crate::tree::Tree;
+use crate::tree::{NodeId, Tree};
 
 /// Default occurrence threshold: "if an URL sequence is accessed twice or
 /// more, the sequence is considered as a frequently repeating one" (§4.1).
@@ -30,6 +31,10 @@ pub struct LrsPpm {
     min_support: u64,
     max_height: usize,
     finalized: bool,
+    /// Full-root-path fingerprint index, built by `finalize` over the
+    /// extracted repeating forest. `None` before finalization, when
+    /// prediction falls back to the descend walk.
+    index: Option<ContextIndex>,
 }
 
 impl Default for LrsPpm {
@@ -51,6 +56,7 @@ impl LrsPpm {
             min_support: min_support.max(1),
             max_height: usize::from(u8::MAX),
             finalized: false,
+            index: None,
         }
     }
 
@@ -78,12 +84,47 @@ impl LrsPpm {
 
     /// Restores a model from a snapshot.
     pub fn from_snapshot(snap: &LrsSnapshot) -> Result<Self, crate::tree::SnapshotError> {
+        let mut tree = Tree::from_snapshot(&snap.tree)?;
+        let index = snap.finalized.then(|| ContextIndex::full_paths(&mut tree));
         Ok(Self {
-            tree: Tree::from_snapshot(&snap.tree)?,
+            tree,
             min_support: snap.min_support,
             max_height: snap.max_height,
             finalized: snap.finalized,
+            index,
         })
+    }
+
+    /// The longest predictive context match, hashed when the index exists.
+    fn matched_node(&self, context: &[UrlId]) -> Option<NodeId> {
+        match &self.index {
+            Some(index) => {
+                let mut hashes = ContextHashes::new();
+                index.longest_predictive(&self.tree, context, self.max_height, &mut hashes)
+            }
+            None => self.tree.longest_predictive_match(context, self.max_height),
+        }
+    }
+
+    /// Reference prediction path: the original descend-per-suffix walk,
+    /// kept as the ground truth the hashed fast path is property-tested
+    /// against.
+    pub fn predict_reference(&self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        out.clear();
+        if context.is_empty() {
+            return;
+        }
+        let Some(node) = self.tree.longest_predictive_match(context, self.max_height) else {
+            return;
+        };
+        let parent_count = self.tree.node(node).count;
+        if parent_count == 0 {
+            return;
+        }
+        for (url, _, count) in self.tree.children_of(node) {
+            out.push(Prediction::new(url, count as f64 / parent_count as f64));
+        }
+        rank_predictions(out, usize::MAX);
     }
 }
 
@@ -121,35 +162,38 @@ impl Predictor for LrsPpm {
             self.tree.kill_subtree(id);
         }
         self.tree.compact();
+        self.index = Some(ContextIndex::full_paths(&mut self.tree));
         self.finalized = true;
     }
 
-    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+    fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
         debug_assert!(self.finalized, "predict before finalize");
         out.clear();
         if context.is_empty() {
             return;
         }
-        let Some(node) = self
-            .tree
-            .longest_predictive_match(context, self.max_height)
-        else {
+        let Some(node) = self.matched_node(context) else {
             return;
         };
         let parent_count = self.tree.node(node).count;
         if parent_count == 0 {
             return;
         }
-        let mut marks = Vec::new();
+        usage.used_paths.push(node);
         for (url, child, count) in self.tree.children_of(node) {
             out.push(Prediction::new(url, count as f64 / parent_count as f64));
-            marks.push(child);
-        }
-        self.tree.mark_path_used(node);
-        for m in marks {
-            self.tree.mark_used(m);
+            usage.used_nodes.push(child);
         }
         rank_predictions(out, usize::MAX);
+    }
+
+    fn apply_usage(&mut self, usage: &PredictUsage) {
+        for &id in &usage.used_paths {
+            self.tree.mark_path_used(id);
+        }
+        for &id in &usage.used_nodes {
+            self.tree.mark_used(id);
+        }
     }
 
     fn node_count(&self) -> usize {

@@ -9,7 +9,7 @@
 
 use crate::fxhash::FxHashMap;
 use crate::interner::UrlId;
-use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::predictor::{rank_predictions, ModelKind, PredictUsage, Prediction, Predictor};
 use crate::stats::ModelStats;
 
 /// Transition counts out of one URL.
@@ -52,20 +52,28 @@ impl Predictor for Order1Markov {
         self.finalized = true;
     }
 
-    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+    fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
         out.clear();
         let Some(current) = context.last() else {
             return;
         };
-        let Some(row) = self.rows.get_mut(current) else {
+        let Some(row) = self.rows.get(current) else {
             return;
         };
-        row.used = true;
+        usage.used_urls.push(*current);
         let total = row.total as f64;
         for (&url, &count) in &row.next {
             out.push(Prediction::new(url, count as f64 / total));
         }
         rank_predictions(out, usize::MAX);
+    }
+
+    fn apply_usage(&mut self, usage: &PredictUsage) {
+        for url in &usage.used_urls {
+            if let Some(row) = self.rows.get_mut(url) {
+                row.used = true;
+            }
+        }
     }
 
     /// Storage in "URL nodes": one per source URL plus one per stored

@@ -24,9 +24,10 @@
 //! After construction, [`PbPpm::finalize`] applies the two space
 //! optimizations of [`crate::prune`].
 
+use crate::context_index::{match_top, ContextHashes, ContextIndex};
 use crate::interner::UrlId;
 use crate::popularity::{Grade, PopularityTable};
-use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::predictor::{rank_predictions, ModelKind, PredictUsage, Prediction, Predictor};
 use crate::prune::{prune, PruneConfig, PruneReport};
 use crate::stats::ModelStats;
 use crate::tree::{NodeId, Tree};
@@ -98,9 +99,17 @@ pub struct PbPpm {
     /// Standard and LRS trees store every *suffix* of a sequence as its own
     /// branch, so matching a context against branch roots is enough. PB-PPM
     /// saves exactly that duplication (rule 4), which means the longest
-    /// context match must be sought at **interior** nodes: this index,
-    /// built once in [`PbPpm::finalize`], makes that lookup cheap.
+    /// context match must be sought at **interior** nodes. This index backs
+    /// the retained linear-scan reference path
+    /// ([`PbPpm::predict_reference`]); live prediction goes through the
+    /// hashed `index` below, which the property tests hold bit-identical
+    /// to the scan.
     by_url: crate::fxhash::FxHashMap<UrlId, Vec<NodeId>>,
+    /// Fingerprint fast path: `(window length, rolling hash)` → candidate
+    /// nodes plus precomputed per-bucket vote aggregates
+    /// ([`crate::context_index::WindowGroup`]), built once in
+    /// [`PbPpm::finalize`] over the pruned arena.
+    index: ContextIndex,
 }
 
 impl PbPpm {
@@ -116,11 +125,22 @@ impl PbPpm {
             emitted_link_preds: 0,
             emitted_branch_preds: 0,
             by_url: crate::fxhash::FxHashMap::default(),
+            index: ContextIndex::default(),
         }
     }
 
     /// Length of the longest context suffix that matches the upward path
-    /// ending at `node` (at least 1: `node.url == *context.last()`).
+    /// ending at `node` (at least 1 when `node.url == *context.last()`),
+    /// capped at `max_order` URLs.
+    ///
+    /// Audited against the grouping in [`PbPpm::predict_reference`]: the
+    /// walk stops *after* counting a node whose `parent.is_none()` — at a
+    /// branch root the stored path is exhausted, so a longer context suffix
+    /// cannot match and the root's length is final. Breaking *before*
+    /// counting (or following the `NONE` parent) would under-count root
+    /// matches by one or index outside the arena. The unit tests pin the
+    /// root, interior and leaf cases, including a context that outruns the
+    /// stored branch.
     fn match_len(&self, node: NodeId, context: &[UrlId]) -> usize {
         let mut len = 0;
         let mut cur = node;
@@ -136,6 +156,124 @@ impl PbPpm {
             cur = parent;
         }
         len
+    }
+
+    /// Reference prediction path: the original linear occurrence scan over
+    /// `by_url`, kept verbatim (minus usage bookkeeping) as the ground
+    /// truth the hashed fast path is property-tested against.
+    pub fn predict_reference(&self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        out.clear();
+        let Some(&current) = context.last() else {
+            return;
+        };
+        if let Some(nodes) = self.by_url.get(&current) {
+            // Group candidate nodes by match length, longest first.
+            let mut scored: Vec<(usize, NodeId)> = nodes
+                .iter()
+                .filter(|&&id| self.tree.node(id).alive)
+                .map(|&id| (self.match_len(id, context), id))
+                .collect();
+            scored.sort_by_key(|&(len, _)| std::cmp::Reverse(len));
+            let mut i = 0;
+            while i < scored.len() {
+                let len = scored[i].0;
+                let mut j = i;
+                let mut parent_total = 0u64;
+                let mut votes: Vec<(UrlId, u64)> = Vec::new();
+                while j < scored.len() && scored[j].0 == len {
+                    let node = scored[j].1;
+                    if self.tree.children_of(node).next().is_some() {
+                        parent_total += self.tree.node(node).count;
+                        for (url, _, count) in self.tree.children_of(node) {
+                            votes.push((url, count));
+                        }
+                    }
+                    j += 1;
+                }
+                if parent_total > 0 {
+                    let mut agg: crate::fxhash::FxHashMap<UrlId, u64> =
+                        crate::fxhash::FxHashMap::default();
+                    for &(url, count) in &votes {
+                        *agg.entry(url).or_default() += count;
+                    }
+                    for (url, count) in agg {
+                        out.push(Prediction::new(url, count as f64 / parent_total as f64));
+                    }
+                    break;
+                }
+                i = j;
+            }
+        }
+        if let Some(root) = self.tree.root(current) {
+            let root_count = self.tree.node(root).count;
+            if root_count > 0 {
+                for id in self.tree.links_of(root) {
+                    let n = self.tree.node(id);
+                    out.push(Prediction::new(n.url, n.count as f64 / root_count as f64));
+                }
+            }
+        }
+        rank_predictions(out, usize::MAX);
+    }
+
+    /// Per-member fallback for a fingerprint bucket flagged dirty at build
+    /// time (members with genuinely different window contents hashed
+    /// alike): verifies and filters each candidate individually, exactly
+    /// like the reference scan's match-length grouping, recording usage
+    /// per node. `older` is the context URL just before the suffix, if the
+    /// suffix is not the whole (order-capped) context — a candidate whose
+    /// stored path extends with it belongs to a longer match group.
+    /// Returns true when the group voted, ending the length descent.
+    fn vote_candidates(
+        &self,
+        suffix: &[UrlId],
+        older: Option<UrlId>,
+        candidates: &[NodeId],
+        out: &mut Vec<Prediction>,
+        usage: &mut PredictUsage,
+    ) -> bool {
+        let mut group: Vec<NodeId> = Vec::new();
+        for &id in candidates {
+            if !self.tree.node(id).alive {
+                continue;
+            }
+            let Some(top) = match_top(&self.tree, id, suffix) else {
+                continue; // bucket collision
+            };
+            if let Some(older) = older {
+                let above = self.tree.node(top).parent;
+                if !above.is_none() && self.tree.node(above).url == older {
+                    continue; // match extends: counted at a longer length
+                }
+            }
+            group.push(id);
+        }
+        let mut parent_total = 0u64;
+        for &id in &group {
+            if self.tree.children_of(id).next().is_some() {
+                parent_total += self.tree.node(id).count;
+            }
+        }
+        if parent_total == 0 {
+            return false;
+        }
+        // Aggregate votes per URL across same-length matches.
+        let mut agg: crate::fxhash::FxHashMap<UrlId, u64> = crate::fxhash::FxHashMap::default();
+        for &id in &group {
+            if self.tree.children_of(id).next().is_none() {
+                continue;
+            }
+            usage.used_paths.push(id);
+            for (url, child, count) in self.tree.children_of(id) {
+                *agg.entry(url).or_default() += count;
+                usage.used_nodes.push(child);
+            }
+        }
+        for (url, count) in agg {
+            out.push(Prediction::new(url, count as f64 / parent_total as f64));
+            usage.branch_preds += 1;
+        }
+        true
     }
 
     /// Read-only access to the underlying tree (tests, rendering).
@@ -170,9 +308,10 @@ impl PbPpm {
         }
     }
 
-    /// Restores a model from a snapshot, rebuilding the occurrence index.
+    /// Restores a model from a snapshot, rebuilding the occurrence and
+    /// fingerprint indexes.
     pub fn from_snapshot(snap: &PbSnapshot) -> Result<Self, crate::tree::SnapshotError> {
-        let tree = Tree::from_snapshot(&snap.tree)?;
+        let mut tree = Tree::from_snapshot(&snap.tree)?;
         let mut by_url: crate::fxhash::FxHashMap<UrlId, Vec<NodeId>> =
             crate::fxhash::FxHashMap::default();
         for id in tree.iter_alive() {
@@ -181,6 +320,7 @@ impl PbPpm {
                 by_url.entry(node.url).or_default().push(id);
             }
         }
+        let index = ContextIndex::windows(&mut tree, snap.cfg.max_order);
         Ok(Self {
             tree,
             pop: snap.pop.clone(),
@@ -190,6 +330,7 @@ impl PbPpm {
             emitted_link_preds: 0,
             emitted_branch_preds: 0,
             by_url,
+            index,
         })
     }
 }
@@ -277,69 +418,90 @@ impl Predictor for PbPpm {
                 self.by_url.entry(node.url).or_default().push(id);
             }
         }
+        self.index = ContextIndex::windows(&mut self.tree, self.cfg.max_order);
         self.finalized = true;
     }
 
-    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+    fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
         out.clear();
         let Some(&current) = context.last() else {
             return;
         };
         debug_assert!(self.finalized, "predict before finalize");
-        let mut marks: Vec<NodeId> = Vec::new();
 
         // Branch predictions via the longest matching context, sought at
-        // interior nodes (see the `by_url` field docs): among all nodes for
-        // the current URL, those with the longest upward match against the
-        // context vote with their children, weighted by node count.
-        if let Some(nodes) = self.by_url.get(&current) {
-            // Group candidate nodes by match length, longest first.
-            let mut scored: Vec<(usize, NodeId)> = nodes
-                .iter()
-                .filter(|&&id| self.tree.node(id).alive)
-                .map(|&id| (self.match_len(id, context), id))
-                .collect();
-            scored.sort_by_key(|&(len, _)| std::cmp::Reverse(len));
-            let mut i = 0;
-            while i < scored.len() {
-                let len = scored[i].0;
-                let mut j = i;
-                let mut parent_total = 0u64;
-                let mut votes: Vec<(UrlId, NodeId, u64)> = Vec::new();
-                while j < scored.len() && scored[j].0 == len {
-                    let node = scored[j].1;
-                    if self.tree.children_of(node).next().is_some() {
-                        parent_total += self.tree.node(node).count;
-                        for (url, child, count) in self.tree.children_of(node) {
-                            votes.push((url, child, count));
-                        }
-                    }
-                    j += 1;
-                }
-                if parent_total > 0 {
-                    // Aggregate votes per URL across same-length matches.
-                    let mut agg: crate::fxhash::FxHashMap<UrlId, u64> =
-                        crate::fxhash::FxHashMap::default();
-                    for &(url, child, count) in &votes {
-                        *agg.entry(url).or_default() += count;
-                        marks.push(child);
-                    }
-                    let matched: Vec<NodeId> = scored[i..j]
-                        .iter()
-                        .map(|&(_, node)| node)
-                        .filter(|&node| self.tree.children_of(node).next().is_some())
-                        .collect();
-                    for node in matched {
-                        self.tree.mark_path_used(node);
-                    }
-                    for (url, count) in agg {
-                        out.push(Prediction::new(url, count as f64 / parent_total as f64));
-                        self.emitted_branch_preds += 1;
-                    }
+        // interior nodes (see the `by_url` field docs). The fingerprint
+        // index hands us, per window length, the *precomputed aggregate*
+        // of all nodes whose window spells that content: one representative
+        // upward walk verifies the whole bucket against the suffix
+        // (hash-bucket collisions), and the reference scan's maximality
+        // rule — a node whose stored path keeps agreeing with an even older
+        // context URL belongs to a longer match group — becomes a
+        // subtraction of the per-extension sub-aggregate for the next-older
+        // context URL. The longest length whose remaining total is positive
+        // votes with its aggregated children, weighted by count. Buckets
+        // flagged dirty at build time (a genuine fingerprint collision)
+        // fall back to the per-member scan in `vote_candidates`.
+        let len = context.len();
+        let longest = len.min(self.cfg.max_order).min(usize::from(u8::MAX));
+        let mut hashes = ContextHashes::new();
+        hashes.compute(context, longest);
+        for l in (1..=longest).rev() {
+            let suffix = &context[len - l..];
+            let Some((key, g)) = self.index.group(l, hashes.suffix_hash(l)) else {
+                continue;
+            };
+            if g.dirty {
+                let older = (l < longest).then(|| context[len - 1 - l]);
+                let candidates = self.index.candidates(l, hashes.suffix_hash(l));
+                if self.vote_candidates(suffix, older, candidates, out, usage) {
                     break;
                 }
-                i = j;
+                continue;
             }
+            if match_top(&self.tree, g.rep, suffix).is_none() {
+                continue; // clean bucket, so no node spells this suffix
+            }
+            let excluded = if l < longest {
+                let ext = context[len - 1 - l];
+                g.sub_for(ext).map(|s| (ext, s))
+            } else {
+                None
+            };
+            match excluded {
+                None => {
+                    if g.total == 0 {
+                        continue;
+                    }
+                    for &(url, count) in &g.votes {
+                        out.push(Prediction::new(url, count as f64 / g.total as f64));
+                        usage.branch_preds += 1;
+                    }
+                    usage.used_groups.push((key, u64::MAX));
+                }
+                Some((ext, sub)) => {
+                    let total = g.total - sub.total;
+                    if total == 0 {
+                        continue;
+                    }
+                    // `sub.votes` is a sorted subset of `g.votes`: one
+                    // forward merge subtracts the excluded members' votes.
+                    let mut j = 0;
+                    for &(url, count) in &g.votes {
+                        let mut c = count;
+                        if j < sub.votes.len() && sub.votes[j].0 == url {
+                            c -= sub.votes[j].1;
+                            j += 1;
+                        }
+                        if c > 0 {
+                            out.push(Prediction::new(url, c as f64 / total as f64));
+                            usage.branch_preds += 1;
+                        }
+                    }
+                    usage.used_groups.push((key, u64::from(ext.0)));
+                }
+            }
+            break;
         }
 
         // Additional predictions from the special links when the current
@@ -352,29 +514,61 @@ impl Predictor for PbPpm {
         if let Some(root) = self.tree.root(current) {
             let root_count = self.tree.node(root).count;
             if root_count > 0 {
-                let links: Vec<(UrlId, NodeId, u64)> = self
-                    .tree
-                    .links_of(root)
-                    .map(|id| {
-                        let n = self.tree.node(id);
-                        (n.url, id, n.count)
-                    })
-                    .collect();
-                if !links.is_empty() {
-                    self.tree.mark_used(root);
+                let mut any = false;
+                for id in self.tree.links_of(root) {
+                    let n = self.tree.node(id);
+                    out.push(Prediction::new(n.url, n.count as f64 / root_count as f64));
+                    usage.used_nodes.push(id);
+                    usage.link_preds += 1;
+                    any = true;
                 }
-                for (url, id, count) in links {
-                    out.push(Prediction::new(url, count as f64 / root_count as f64));
-                    marks.push(id);
-                    self.emitted_link_preds += 1;
+                if any {
+                    usage.used_nodes.push(root);
                 }
             }
         }
 
-        for m in marks {
-            self.tree.mark_used(m);
-        }
         rank_predictions(out, usize::MAX);
+    }
+
+    fn apply_usage(&mut self, usage: &PredictUsage) {
+        for &id in &usage.used_paths {
+            self.tree.mark_path_used(id);
+        }
+        for &id in &usage.used_nodes {
+            self.tree.mark_used(id);
+        }
+        if !usage.used_groups.is_empty() {
+            // Resolve deferred group references back to node flags. Marking
+            // is idempotent, so each distinct (bucket, exclusion) pair needs
+            // resolving only once — an eval pass hits the same popular
+            // buckets thousands of times.
+            let mut groups = usage.used_groups.clone();
+            groups.sort_unstable();
+            groups.dedup();
+            let index = std::mem::take(&mut self.index);
+            for &(key, ext_code) in &groups {
+                let Some(g) = index.group_by_key(key) else {
+                    continue;
+                };
+                let excluded =
+                    (ext_code != u64::MAX).then(|| UrlId(ext_code as u32));
+                for sub in &g.subs {
+                    if excluded.is_some() && sub.ext == excluded {
+                        continue;
+                    }
+                    for &id in &sub.voters {
+                        self.tree.mark_path_used(id);
+                    }
+                    for &id in &sub.children {
+                        self.tree.mark_used(id);
+                    }
+                }
+            }
+            self.index = index;
+        }
+        self.emitted_branch_preds += usage.branch_preds;
+        self.emitted_link_preds += usage.link_preds;
     }
 
     fn node_count(&self) -> usize {
@@ -649,6 +843,154 @@ mod tests {
         let mut after = Vec::new();
         back.predict(&[u(0)], &mut after);
         assert_eq!(before, after, "branch and link predictions must survive");
+    }
+
+    /// Satellite audit of `match_len`: pins the match length at a root, an
+    /// interior node and a leaf, including the root-stop case where the
+    /// context is longer than the stored branch.
+    #[test]
+    fn match_len_pins_root_interior_and_leaf() {
+        let pop = pop_with_grades(&[3, 0, 0, 0]);
+        let mut m = PbPpm::new(pop, no_prune());
+        // One branch 0 -> 1 -> 2 -> 3 (head grade 3, height 7).
+        m.train_session(&[u(0), u(1), u(2), u(3)]);
+        m.finalize();
+        let t = m.tree();
+        let root = t.root(u(0)).unwrap();
+        let interior = t.descend(&[u(0), u(1), u(2)]).unwrap();
+        let leaf = t.descend(&[u(0), u(1), u(2), u(3)]).unwrap();
+
+        // Root: exactly 1 when the current click is the root URL...
+        assert_eq!(m.match_len(root, &[u(0)]), 1);
+        // ...and still 1 when the context extends past the stored path —
+        // the walk must stop after counting the root, not keep consuming
+        // context URLs that have no stored nodes above the root.
+        assert_eq!(m.match_len(root, &[u(9), u(8), u(0)]), 1);
+
+        // Interior node: full upward match, partial match, mismatch.
+        assert_eq!(m.match_len(interior, &[u(0), u(1), u(2)]), 3);
+        assert_eq!(m.match_len(interior, &[u(1), u(2)]), 2);
+        assert_eq!(m.match_len(interior, &[u(9), u(1), u(2)]), 2);
+        assert_eq!(m.match_len(interior, &[u(9)]), 0);
+
+        // Leaf: matches its whole branch, capped by max_order.
+        assert_eq!(m.match_len(leaf, &[u(0), u(1), u(2), u(3)]), 4);
+        assert_eq!(m.match_len(leaf, &[u(2), u(3)]), 2);
+        let short = PbConfig {
+            max_order: 2,
+            ..no_prune()
+        };
+        let pop = pop_with_grades(&[3, 0, 0, 0]);
+        let mut capped = PbPpm::new(pop, short);
+        capped.train_session(&[u(0), u(1), u(2), u(3)]);
+        capped.finalize();
+        let leaf = capped.tree().descend(&[u(0), u(1), u(2), u(3)]).unwrap();
+        assert_eq!(capped.match_len(leaf, &[u(0), u(1), u(2), u(3)]), 2);
+    }
+
+    /// The hashed fast path must agree with the retained linear scan —
+    /// here on a hand-built shape with interior matches, special links and
+    /// multiple same-URL occurrence nodes (the property tests cover random
+    /// traces).
+    #[test]
+    fn fast_path_matches_reference_scan() {
+        let pop = pop_with_grades(&[3, 2, 1, 3, 2, 1]);
+        let mut m = PbPpm::new(pop, no_prune());
+        for _ in 0..3 {
+            m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+        }
+        m.train_session(&[u(3), u(1), u(2), u(0)]);
+        m.finalize();
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        for ctx in [
+            vec![u(0)],
+            vec![u(1)],
+            vec![u(0), u(1)],
+            vec![u(3), u(1)],
+            vec![u(9), u(1)],
+            vec![u(0), u(1), u(2)],
+            vec![u(3), u(4), u(5)],
+            vec![u(99)],
+            vec![],
+        ] {
+            let mut usage = crate::predictor::PredictUsage::default();
+            m.predict_ro(&ctx, &mut fast, &mut usage);
+            m.predict_reference(&ctx, &mut slow);
+            assert_eq!(fast, slow, "context {ctx:?}");
+        }
+    }
+
+    /// Flag every fingerprint bucket dirty (as a real 64-bit collision
+    /// would) and check the per-member fallback still matches the
+    /// reference scan, with usage recorded per node again.
+    #[test]
+    fn dirty_bucket_fallback_matches_reference() {
+        let pop = pop_with_grades(&[3, 2, 1, 3, 2, 1]);
+        let mut m = PbPpm::new(pop, no_prune());
+        for _ in 0..3 {
+            m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+        }
+        m.train_session(&[u(3), u(1), u(2), u(0)]);
+        m.finalize();
+        m.index.force_dirty();
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        for ctx in [
+            vec![u(0)],
+            vec![u(1)],
+            vec![u(0), u(1)],
+            vec![u(3), u(1)],
+            vec![u(9), u(1)],
+            vec![u(0), u(1), u(2)],
+            vec![u(3), u(4), u(5)],
+            vec![u(99)],
+        ] {
+            let mut usage = crate::predictor::PredictUsage::default();
+            m.predict_ro(&ctx, &mut fast, &mut usage);
+            m.predict_reference(&ctx, &mut slow);
+            assert_eq!(fast, slow, "context {ctx:?}");
+            assert!(usage.used_groups.is_empty(), "dirty path records nodes");
+        }
+        let mut usage = crate::predictor::PredictUsage::default();
+        m.predict_ro(&[u(0), u(1)], &mut fast, &mut usage);
+        assert!(!usage.used_paths.is_empty());
+    }
+
+    /// The deferred group marking in `apply_usage` must flag the same
+    /// nodes the dirty fallback flags directly.
+    #[test]
+    fn group_usage_marks_like_per_member_usage() {
+        let build = || {
+            let pop = pop_with_grades(&[3, 2, 1, 3, 2, 1]);
+            let mut m = PbPpm::new(pop, no_prune());
+            for _ in 0..3 {
+                m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+            }
+            m.train_session(&[u(3), u(1), u(2), u(0)]);
+            m.finalize();
+            m
+        };
+        let contexts = [
+            vec![u(0)],
+            vec![u(0), u(1)],
+            vec![u(3), u(1)],
+            vec![u(0), u(1), u(2)],
+            vec![u(3), u(4), u(5)],
+        ];
+        let mut grouped = build();
+        let mut fallback = build();
+        fallback.index.force_dirty();
+        let mut out = Vec::new();
+        for ctx in &contexts {
+            let mut usage = crate::predictor::PredictUsage::default();
+            grouped.predict_ro(ctx, &mut out, &mut usage);
+            grouped.apply_usage(&usage);
+            let mut usage = crate::predictor::PredictUsage::default();
+            fallback.predict_ro(ctx, &mut out, &mut usage);
+            fallback.apply_usage(&usage);
+        }
+        assert_eq!(grouped.stats(), fallback.stats());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::interner::UrlId;
 use crate::pb::{PbConfig, PbPpm};
 use crate::popularity::PopularityTable;
-use crate::predictor::{ModelKind, Prediction, Predictor};
+use crate::predictor::{ModelKind, PredictUsage, Prediction, Predictor};
 use crate::stats::ModelStats;
 use std::collections::VecDeque;
 
@@ -107,10 +107,16 @@ impl Predictor for OnlinePbPpm {
         self.rebuild();
     }
 
-    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+    fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
         out.clear();
+        if let Some(model) = &self.model {
+            model.predict_ro(context, out, usage);
+        }
+    }
+
+    fn apply_usage(&mut self, usage: &PredictUsage) {
         if let Some(model) = &mut self.model {
-            model.predict(context, out);
+            model.apply_usage(usage);
         }
     }
 

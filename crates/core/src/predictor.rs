@@ -2,6 +2,7 @@
 
 use crate::interner::UrlId;
 use crate::stats::ModelStats;
+use crate::tree::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// One predicted next access.
@@ -59,6 +60,78 @@ impl ModelKind {
     }
 }
 
+/// Usage bookkeeping a read-only prediction wants applied to the model.
+///
+/// Prediction itself never changes what a model would predict, but models
+/// record which stored paths were exercised (the paper's *path utilization*
+/// metric, Fig. 2) and how many predictions each mechanism emitted. Those
+/// side effects are collected here by [`Predictor::predict_ro`] and played
+/// back by [`Predictor::apply_usage`], so prediction can run on `&self` —
+/// which is what lets the evaluation engine share one model across worker
+/// threads and merge usage deterministically afterwards.
+///
+/// All effects are idempotent flag sets or saturating counters, so applying
+/// a merged batch once is equivalent to applying each record as it happened.
+#[derive(Debug, Clone, Default)]
+pub struct PredictUsage {
+    /// Tree nodes to flag used ([`crate::tree::Tree::mark_used`]).
+    pub used_nodes: Vec<NodeId>,
+    /// Tree nodes whose whole ancestor path is flagged used
+    /// ([`crate::tree::Tree::mark_path_used`]).
+    pub used_paths: Vec<NodeId>,
+    /// Source URLs whose transition row was consulted (first-order Markov).
+    pub used_urls: Vec<UrlId>,
+    /// The model as a whole produced output (Top-N's single flag).
+    pub touched: bool,
+    /// Predictions emitted through PB-PPM special links.
+    pub link_preds: u64,
+    /// Predictions emitted through PB-PPM branch matching.
+    pub branch_preds: u64,
+    /// PB-PPM fingerprint groups that voted: `(bucket key, excluded
+    /// extension)`, the extension being the raw [`UrlId`] widened to `u64`,
+    /// or `u64::MAX` when nothing was excluded. The group's voters and
+    /// their children are resolved back to node flags by
+    /// [`crate::PbPpm`]'s `apply_usage` — recording a key here instead of
+    /// the member nodes keeps the fast path free of per-member work, and
+    /// since marking is idempotent the records deduplicate freely.
+    pub used_groups: Vec<(u64, u64)>,
+}
+
+impl PredictUsage {
+    /// Empties the record for reuse.
+    pub fn clear(&mut self) {
+        self.used_nodes.clear();
+        self.used_paths.clear();
+        self.used_urls.clear();
+        self.touched = false;
+        self.link_preds = 0;
+        self.branch_preds = 0;
+        self.used_groups.clear();
+    }
+
+    /// Folds another record into this one.
+    pub fn merge(&mut self, other: &PredictUsage) {
+        self.used_nodes.extend_from_slice(&other.used_nodes);
+        self.used_paths.extend_from_slice(&other.used_paths);
+        self.used_urls.extend_from_slice(&other.used_urls);
+        self.touched |= other.touched;
+        self.link_preds += other.link_preds;
+        self.branch_preds += other.branch_preds;
+        self.used_groups.extend_from_slice(&other.used_groups);
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.used_nodes.is_empty()
+            && self.used_paths.is_empty()
+            && self.used_urls.is_empty()
+            && !self.touched
+            && self.link_preds == 0
+            && self.branch_preds == 0
+            && self.used_groups.is_empty()
+    }
+}
+
 /// A trainable next-URL prediction model.
 ///
 /// ## Protocol
@@ -67,12 +140,10 @@ impl ModelKind {
 ///    training window (sessions come from `pbppm-trace`'s sessionizer);
 /// 2. call [`Predictor::finalize`] once — LRS extraction and PB-PPM space
 ///    optimization happen here;
-/// 3. call [`Predictor::predict`] for each request of the evaluation window.
-///
-/// `predict` takes `&mut self` because models record which tree paths were
-/// exercised (the paper's *path utilization* metric); prediction never
-/// changes what a model would predict.
-pub trait Predictor: Send {
+/// 3. call [`Predictor::predict`] for each request of the evaluation window
+///    — or [`Predictor::predict_ro`] on a shared reference, applying the
+///    collected [`PredictUsage`] later via [`Predictor::apply_usage`].
+pub trait Predictor: Send + Sync {
     /// The model family.
     fn kind(&self) -> ModelKind;
 
@@ -84,12 +155,40 @@ pub trait Predictor: Send {
     /// `train_session` and before the first `predict`.
     fn finalize(&mut self);
 
+    /// Read-only prediction: like [`Predictor::predict`] but on `&self`,
+    /// appending the usage bookkeeping to `usage` (never clearing it, so
+    /// one record can accumulate a whole batch) instead of applying it.
+    fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage);
+
+    /// Applies usage collected by [`Predictor::predict_ro`] calls. Records
+    /// from several calls may be merged and applied once.
+    fn apply_usage(&mut self, usage: &PredictUsage);
+
     /// Predicts the next URLs given `context`, the URLs of the current
     /// session so far (oldest first, current click last). Predictions are
     /// appended to `out` sorted by descending probability; `out` is cleared
     /// first. No probability threshold is applied here — thresholding is a
     /// prefetch-policy decision made by the caller.
-    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>);
+    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        let mut usage = PredictUsage::default();
+        self.predict_ro(context, out, &mut usage);
+        self.apply_usage(&usage);
+    }
+
+    /// Batched prediction: fills `outs[i]` with the predictions for
+    /// `contexts[i]` (resizing `outs` to match), applying the accumulated
+    /// usage once at the end. Semantically identical to calling
+    /// [`Predictor::predict`] per context, with the per-call bookkeeping
+    /// amortized.
+    fn predict_many(&mut self, contexts: &[&[UrlId]], outs: &mut Vec<Vec<Prediction>>) {
+        outs.resize_with(contexts.len(), Vec::new);
+        outs.truncate(contexts.len());
+        let mut usage = PredictUsage::default();
+        for (&context, out) in contexts.iter().zip(outs.iter_mut()) {
+            self.predict_ro(context, out, &mut usage);
+        }
+        self.apply_usage(&usage);
+    }
 
     /// The paper's space metric: number of URL nodes the model stores.
     fn node_count(&self) -> usize;

@@ -11,10 +11,11 @@
 //! storage grows with every distinct subsequence ever observed, and most
 //! stored paths are never used for a prediction.
 
+use crate::context_index::{ContextHashes, ContextIndex};
 use crate::interner::UrlId;
-use crate::predictor::{rank_predictions, ModelKind, Prediction, Predictor};
+use crate::predictor::{rank_predictions, ModelKind, PredictUsage, Prediction, Predictor};
 use crate::stats::ModelStats;
-use crate::tree::Tree;
+use crate::tree::{NodeId, Tree};
 
 /// Standard PPM prediction model.
 #[derive(Debug, Clone)]
@@ -24,6 +25,9 @@ pub struct StandardPpm {
     /// Longest context (in URLs) considered when matching.
     max_order: usize,
     finalized: bool,
+    /// Full-root-path fingerprint index, built by `finalize`. `None` before
+    /// finalization, when prediction falls back to the descend walk.
+    index: Option<ContextIndex>,
 }
 
 impl StandardPpm {
@@ -36,6 +40,7 @@ impl StandardPpm {
             max_height,
             max_order,
             finalized: false,
+            index: None,
         }
     }
 
@@ -65,14 +70,49 @@ impl StandardPpm {
 
     /// Restores a model from a snapshot.
     pub fn from_snapshot(snap: &StandardSnapshot) -> Result<Self, crate::tree::SnapshotError> {
+        let mut tree = Tree::from_snapshot(&snap.tree)?;
+        let index = snap.finalized.then(|| ContextIndex::full_paths(&mut tree));
         Ok(Self {
-            tree: Tree::from_snapshot(&snap.tree)?,
+            tree,
             max_height: snap.max_height,
             max_order: snap
                 .max_height
                 .map_or(usize::from(u8::MAX), |h| usize::from(h).max(1)),
             finalized: snap.finalized,
+            index,
         })
+    }
+
+    /// The longest predictive context match, hashed when the index exists.
+    fn matched_node(&self, context: &[UrlId]) -> Option<NodeId> {
+        match &self.index {
+            Some(index) => {
+                let mut hashes = ContextHashes::new();
+                index.longest_predictive(&self.tree, context, self.max_order, &mut hashes)
+            }
+            None => self.tree.longest_predictive_match(context, self.max_order),
+        }
+    }
+
+    /// Reference prediction path: the original descend-per-suffix walk,
+    /// kept as the ground truth the hashed fast path is property-tested
+    /// against.
+    pub fn predict_reference(&self, context: &[UrlId], out: &mut Vec<Prediction>) {
+        out.clear();
+        if context.is_empty() {
+            return;
+        }
+        let Some(node) = self.tree.longest_predictive_match(context, self.max_order) else {
+            return;
+        };
+        let parent_count = self.tree.node(node).count;
+        if parent_count == 0 {
+            return;
+        }
+        for (url, _, count) in self.tree.children_of(node) {
+            out.push(Prediction::new(url, count as f64 / parent_count as f64));
+        }
+        rank_predictions(out, usize::MAX);
     }
 }
 
@@ -103,31 +143,37 @@ impl Predictor for StandardPpm {
     }
 
     fn finalize(&mut self) {
+        self.index = Some(ContextIndex::full_paths(&mut self.tree));
         self.finalized = true;
     }
 
-    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+    fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
         out.clear();
         if context.is_empty() {
             return;
         }
-        let Some(node) = self.tree.longest_predictive_match(context, self.max_order) else {
+        let Some(node) = self.matched_node(context) else {
             return;
         };
         let parent_count = self.tree.node(node).count;
         if parent_count == 0 {
             return;
         }
-        let mut marks = Vec::new();
+        usage.used_paths.push(node);
         for (url, child, count) in self.tree.children_of(node) {
             out.push(Prediction::new(url, count as f64 / parent_count as f64));
-            marks.push(child);
-        }
-        self.tree.mark_path_used(node);
-        for m in marks {
-            self.tree.mark_used(m);
+            usage.used_nodes.push(child);
         }
         rank_predictions(out, usize::MAX);
+    }
+
+    fn apply_usage(&mut self, usage: &PredictUsage) {
+        for &id in &usage.used_paths {
+            self.tree.mark_path_used(id);
+        }
+        for &id in &usage.used_nodes {
+            self.tree.mark_used(id);
+        }
     }
 
     fn node_count(&self) -> usize {

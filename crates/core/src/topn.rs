@@ -10,7 +10,7 @@
 //! *popularity* alone versus from the Markov structure.
 
 use crate::interner::UrlId;
-use crate::predictor::{ModelKind, Prediction, Predictor};
+use crate::predictor::{ModelKind, PredictUsage, Prediction, Predictor};
 use crate::stats::ModelStats;
 
 /// Top-N popular-documents prediction model.
@@ -81,19 +81,23 @@ impl Predictor for TopN {
         self.finalized = true;
     }
 
-    fn predict(&mut self, context: &[UrlId], out: &mut Vec<Prediction>) {
+    fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
         debug_assert!(self.finalized, "predict before finalize");
         out.clear();
         if context.is_empty() || self.total == 0 {
             return;
         }
-        self.used = true;
+        usage.touched = true;
         let current = *context.last().unwrap();
         for &(url, count) in &self.top {
             if url != current {
                 out.push(Prediction::new(url, count as f64 / self.total as f64));
             }
         }
+    }
+
+    fn apply_usage(&mut self, usage: &PredictUsage) {
+        self.used |= usage.touched;
     }
 
     /// Storage: one node per remembered top document.

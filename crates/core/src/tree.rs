@@ -77,6 +77,13 @@ pub struct Tree {
     /// Special links: branch root → duplicated popular nodes (PB-PPM rule 3).
     links: FxHashMap<NodeId, Vec<NodeId>>,
     dead: usize,
+    /// Rolling hash of each node's root-to-node path, parallel to `nodes`.
+    ///
+    /// Empty (or shorter than `nodes`) until [`Tree::rebuild_path_hashes`]
+    /// runs; any structural change after that leaves it stale, which
+    /// [`Tree::has_path_hashes`] detects by the length mismatch. The hash
+    /// chains back the `ContextIndex` fingerprint fast path.
+    path_hashes: Vec<u64>,
 }
 
 impl Tree {
@@ -377,6 +384,8 @@ impl Tree {
         self.roots = new_roots;
         self.links = new_links;
         self.dead = 0;
+        // Ids were remapped: drop the hash chain rather than leave it lying.
+        self.path_hashes.clear();
     }
 
     /// Serializes the forest into a self-contained [`TreeSnapshot`].
@@ -469,6 +478,7 @@ impl Tree {
             roots,
             links,
             dead: 0,
+            path_hashes: Vec::new(),
         })
     }
 
@@ -480,6 +490,62 @@ impl Tree {
                 .iter()
                 .map(|n| n.children.capacity() * std::mem::size_of::<(UrlId, NodeId)>())
                 .sum::<usize>()
+    }
+
+    /// Recomputes the per-node rolling path-hash chain.
+    ///
+    /// `P(root) = h(url)`, `P(child) = P(parent)·B + h(url)` with wrapping
+    /// arithmetic ([`crate::context_index::HASH_BASE`]), covering dead slots
+    /// too so ids index directly. The pass is a single forward sweep in the
+    /// common case (the arena allocates parents before children); a chain
+    /// walk handles out-of-order parents (possible only for hand-crafted
+    /// snapshots), so the result never depends on arena order.
+    pub fn rebuild_path_hashes(&mut self) {
+        use crate::context_index::{hash_url, HASH_BASE};
+        let n = self.nodes.len();
+        let mut hashes = vec![0u64; n];
+        let mut done = vec![false; n];
+        let mut chain: Vec<usize> = Vec::new();
+        for start in 0..n {
+            // Ascend to the nearest already-hashed ancestor (or a root)...
+            let mut cur = start;
+            while !done[cur] {
+                chain.push(cur);
+                let parent = self.nodes[cur].parent;
+                if parent.is_none() {
+                    break;
+                }
+                cur = parent.index();
+            }
+            // ...then fill hashes back down the collected chain.
+            while let Some(i) = chain.pop() {
+                let h = hash_url(self.nodes[i].url);
+                let parent = self.nodes[i].parent;
+                hashes[i] = if parent.is_none() {
+                    h
+                } else {
+                    hashes[parent.index()].wrapping_mul(HASH_BASE).wrapping_add(h)
+                };
+                done[i] = true;
+            }
+        }
+        self.path_hashes = hashes;
+    }
+
+    /// True when the path-hash chain is in sync with the arena.
+    #[inline]
+    pub fn has_path_hashes(&self) -> bool {
+        self.path_hashes.len() == self.nodes.len()
+    }
+
+    /// The rolling hash of `id`'s root-to-node path.
+    ///
+    /// Only valid after [`Tree::rebuild_path_hashes`] with no structural
+    /// change since (see [`Tree::has_path_hashes`]).
+    #[inline]
+    pub fn path_hash(&self, id: NodeId) -> u64 {
+        debug_assert!(self.has_path_hashes(), "path hashes are stale");
+        self.path_hashes[id.index()]
     }
 
     /// Longest-suffix context match (the paper's "longest matching method").

@@ -238,6 +238,57 @@ proptest! {
         }
     }
 
+    /// The hashed fast path gives exactly the predictions of the retained
+    /// occurrence-scan / tree-walk reference implementations — same URLs,
+    /// same ranks, same (bit-identical) probabilities — for all three tree
+    /// models, across random traces and every prefix context of every
+    /// training session plus unseen contexts.
+    #[test]
+    fn fast_path_is_bit_identical_to_reference(
+        sessions in sessions_strategy(9, 8, 18),
+        counts in prop::collection::vec(0u64..2000, 9),
+    ) {
+        let pop = PopularityTable::from_counts(counts);
+        let mut pb = PbPpm::new(pop, PbConfig::default());
+        let mut standard = StandardPpm::unbounded();
+        let mut lrs = LrsPpm::new();
+        for s in &sessions {
+            pb.train_session(s);
+            standard.train_session(s);
+            lrs.train_session(s);
+        }
+        pb.finalize();
+        standard.finalize();
+        lrs.finalize();
+
+        let mut contexts: Vec<Vec<UrlId>> = Vec::new();
+        for s in &sessions {
+            for i in 0..s.len() {
+                contexts.push(s[..=i].to_vec());
+            }
+        }
+        // Contexts the models never saw, including unknown URLs.
+        contexts.push(vec![UrlId(100)]);
+        contexts.push(vec![UrlId(100), sessions[0][0]]);
+        contexts.push(sessions[0].iter().rev().copied().collect());
+
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        for context in &contexts {
+            pb.predict(context, &mut fast);
+            pb.predict_reference(context, &mut slow);
+            prop_assert_eq!(&fast, &slow, "PB-PPM diverged on {:?}", context);
+
+            standard.predict(context, &mut fast);
+            standard.predict_reference(context, &mut slow);
+            prop_assert_eq!(&fast, &slow, "standard PPM diverged on {:?}", context);
+
+            lrs.predict(context, &mut fast);
+            lrs.predict_reference(context, &mut slow);
+            prop_assert_eq!(&fast, &slow, "LRS diverged on {:?}", context);
+        }
+    }
+
     /// PB-PPM's branch predictions never exceed probability 1 and are
     /// supported by actual training transitions.
     #[test]

@@ -176,6 +176,11 @@ pub struct ExperimentConfig {
     pub classify: ClassifyConfig,
     /// Longest per-client context remembered for prediction.
     pub context_cap: usize,
+    /// Worker threads for the evaluation pass (clients are sharded over
+    /// them). `0` means auto: `PBPPM_THREADS` if set, otherwise the
+    /// machine's available parallelism. Results are identical for every
+    /// thread count (see [`crate::engine`]).
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -194,6 +199,7 @@ impl ExperimentConfig {
             sessionizer: SessionizerConfig::default(),
             classify: ClassifyConfig::default(),
             context_cap: 12,
+            threads: 0,
         }
     }
 }

@@ -19,7 +19,8 @@ use crate::cache::{Lookup, LruCache};
 use crate::config::{ExperimentConfig, ModelSpec};
 use crate::metrics::{latency_reduction, Counters};
 use crate::server::PrefetchServer;
-use pbppm_core::{FxHashMap, ModelStats, PopularityTable, UrlId};
+use crate::sweep::parallel_map_with;
+use pbppm_core::{FxHashMap, ModelStats, PopularityTable, PredictUsage, Prediction, UrlId};
 use pbppm_trace::{
     classify_clients, sessionize, ClientClass, ClientId, DocCatalog, Session, Trace,
 };
@@ -89,49 +90,82 @@ impl RunResult {
     }
 }
 
-/// Per-client cache pool: browsers get the small cache, proxies the big one.
-struct CachePool<'a> {
-    caches: FxHashMap<ClientId, LruCache>,
-    classes: &'a [ClientClass],
-    browser_bytes: u64,
-    proxy_bytes: u64,
-}
-
-impl<'a> CachePool<'a> {
-    fn new(classes: &'a [ClientClass], browser_bytes: u64, proxy_bytes: u64) -> Self {
-        Self {
-            caches: FxHashMap::default(),
-            classes,
-            browser_bytes,
-            proxy_bytes,
-        }
-    }
-
-    fn cache_for(&mut self, client: ClientId) -> &mut LruCache {
-        let capacity = match self
-            .classes
-            .get(client.index())
-            .copied()
-            .unwrap_or(ClientClass::Browser)
-        {
-            ClientClass::Browser => self.browser_bytes,
-            ClientClass::Proxy => self.proxy_bytes,
-        };
-        self.caches
-            .entry(client)
-            .or_insert_with(|| LruCache::new(capacity))
-    }
-}
-
 /// Effective size of a view's document per the shared catalog.
 #[inline]
 fn doc_size(catalog: &DocCatalog, url: UrlId) -> u64 {
     u64::from(catalog.size(url)).max(1)
 }
 
-fn warm_caches(pool: &mut CachePool<'_>, sessions: &[Session], catalog: &DocCatalog) {
-    for s in sessions {
-        let cache = pool.cache_for(s.client);
+/// Cache capacity for a client: browsers get the small cache, proxies the
+/// big one.
+fn cache_capacity(classes: &[ClientClass], client: ClientId, cfg: &ExperimentConfig) -> u64 {
+    match classes
+        .get(client.index())
+        .copied()
+        .unwrap_or(ClientClass::Browser)
+    {
+        ClientClass::Browser => cfg.browser_cache_bytes,
+        ClientClass::Proxy => cfg.proxy_cache_bytes,
+    }
+}
+
+/// One client's slice of the evaluation: its private cache capacity, the
+/// warm-up sessions replayed into the cache first, and the eval sessions
+/// actually scored. Clients never share caches or contexts, so shards are
+/// fully independent.
+struct ClientShard<'a> {
+    client: ClientId,
+    capacity: u64,
+    warm: Vec<&'a Session>,
+    eval: Vec<&'a Session>,
+}
+
+/// Splits the evaluation into per-client shards, ascending by [`ClientId`]
+/// so the downstream merge order is a property of the workload, not of the
+/// scheduler. Clients that only appear in the warm-up window are dropped:
+/// their caches would never be read.
+fn shard_by_client<'a>(
+    warm_sessions: &'a [Session],
+    eval_sessions: &'a [Session],
+    classes: &[ClientClass],
+    cfg: &ExperimentConfig,
+) -> Vec<ClientShard<'a>> {
+    let mut by_client: FxHashMap<ClientId, ClientShard<'a>> = FxHashMap::default();
+    for s in eval_sessions {
+        by_client
+            .entry(s.client)
+            .or_insert_with(|| ClientShard {
+                client: s.client,
+                capacity: cache_capacity(classes, s.client, cfg),
+                warm: Vec::new(),
+                eval: Vec::new(),
+            })
+            .eval
+            .push(s);
+    }
+    for s in warm_sessions {
+        if let Some(shard) = by_client.get_mut(&s.client) {
+            shard.warm.push(s);
+        }
+    }
+    let mut shards: Vec<ClientShard<'a>> = by_client.into_values().collect();
+    shards.sort_by_key(|s| s.client);
+    shards
+}
+
+/// Replays one client's shard: warms its private cache, then scores its
+/// eval sessions. `server == None` is the caching-only baseline. Model
+/// usage is recorded read-only and returned for a post-pass
+/// [`Predictor::apply_usage`](pbppm_core::Predictor::apply_usage).
+fn eval_client_shard(
+    server: Option<&PrefetchServer>,
+    shard: &ClientShard<'_>,
+    catalog: &DocCatalog,
+    popularity: &PopularityTable,
+    cfg: &ExperimentConfig,
+) -> (Counters, PredictUsage) {
+    let mut cache = LruCache::new(shard.capacity);
+    for s in &shard.warm {
         for v in &s.views {
             let size = doc_size(catalog, v.url);
             if cache.demand(v.url) == Lookup::Miss {
@@ -139,25 +173,15 @@ fn warm_caches(pool: &mut CachePool<'_>, sessions: &[Session], catalog: &DocCata
             }
         }
     }
-}
 
-/// One evaluation pass over the eval sessions. `server == None` is the
-/// caching-only baseline.
-fn eval_pass(
-    mut server: Option<&mut PrefetchServer>,
-    sessions: &[Session],
-    catalog: &DocCatalog,
-    popularity: &PopularityTable,
-    pool: &mut CachePool<'_>,
-    cfg: &ExperimentConfig,
-) -> Counters {
     let mut counters = Counters::default();
+    let mut usage = PredictUsage::default();
+    let mut scratch: Vec<Prediction> = Vec::new();
     let mut ctx: Vec<UrlId> = Vec::with_capacity(cfg.context_cap);
     let mut push: Vec<(UrlId, u64)> = Vec::new();
 
-    for s in sessions {
+    for s in &shard.eval {
         ctx.clear();
-        let cache = pool.cache_for(s.client);
         for v in &s.views {
             if ctx.len() == cfg.context_cap.max(1) {
                 ctx.remove(0);
@@ -182,8 +206,15 @@ fn eval_pass(
                     counters.sent_bytes += size;
                     counters.latency_secs += cfg.latency.fetch_secs(size);
                     cache.insert(v.url, size, false);
-                    if let Some(server) = server.as_deref_mut() {
-                        server.decide(&ctx, catalog, |u| cache.contains(u), &mut push);
+                    if let Some(server) = server {
+                        server.decide_ro(
+                            &ctx,
+                            catalog,
+                            |u| cache.contains(u),
+                            &mut push,
+                            &mut scratch,
+                            &mut usage,
+                        );
                         for &(purl, psize) in &push {
                             counters.sent_bytes += psize;
                             counters.prefetched_docs += 1;
@@ -195,7 +226,36 @@ fn eval_pass(
             }
         }
     }
-    counters
+    (counters, usage)
+}
+
+/// One evaluation pass over the eval sessions, sharded by client over
+/// `cfg.threads` scoped workers (`0` = auto; see
+/// [`crate::sweep::resolve_threads`]).
+///
+/// Results are independent of the thread count: shards share nothing,
+/// workers only read the server, and both counters and model usage are
+/// merged in ascending-`ClientId` shard order after the join.
+fn eval_pass(
+    server: Option<&PrefetchServer>,
+    warm_sessions: &[Session],
+    eval_sessions: &[Session],
+    catalog: &DocCatalog,
+    popularity: &PopularityTable,
+    classes: &[ClientClass],
+    cfg: &ExperimentConfig,
+) -> (Counters, PredictUsage) {
+    let shards = shard_by_client(warm_sessions, eval_sessions, classes, cfg);
+    let per_shard = parallel_map_with(&shards, cfg.threads, |shard| {
+        eval_client_shard(server, shard, catalog, popularity, cfg)
+    });
+    let mut counters = Counters::default();
+    let mut usage = PredictUsage::default();
+    for (c, u) in &per_shard {
+        counters.merge(c);
+        usage.merge(u);
+    }
+    (counters, usage)
 }
 
 /// Runs one complete experiment cell on `trace` (see module docs).
@@ -229,27 +289,32 @@ pub fn run_experiment(trace: &Trace, cfg: &ExperimentConfig) -> RunResult {
     let classes = classify_clients(&trace.requests, &cfg.classify);
 
     // Caching-only baseline.
-    let mut pool = CachePool::new(&classes, cfg.browser_cache_bytes, cfg.proxy_cache_bytes);
-    warm_caches(&mut pool, &warm_sessions, &catalog);
-    let baseline = eval_pass(None, &eval_sessions, &catalog, &popularity, &mut pool, cfg);
+    let (baseline, _) = eval_pass(
+        None,
+        &warm_sessions,
+        &eval_sessions,
+        &catalog,
+        &popularity,
+        &classes,
+        cfg,
+    );
 
-    // Prefetching run with a fresh, identically warmed cache pool.
+    // Prefetching run with fresh, identically warmed caches.
     let model = cfg.model.build(&train_sessions, &popularity);
     let (counters, model_stats, node_count) = match model {
-        None => (baseline, None, 0),
+        None => (baseline.clone(), None, 0),
         Some(model) => {
             let mut server = PrefetchServer::new(model, cfg.policy);
-            let mut pool =
-                CachePool::new(&classes, cfg.browser_cache_bytes, cfg.proxy_cache_bytes);
-            warm_caches(&mut pool, &warm_sessions, &catalog);
-            let counters = eval_pass(
-                Some(&mut server),
+            let (counters, usage) = eval_pass(
+                Some(&server),
+                &warm_sessions,
                 &eval_sessions,
                 &catalog,
                 &popularity,
-                &mut pool,
+                &classes,
                 cfg,
             );
+            server.model_mut().apply_usage(&usage);
             let stats = server.model().stats();
             (counters, Some(stats), server.model().node_count())
         }
@@ -365,6 +430,29 @@ mod tests {
         let b = run_experiment(&trace, &cfg);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.node_count, b.node_count);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The sharded eval pass must be bit-identical across worker counts:
+        // shards share nothing and merge in ascending-client order.
+        let trace = tiny_trace();
+        for spec in [
+            ModelSpec::NoPrefetch,
+            ModelSpec::Standard { max_height: None },
+            ModelSpec::Pb(PbConfig::default()),
+        ] {
+            let mut serial = ExperimentConfig::paper_default(spec, 2);
+            serial.threads = 1;
+            let mut parallel = serial.clone();
+            parallel.threads = 4;
+            let a = run_experiment(&trace, &serial);
+            let b = run_experiment(&trace, &parallel);
+            assert_eq!(a.counters, b.counters, "{}", a.label);
+            assert_eq!(a.baseline, b.baseline, "{}", a.label);
+            assert_eq!(a.model_stats, b.model_stats, "{}", a.label);
+            assert_eq!(a.node_count, b.node_count, "{}", a.label);
+        }
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub use metrics::{latency_reduction, Counters};
 pub use network::{run_network_experiment, NetworkCounters, NetworkRunResult, SharedLink};
 pub use proxy::{run_proxy_experiment, ProxyExperimentConfig, ProxyRunResult};
 pub use server::PrefetchServer;
-pub use sweep::{parallel_map, parallel_map_with};
+pub use sweep::{parallel_map, parallel_map_with, resolve_threads, THREADS_ENV};

@@ -2,7 +2,7 @@
 //! prefetch policy (§4.1) to turn raw predictions into push decisions.
 
 use crate::config::PrefetchPolicy;
-use pbppm_core::{Prediction, Predictor, UrlId};
+use pbppm_core::{PredictUsage, Prediction, Predictor, UrlId};
 use pbppm_trace::DocCatalog;
 
 /// A server-side prefetch engine.
@@ -55,12 +55,35 @@ impl PrefetchServer {
     ) where
         F: Fn(UrlId) -> bool,
     {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut usage = PredictUsage::default();
+        self.decide_ro(context, catalog, is_cached, out, &mut scratch, &mut usage);
+        self.model.apply_usage(&usage);
+        self.scratch = scratch;
+    }
+
+    /// [`PrefetchServer::decide`] without mutating the server: prediction
+    /// scratch space and the model-usage record live with the caller, so
+    /// many workers can decide against one shared `&PrefetchServer`
+    /// concurrently. Accumulated usage is folded back into the model once
+    /// via [`Predictor::apply_usage`].
+    pub fn decide_ro<F>(
+        &self,
+        context: &[UrlId],
+        catalog: &DocCatalog,
+        is_cached: F,
+        out: &mut Vec<(UrlId, u64)>,
+        scratch: &mut Vec<Prediction>,
+        usage: &mut PredictUsage,
+    ) where
+        F: Fn(UrlId) -> bool,
+    {
         out.clear();
         let Some(&current) = context.last() else {
             return;
         };
-        self.model.predict(context, &mut self.scratch);
-        for p in &self.scratch {
+        self.model.predict_ro(context, scratch, usage);
+        for p in scratch.iter() {
             if out.len() >= self.policy.max_per_request {
                 break;
             }
@@ -77,7 +100,7 @@ impl PrefetchServer {
             out.push((p.url, size));
         }
         if out.is_empty() && self.policy.always_push_top {
-            for p in &self.scratch {
+            for p in scratch.iter() {
                 if p.url == current {
                     continue;
                 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-measures prediction and simulation throughput
+# and fails (exit 1) if any gated metric — single-click predict latency,
+# batched predict throughput, or end-to-end eval throughput, per model —
+# is more than 15% slower than the committed baseline.
+#
+# Usage: scripts/perf-gate.sh [baseline.json]
+#
+# The baseline defaults to BENCH_throughput.json at the repo root. To
+# refresh it after an intentional perf change, run the throughput binary
+# without this script and commit the rewritten file:
+#
+#   cargo run --release -p pbppm-bench --bin throughput
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="${1:-$repo/BENCH_throughput.json}"
+
+if [[ ! -f "$baseline" ]]; then
+    echo "perf-gate: no baseline at $baseline" >&2
+    echo "perf-gate: run 'cargo run --release -p pbppm-bench --bin throughput' once and commit BENCH_throughput.json" >&2
+    exit 2
+fi
+
+# The fresh run overwrites BENCH_throughput.json at the repo root, so the
+# comparison reads a copy of the committed baseline. The throughput binary
+# itself performs the comparison and sets the exit code.
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+cp "$baseline" "$tmp"
+
+PBPPM_PERF_BASELINE="$tmp" cargo run --release -p pbppm-bench --bin throughput
