@@ -38,7 +38,9 @@ fn bench_fig2_cell(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("3-ppm", |b| {
         let cfg = ExperimentConfig::paper_default(
-            ModelSpec::Standard { max_height: Some(3) },
+            ModelSpec::Standard {
+                max_height: Some(3),
+            },
             2,
         );
         b.iter(|| {

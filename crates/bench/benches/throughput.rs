@@ -98,7 +98,9 @@ fn bench_single_click(c: &mut Criterion) {
         usage.clear();
         standard.predict_ro(ctx, out, &mut usage);
     });
-    run("ppm-scan", &mut |ctx, out| standard.predict_reference(ctx, out));
+    run("ppm-scan", &mut |ctx, out| {
+        standard.predict_reference(ctx, out)
+    });
     let mut usage = PredictUsage::default();
     run("lrs-fast", &mut |ctx, out| {
         usage.clear();
@@ -118,10 +120,7 @@ fn bench_batched(c: &mut Criterion) {
     let (sessions, pop) = day7_sessions();
     let mut standard = train(StandardPpm::unbounded(), &sessions);
     let mut lrs = train(LrsPpm::new(), &sessions);
-    let mut pb = train(
-        PbPpm::new(pop, PbConfig::default()),
-        &sessions,
-    );
+    let mut pb = train(PbPpm::new(pop, PbConfig::default()), &sessions);
     let ctxs = contexts(&sessions);
     let slices: Vec<&[UrlId]> = ctxs.iter().map(Vec::as_slice).collect();
 

@@ -89,7 +89,13 @@ pub fn run() {
     let mut table = Table::new(
         "PB-PPM ablations — nasa-like, 5 training days",
         &[
-            "variant", "nodes", "hit", "latency-", "traffic+", "pop-frac", "path-util",
+            "variant",
+            "nodes",
+            "hit",
+            "latency-",
+            "traffic+",
+            "pop-frac",
+            "path-util",
         ],
     );
     for c in &cells {

@@ -7,9 +7,7 @@
 //! and one special link (8 nodes).
 
 use pbppm_core::render::render_tree;
-use pbppm_core::{
-    Interner, PbConfig, PbPpm, PopularityTable, Predictor, PruneConfig, StandardPpm,
-};
+use pbppm_core::{Interner, PbConfig, PbPpm, PopularityTable, Predictor, PruneConfig, StandardPpm};
 
 pub fn run() {
     let mut names = Interner::new();
@@ -49,7 +47,10 @@ pub fn run() {
     println!("Figure 1 — access sequence A B C A' B' C' (grades 3/2/1, max height 4)\n");
     println!("Standard PPM ({} nodes):", standard.node_count());
     println!("{}", render_tree(standard.tree(), Some(&names)));
-    println!("Popularity-based PPM ({} nodes, `~>` marks a special link):", pb.node_count());
+    println!(
+        "Popularity-based PPM ({} nodes, `~>` marks a special link):",
+        pb.node_count()
+    );
     println!("{}", render_tree(pb.tree(), Some(&names)));
     println!(
         "space: standard {} nodes vs PB-PPM {} nodes ({}x reduction on this example)",

@@ -19,7 +19,12 @@ pub fn run() {
     let trace = nasa_trace();
     let days: Vec<usize> = (1..=7).collect();
     let models = vec![
-        ("3-PPM", ModelSpec::Standard { max_height: Some(3) }),
+        (
+            "3-PPM",
+            ModelSpec::Standard {
+                max_height: Some(3),
+            },
+        ),
         ("LRS", ModelSpec::Lrs),
         ("PB-PPM", ModelSpec::pb_paper(true)),
     ];

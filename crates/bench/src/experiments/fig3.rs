@@ -24,7 +24,10 @@ fn report(trace: &Trace, days: &[usize]) -> Vec<crate::Cell> {
 
     let mut hit = Table::new(format!("Figure 3 — hit ratio, {}", trace.name), &headers);
     let mut lat = Table::new(
-        format!("Figure 3 — latency reduction vs no-prefetch, {}", trace.name),
+        format!(
+            "Figure 3 — latency reduction vs no-prefetch, {}",
+            trace.name
+        ),
         &headers,
     );
     let mut base = vec!["baseline".to_string()];

@@ -54,7 +54,10 @@ pub fn run() {
         ),
         ("LRS".into(), mk(ModelSpec::Lrs, None)),
         ("PB-4KB".into(), mk(ModelSpec::pb_paper(true), Some(4_000))),
-        ("PB-10KB".into(), mk(ModelSpec::pb_paper(true), Some(10_000))),
+        (
+            "PB-10KB".into(),
+            mk(ModelSpec::pb_paper(true), Some(10_000)),
+        ),
     ];
 
     let jobs: Vec<(String, ExperimentConfig, usize)> = client_counts

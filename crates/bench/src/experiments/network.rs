@@ -9,7 +9,9 @@
 //! do. PB-PPM's accuracy buys it a gentler collapse per byte pushed.
 
 use crate::{nasa_trace, pct, write_json, Table};
-use pbppm_sim::{parallel_map, run_network_experiment, ExperimentConfig, ModelSpec, NetworkRunResult};
+use pbppm_sim::{
+    parallel_map, run_network_experiment, ExperimentConfig, ModelSpec, NetworkRunResult,
+};
 use serde::Serialize;
 
 #[derive(Debug, Clone, Serialize)]
@@ -66,7 +68,10 @@ pub fn run() {
         "Network effects — latency change from prefetching (negative = prefetching hurts)",
         &headers,
     );
-    let mut util = Table::new("Network effects — link utilization with prefetching", &headers);
+    let mut util = Table::new(
+        "Network effects — link utilization with prefetching",
+        &headers,
+    );
     for (label, _) in &models {
         let mut lrow = vec![label.clone()];
         let mut urow = vec![label.clone()];

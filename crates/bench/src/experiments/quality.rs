@@ -38,7 +38,12 @@ fn report(trace: &Trace, train_days: usize) -> Vec<QualityRow> {
 
     let specs: Vec<(String, ModelSpec)> = vec![
         ("PPM".into(), ModelSpec::Standard { max_height: None }),
-        ("3-PPM".into(), ModelSpec::Standard { max_height: Some(3) }),
+        (
+            "3-PPM".into(),
+            ModelSpec::Standard {
+                max_height: Some(3),
+            },
+        ),
         ("LRS".into(), ModelSpec::Lrs),
         ("O1-Markov".into(), ModelSpec::Order1),
         ("PB-PPM".into(), ModelSpec::pb_paper(true)),
@@ -63,7 +68,15 @@ fn report(trace: &Trace, train_days: usize) -> Vec<QualityRow> {
             "Offline prediction quality — {}, {} training days (threshold 0.25, k = 5)",
             trace.name, train_days
         ),
-        &["model", "coverage", "prec@1", "prec@5", "MRR", "useful@5", "preds/ctx"],
+        &[
+            "model",
+            "coverage",
+            "prec@1",
+            "prec@5",
+            "MRR",
+            "useful@5",
+            "preds/ctx",
+        ],
     );
     for r in &rows {
         table.row(vec![

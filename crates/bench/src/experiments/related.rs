@@ -23,7 +23,12 @@ struct Row {
 fn specs() -> Vec<(String, ModelSpec)> {
     vec![
         ("PPM".into(), ModelSpec::Standard { max_height: None }),
-        ("3-PPM".into(), ModelSpec::Standard { max_height: Some(3) }),
+        (
+            "3-PPM".into(),
+            ModelSpec::Standard {
+                max_height: Some(3),
+            },
+        ),
         ("LRS".into(), ModelSpec::Lrs),
         ("O1-Markov".into(), ModelSpec::Order1),
         ("Top-10".into(), ModelSpec::TopN { n: 10 }),

@@ -57,5 +57,33 @@ pub fn run() {
     }
     table.row(ratio);
     table.print();
+
+    // Storage detail at the deepest training window: the same structural
+    // gauges the telemetry registry publishes (`model.nodes`, `model.edges`,
+    // `model.special_links`, `model.bytes`), tabulated side by side.
+    let last = *days.last().expect("non-empty day sweep");
+    let mut detail = Table::new(
+        format!(
+            "Table 1b — storage detail, day {last}, {} trace",
+            trace.name
+        ),
+        &["model", "nodes", "edges", "special links", "approx bytes"],
+    );
+    for (label, _) in &models {
+        let cell = cells
+            .iter()
+            .find(|c| c.model == *label && c.days == last)
+            .expect("cell");
+        let stats = cell.result.model_stats.expect("prefetch runs carry stats");
+        detail.row(vec![
+            label.to_string(),
+            stats.nodes.to_string(),
+            stats.edges.to_string(),
+            stats.special_links.to_string(),
+            stats.total_bytes().to_string(),
+        ]);
+    }
+    detail.print();
+
     write_json("table1", &cells);
 }

@@ -18,7 +18,11 @@ pub fn run() {
     let trace = nasa_trace();
     let mut rows: Vec<(String, pbppm_sim::RunResult)> = Vec::new();
     for (label, spec, thr) in [
-        ("PPM-10KB", ModelSpec::Standard { max_height: None }, 10_000u64),
+        (
+            "PPM-10KB",
+            ModelSpec::Standard { max_height: None },
+            10_000u64,
+        ),
         ("PPM-30KB", ModelSpec::Standard { max_height: None }, 30_000),
         ("LRS-30KB", ModelSpec::Lrs, 30_000),
         ("PB-10KB", ModelSpec::pb_paper(true), 10_000),

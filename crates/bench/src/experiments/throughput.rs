@@ -51,6 +51,15 @@ pub struct ModelThroughput {
     pub batched_clicks_per_sec: f64,
 }
 
+/// Best observed wall time of one experiment phase (a telemetry span).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSecs {
+    /// Span name ("sessionize", "baseline", "train", "eval", …).
+    pub phase: String,
+    /// Fastest observed duration across the timing repeats, seconds.
+    pub secs: f64,
+}
+
 /// One model's end-to-end experiment timings.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EvalThroughput {
@@ -66,6 +75,9 @@ pub struct EvalThroughput {
     pub serial_requests_per_sec: f64,
     /// Evaluated requests per second, parallel.
     pub parallel_requests_per_sec: f64,
+    /// Per-phase breakdown from the experiment's telemetry spans; lets a
+    /// gate failure name the phase that regressed, not just the model.
+    pub phases: Vec<PhaseSecs>,
 }
 
 /// Everything one `throughput` run measured.
@@ -135,7 +147,14 @@ fn time_batched(
     })
 }
 
-fn model_row(label: &str, nodes: usize, n: usize, fast: f64, slow: f64, batch: f64) -> ModelThroughput {
+fn model_row(
+    label: &str,
+    nodes: usize,
+    n: usize,
+    fast: f64,
+    slow: f64,
+    batch: f64,
+) -> ModelThroughput {
     ModelThroughput {
         model: label.to_string(),
         nodes,
@@ -177,8 +196,33 @@ fn best_secs<T>(mut run: impl FnMut() -> T) -> (T, f64) {
     (out, best)
 }
 
+/// Minimum duration of every phase child across this model's `experiment`
+/// spans (serial and parallel repeats alike — the minimum is the same
+/// noise-robust statistic as `secs_per_pass`).
+fn min_phase_secs(roots: &[pbppm_obs::SpanRecord], span_label: &str) -> Vec<PhaseSecs> {
+    let prefix = format!("model={span_label} ");
+    let mut phases: Vec<PhaseSecs> = Vec::new();
+    for root in roots
+        .iter()
+        .filter(|r| r.name == "experiment" && r.detail.starts_with(&prefix))
+    {
+        for child in &root.children {
+            let secs = child.dur_ns as f64 / 1e9;
+            match phases.iter_mut().find(|p| p.phase == child.name) {
+                Some(p) => p.secs = p.secs.min(secs),
+                None => phases.push(PhaseSecs {
+                    phase: child.name.clone(),
+                    secs,
+                }),
+            }
+        }
+    }
+    phases
+}
+
 fn eval_row(trace: &Trace, label: &str, spec: ModelSpec) -> EvalThroughput {
     let mut cfg = ExperimentConfig::paper_default(spec, TRAIN_DAYS);
+    let span_label = cfg.model.label();
     cfg.threads = 1;
     let (serial, serial_secs) = best_secs(|| run_experiment(trace, &cfg));
     cfg.threads = 0;
@@ -187,6 +231,7 @@ fn eval_row(trace: &Trace, label: &str, spec: ModelSpec) -> EvalThroughput {
         serial.counters, parallel.counters,
         "{label}: thread count changed the results"
     );
+    let phases = min_phase_secs(&pbppm_obs::spans::snapshot(), &span_label);
     EvalThroughput {
         model: label.to_string(),
         threads: resolve_threads(0),
@@ -194,7 +239,27 @@ fn eval_row(trace: &Trace, label: &str, spec: ModelSpec) -> EvalThroughput {
         parallel_secs,
         serial_requests_per_sec: serial.eval_requests as f64 / serial_secs.max(1e-12),
         parallel_requests_per_sec: parallel.eval_requests as f64 / parallel_secs.max(1e-12),
+        phases,
     }
+}
+
+/// The phase with the largest `new/old` duration ratio, if both sides
+/// carry phase timings for it.
+fn worst_phase(new: &[PhaseSecs], old: &[PhaseSecs]) -> Option<(String, f64)> {
+    let mut worst: Option<(String, f64)> = None;
+    for n in new {
+        let Some(o) = old.iter().find(|p| p.phase == n.phase) else {
+            continue;
+        };
+        if o.secs <= 0.0 {
+            continue;
+        }
+        let ratio = n.secs / o.secs;
+        if worst.as_ref().is_none_or(|(_, r)| ratio > *r) {
+            worst = Some((n.phase.clone(), ratio));
+        }
+    }
+    worst
 }
 
 /// Compares `report` against the `PBPPM_PERF_BASELINE` file, if set, and
@@ -243,11 +308,25 @@ fn gate(report: &ThroughputReport) {
         let Some(old) = baseline.eval.iter().find(|m| m.model == new.model) else {
             continue;
         };
-        slower(
-            format!("{} end-to-end eval", new.model),
-            1.0 / new.parallel_requests_per_sec.max(1e-12),
-            1.0 / old.parallel_requests_per_sec.max(1e-12),
-        );
+        let new_secs = 1.0 / new.parallel_requests_per_sec.max(1e-12);
+        let old_secs = 1.0 / old.parallel_requests_per_sec.max(1e-12);
+        if new_secs > old_secs * slack {
+            let mut msg = format!(
+                "{} end-to-end eval: {:.0}% slower than baseline ({new_secs:.3e} vs {old_secs:.3e})",
+                new.model,
+                100.0 * (new_secs / old_secs - 1.0)
+            );
+            // Name the phase that moved the most — that is where to look.
+            if let Some((phase, ratio)) = worst_phase(&new.phases, &old.phases) {
+                use std::fmt::Write as _;
+                let _ = write!(
+                    msg,
+                    "; worst phase: {phase} ({:+.0}%)",
+                    100.0 * (ratio - 1.0)
+                );
+            }
+            failures.push(msg);
+        }
     }
     if failures.is_empty() {
         eprintln!(
@@ -322,7 +401,14 @@ pub fn run() {
             });
             let slow = time_clicks(&contexts, |c, out| standard.predict_reference(c, out));
             let batch = time_batched(&contexts, |cs, outs| standard.predict_many(cs, outs));
-            model_row("PPM", standard.node_count(), contexts.len(), fast, slow, batch)
+            model_row(
+                "PPM",
+                standard.node_count(),
+                contexts.len(),
+                fast,
+                slow,
+                batch,
+            )
         },
         {
             let fast = time_clicks(&contexts, |c, out| {
@@ -363,7 +449,14 @@ pub fn run() {
             "Throughput — single-click predict, day-{TRAIN_DAYS} {} trees",
             report.trace
         ),
-        &["model", "nodes", "fast ns/click", "scan ns/click", "speedup", "batched clicks/s"],
+        &[
+            "model",
+            "nodes",
+            "fast ns/click",
+            "scan ns/click",
+            "speedup",
+            "batched clicks/s",
+        ],
     );
     for m in &report.models {
         predict_table.row(vec![
@@ -378,8 +471,17 @@ pub fn run() {
     predict_table.print();
 
     let mut eval_table = Table::new(
-        format!("Throughput — end-to-end experiment, {} workers", report.eval[0].threads),
-        &["model", "serial s", "parallel s", "speedup", "parallel req/s"],
+        format!(
+            "Throughput — end-to-end experiment, {} workers",
+            report.eval[0].threads
+        ),
+        &[
+            "model",
+            "serial s",
+            "parallel s",
+            "speedup",
+            "parallel req/s",
+        ],
     );
     for m in &report.eval {
         eval_table.row(vec![
@@ -394,5 +496,16 @@ pub fn run() {
 
     write_json("throughput", &report);
     write_root_json(&report);
+
+    // Full telemetry report (spans + metrics registry) for this run,
+    // written before the gate so it survives a gating failure —
+    // `scripts/perf-gate.sh` renders it via `pbppm stats` on failure.
+    let metrics_path = crate::results_dir().join("run_metrics_throughput.json");
+    let metrics = pbppm_obs::RunReport::collect("bench throughput").to_json();
+    match std::fs::write(&metrics_path, metrics + "\n") {
+        Ok(()) => eprintln!("wrote {}", metrics_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", metrics_path.display()),
+    }
+
     gate(&report);
 }

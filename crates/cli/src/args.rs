@@ -40,7 +40,18 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switches (options that take no value) recognized anywhere.
-const SWITCHES: &[&str] = &["json", "aggressive-prune", "no-links", "help"];
+const SWITCHES: &[&str] = &[
+    "json",
+    "aggressive-prune",
+    "no-links",
+    "help",
+    "verbose",
+    "prom",
+];
+
+/// Value options recognized by every command (handled by the driver, not
+/// the individual commands).
+const GLOBAL_OPTIONS: &[&str] = &["metrics-out"];
 
 impl Args {
     /// Parses raw arguments (excluding the program and command names).
@@ -82,9 +93,7 @@ impl Args {
     ) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError::BadValue(key, v.to_owned())),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue(key, v.to_owned())),
         }
     }
 
@@ -93,11 +102,14 @@ impl Args {
         self.options.contains_key(key)
     }
 
-    /// Rejects any option not in `allowed` (switches included
-    /// automatically).
+    /// Rejects any option not in `allowed` (switches and driver-level
+    /// options included automatically).
     pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
         for key in self.options.keys() {
-            if !allowed.contains(&key.as_str()) && !SWITCHES.contains(&key.as_str()) {
+            if !allowed.contains(&key.as_str())
+                && !SWITCHES.contains(&key.as_str())
+                && !GLOBAL_OPTIONS.contains(&key.as_str())
+            {
                 return Err(ArgError::Unknown(key.clone()));
             }
         }
@@ -150,5 +162,19 @@ mod tests {
         );
         let b = parse(&["--seed", "1", "--json"]).unwrap();
         assert!(b.reject_unknown(&["seed"]).is_ok());
+    }
+
+    #[test]
+    fn driver_level_options_are_always_accepted() {
+        let a = parse(&["--metrics-out", "m.json", "--verbose", "--prom"]).unwrap();
+        assert!(a.reject_unknown(&[]).is_ok());
+        assert_eq!(a.get("metrics-out"), Some("m.json"));
+        assert!(a.switch("verbose"));
+        assert!(a.switch("prom"));
+        // --metrics-out still takes a value: bare use is an error.
+        assert_eq!(
+            parse(&["--metrics-out"]).unwrap_err(),
+            ArgError::MissingValue("metrics-out".into())
+        );
     }
 }

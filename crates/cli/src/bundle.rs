@@ -2,9 +2,7 @@
 //! interner it was trained against (snapshots store dense URL ids; the
 //! bundle makes them meaningful again).
 
-use pbppm_core::{
-    Interner, LrsPpm, PbPpm, Predictor, StandardPpm,
-};
+use pbppm_core::{Interner, LrsPpm, PbPpm, Predictor, StandardPpm};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 

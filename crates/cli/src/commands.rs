@@ -27,7 +27,9 @@ fn workload_preset(name: &str, seed: u64) -> Result<WorkloadConfig, String> {
         "nasa" => Ok(WorkloadConfig::nasa_like(seed)),
         "ucb" => Ok(WorkloadConfig::ucb_like(seed)),
         "tiny" => Ok(WorkloadConfig::tiny(seed)),
-        other => Err(format!("unknown preset {other:?} (expected nasa, ucb, or tiny)")),
+        other => Err(format!(
+            "unknown preset {other:?} (expected nasa, ucb, or tiny)"
+        )),
     }
 }
 
@@ -72,13 +74,11 @@ pub fn generate(args: &Args) -> CmdResult {
             let rec = CombinedRecord {
                 clf: rec,
                 referer: None,
-                user_agent: Some(
-                    if is_robot {
-                        "PBPPM-Crawler/1.0 (+http://example.org/bot)".to_owned()
-                    } else {
-                        "Mozilla/4.08 [en] (WinNT; U)".to_owned()
-                    },
-                ),
+                user_agent: Some(if is_robot {
+                    "PBPPM-Crawler/1.0 (+http://example.org/bot)".to_owned()
+                } else {
+                    "Mozilla/4.08 [en] (WinNT; U)".to_owned()
+                }),
             };
             writeln!(w, "{}", format_combined_line(&rec))?;
         } else {
@@ -101,10 +101,20 @@ fn load_trace_full(path: &str) -> Result<(Trace, LogIngest), Box<dyn std::error:
     let file = std::fs::File::open(path)?;
     let lines = std::io::BufReader::new(file).lines().map_while(Result::ok);
     let (trace, ingest) = trace_from_log(path, lines);
-    eprintln!(
+    pbppm_obs::obs_info!(
         "parsed {path} ({:?}): {} accepted, {} filtered, {} malformed",
-        ingest.format, ingest.stats.accepted, ingest.stats.filtered, ingest.stats.malformed
+        ingest.format,
+        ingest.stats.accepted,
+        ingest.stats.filtered,
+        ingest.stats.malformed
     );
+    if ingest.stats.malformed > ingest.stats.accepted {
+        pbppm_obs::obs_warn!(
+            "{path}: more malformed than accepted lines ({} vs {}) — wrong format?",
+            ingest.stats.malformed,
+            ingest.stats.accepted
+        );
+    }
     if trace.requests.is_empty() {
         return Err("no usable requests in the log".into());
     }
@@ -312,7 +322,9 @@ pub fn predict(args: &Args) -> CmdResult {
             }
             match interner.get(part) {
                 Some(id) => context.push(id),
-                None => eprintln!("note: {part:?} was never seen in training; skipping"),
+                None => {
+                    pbppm_obs::obs_warn!("{part:?} was never seen in training; skipping")
+                }
             }
         }
         if context.is_empty() {
@@ -387,7 +399,9 @@ pub fn simulate(args: &Args) -> CmdResult {
     let spec = match args.get("model").unwrap_or("pb") {
         "pb" => ModelSpec::pb_paper(true),
         "standard" => ModelSpec::Standard { max_height: None },
-        "3ppm" => ModelSpec::Standard { max_height: Some(3) },
+        "3ppm" => ModelSpec::Standard {
+            max_height: Some(3),
+        },
         "lrs" => ModelSpec::Lrs,
         "o1" => ModelSpec::Order1,
         "top10" => ModelSpec::TopN { n: 10 },
@@ -398,6 +412,13 @@ pub fn simulate(args: &Args) -> CmdResult {
     let train_days = args.get_parsed("train-days", default_days)?;
     let mut cfg = ExperimentConfig::paper_default(spec, train_days);
     cfg.threads = args.get_parsed("threads", 0usize)?;
+    pbppm_obs::obs_info!(
+        "simulating {} on {}: {} training day(s), {} worker(s) (0 = auto)",
+        cfg.model.label(),
+        trace.name,
+        train_days,
+        cfg.threads
+    );
     let r = run_experiment(&trace, &cfg);
     if args.switch("json") {
         println!("{}", serde_json::to_string_pretty(&r)?);
@@ -415,5 +436,26 @@ pub fn simulate(args: &Args) -> CmdResult {
     println!("  latency saved  {:>6.1}%", 100.0 * r.latency_reduction());
     println!("  traffic cost   {:>6.1}%", 100.0 * r.traffic_increment());
     println!("  model size     {:>6} nodes", r.node_count);
+    Ok(())
+}
+
+/// `pbppm stats run_metrics.json [--prom]`
+///
+/// Renders a telemetry report exported by `--metrics-out`: a human-readable
+/// span/metric summary by default, Prometheus text exposition with
+/// `--prom`.
+pub fn stats(args: &Args) -> CmdResult {
+    args.reject_unknown(&[])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pbppm stats <run_metrics.json> [--prom]")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let report = pbppm_obs::RunReport::from_json(&raw).map_err(|e| format!("{path}: {e}"))?;
+    if args.switch("prom") {
+        print!("{}", report.render_prometheus());
+    } else {
+        print!("{}", report.render_text());
+    }
     Ok(())
 }

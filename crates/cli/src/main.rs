@@ -7,10 +7,17 @@
 //! pbppm train    access.log --out model.json       train a prediction model
 //! pbppm predict  model.json --context "/a,/b"      what to prefetch next
 //! pbppm simulate access.log --model pb             full prefetching experiment
+//! pbppm stats    run_metrics.json                  render an exported report
 //! ```
 
 use pbppm_cli::args::Args;
 use pbppm_cli::commands;
+
+/// Span byte deltas need allocation accounting; the CLI opts in. The perf
+/// gate's `throughput` binary deliberately does not, keeping its
+/// measurements allocator-overhead-free.
+#[global_allocator]
+static ALLOC: pbppm_obs::alloc::CountingAllocator = pbppm_obs::alloc::CountingAllocator;
 
 const HELP: &str = "\
 pbppm — popularity-based PPM web prefetching toolkit
@@ -33,10 +40,45 @@ COMMANDS:
                (<access.log> | --preset nasa|ucb|tiny [--seed N])
                [--model pb|standard|3ppm|lrs|o1|top10|none] [--train-days N]
                [--threads N] [--json]
+    stats      Render an exported telemetry report
+               <run_metrics.json>  [--prom]
     help       Show this message
+
+GLOBAL OPTIONS:
+    --metrics-out FILE   Export this run's telemetry (spans + metrics) as JSON
+    --verbose            Raise logging to debug (stderr; stdout stays clean)
+
+ENVIRONMENT:
+    PBPPM_LOG      error|warn|info|debug|trace — logging threshold
+    PBPPM_THREADS  positive worker count where --threads is 0/omitted
 
 All commands are deterministic for a given input and seed.
 ";
+
+/// Validates the observability environment and flags up front so a typo
+/// fails loudly before any work starts.
+fn init_observability(args: &Args) -> Result<(), String> {
+    pbppm_obs::log::init_from_env()?;
+    if args.switch("verbose") {
+        let level = pbppm_obs::log::Level::Debug.max(pbppm_obs::log::max_level());
+        pbppm_obs::log::set_level(level);
+    }
+    pbppm_sim::threads_from_env()?;
+    if !pbppm_obs::ENABLED && args.get("metrics-out").is_some() {
+        pbppm_obs::obs_warn!("--metrics-out: telemetry is compiled out; the report will be empty");
+    }
+    Ok(())
+}
+
+/// Writes the collected telemetry report where `--metrics-out` points.
+fn export_metrics(command: &str, path: &str) -> Result<(), String> {
+    let report = pbppm_obs::RunReport::collect(command);
+    let json = report.to_json();
+    std::fs::write(path, json.as_bytes())
+        .map_err(|e| format!("--metrics-out: cannot write {path:?}: {e}"))?;
+    pbppm_obs::obs_info!("wrote telemetry report to {path}");
+    Ok(())
+}
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -48,6 +90,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Err(e) = init_observability(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     if args.switch("help") {
         print!("{HELP}");
         return;
@@ -58,6 +104,7 @@ fn main() {
         "train" => commands::train(&args),
         "predict" => commands::predict(&args),
         "simulate" => commands::simulate(&args),
+        "stats" => commands::stats(&args),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())
@@ -70,5 +117,11 @@ fn main() {
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = args.get("metrics-out") {
+        if let Err(e) = export_metrics(&command, path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -24,10 +24,8 @@ fn generate_analyze_train_predict_simulate() {
     let model_s = model.to_str().unwrap();
 
     // generate
-    commands::generate(&args(&[
-        "--preset", "tiny", "--out", log_s, "--seed", "5",
-    ]))
-    .expect("generate");
+    commands::generate(&args(&["--preset", "tiny", "--out", log_s, "--seed", "5"]))
+        .expect("generate");
     let text = std::fs::read_to_string(&log).unwrap();
     assert!(text.lines().count() > 1000, "log should have many lines");
     assert!(text.contains("GET"));
@@ -39,7 +37,12 @@ fn generate_analyze_train_predict_simulate() {
     // train each model kind
     for kind in ["pb", "standard", "lrs"] {
         commands::train(&args(&[
-            log_s, "--out", model_s, "--model", kind, "--aggressive-prune",
+            log_s,
+            "--out",
+            model_s,
+            "--model",
+            kind,
+            "--aggressive-prune",
         ]))
         .unwrap_or_else(|e| panic!("train {kind}: {e}"));
         let bundle = TrainedBundle::load(&model).expect("load bundle");
@@ -68,13 +71,46 @@ fn generate_analyze_train_predict_simulate() {
 }
 
 #[test]
+fn metrics_report_flow() {
+    // A simulate run populates the global telemetry registry and spans.
+    commands::simulate(&args(&["--preset", "tiny", "--seed", "7", "--model", "pb"]))
+        .expect("simulate");
+    let report = pbppm_obs::RunReport::collect("simulate");
+    assert!(report.telemetry_enabled);
+    assert!(
+        report.find_span("experiment").is_some(),
+        "simulate should record an experiment span"
+    );
+    assert!(
+        report.find_span("train").is_some() && report.find_span("eval").is_some(),
+        "experiment should carry its phase children"
+    );
+
+    // Write what `--metrics-out` writes, then render it with `stats`.
+    let path = temp("metrics.json");
+    std::fs::write(&path, report.to_json()).unwrap();
+    commands::stats(&args(&[path.to_str().unwrap()])).expect("stats");
+    commands::stats(&args(&[path.to_str().unwrap(), "--prom"])).expect("stats --prom");
+
+    // Error paths: missing file, malformed file, no path at all.
+    assert!(commands::stats(&args(&["/nonexistent/metrics.json"])).is_err());
+    let bad = temp("bad-metrics.json");
+    std::fs::write(&bad, "not json").unwrap();
+    assert!(commands::stats(&args(&[bad.to_str().unwrap()])).is_err());
+    assert!(commands::stats(&args(&[])).is_err());
+}
+
+#[test]
 fn helpful_errors() {
     // missing required option
     assert!(commands::generate(&args(&["--preset", "tiny"])).is_err());
     // unknown preset
     let out = temp("x.log");
     assert!(commands::generate(&args(&[
-        "--preset", "bogus", "--out", out.to_str().unwrap()
+        "--preset",
+        "bogus",
+        "--out",
+        out.to_str().unwrap()
     ]))
     .is_err());
     // missing file
@@ -82,7 +118,12 @@ fn helpful_errors() {
     // unknown model kind
     let log = temp("err.log");
     commands::generate(&args(&[
-        "--preset", "tiny", "--out", log.to_str().unwrap(), "--seed", "1",
+        "--preset",
+        "tiny",
+        "--out",
+        log.to_str().unwrap(),
+        "--seed",
+        "1",
     ]))
     .unwrap();
     assert!(commands::train(&args(&[

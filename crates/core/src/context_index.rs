@@ -215,6 +215,23 @@ fn same_window(tree: &Tree, a: NodeId, b: NodeId, len: usize) -> bool {
 /// Both builders rebuild the tree's path hashes first, so they want `&mut
 /// Tree`; afterwards the index is immutable and lookups take `&self`, which
 /// is what lets the evaluation engine share one model across worker threads.
+/// Bucket-occupancy summary of a [`ContextIndex`]
+/// (see [`ContextIndex::occupancy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexOccupancy {
+    /// Distinct `(window length, hash)` buckets.
+    pub buckets: usize,
+    /// Entries in the fullest bucket.
+    pub max_bucket: usize,
+    /// Windows-mode groups whose members collided (queried member by
+    /// member instead of via the precomputed aggregate).
+    pub dirty_groups: usize,
+}
+
+/// A windows-mode bucket under construction: the window length plus every
+/// member node with its extension URL (`None` for window-terminal nodes).
+type RawBucket = (usize, Vec<(NodeId, Option<UrlId>)>);
+
 #[derive(Debug, Clone, Default)]
 pub struct ContextIndex {
     buckets: FxHashMap<u64, Vec<NodeId>>,
@@ -248,8 +265,7 @@ impl ContextIndex {
         let mut index = ContextIndex::default();
         // Phase 1: file every (node, window) entry, remembering the window
         // length and the member's extension URL per bucket.
-        let mut raw: FxHashMap<u64, (usize, Vec<(NodeId, Option<UrlId>)>)> =
-            FxHashMap::default();
+        let mut raw: FxHashMap<u64, RawBucket> = FxHashMap::default();
         for id in tree.iter_alive() {
             let node = tree.node(id);
             if node.link_dup {
@@ -353,7 +369,10 @@ impl ContextIndex {
     }
 
     fn insert(&mut self, len: usize, hash: u64, id: NodeId) {
-        self.buckets.entry(bucket_key(len, hash)).or_default().push(id);
+        self.buckets
+            .entry(bucket_key(len, hash))
+            .or_default()
+            .push(id);
         self.entries += 1;
     }
 
@@ -425,6 +444,18 @@ impl ContextIndex {
                             .sum::<usize>()
                 })
                 .sum::<usize>()
+    }
+
+    /// Bucket occupancy for storage/telemetry gauges: `(buckets,
+    /// largest bucket, dirty windows-mode groups)`. A dirty group fell back
+    /// to per-member verification at query time, so the dirty count is the
+    /// structural ceiling on slow-bucket lookups.
+    pub fn occupancy(&self) -> IndexOccupancy {
+        IndexOccupancy {
+            buckets: self.buckets.len(),
+            max_bucket: self.buckets.values().map(Vec::len).max().unwrap_or(0),
+            dirty_groups: self.groups.values().filter(|g| g.dirty).count(),
+        }
     }
 
     /// Hashed drop-in for [`Tree::longest_predictive_match`]: the deepest

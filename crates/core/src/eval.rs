@@ -258,7 +258,12 @@ mod tests {
     fn empty_input_is_safe() {
         let mut m = StandardPpm::unbounded();
         m.finalize();
-        let q = evaluate(&mut m, &Vec::<Vec<UrlId>>::new(), 12, &EvalConfig::default());
+        let q = evaluate(
+            &mut m,
+            &Vec::<Vec<UrlId>>::new(),
+            12,
+            &EvalConfig::default(),
+        );
         assert_eq!(q, PredictionQuality::default());
         assert_eq!(q.mrr(), 0.0);
         assert_eq!(q.emitted_per_context(), 0.0);

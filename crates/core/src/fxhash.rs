@@ -42,11 +42,15 @@ impl Hasher for FxHasher {
             bytes = &bytes[8..];
         }
         if bytes.len() >= 4 {
-            self.add_to_hash(u64::from(u32::from_le_bytes(bytes[..4].try_into().unwrap())));
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                bytes[..4].try_into().unwrap(),
+            )));
             bytes = &bytes[4..];
         }
         if bytes.len() >= 2 {
-            self.add_to_hash(u64::from(u16::from_le_bytes(bytes[..2].try_into().unwrap())));
+            self.add_to_hash(u64::from(u16::from_le_bytes(
+                bytes[..2].try_into().unwrap(),
+            )));
             bytes = &bytes[2..];
         }
         if let Some(&b) = bytes.first() {

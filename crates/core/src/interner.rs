@@ -60,7 +60,8 @@ impl Interner {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = UrlId(u32::try_from(self.by_id.len()).expect("more than u32::MAX interned strings"));
+        let id =
+            UrlId(u32::try_from(self.by_id.len()).expect("more than u32::MAX interned strings"));
         let boxed: Box<str> = name.into();
         self.by_id.push(boxed.clone());
         self.by_name.insert(boxed, id);

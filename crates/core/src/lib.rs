@@ -66,7 +66,7 @@ pub mod stats;
 pub mod topn;
 pub mod tree;
 
-pub use context_index::{ContextHashes, ContextIndex};
+pub use context_index::{ContextHashes, ContextIndex, IndexOccupancy};
 pub use eval::{evaluate, EvalConfig, PredictionQuality};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interner::{Interner, UrlId};
@@ -78,6 +78,6 @@ pub use popularity::{Grade, PopularityBuilder, PopularityTable, PopularityTracke
 pub use predictor::{ModelKind, PredictUsage, Prediction, Predictor};
 pub use prune::PruneConfig;
 pub use standard::StandardPpm;
-pub use topn::TopN;
 pub use stats::ModelStats;
+pub use topn::TopN;
 pub use tree::{NodeId, Tree};

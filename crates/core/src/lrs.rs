@@ -96,13 +96,18 @@ impl LrsPpm {
     }
 
     /// The longest predictive context match, hashed when the index exists.
-    fn matched_node(&self, context: &[UrlId]) -> Option<NodeId> {
+    /// Tallies which matching mechanism answered into `usage`.
+    fn matched_node(&self, context: &[UrlId], usage: &mut PredictUsage) -> Option<NodeId> {
         match &self.index {
             Some(index) => {
+                usage.index_fast += 1;
                 let mut hashes = ContextHashes::new();
                 index.longest_predictive(&self.tree, context, self.max_height, &mut hashes)
             }
-            None => self.tree.longest_predictive_match(context, self.max_height),
+            None => {
+                usage.index_fallback += 1;
+                self.tree.longest_predictive_match(context, self.max_height)
+            }
         }
     }
 
@@ -172,7 +177,7 @@ impl Predictor for LrsPpm {
         if context.is_empty() {
             return;
         }
-        let Some(node) = self.matched_node(context) else {
+        let Some(node) = self.matched_node(context, usage) else {
             return;
         };
         let parent_count = self.tree.node(node).count;
@@ -201,7 +206,11 @@ impl Predictor for LrsPpm {
     }
 
     fn stats(&self) -> ModelStats {
-        ModelStats::of_tree(&self.tree)
+        let stats = ModelStats::of_tree(&self.tree);
+        match &self.index {
+            Some(index) => stats.with_index(index),
+            None => stats,
+        }
     }
 }
 

@@ -93,12 +93,19 @@ impl Predictor for Order1Markov {
         ModelStats {
             nodes: self.node_count(),
             roots: self.rows.len(),
-            max_depth: if total_paths > 0 { 2 } else { u8::from(!self.rows.is_empty()) },
+            // One edge per stored transition (row → successor).
+            edges: total_paths,
+            max_depth: if total_paths > 0 {
+                2
+            } else {
+                u8::from(!self.rows.is_empty())
+            },
             total_paths,
             used_paths,
             memory_bytes: self.rows.len()
                 * (std::mem::size_of::<UrlId>() + std::mem::size_of::<Row>())
                 + total_paths * std::mem::size_of::<(UrlId, u64)>(),
+            ..ModelStats::default()
         }
     }
 }

@@ -276,6 +276,33 @@ impl PbPpm {
         true
     }
 
+    /// Publishes the post-finalize storage shape of the PB-specific
+    /// machinery to the telemetry registry (gauges under `model=PB-PPM`):
+    /// prune removals and `ContextIndex` occupancy. (The generic
+    /// node/edge/byte gauges are published per model by the simulator.)
+    /// Last-writer-wins when several PB models finalize in one process
+    /// (e.g. a parallel sweep); per-cell storage lives in each run's
+    /// [`ModelStats`] regardless.
+    fn publish_storage_gauges(&self) {
+        let reg = pbppm_obs::global();
+        let label = format!("model={}", self.kind().label());
+        if let Some(report) = self.prune_report {
+            reg.gauge("core.prune.removed", &label)
+                .set(report.removed() as u64);
+        }
+        let occ = self.index.occupancy();
+        reg.gauge("core.index.entries", &label)
+            .set(self.index.len() as u64);
+        reg.gauge("core.index.bytes", &label)
+            .set(self.index.memory_bytes() as u64);
+        reg.gauge("core.index.buckets", &label)
+            .set(occ.buckets as u64);
+        reg.gauge("core.index.max_bucket", &label)
+            .set(occ.max_bucket as u64);
+        reg.gauge("core.index.dirty_groups", &label)
+            .set(occ.dirty_groups as u64);
+    }
+
     /// Read-only access to the underlying tree (tests, rendering).
     pub fn tree(&self) -> &Tree {
         &self.tree
@@ -420,6 +447,9 @@ impl Predictor for PbPpm {
         }
         self.index = ContextIndex::windows(&mut self.tree, self.cfg.max_order);
         self.finalized = true;
+        if pbppm_obs::ENABLED {
+            self.publish_storage_gauges();
+        }
     }
 
     fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
@@ -455,6 +485,7 @@ impl Predictor for PbPpm {
                 let older = (l < longest).then(|| context[len - 1 - l]);
                 let candidates = self.index.candidates(l, hashes.suffix_hash(l));
                 if self.vote_candidates(suffix, older, candidates, out, usage) {
+                    usage.index_fallback += 1;
                     break;
                 }
                 continue;
@@ -501,6 +532,7 @@ impl Predictor for PbPpm {
                     usage.used_groups.push((key, u64::from(ext.0)));
                 }
             }
+            usage.index_fast += 1;
             break;
         }
 
@@ -551,8 +583,7 @@ impl Predictor for PbPpm {
                 let Some(g) = index.group_by_key(key) else {
                     continue;
                 };
-                let excluded =
-                    (ext_code != u64::MAX).then(|| UrlId(ext_code as u32));
+                let excluded = (ext_code != u64::MAX).then_some(UrlId(ext_code as u32));
                 for sub in &g.subs {
                     if excluded.is_some() && sub.ext == excluded {
                         continue;
@@ -576,7 +607,7 @@ impl Predictor for PbPpm {
     }
 
     fn stats(&self) -> ModelStats {
-        ModelStats::of_tree(&self.tree)
+        ModelStats::of_tree(&self.tree).with_index(&self.index)
     }
 }
 

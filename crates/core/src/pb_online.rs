@@ -125,7 +125,9 @@ impl Predictor for OnlinePbPpm {
     }
 
     fn stats(&self) -> ModelStats {
-        self.model.as_ref().map_or_else(ModelStats::default, |m| m.stats())
+        self.model
+            .as_ref()
+            .map_or_else(ModelStats::default, |m| m.stats())
     }
 }
 
@@ -169,9 +171,8 @@ mod tests {
 
     #[test]
     fn matches_offline_model_when_window_covers_everything() {
-        let sessions: Vec<Vec<UrlId>> = (0..20)
-            .map(|i| vec![u(0), u(1 + (i % 3) as u32)])
-            .collect();
+        let sessions: Vec<Vec<UrlId>> =
+            (0..20).map(|i| vec![u(0), u(1 + (i % 3) as u32)]).collect();
         let mut online = OnlinePbPpm::new(cfg(), 1000, 1000);
         let mut counts = PopularityTable::builder();
         for s in &sessions {

@@ -95,6 +95,13 @@ pub struct PredictUsage {
     /// the member nodes keeps the fast path free of per-member work, and
     /// since marking is idempotent the records deduplicate freely.
     pub used_groups: Vec<(u64, u64)>,
+    /// Context matches answered through the hashed `ContextIndex` fast
+    /// path. Plain counters so the predict path stays free of atomics; the
+    /// engine folds them into the telemetry registry after the merge.
+    pub index_fast: u64,
+    /// Context matches answered by the retained reference scan (no index
+    /// built, or a dirty bucket forced per-member verification).
+    pub index_fallback: u64,
 }
 
 impl PredictUsage {
@@ -107,6 +114,8 @@ impl PredictUsage {
         self.link_preds = 0;
         self.branch_preds = 0;
         self.used_groups.clear();
+        self.index_fast = 0;
+        self.index_fallback = 0;
     }
 
     /// Folds another record into this one.
@@ -118,6 +127,8 @@ impl PredictUsage {
         self.link_preds += other.link_preds;
         self.branch_preds += other.branch_preds;
         self.used_groups.extend_from_slice(&other.used_groups);
+        self.index_fast += other.index_fast;
+        self.index_fallback += other.index_fallback;
     }
 
     /// True when nothing was recorded.
@@ -129,6 +140,8 @@ impl PredictUsage {
             && self.link_preds == 0
             && self.branch_preds == 0
             && self.used_groups.is_empty()
+            && self.index_fast == 0
+            && self.index_fallback == 0
     }
 }
 

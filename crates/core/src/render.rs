@@ -78,7 +78,11 @@ fn render_node(
     }
     for &link in &links {
         i += 1;
-        let branch = if i == last_index { "└── " } else { "├── " };
+        let branch = if i == last_index {
+            "└── "
+        } else {
+            "├── "
+        };
         let _ = writeln!(out, "{child_prefix}{branch}~> {}", label(tree, link, names));
     }
 }

@@ -84,13 +84,18 @@ impl StandardPpm {
     }
 
     /// The longest predictive context match, hashed when the index exists.
-    fn matched_node(&self, context: &[UrlId]) -> Option<NodeId> {
+    /// Tallies which matching mechanism answered into `usage`.
+    fn matched_node(&self, context: &[UrlId], usage: &mut PredictUsage) -> Option<NodeId> {
         match &self.index {
             Some(index) => {
+                usage.index_fast += 1;
                 let mut hashes = ContextHashes::new();
                 index.longest_predictive(&self.tree, context, self.max_order, &mut hashes)
             }
-            None => self.tree.longest_predictive_match(context, self.max_order),
+            None => {
+                usage.index_fallback += 1;
+                self.tree.longest_predictive_match(context, self.max_order)
+            }
         }
     }
 
@@ -152,7 +157,7 @@ impl Predictor for StandardPpm {
         if context.is_empty() {
             return;
         }
-        let Some(node) = self.matched_node(context) else {
+        let Some(node) = self.matched_node(context, usage) else {
             return;
         };
         let parent_count = self.tree.node(node).count;
@@ -181,7 +186,11 @@ impl Predictor for StandardPpm {
     }
 
     fn stats(&self) -> ModelStats {
-        ModelStats::of_tree(&self.tree)
+        let stats = ModelStats::of_tree(&self.tree);
+        match &self.index {
+            Some(index) => stats.with_index(index),
+            None => stats,
+        }
     }
 }
 

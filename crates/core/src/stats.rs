@@ -11,6 +11,10 @@ pub struct ModelStats {
     pub nodes: usize,
     /// Alive branch roots.
     pub roots: usize,
+    /// Parent→child edges between alive nodes.
+    pub edges: usize,
+    /// Alive PB-PPM special-link (duplicated popular) nodes.
+    pub special_links: usize,
     /// Depth of the deepest alive node.
     pub max_depth: u8,
     /// Root-to-leaf paths currently stored.
@@ -19,20 +23,44 @@ pub struct ModelStats {
     pub used_paths: usize,
     /// Approximate resident memory of the tree arena, in bytes.
     pub memory_bytes: usize,
+    /// `(node, window)` entries in the model's `ContextIndex` (0 before
+    /// finalization).
+    pub index_entries: usize,
+    /// Approximate resident memory of the `ContextIndex`, in bytes.
+    pub index_bytes: usize,
 }
 
 impl ModelStats {
-    /// Collects statistics from a tree.
+    /// Collects statistics from a tree. Index fields stay 0; models that
+    /// carry a `ContextIndex` fill them via [`ModelStats::with_index`].
     pub fn of_tree(tree: &Tree) -> Self {
         let (total_paths, used_paths) = tree.path_usage();
         Self {
             nodes: tree.node_count(),
             roots: tree.root_count(),
+            edges: tree.edge_count(),
+            special_links: tree.link_count(),
             max_depth: tree.max_depth(),
             total_paths,
             used_paths,
             memory_bytes: tree.memory_bytes(),
+            index_entries: 0,
+            index_bytes: 0,
         }
+    }
+
+    /// Adds the model's `ContextIndex` footprint to the snapshot.
+    pub fn with_index(mut self, index: &crate::context_index::ContextIndex) -> Self {
+        self.index_entries = index.len();
+        self.index_bytes = index.memory_bytes();
+        self
+    }
+
+    /// Approximate total resident bytes: tree arena plus fingerprint index
+    /// — the quantity behind the paper's Table-1 storage comparison once
+    /// the matching acceleration structures are included.
+    pub fn total_bytes(&self) -> usize {
+        self.memory_bytes + self.index_bytes
     }
 
     /// Fraction of stored paths that were used for predictions
@@ -77,6 +105,32 @@ mod tests {
         assert_eq!(s.total_paths, 2);
         assert_eq!(s.used_paths, 0);
         assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn edges_and_links_are_counted() {
+        let mut t = Tree::new();
+        t.insert_path(&[u(1), u(2), u(3)], usize::MAX);
+        let root = t.descend(&[u(1)]).unwrap();
+        t.link_or_insert(root, u(9));
+        let s = ModelStats::of_tree(&t);
+        assert_eq!(s.nodes, 4);
+        // Two branch edges (1→2, 2→3) plus the special link under the root.
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.special_links, 1);
+        assert_eq!(s.index_entries, 0, "no index attached yet");
+        assert_eq!(s.total_bytes(), s.memory_bytes);
+    }
+
+    #[test]
+    fn with_index_adds_the_index_footprint() {
+        let mut t = Tree::new();
+        t.insert_path(&[u(1), u(2)], usize::MAX);
+        let index = crate::context_index::ContextIndex::full_paths(&mut t);
+        let s = ModelStats::of_tree(&t).with_index(&index);
+        assert_eq!(s.index_entries, 2);
+        assert!(s.index_bytes > 0);
+        assert_eq!(s.total_bytes(), s.memory_bytes + s.index_bytes);
     }
 
     #[test]

@@ -114,6 +114,7 @@ impl Predictor for TopN {
             used_paths: if self.used { self.top.len() } else { 0 },
             memory_bytes: self.top.capacity() * std::mem::size_of::<(UrlId, u64)>()
                 + self.counts.capacity() * std::mem::size_of::<u64>(),
+            ..ModelStats::default()
         }
     }
 }

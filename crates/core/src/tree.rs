@@ -265,6 +265,21 @@ impl Tree {
         self.nodes.len()
     }
 
+    /// Number of parent→child edges between alive nodes: every alive
+    /// non-root node contributes exactly one (duplicated link nodes hang
+    /// off their root the same way, so they count too).
+    pub fn edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive && !n.parent.is_none())
+            .count()
+    }
+
+    /// Number of alive PB-PPM special-link (duplicated popular) nodes.
+    pub fn link_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive && n.link_dup).count()
+    }
+
     /// Number of alive branch roots.
     pub fn root_count(&self) -> usize {
         self.roots
@@ -420,7 +435,11 @@ impl Tree {
             .map(|(&root, targets)| (root.0, targets.iter().map(|t| t.0).collect()))
             .collect();
         links.sort_unstable();
-        TreeSnapshot { nodes, roots, links }
+        TreeSnapshot {
+            nodes,
+            roots,
+            links,
+        }
     }
 
     /// Reconstructs a forest from a snapshot, validating its internal
@@ -524,7 +543,9 @@ impl Tree {
                 hashes[i] = if parent.is_none() {
                     h
                 } else {
-                    hashes[parent.index()].wrapping_mul(HASH_BASE).wrapping_add(h)
+                    hashes[parent.index()]
+                        .wrapping_mul(HASH_BASE)
+                        .wrapping_add(h)
                 };
                 done[i] = true;
             }

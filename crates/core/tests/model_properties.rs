@@ -8,7 +8,11 @@ use pbppm_core::{
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
-fn sessions_strategy(urls: u32, max_len: usize, max_sessions: usize) -> BoxedStrategy<Vec<Vec<UrlId>>> {
+fn sessions_strategy(
+    urls: u32,
+    max_len: usize,
+    max_sessions: usize,
+) -> BoxedStrategy<Vec<Vec<UrlId>>> {
     prop::collection::vec(
         prop::collection::vec((0..urls).prop_map(UrlId), 1..max_len),
         1..max_sessions,
@@ -100,10 +104,7 @@ proptest! {
 /// Brute force: the set of contiguous subsequences occurring at least
 /// `support` times across all sessions (counting every occurrence,
 /// overlapping included) — exactly the paths the LRS tree must retain.
-fn reference_repeating_subsequences(
-    sessions: &[Vec<UrlId>],
-    support: u64,
-) -> HashSet<Vec<UrlId>> {
+fn reference_repeating_subsequences(sessions: &[Vec<UrlId>], support: u64) -> HashSet<Vec<UrlId>> {
     let mut counts: HashMap<Vec<UrlId>, u64> = HashMap::new();
     for s in sessions {
         for start in 0..s.len() {

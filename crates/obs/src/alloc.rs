@@ -1,0 +1,66 @@
+//! Optional allocation accounting behind span byte deltas.
+//!
+//! A binary opts in by installing the counting allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pbppm_obs::alloc::CountingAllocator =
+//!     pbppm_obs::alloc::CountingAllocator;
+//! ```
+//!
+//! The counter is a single process-wide relaxed atomic of *allocated* bytes
+//! (frees are not subtracted): span deltas then measure allocation churn,
+//! which is the quantity that correlates with allocator time. Binaries that
+//! do not install it — the perf-gate `throughput` binary, deliberately —
+//! simply report 0. With the `enabled` feature off the allocator forwards
+//! straight to [`System`] with no counting at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+#[cfg(feature = "enabled")]
+static ALLOCATED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total bytes allocated so far (0 when no [`CountingAllocator`] is
+/// installed or telemetry is compiled out).
+pub fn allocated_bytes() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        ALLOCATED.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// A [`System`]-backed allocator that counts allocated bytes.
+pub struct CountingAllocator;
+
+#[cfg(feature = "enabled")]
+fn count(bytes: usize) {
+    ALLOCATED.fetch_add(bytes as u64, std::sync::atomic::Ordering::Relaxed);
+}
+
+#[cfg(not(feature = "enabled"))]
+fn count(_bytes: usize) {}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size.saturating_sub(layout.size()));
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -1,0 +1,38 @@
+//! Self-contained observability for the pbppm workspace.
+//!
+//! The build environment is offline, so instead of `tracing` + `prometheus`
+//! this crate provides the minimal surface the simulator actually needs:
+//!
+//! - [`spans`] — nested wall-clock spans via the [`span!`] macro, collected
+//!   into a per-run tree with an optional allocation-byte delta when the
+//!   binary installs [`alloc::CountingAllocator`];
+//! - [`metrics`] — a thread-safe registry of counters, gauges and
+//!   power-of-two-bucket histograms, plus [`metrics::LocalHist`], the
+//!   contention-free shard accumulator the eval engine merges
+//!   deterministically (ascending client order, like PR 1's counters);
+//! - [`log`] — leveled stderr logging gated by `PBPPM_LOG` / `--verbose`,
+//!   so quiet runs stay quiet and JSON stdout never interleaves;
+//! - [`report`] — the exportable run report: schema-stable JSON
+//!   (`--metrics-out`), a Prometheus-style text rendering, and the
+//!   human-readable view behind `pbppm stats`.
+//!
+//! Telemetry compiles out with `--no-default-features` (see the `enabled`
+//! feature); instrumented hot paths branch on [`ENABLED`] so the disabled
+//! mode costs nothing on the predict path.
+
+pub mod alloc;
+pub mod log;
+pub mod metrics;
+pub mod report;
+pub mod spans;
+
+/// True when the `enabled` feature compiled telemetry in. `if ENABLED`
+/// blocks around timing code const-fold away in the disabled build.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+pub use metrics::{
+    global, BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, LocalHist, MetricValue,
+    MetricsSnapshot, Registry,
+};
+pub use report::RunReport;
+pub use spans::SpanRecord;

@@ -1,0 +1,171 @@
+//! Leveled stderr logging.
+//!
+//! Progress and diagnostics go through [`crate::obs_error!`] …
+//! [`crate::obs_trace!`]; everything prints to **stderr** so commands that
+//! emit JSON on stdout never interleave. The default level is [`Level::Warn`]
+//! — quiet runs are quiet. `PBPPM_LOG=<level>` (via [`init_from_env`]) or
+//! the CLI's `--verbose` raise it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable selecting the log level.
+pub const LOG_ENV: &str = "PBPPM_LOG";
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or wrong-result conditions.
+    Error = 0,
+    /// Suspicious but non-fatal conditions (the default threshold).
+    Warn = 1,
+    /// One-line phase progress.
+    Info = 2,
+    /// Detailed progress (per-file, per-pass).
+    Debug = 3,
+    /// Per-shard / per-item firehose.
+    Trace = 4,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive). Errors name the accepted
+    /// values — callers prepend the flag or env-var name.
+    pub fn parse(raw: &str) -> Result<Level, String> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "invalid log level {other:?} (expected error, warn, info, debug, or trace)"
+            )),
+        }
+    }
+
+    /// Lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+static THRESHOLD: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the logging threshold.
+pub fn set_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current logging threshold.
+pub fn max_level() -> Level {
+    Level::from_u8(THRESHOLD.load(Ordering::Relaxed))
+}
+
+/// Whether messages at `level` are currently emitted.
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Applies `PBPPM_LOG` if set. Unset keeps the current threshold; an
+/// invalid value is an error (no silent fallback).
+pub fn init_from_env() -> Result<Level, String> {
+    match std::env::var(LOG_ENV) {
+        Ok(raw) => {
+            let level = Level::parse(&raw).map_err(|e| format!("{LOG_ENV}: {e}"))?;
+            set_level(level);
+            Ok(level)
+        }
+        Err(_) => Ok(max_level()),
+    }
+}
+
+/// Emits one line to stderr; call through the macros, which check
+/// [`enabled`] first.
+pub fn write(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{}] {}", level.as_str(), args);
+}
+
+/// Logs at an explicit [`Level`].
+#[macro_export]
+macro_rules! obs_log {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($level) {
+            $crate::log::write($level, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Error`](crate::log::Level::Error).
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Error, $($arg)*) };
+}
+
+/// Logs at [`Level::Warn`](crate::log::Level::Warn).
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Warn, $($arg)*) };
+}
+
+/// Logs at [`Level::Info`](crate::log::Level::Info).
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Info, $($arg)*) };
+}
+
+/// Logs at [`Level::Debug`](crate::log::Level::Debug).
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Debug, $($arg)*) };
+}
+
+/// Logs at [`Level::Trace`](crate::log::Level::Trace).
+#[macro_export]
+macro_rules! obs_trace {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::log::Level::Trace, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels_case_insensitively() {
+        assert_eq!(Level::parse("info"), Ok(Level::Info));
+        assert_eq!(Level::parse("WARN"), Ok(Level::Warn));
+        assert_eq!(Level::parse("warning"), Ok(Level::Warn));
+        assert_eq!(Level::parse(" Trace "), Ok(Level::Trace));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_a_clear_message() {
+        let err = Level::parse("loud").unwrap_err();
+        assert!(err.contains("loud"), "names the bad value: {err}");
+        assert!(err.contains("expected"), "lists accepted values: {err}");
+        assert!(Level::parse("").is_err());
+        assert!(Level::parse("2").is_err());
+    }
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

@@ -1,0 +1,338 @@
+//! The exportable run report: what `--metrics-out` writes, `pbppm stats`
+//! renders, and the perf gate compares span-by-span.
+//!
+//! The JSON schema is versioned ([`SCHEMA_VERSION`]) and deterministic:
+//! metrics are sorted by `(name, label)` and spans appear in completion
+//! order, so two runs of the same workload differ only in timing fields.
+
+use crate::metrics::MetricsSnapshot;
+use crate::spans::SpanRecord;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Version of the report JSON schema.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A complete telemetry export of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The command or tool that produced the report (e.g. `simulate`).
+    pub command: String,
+    /// Whether telemetry was compiled in (`false` means spans/metrics are
+    /// legitimately empty).
+    pub telemetry_enabled: bool,
+    /// Completed top-level spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Registry snapshot, sorted by `(name, label)`.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Captures the current global telemetry state.
+    pub fn collect(command: &str) -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            command: command.to_owned(),
+            telemetry_enabled: crate::ENABLED,
+            spans: crate::spans::snapshot(),
+            metrics: crate::metrics::global().snapshot(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report, rejecting unknown schema versions.
+    pub fn from_json(raw: &str) -> Result<RunReport, String> {
+        let report: RunReport =
+            serde_json::from_str(raw).map_err(|e| format!("malformed run report: {e:?}"))?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported run-report schema version {} (this build reads version {})",
+                report.schema_version, SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Depth-first search across all top-level spans.
+    pub fn find_span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Human-readable rendering (the `pbppm stats` default view).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report (schema v{}) — command: {}{}",
+            self.schema_version,
+            self.command,
+            if self.telemetry_enabled {
+                ""
+            } else {
+                " [telemetry disabled]"
+            }
+        );
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspans:");
+            for span in &self.spans {
+                render_span(&mut out, span, 1);
+            }
+        }
+        if !self.metrics.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for c in &self.metrics.counters {
+                let _ = writeln!(out, "  {:<52} {}", keyed(&c.name, &c.label), c.value);
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for g in &self.metrics.gauges {
+                let _ = writeln!(out, "  {:<52} {}", keyed(&g.name, &g.label), g.value);
+            }
+        }
+        if !self.metrics.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            for h in &self.metrics.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<52} count={} mean={:.1} p50<{} p99<{}",
+                    keyed(&h.name, &h.label),
+                    h.count,
+                    h.mean(),
+                    h.quantile_bound(0.5),
+                    h.quantile_bound(0.99),
+                );
+            }
+        }
+        out
+    }
+
+    /// Prometheus-exposition-style text rendering (`pbppm stats --prom`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.metrics.counters {
+            let name = prom_name(&c.name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{} {}", prom_label(&c.label), c.value);
+        }
+        for g in &self.metrics.gauges {
+            let name = prom_name(&g.name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{} {}", prom_label(&g.label), g.value);
+        }
+        for h in &self.metrics.histograms {
+            let name = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    prom_label_extra(&h.label, &format!("le=\"{}\"", b.le))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                prom_label_extra(&h.label, "le=\"+Inf\"")
+            );
+            let _ = writeln!(out, "{name}_sum{} {}", prom_label(&h.label), h.sum);
+            let _ = writeln!(out, "{name}_count{} {}", prom_label(&h.label), h.count);
+        }
+        out
+    }
+}
+
+fn render_span(out: &mut String, span: &SpanRecord, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let mut head = format!("{indent}{}", span.name);
+    if !span.detail.is_empty() {
+        let _ = write!(head, " [{}]", span.detail);
+    }
+    let _ = write!(out, "{head:<52} {:>10.1} ms", span.millis());
+    if span.alloc_bytes > 0 {
+        let _ = write!(out, "  (+{} KiB alloc)", span.alloc_bytes / 1024);
+    }
+    out.push('\n');
+    for child in &span.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+fn keyed(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+/// `sim.cache.demand_hits` → `pbppm_sim_cache_demand_hits`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("pbppm_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// `model=PB-PPM` → `{model="PB-PPM"}`; an unkeyed label gets the key
+/// `label`; empty stays empty.
+fn prom_label(label: &str) -> String {
+    if label.is_empty() {
+        return String::new();
+    }
+    format!("{{{}}}", prom_pair(label))
+}
+
+fn prom_label_extra(label: &str, extra: &str) -> String {
+    if label.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{{{},{extra}}}", prom_pair(label))
+    }
+}
+
+fn prom_pair(label: &str) -> String {
+    // Labels are space-separated `key=value` pairs ("model=PB-PPM
+    // cache=browser"); bare words become a generic `label`.
+    label
+        .split_whitespace()
+        .map(|part| match part.split_once('=') {
+            Some((key, value)) => format!("{key}=\"{value}\""),
+            None => format!("label=\"{part}\""),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{BucketCount, HistogramSnapshot, MetricValue};
+
+    fn sample() -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            command: "simulate".to_owned(),
+            telemetry_enabled: true,
+            spans: vec![SpanRecord {
+                name: "experiment".to_owned(),
+                detail: "model=PB-PPM".to_owned(),
+                start_ns: 10,
+                dur_ns: 5_000_000,
+                alloc_bytes: 2048,
+                children: vec![SpanRecord {
+                    name: "train".to_owned(),
+                    detail: String::new(),
+                    start_ns: 20,
+                    dur_ns: 1_000_000,
+                    alloc_bytes: 0,
+                    children: Vec::new(),
+                }],
+            }],
+            metrics: MetricsSnapshot {
+                counters: vec![MetricValue {
+                    name: "sim.cache.demand_hits".to_owned(),
+                    label: "cache=browser".to_owned(),
+                    value: 42,
+                }],
+                gauges: vec![MetricValue {
+                    name: "model.nodes".to_owned(),
+                    label: "model=PB-PPM".to_owned(),
+                    value: 1234,
+                }],
+                histograms: vec![HistogramSnapshot {
+                    name: "sim.predict.latency_ns".to_owned(),
+                    label: String::new(),
+                    count: 3,
+                    sum: 12,
+                    buckets: vec![
+                        BucketCount { le: 4, count: 2 },
+                        BucketCount { le: 8, count: 1 },
+                    ],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_report() {
+        let report = sample();
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_json_rejects_future_schema_versions() {
+        let mut report = sample();
+        report.schema_version = 999;
+        let err = RunReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(RunReport::from_json("not json").is_err());
+        assert!(RunReport::from_json("{}").is_err(), "missing fields fail");
+    }
+
+    #[test]
+    fn text_rendering_shows_spans_and_metrics() {
+        let text = sample().render_text();
+        assert!(text.contains("experiment [model=PB-PPM]"), "{text}");
+        assert!(text.contains("train"), "{text}");
+        assert!(
+            text.contains("sim.cache.demand_hits{cache=browser}"),
+            "{text}"
+        );
+        assert!(text.contains("model.nodes{model=PB-PPM}"), "{text}");
+        assert!(text.contains("p50<4"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let prom = sample().render_prometheus();
+        assert!(
+            prom.contains("pbppm_sim_cache_demand_hits{cache=\"browser\"} 42"),
+            "{prom}"
+        );
+        assert!(prom.contains("# TYPE pbppm_model_nodes gauge"), "{prom}");
+        // Histogram buckets are cumulative and end with +Inf.
+        assert!(
+            prom.contains("pbppm_sim_predict_latency_ns_bucket{le=\"4\"} 2"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pbppm_sim_predict_latency_ns_bucket{le=\"8\"} 3"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pbppm_sim_predict_latency_ns_bucket{le=\"+Inf\"} 3"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pbppm_sim_predict_latency_ns_count 3"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn find_span_descends_into_children() {
+        let report = sample();
+        assert_eq!(report.find_span("train").unwrap().dur_ns, 1_000_000);
+        assert!(report.find_span("missing").is_none());
+    }
+}

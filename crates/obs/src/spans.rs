@@ -1,0 +1,277 @@
+//! Structured wall-clock spans.
+//!
+//! [`crate::span!`] opens a span that closes when its guard drops; spans
+//! nest per thread (a guard opened while another is live becomes its
+//! child), and completed top-level spans accumulate in a process-wide
+//! collector that [`snapshot`] / [`drain`] expose for reports.
+//!
+//! When the binary installs [`crate::alloc::CountingAllocator`], each span
+//! also records the process-wide bytes allocated while it was open — exact
+//! for single-threaded phases, an upper bound under parallel ones.
+//!
+//! With the `enabled` feature off, [`enter`] is an inline no-op: the detail
+//! closure is never called and no clock is read.
+
+use serde::{Deserialize, Serialize};
+
+/// One completed span.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (static at the call site, e.g. `train`).
+    pub name: String,
+    /// Space-separated `key=value` details from the macro arguments.
+    pub detail: String,
+    /// Start, in nanoseconds since the first span of the process.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Bytes allocated while open (0 unless the counting allocator is
+    /// installed).
+    pub alloc_bytes: u64,
+    /// Spans that opened and closed on this thread while this one was open.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Duration in fractional milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.dur_ns as f64 / 1e6
+    }
+
+    /// Depth-first search for the first span named `name` (self included).
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Opens a span; prefer the [`crate::span!`] macro. The guard must drop on
+/// the thread that opened it (guards are neither `Send` nor stored).
+#[cfg(feature = "enabled")]
+pub fn enter(name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+    imp::enter(name, detail())
+}
+
+/// Disabled-mode [`enter`]: never evaluates `detail`, never reads a clock.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn enter(_name: &'static str, _detail: impl FnOnce() -> String) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+/// Closes its span on drop.
+#[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    #[allow(dead_code)]
+    _priv: (),
+}
+
+/// Copies the completed top-level spans collected so far.
+pub fn snapshot() -> Vec<SpanRecord> {
+    imp::snapshot()
+}
+
+/// Takes (and clears) the completed top-level spans.
+pub fn drain() -> Vec<SpanRecord> {
+    imp::drain()
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{SpanGuard, SpanRecord};
+    use std::cell::RefCell;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// Root-span cap: a runaway caller cannot grow the collector without
+    /// bound (children are unbounded — nesting depth is code-shaped).
+    const MAX_ROOTS: usize = 4096;
+
+    struct Frame {
+        name: &'static str,
+        detail: String,
+        start: Instant,
+        start_ns: u64,
+        alloc0: u64,
+        children: Vec<SpanRecord>,
+    }
+
+    thread_local! {
+        static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static ROOTS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    pub(super) fn enter(name: &'static str, detail: String) -> SpanGuard {
+        let start_ns = epoch().elapsed().as_nanos() as u64;
+        let frame = Frame {
+            name,
+            detail,
+            start: Instant::now(),
+            start_ns,
+            alloc0: crate::alloc::allocated_bytes(),
+            children: Vec::new(),
+        };
+        STACK.with(|s| s.borrow_mut().push(frame));
+        SpanGuard { _priv: () }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let root = STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let frame = stack.pop().expect("span stack underflow");
+                let record = SpanRecord {
+                    name: frame.name.to_owned(),
+                    detail: frame.detail,
+                    start_ns: frame.start_ns,
+                    dur_ns: frame.start.elapsed().as_nanos() as u64,
+                    alloc_bytes: crate::alloc::allocated_bytes().saturating_sub(frame.alloc0),
+                    children: frame.children,
+                };
+                match stack.last_mut() {
+                    Some(parent) => {
+                        parent.children.push(record);
+                        None
+                    }
+                    None => Some(record),
+                }
+            });
+            if let Some(record) = root {
+                let mut roots = ROOTS.lock().unwrap();
+                if roots.len() < MAX_ROOTS {
+                    roots.push(record);
+                }
+            }
+        }
+    }
+
+    pub(super) fn snapshot() -> Vec<SpanRecord> {
+        ROOTS.lock().unwrap().clone()
+    }
+
+    pub(super) fn drain() -> Vec<SpanRecord> {
+        std::mem::take(&mut *ROOTS.lock().unwrap())
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::SpanRecord;
+
+    pub(super) fn snapshot() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+
+    pub(super) fn drain() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+}
+
+/// Opens a structured span closing at end of scope.
+///
+/// ```
+/// use pbppm_obs::span;
+/// {
+///     let _span = span!("train", model = "PB-PPM", sessions = 42);
+///     // ... work ...
+/// }
+/// let spans = pbppm_obs::spans::drain();
+/// # if pbppm_obs::ENABLED { assert_eq!(spans[0].detail, "model=PB-PPM sessions=42"); }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::spans::enter($name, ::std::string::String::new)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::spans::enter($name, || {
+            use ::std::fmt::Write as _;
+            let mut detail = ::std::string::String::new();
+            $(
+                let _ = ::core::write!(
+                    detail,
+                    "{}{}={}",
+                    if detail.is_empty() { "" } else { " " },
+                    ::core::stringify!($key),
+                    $value
+                );
+            )+
+            detail
+        })
+    };
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    // The collector is process-global and tests run concurrently, so each
+    // test filters on its own unique span names instead of draining.
+    fn named(records: &[SpanRecord], name: &str) -> Vec<SpanRecord> {
+        records.iter().filter(|r| r.name == name).cloned().collect()
+    }
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        {
+            let _outer = crate::span!("spans_test_outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = crate::span!("spans_test_inner", step = 1);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let roots = named(&snapshot(), "spans_test_outer");
+        assert_eq!(roots.len(), 1);
+        let outer = &roots[0];
+        assert_eq!(outer.children.len(), 1);
+        let inner = &outer.children[0];
+        assert_eq!(inner.name, "spans_test_inner");
+        assert_eq!(inner.detail, "step=1");
+        assert!(inner.dur_ns > 0);
+        assert!(
+            inner.dur_ns <= outer.dur_ns,
+            "child ({}) cannot outlast parent ({})",
+            inner.dur_ns,
+            outer.dur_ns
+        );
+        assert!(
+            inner.start_ns >= outer.start_ns,
+            "child starts after parent"
+        );
+        assert!(outer.find("spans_test_inner").is_some());
+    }
+
+    #[test]
+    fn sibling_spans_attach_in_order() {
+        {
+            let _outer = crate::span!("spans_test_siblings");
+            drop(crate::span!("spans_test_first"));
+            drop(crate::span!("spans_test_second"));
+        }
+        let roots = named(&snapshot(), "spans_test_siblings");
+        let names: Vec<_> = roots[0].children.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names, vec!["spans_test_first", "spans_test_second"]);
+        let [a, b] = &roots[0].children[..] else {
+            panic!("expected two children");
+        };
+        assert!(a.start_ns <= b.start_ns, "siblings start in program order");
+    }
+
+    #[test]
+    fn detail_formats_multiple_fields() {
+        {
+            let _s = crate::span!("spans_test_detail", model = "PPM", days = 7);
+        }
+        let roots = named(&snapshot(), "spans_test_detail");
+        assert_eq!(roots[0].detail, "model=PPM days=7");
+    }
+}

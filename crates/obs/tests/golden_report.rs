@@ -1,0 +1,130 @@
+//! Golden-file test pinning the `--metrics-out` JSON schema (version 1).
+//!
+//! The golden file is the exact serialization of a representative report.
+//! If `RunReport`'s shape, field names, or serialization order change, the
+//! round-trip below diverges from the checked-in file — which means every
+//! external consumer of `run_metrics.json` breaks. Either revert the
+//! schema change or bump [`pbppm_obs::report::SCHEMA_VERSION`] and
+//! regenerate the golden:
+//!
+//! ```sh
+//! cargo test -p pbppm-obs --test golden_report -- --ignored regenerate
+//! ```
+
+use pbppm_obs::{
+    BucketCount, HistogramSnapshot, MetricValue, MetricsSnapshot, RunReport, SpanRecord,
+};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_report_v1.json"
+);
+
+/// A fixed report exercising every schema field: nested spans with detail
+/// and allocation deltas, counters/gauges with labels, and a histogram.
+fn sample() -> RunReport {
+    RunReport {
+        schema_version: pbppm_obs::report::SCHEMA_VERSION,
+        command: "simulate --preset tiny --model pb".to_owned(),
+        telemetry_enabled: true,
+        spans: vec![SpanRecord {
+            name: "experiment".to_owned(),
+            detail: "model=PB-PPM trace=tiny days=3".to_owned(),
+            start_ns: 1_000,
+            dur_ns: 7_500_000,
+            alloc_bytes: 65_536,
+            children: vec![
+                SpanRecord {
+                    name: "train".to_owned(),
+                    detail: "model=PB-PPM sessions=120".to_owned(),
+                    start_ns: 2_000,
+                    dur_ns: 3_000_000,
+                    alloc_bytes: 32_768,
+                    children: Vec::new(),
+                },
+                SpanRecord {
+                    name: "eval".to_owned(),
+                    detail: "model=PB-PPM".to_owned(),
+                    start_ns: 3_000,
+                    dur_ns: 4_000_000,
+                    alloc_bytes: 0,
+                    children: Vec::new(),
+                },
+            ],
+        }],
+        metrics: MetricsSnapshot {
+            counters: vec![
+                MetricValue {
+                    name: "sim.cache.demand_hits".to_owned(),
+                    label: "model=PB-PPM cache=browser".to_owned(),
+                    value: 4_321,
+                },
+                MetricValue {
+                    name: "trace.parse.accepted".to_owned(),
+                    label: String::new(),
+                    value: 10_000,
+                },
+            ],
+            gauges: vec![MetricValue {
+                name: "model.nodes".to_owned(),
+                label: "model=PB-PPM".to_owned(),
+                value: 5_774,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "sim.predict.latency_ns".to_owned(),
+                label: "model=PB-PPM".to_owned(),
+                count: 3,
+                sum: 1_536,
+                buckets: vec![
+                    BucketCount { le: 512, count: 2 },
+                    BucketCount { le: 1024, count: 1 },
+                ],
+            }],
+        },
+    }
+}
+
+fn read_golden() -> String {
+    std::fs::read_to_string(GOLDEN_PATH)
+        .unwrap_or_else(|e| panic!("cannot read golden file {GOLDEN_PATH}: {e}"))
+}
+
+#[test]
+fn golden_file_parses_and_serializes_back_identically() {
+    let golden = read_golden();
+    let report = RunReport::from_json(&golden).expect("golden file must parse");
+    assert_eq!(
+        report.to_json().trim(),
+        golden.trim(),
+        "RunReport serialization no longer matches the v1 golden file — \
+         schema drift; see the module docs for how to proceed"
+    );
+}
+
+#[test]
+fn golden_file_matches_the_in_memory_sample() {
+    let report = RunReport::from_json(&read_golden()).expect("golden file must parse");
+    assert_eq!(report, sample(), "golden content drifted from sample()");
+}
+
+#[test]
+fn golden_file_renders_in_both_output_formats() {
+    let report = RunReport::from_json(&read_golden()).expect("golden file must parse");
+    let text = report.render_text();
+    assert!(text.contains("experiment [model=PB-PPM trace=tiny days=3]"));
+    assert!(text.contains("model.nodes{model=PB-PPM}"));
+    let prom = report.render_prometheus();
+    assert!(prom.contains("pbppm_sim_cache_demand_hits{model=\"PB-PPM\",cache=\"browser\"} 4321"));
+    assert!(prom.contains("pbppm_sim_predict_latency_ns_bucket{model=\"PB-PPM\",le=\"+Inf\"} 3"));
+}
+
+/// Rewrites the golden file from [`sample`]. Run explicitly (`-- --ignored
+/// regenerate`) after an intentional schema change, and bump
+/// `SCHEMA_VERSION` alongside.
+#[test]
+#[ignore = "regenerates the golden file; run after intentional schema changes"]
+fn regenerate() {
+    let json = sample().to_json();
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+    std::fs::write(GOLDEN_PATH, json + "\n").unwrap();
+}

@@ -319,7 +319,11 @@ mod tests {
         let mut c = LruCache::new(100);
         c.insert(u(1), 10, false);
         c.insert(u(1), 10, true); // server pushes it again
-        assert_eq!(c.demand(u(1)), Lookup::Hit, "already demanded: no re-attribution");
+        assert_eq!(
+            c.demand(u(1)),
+            Lookup::Hit,
+            "already demanded: no re-attribution"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Experiment configuration: model choice, prefetch policy, environment.
 
 use crate::latency::LatencyModel;
-use pbppm_core::{
-    LrsPpm, Order1Markov, PbConfig, PbPpm, PopularityTable, Predictor, StandardPpm,
-};
+use pbppm_core::{LrsPpm, Order1Markov, PbConfig, PbPpm, PopularityTable, Predictor, StandardPpm};
 use pbppm_trace::{ClassifyConfig, Session, SessionizerConfig};
 use serde::{Deserialize, Serialize};
 
@@ -193,7 +191,7 @@ impl ExperimentConfig {
             train_days,
             eval_days: 1,
             warmup_days: 1,
-            browser_cache_bytes: 1 << 20,        // 1 MiB
+            browser_cache_bytes: 1 << 20,         // 1 MiB
             proxy_cache_bytes: 16 * (1u64 << 30), // 16 GiB
             latency: LatencyModel::default(),
             sessionizer: SessionizerConfig::default(),

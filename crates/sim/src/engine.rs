@@ -21,10 +21,13 @@ use crate::metrics::{latency_reduction, Counters};
 use crate::server::PrefetchServer;
 use crate::sweep::parallel_map_with;
 use pbppm_core::{FxHashMap, ModelStats, PopularityTable, PredictUsage, Prediction, UrlId};
+use pbppm_obs::{obs_debug, span, LocalHist};
 use pbppm_trace::{
     classify_clients, sessionize, ClientClass, ClientId, DocCatalog, Session, Trace,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The outcome of one experiment cell (one model × one training window).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -90,20 +93,109 @@ impl RunResult {
     }
 }
 
+/// Cache-event telemetry for one cache tier (browser or proxy), merged
+/// from per-client shards in ascending-`ClientId` order so every field is
+/// independent of the worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTelemetry {
+    /// Demand requests answered by a demand-fetched entry.
+    pub demand_hits: u64,
+    /// Demand requests answered by a prefetched entry.
+    pub prefetch_hits: u64,
+    /// Demand requests that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Bytes inserted on demand misses.
+    pub demand_bytes: u64,
+    /// Bytes inserted by prefetch pushes.
+    pub prefetched_bytes: u64,
+}
+
+impl CacheTelemetry {
+    fn merge(&mut self, other: &CacheTelemetry) {
+        self.demand_hits += other.demand_hits;
+        self.prefetch_hits += other.prefetch_hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.demand_bytes += other.demand_bytes;
+        self.prefetched_bytes += other.prefetched_bytes;
+    }
+}
+
+/// Side-band telemetry of one evaluation pass. Everything except the
+/// predict-latency buckets (wall time is never deterministic) is a pure
+/// function of the workload: shards share nothing and merge in
+/// ascending-`ClientId` order, exactly like [`Counters`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTelemetry {
+    /// Cache events of browser-class clients.
+    pub browser: CacheTelemetry,
+    /// Cache events of proxy-class clients.
+    pub proxy: CacheTelemetry,
+    /// Warm-up page views replayed into the caches.
+    pub warm_requests: u64,
+    /// Server prediction calls (one per demand miss under prefetching).
+    pub predict_calls: u64,
+    /// Wall time of each prediction call, in nanoseconds. Bucket contents
+    /// vary run to run; the count equals [`RunTelemetry::predict_calls`].
+    pub predict_ns: LocalHist,
+    /// Documents pushed per prediction call (the prefetch queue depth).
+    pub push_depth: LocalHist,
+    /// Bytes of prefetched documents that were later demanded (hit).
+    pub prefetch_hit_bytes: u64,
+}
+
+impl RunTelemetry {
+    fn merge(&mut self, other: &RunTelemetry) {
+        self.browser.merge(&other.browser);
+        self.proxy.merge(&other.proxy);
+        self.warm_requests += other.warm_requests;
+        self.predict_calls += other.predict_calls;
+        self.predict_ns.merge(&other.predict_ns);
+        self.push_depth.merge(&other.push_depth);
+        self.prefetch_hit_bytes += other.prefetch_hit_bytes;
+    }
+
+    /// Prefetched bytes that were never demanded before the run ended —
+    /// the traffic the prefetcher wasted outright.
+    pub fn wasted_prefetch_bytes(&self) -> u64 {
+        (self.browser.prefetched_bytes + self.proxy.prefetched_bytes)
+            .saturating_sub(self.prefetch_hit_bytes)
+    }
+}
+
+/// [`RunResult`] plus the telemetry of both evaluation passes. Produced by
+/// [`run_experiment_full`]; [`run_experiment`] discards the telemetry.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The paper metrics, unchanged from [`run_experiment`].
+    pub result: RunResult,
+    /// Telemetry of the prefetching run (of the baseline run when the
+    /// model is [`ModelSpec::NoPrefetch`]).
+    pub telemetry: RunTelemetry,
+    /// Telemetry of the caching-only baseline run.
+    pub baseline_telemetry: RunTelemetry,
+}
+
 /// Effective size of a view's document per the shared catalog.
 #[inline]
 fn doc_size(catalog: &DocCatalog, url: UrlId) -> u64 {
     u64::from(catalog.size(url)).max(1)
 }
 
-/// Cache capacity for a client: browsers get the small cache, proxies the
-/// big one.
-fn cache_capacity(classes: &[ClientClass], client: ClientId, cfg: &ExperimentConfig) -> u64 {
-    match classes
+/// Class of a client per the classifier's verdict (unknown → browser).
+fn client_class(classes: &[ClientClass], client: ClientId) -> ClientClass {
+    classes
         .get(client.index())
         .copied()
         .unwrap_or(ClientClass::Browser)
-    {
+}
+
+/// Cache capacity for a client class: browsers get the small cache,
+/// proxies the big one.
+fn cache_capacity(class: ClientClass, cfg: &ExperimentConfig) -> u64 {
+    match class {
         ClientClass::Browser => cfg.browser_cache_bytes,
         ClientClass::Proxy => cfg.proxy_cache_bytes,
     }
@@ -115,6 +207,7 @@ fn cache_capacity(classes: &[ClientClass], client: ClientId, cfg: &ExperimentCon
 /// fully independent.
 struct ClientShard<'a> {
     client: ClientId,
+    class: ClientClass,
     capacity: u64,
     warm: Vec<&'a Session>,
     eval: Vec<&'a Session>,
@@ -134,11 +227,15 @@ fn shard_by_client<'a>(
     for s in eval_sessions {
         by_client
             .entry(s.client)
-            .or_insert_with(|| ClientShard {
-                client: s.client,
-                capacity: cache_capacity(classes, s.client, cfg),
-                warm: Vec::new(),
-                eval: Vec::new(),
+            .or_insert_with(|| {
+                let class = client_class(classes, s.client);
+                ClientShard {
+                    client: s.client,
+                    class,
+                    capacity: cache_capacity(class, cfg),
+                    warm: Vec::new(),
+                    eval: Vec::new(),
+                }
             })
             .eval
             .push(s);
@@ -163,10 +260,13 @@ fn eval_client_shard(
     catalog: &DocCatalog,
     popularity: &PopularityTable,
     cfg: &ExperimentConfig,
-) -> (Counters, PredictUsage) {
+) -> (Counters, PredictUsage, RunTelemetry) {
+    let mut obs = RunTelemetry::default();
+    let mut tier = CacheTelemetry::default();
     let mut cache = LruCache::new(shard.capacity);
     for s in &shard.warm {
         for v in &s.views {
+            obs.warm_requests += 1;
             let size = doc_size(catalog, v.url);
             if cache.demand(v.url) == Lookup::Miss {
                 cache.insert(v.url, size, false);
@@ -197,16 +297,24 @@ fn eval_client_shard(
                         counters.prefetch_hits_popular += 1;
                     }
                     counters.latency_secs += cfg.latency.hit_secs();
+                    tier.prefetch_hits += 1;
+                    obs.prefetch_hit_bytes += size;
                 }
                 Lookup::Hit => {
                     counters.cache_hits += 1;
                     counters.latency_secs += cfg.latency.hit_secs();
+                    tier.demand_hits += 1;
                 }
                 Lookup::Miss => {
                     counters.sent_bytes += size;
                     counters.latency_secs += cfg.latency.fetch_secs(size);
                     cache.insert(v.url, size, false);
+                    tier.misses += 1;
+                    tier.demand_bytes += size;
                     if let Some(server) = server {
+                        // Timed only when telemetry is compiled in: the
+                        // prediction hot path stays clock-free otherwise.
+                        let started = pbppm_obs::ENABLED.then(Instant::now);
                         server.decide_ro(
                             &ctx,
                             catalog,
@@ -215,18 +323,29 @@ fn eval_client_shard(
                             &mut scratch,
                             &mut usage,
                         );
+                        if let Some(started) = started {
+                            obs.predict_ns.observe(started.elapsed().as_nanos() as u64);
+                        }
+                        obs.predict_calls += 1;
+                        obs.push_depth.observe(push.len() as u64);
                         for &(purl, psize) in &push {
                             counters.sent_bytes += psize;
                             counters.prefetched_docs += 1;
                             counters.prefetched_bytes += psize;
                             cache.insert(purl, psize, true);
+                            tier.prefetched_bytes += psize;
                         }
                     }
                 }
             }
         }
     }
-    (counters, usage)
+    tier.evictions = cache.evictions();
+    match shard.class {
+        ClientClass::Browser => obs.browser = tier,
+        ClientClass::Proxy => obs.proxy = tier,
+    }
+    (counters, usage, obs)
 }
 
 /// One evaluation pass over the eval sessions, sharded by client over
@@ -244,22 +363,95 @@ fn eval_pass(
     popularity: &PopularityTable,
     classes: &[ClientClass],
     cfg: &ExperimentConfig,
-) -> (Counters, PredictUsage) {
+) -> (Counters, PredictUsage, RunTelemetry) {
     let shards = shard_by_client(warm_sessions, eval_sessions, classes, cfg);
+    let total = shards.len();
+    let done = AtomicUsize::new(0);
     let per_shard = parallel_map_with(&shards, cfg.threads, |shard| {
-        eval_client_shard(server, shard, catalog, popularity, cfg)
+        let out = eval_client_shard(server, shard, catalog, popularity, cfg);
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(64) || n == total {
+            obs_debug!("eval pass: {n}/{total} client shards done");
+        }
+        out
     });
     let mut counters = Counters::default();
     let mut usage = PredictUsage::default();
-    for (c, u) in &per_shard {
+    let mut telemetry = RunTelemetry::default();
+    for (c, u, t) in &per_shard {
         counters.merge(c);
         usage.merge(u);
+        telemetry.merge(t);
     }
-    (counters, usage)
+    (counters, usage, telemetry)
 }
 
-/// Runs one complete experiment cell on `trace` (see module docs).
+/// Publishes one outcome's telemetry into the global metrics registry —
+/// a no-op build-time when the `telemetry` feature is off. Counter labels
+/// carry the model so cells sharing one process stay distinguishable;
+/// storage gauges are last-writer-wins per model label.
+fn publish_telemetry(
+    label: &str,
+    tel: &RunTelemetry,
+    usage: &PredictUsage,
+    stats: Option<&ModelStats>,
+) {
+    if !pbppm_obs::ENABLED {
+        return;
+    }
+    let reg = pbppm_obs::global();
+    let model = format!("model={label}");
+    for (tier, t) in [("browser", &tel.browser), ("proxy", &tel.proxy)] {
+        let l = format!("model={label} cache={tier}");
+        reg.counter("sim.cache.demand_hits", &l).add(t.demand_hits);
+        reg.counter("sim.cache.prefetch_hits", &l)
+            .add(t.prefetch_hits);
+        reg.counter("sim.cache.misses", &l).add(t.misses);
+        reg.counter("sim.cache.evictions", &l).add(t.evictions);
+        reg.counter("sim.cache.demand_bytes", &l)
+            .add(t.demand_bytes);
+        reg.counter("sim.cache.prefetched_bytes", &l)
+            .add(t.prefetched_bytes);
+    }
+    reg.counter("sim.eval.warm_requests", &model)
+        .add(tel.warm_requests);
+    reg.counter("sim.predict.calls", &model)
+        .add(tel.predict_calls);
+    reg.counter("sim.prefetch.wasted_bytes", &model)
+        .add(tel.wasted_prefetch_bytes());
+    reg.histogram("sim.predict.latency_ns", &model)
+        .absorb(&tel.predict_ns);
+    reg.histogram("sim.prefetch.push_depth", &model)
+        .absorb(&tel.push_depth);
+    reg.counter("core.predict.index_fast", &model)
+        .add(usage.index_fast);
+    reg.counter("core.predict.index_fallback", &model)
+        .add(usage.index_fallback);
+    if let Some(s) = stats {
+        reg.gauge("model.nodes", &model).set(s.nodes as u64);
+        reg.gauge("model.edges", &model).set(s.edges as u64);
+        reg.gauge("model.special_links", &model)
+            .set(s.special_links as u64);
+        reg.gauge("model.bytes", &model).set(s.total_bytes() as u64);
+    }
+}
+
+/// Runs one complete experiment cell on `trace` (see module docs),
+/// discarding telemetry. Identical results to [`run_experiment_full`].
 pub fn run_experiment(trace: &Trace, cfg: &ExperimentConfig) -> RunResult {
+    run_experiment_full(trace, cfg).result
+}
+
+/// Runs one complete experiment cell on `trace` and returns the paper
+/// metrics together with both passes' telemetry.
+pub fn run_experiment_full(trace: &Trace, cfg: &ExperimentConfig) -> ExperimentOutcome {
+    let label = cfg.model.label();
+    let _span = span!(
+        "experiment",
+        model = label,
+        trace = trace.name,
+        days = cfg.train_days
+    );
     let train_reqs = trace.first_days(cfg.train_days);
     let eval_reqs = trace.day_span(cfg.train_days, cfg.train_days + cfg.eval_days.max(1));
     let warm_reqs = trace.day_span(
@@ -267,61 +459,90 @@ pub fn run_experiment(trace: &Trace, cfg: &ExperimentConfig) -> RunResult {
         cfg.train_days,
     );
 
-    let train_sessions = sessionize(train_reqs, &cfg.sessionizer);
-    let mut eval_sessions = sessionize(eval_reqs, &cfg.sessionizer);
-    eval_sessions.sort_by_key(Session::start);
-    let warm_sessions = sessionize(warm_reqs, &cfg.sessionizer);
-
-    // The server knows its own documents: catalog over everything it serves.
-    let mut catalog = DocCatalog::from_sessions(&train_sessions);
-    catalog.observe_sessions(&warm_sessions);
-    catalog.observe_sessions(&eval_sessions);
-
-    // Two-pass training: popularity over the training window first.
-    let mut popb = PopularityTable::builder();
-    for s in &train_sessions {
-        for v in &s.views {
-            popb.record(v.url);
-        }
-    }
-    let popularity = popb.build();
-
-    let classes = classify_clients(&trace.requests, &cfg.classify);
-
-    // Caching-only baseline.
-    let (baseline, _) = eval_pass(
-        None,
-        &warm_sessions,
-        &eval_sessions,
-        &catalog,
-        &popularity,
-        &classes,
-        cfg,
+    let (train_sessions, eval_sessions, warm_sessions) = {
+        let _s = span!("sessionize");
+        let train_sessions = sessionize(train_reqs, &cfg.sessionizer);
+        let mut eval_sessions = sessionize(eval_reqs, &cfg.sessionizer);
+        eval_sessions.sort_by_key(Session::start);
+        let warm_sessions = sessionize(warm_reqs, &cfg.sessionizer);
+        (train_sessions, eval_sessions, warm_sessions)
+    };
+    obs_debug!(
+        "{label}: sessionized {} train / {} eval / {} warm sessions",
+        train_sessions.len(),
+        eval_sessions.len(),
+        warm_sessions.len()
     );
 
+    let (catalog, popularity, classes) = {
+        let _s = span!("popularity");
+        // The server knows its own documents: catalog over everything it
+        // serves.
+        let mut catalog = DocCatalog::from_sessions(&train_sessions);
+        catalog.observe_sessions(&warm_sessions);
+        catalog.observe_sessions(&eval_sessions);
+
+        // Two-pass training: popularity over the training window first.
+        let mut popb = PopularityTable::builder();
+        for s in &train_sessions {
+            for v in &s.views {
+                popb.record(v.url);
+            }
+        }
+        let popularity = popb.build();
+        let classes = classify_clients(&trace.requests, &cfg.classify);
+        (catalog, popularity, classes)
+    };
+
+    // Caching-only baseline.
+    let (baseline, _, baseline_telemetry) = {
+        let _s = span!("baseline");
+        eval_pass(
+            None,
+            &warm_sessions,
+            &eval_sessions,
+            &catalog,
+            &popularity,
+            &classes,
+            cfg,
+        )
+    };
+
     // Prefetching run with fresh, identically warmed caches.
-    let model = cfg.model.build(&train_sessions, &popularity);
-    let (counters, model_stats, node_count) = match model {
-        None => (baseline.clone(), None, 0),
+    let model = {
+        let _s = span!("train", model = label, sessions = train_sessions.len());
+        cfg.model.build(&train_sessions, &popularity)
+    };
+    let (counters, model_stats, node_count, telemetry) = match model {
+        None => (baseline, None, 0, baseline_telemetry.clone()),
         Some(model) => {
             let mut server = PrefetchServer::new(model, cfg.policy);
-            let (counters, usage) = eval_pass(
-                Some(&server),
-                &warm_sessions,
-                &eval_sessions,
-                &catalog,
-                &popularity,
-                &classes,
-                cfg,
-            );
+            let (counters, usage, telemetry) = {
+                let _s = span!("eval", model = label);
+                eval_pass(
+                    Some(&server),
+                    &warm_sessions,
+                    &eval_sessions,
+                    &catalog,
+                    &popularity,
+                    &classes,
+                    cfg,
+                )
+            };
             server.model_mut().apply_usage(&usage);
             let stats = server.model().stats();
-            (counters, Some(stats), server.model().node_count())
+            publish_telemetry(&label, &telemetry, &usage, Some(&stats));
+            (
+                counters,
+                Some(stats),
+                server.model().node_count(),
+                telemetry,
+            )
         }
     };
 
-    RunResult {
-        label: cfg.model.label(),
+    let result = RunResult {
+        label,
         trace: trace.name.clone(),
         train_days: cfg.train_days,
         train_sessions: train_sessions.len(),
@@ -330,6 +551,11 @@ pub fn run_experiment(trace: &Trace, cfg: &ExperimentConfig) -> RunResult {
         model_stats,
         counters,
         baseline,
+    };
+    ExperimentOutcome {
+        result,
+        telemetry,
+        baseline_telemetry,
     }
 }
 
@@ -456,6 +682,62 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_is_thread_invariant() {
+        // Everything but wall-clock latency buckets must be bit-identical
+        // across worker counts, for the same reason the counters are.
+        let trace = tiny_trace();
+        let mut serial = ExperimentConfig::paper_default(ModelSpec::Pb(PbConfig::default()), 2);
+        serial.threads = 1;
+        let mut parallel = serial.clone();
+        parallel.threads = 4;
+        let a = run_experiment_full(&trace, &serial);
+        let b = run_experiment_full(&trace, &parallel);
+        assert_eq!(a.telemetry.browser, b.telemetry.browser);
+        assert_eq!(a.telemetry.proxy, b.telemetry.proxy);
+        assert_eq!(a.telemetry.warm_requests, b.telemetry.warm_requests);
+        assert_eq!(a.telemetry.predict_calls, b.telemetry.predict_calls);
+        assert_eq!(a.telemetry.push_depth, b.telemetry.push_depth);
+        assert_eq!(
+            a.telemetry.prefetch_hit_bytes,
+            b.telemetry.prefetch_hit_bytes
+        );
+        // Latency histograms differ in buckets but never in volume.
+        assert_eq!(a.telemetry.predict_ns.count(), a.telemetry.predict_calls);
+        assert_eq!(b.telemetry.predict_ns.count(), b.telemetry.predict_calls);
+        // The baseline never predicts, so it is fully deterministic.
+        assert_eq!(a.baseline_telemetry, b.baseline_telemetry);
+    }
+
+    #[test]
+    fn telemetry_is_consistent_with_counters() {
+        let trace = tiny_trace();
+        let cfg = ExperimentConfig::paper_default(ModelSpec::Pb(PbConfig::default()), 2);
+        let o = run_experiment_full(&trace, &cfg);
+        let tel = &o.telemetry;
+        let c = &o.result.counters;
+        assert_eq!(
+            tel.browser.prefetch_hits + tel.proxy.prefetch_hits,
+            c.prefetch_hits
+        );
+        assert_eq!(
+            tel.browser.demand_hits + tel.proxy.demand_hits,
+            c.cache_hits
+        );
+        assert_eq!(
+            tel.browser.misses + tel.proxy.misses,
+            c.requests - c.cache_hits - c.prefetch_hits
+        );
+        assert_eq!(
+            tel.browser.prefetched_bytes + tel.proxy.prefetched_bytes,
+            c.prefetched_bytes
+        );
+        assert_eq!(tel.push_depth.sum(), c.prefetched_docs);
+        assert_eq!(tel.push_depth.count(), tel.predict_calls);
+        assert!(tel.wasted_prefetch_bytes() <= c.prefetched_bytes);
+        assert!(tel.warm_requests > 0);
+    }
+
+    #[test]
     fn node_counts_rank_std_above_lrs_above_pb() {
         // The full Table-1 ranking needs a realistic trace scale (see the
         // integration tests); at tiny scale the robust claims are that the
@@ -510,15 +792,22 @@ mod warmup_tests {
         let mut deep = ExperimentConfig::paper_default(ModelSpec::Standard { max_height: None }, 2);
         deep.context_cap = 1;
         let r_deep = run_experiment(&trace, &deep);
-        let mut shallow =
-            ExperimentConfig::paper_default(ModelSpec::Standard { max_height: Some(2) }, 2);
+        let mut shallow = ExperimentConfig::paper_default(
+            ModelSpec::Standard {
+                max_height: Some(2),
+            },
+            2,
+        );
         shallow.context_cap = 1;
         let r_shallow = run_experiment(&trace, &shallow);
         assert_eq!(
             r_deep.counters.prefetched_docs,
             r_shallow.counters.prefetched_docs
         );
-        assert_eq!(r_deep.counters.prefetch_hits, r_shallow.counters.prefetch_hits);
+        assert_eq!(
+            r_deep.counters.prefetch_hits,
+            r_shallow.counters.prefetch_hits
+        );
     }
 
     #[test]

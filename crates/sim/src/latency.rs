@@ -70,7 +70,11 @@ impl LatencyModel {
         let intercept = (sy - slope * sx) / n;
         Some(Self {
             connect_secs: intercept.max(0.0),
-            bytes_per_sec: if slope > 1e-12 { 1.0 / slope } else { f64::INFINITY },
+            bytes_per_sec: if slope > 1e-12 {
+                1.0 / slope
+            } else {
+                f64::INFINITY
+            },
         })
     }
 }

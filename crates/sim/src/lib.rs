@@ -28,10 +28,15 @@ pub mod sweep;
 
 pub use cache::{Lookup, LruCache};
 pub use config::{ExperimentConfig, ModelSpec, PrefetchPolicy};
-pub use engine::{run_experiment, run_models, RunResult};
+pub use engine::{
+    run_experiment, run_experiment_full, run_models, CacheTelemetry, ExperimentOutcome, RunResult,
+    RunTelemetry,
+};
 pub use latency::LatencyModel;
 pub use metrics::{latency_reduction, Counters};
 pub use network::{run_network_experiment, NetworkCounters, NetworkRunResult, SharedLink};
 pub use proxy::{run_proxy_experiment, ProxyExperimentConfig, ProxyRunResult};
 pub use server::PrefetchServer;
-pub use sweep::{parallel_map, parallel_map_with, resolve_threads, THREADS_ENV};
+pub use sweep::{
+    parallel_map, parallel_map_with, parse_threads, resolve_threads, threads_from_env, THREADS_ENV,
+};

@@ -19,6 +19,13 @@ pub struct PrefetchServer {
 impl PrefetchServer {
     /// Wraps a trained model with a policy.
     pub fn new(model: Box<dyn Predictor>, policy: PrefetchPolicy) -> Self {
+        pbppm_obs::obs_debug!(
+            "prefetch server up: {} model, {} nodes, prob >= {}, max {}/request",
+            model.kind().label(),
+            model.node_count(),
+            policy.prob_threshold,
+            policy.max_per_request
+        );
         Self {
             model,
             policy,

@@ -17,19 +17,50 @@ use std::sync::Mutex;
 /// `ExperimentConfig::threads` take precedence over it.
 pub const THREADS_ENV: &str = "PBPPM_THREADS";
 
+/// Parses a `PBPPM_THREADS`-style worker count: a positive integer.
+/// Rejects zero, negatives, and non-numeric input with a message naming
+/// the variable and the offending value.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "invalid {THREADS_ENV} value \"0\": expected a positive worker count \
+             (unset the variable for auto parallelism)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid {THREADS_ENV} value {trimmed:?}: expected a positive integer"
+        )),
+    }
+}
+
+/// Reads and validates `PBPPM_THREADS`. `Ok(None)` when unset; `Err` with a
+/// clear message when set to anything but a positive integer. Binaries call
+/// this at startup so a typo fails loudly instead of silently running on
+/// the wrong worker count.
+pub fn threads_from_env() -> Result<Option<usize>, String> {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => parse_threads(&raw).map(Some),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(format!("invalid {THREADS_ENV} value: not valid UTF-8"))
+        }
+    }
+}
+
 /// Resolves a requested worker count: `0` means auto — `PBPPM_THREADS` if
 /// set to a positive integer, otherwise the machine's available
-/// parallelism (serial execution if even that is unknown).
+/// parallelism (serial execution if even that is unknown). An invalid
+/// `PBPPM_THREADS` is reported (never a panic) and auto parallelism is
+/// used; front-ends reject it earlier via [`threads_from_env`].
 pub fn resolve_threads(threads: usize) -> usize {
     if threads != 0 {
         return threads;
     }
-    if let Some(n) = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    match threads_from_env() {
+        Ok(Some(n)) => return n,
+        Ok(None) => {}
+        Err(msg) => pbppm_obs::obs_error!("{msg}; falling back to auto parallelism"),
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -142,6 +173,30 @@ mod tests {
             (x, acc).0
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("16"), Ok(16));
+        assert_eq!(parse_threads(" 8 "), Ok(8), "whitespace is tolerated");
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_with_a_clear_message() {
+        for bad in ["", "zero", "3.5", "-2", "0x10", "8 threads"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(
+                err.contains(THREADS_ENV) && err.contains("positive integer"),
+                "unhelpful error for {bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_explicitly() {
+        let err = parse_threads("0").unwrap_err();
+        assert!(err.contains("unset the variable"), "{err}");
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl Default for ClassifyConfig {
 /// Returns a dense vector indexed by [`ClientId`]; clients that never appear
 /// are classified as browsers.
 pub fn classify_clients(requests: &[Request], cfg: &ClassifyConfig) -> Vec<ClientClass> {
-    let max_client = requests.iter().map(|r| r.client.0).max().map_or(0, |m| m + 1) as usize;
+    let max_client = requests
+        .iter()
+        .map(|r| r.client.0)
+        .max()
+        .map_or(0, |m| m + 1) as usize;
     let mut counts = vec![0u64; max_client];
     // Active-day tracking per client: days on which the client appeared.
     let mut first_day = vec![u64::MAX; max_client];

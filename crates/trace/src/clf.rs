@@ -92,12 +92,18 @@ fn parse_clf_time(s: &str) -> Option<i64> {
     let mut parts = date.split(&['/', ':'][..]);
     let d: u32 = parts.next()?.parse().ok()?;
     let mon_name = parts.next()?;
-    let m = MONTHS.iter().position(|&mn| mn.eq_ignore_ascii_case(mon_name))? as u32 + 1;
+    let m = MONTHS
+        .iter()
+        .position(|&mn| mn.eq_ignore_ascii_case(mon_name))? as u32
+        + 1;
     let y: i64 = parts.next()?.parse().ok()?;
     let hh: i64 = parts.next()?.parse().ok()?;
     let mm: i64 = parts.next()?.parse().ok()?;
     let ss: i64 = parts.next()?.parse().ok()?;
-    if !(1..=31).contains(&d) || !(0..24).contains(&hh) || !(0..60).contains(&mm) || !(0..61).contains(&ss)
+    if !(1..=31).contains(&d)
+        || !(0..24).contains(&hh)
+        || !(0..60).contains(&mm)
+        || !(0..61).contains(&ss)
     {
         return None;
     }
@@ -267,7 +273,8 @@ where
 mod tests {
     use super::*;
 
-    const NASA_LINE: &str = r#"199.72.81.55 - - [01/Jul/1995:00:00:01 -0400] "GET /history/apollo/ HTTP/1.0" 200 6245"#;
+    const NASA_LINE: &str =
+        r#"199.72.81.55 - - [01/Jul/1995:00:00:01 -0400] "GET /history/apollo/ HTTP/1.0" 200 6245"#;
 
     #[test]
     fn parses_a_real_nasa_line() {
@@ -283,10 +290,8 @@ mod tests {
 
     #[test]
     fn parses_missing_protocol_and_dash_size() {
-        let r = parse_clf_line(
-            r#"host - - [01/Jan/1970:00:00:00 +0000] "GET /x.html" 304 -"#,
-        )
-        .unwrap();
+        let r =
+            parse_clf_line(r#"host - - [01/Jan/1970:00:00:00 +0000] "GET /x.html" 304 -"#).unwrap();
         assert_eq!(r.time, 0);
         assert_eq!(r.size, 0);
         assert_eq!(r.status, 304);
@@ -297,7 +302,9 @@ mod tests {
         assert!(parse_clf_line("").is_err());
         assert!(parse_clf_line("just one field").is_err());
         assert!(parse_clf_line(r#"h - - [bad time] "GET / HTTP/1.0" 200 1"#).is_err());
-        assert!(parse_clf_line(r#"h - - [01/Jul/1995:00:00:01 -0400] "GET / HTTP/1.0" xx 1"#).is_err());
+        assert!(
+            parse_clf_line(r#"h - - [01/Jul/1995:00:00:01 -0400] "GET / HTTP/1.0" xx 1"#).is_err()
+        );
         assert!(parse_clf_line(r#"h - - [01/Jul/1995:00:00:01 -0400] no quotes 200 1"#).is_err());
     }
 

@@ -53,7 +53,9 @@ fn dash_to_none(s: &str) -> Option<String> {
 pub fn parse_combined_line(line: &str) -> Result<CombinedRecord, ClfParseError> {
     let spans = quoted_spans(line);
     if spans.len() < 3 {
-        return Err(ClfParseError::Malformed("combined format needs 3 quoted fields"));
+        return Err(ClfParseError::Malformed(
+            "combined format needs 3 quoted fields",
+        ));
     }
     // The CLF core is everything up to (and including) the first quoted
     // field plus the status/size tokens that follow it.
@@ -82,8 +84,19 @@ pub fn format_combined_line(r: &CombinedRecord) -> String {
 /// covers the crawlers that actually appear in late-90s/2000s logs plus
 /// the generic conventions still in use.
 const ROBOT_MARKERS: &[&str] = &[
-    "bot", "crawler", "spider", "slurp", "archiver", "wget", "curl", "libwww", "harvest",
-    "scooter", "teleport", "webcopier", "fetch",
+    "bot",
+    "crawler",
+    "spider",
+    "slurp",
+    "archiver",
+    "wget",
+    "curl",
+    "libwww",
+    "harvest",
+    "scooter",
+    "teleport",
+    "webcopier",
+    "fetch",
 ];
 
 /// True when a user-agent string identifies an automated client.
@@ -135,6 +148,7 @@ where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
+    let _span = pbppm_obs::span!("trace.parse", name = name);
     let mut ingest = LogIngest::default();
     let mut records: Vec<(ClfRecord, Option<String>)> = Vec::new();
     for line in lines {
@@ -146,9 +160,7 @@ where
             ingest.format = detect_format(line);
         }
         let parsed: Result<(ClfRecord, Option<String>), ClfParseError> = match ingest.format {
-            Some(LogFormat::Combined) => {
-                parse_combined_line(line).map(|r| (r.clf, r.user_agent))
-            }
+            Some(LogFormat::Combined) => parse_combined_line(line).map(|r| (r.clf, r.user_agent)),
             _ => parse_clf_line(line).map(|r| (r, None)),
         };
         match parsed {
@@ -186,6 +198,21 @@ where
         });
         ingest.stats.accepted += 1;
     }
+    if pbppm_obs::ENABLED {
+        let reg = pbppm_obs::global();
+        reg.counter("trace.parse.accepted", "")
+            .add(ingest.stats.accepted as u64);
+        reg.counter("trace.parse.filtered", "")
+            .add(ingest.stats.filtered as u64);
+        reg.counter("trace.parse.malformed", "")
+            .add(ingest.stats.malformed as u64);
+    }
+    pbppm_obs::obs_debug!(
+        "parsed log {name:?}: {} accepted, {} filtered, {} malformed",
+        ingest.stats.accepted,
+        ingest.stats.filtered,
+        ingest.stats.malformed
+    );
     (trace, ingest)
 }
 

@@ -225,7 +225,12 @@ mod tests {
     #[test]
     fn day_slicing() {
         let mut t = Trace::new("t");
-        t.requests = vec![req(10), req(DAY_SECS - 1), req(DAY_SECS), req(2 * DAY_SECS + 5)];
+        t.requests = vec![
+            req(10),
+            req(DAY_SECS - 1),
+            req(DAY_SECS),
+            req(2 * DAY_SECS + 5),
+        ];
         t.sort();
         assert_eq!(t.days(), 3);
         assert_eq!(t.day(0).len(), 2);

@@ -39,7 +39,9 @@ pub use combined::{
     CombinedRecord, LogFormat, LogIngest,
 };
 pub use event::{ClientId, DocKind, Request, Trace, DAY_SECS};
-pub use session::{sessionize, sessionize_trace, PageView, Session, SessionStats, SessionizerConfig};
+pub use session::{
+    sessionize, sessionize_trace, PageView, Session, SessionStats, SessionizerConfig,
+};
 pub use site::{SiteConfig, SiteModel};
 pub use synth::SessionGenConfig;
 pub use workload::WorkloadConfig;

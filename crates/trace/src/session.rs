@@ -85,6 +85,7 @@ impl Default for SessionizerConfig {
 /// Sessions are returned ordered by `(client, start time)`; requests need
 /// only be time-ordered per client, which a time-sorted trace guarantees.
 pub fn sessionize(requests: &[Request], cfg: &SessionizerConfig) -> Vec<Session> {
+    let _span = pbppm_obs::span!("trace.sessionize", requests = requests.len());
     // Group per client, preserving time order.
     let mut per_client: FxHashMap<ClientId, Vec<&Request>> = FxHashMap::default();
     for r in requests {
@@ -140,6 +141,13 @@ pub fn sessionize(requests: &[Request], cfg: &SessionizerConfig) -> Vec<Session>
                 views: current,
             });
         }
+    }
+    if pbppm_obs::ENABLED {
+        let reg = pbppm_obs::global();
+        reg.counter("trace.sessionize.requests", "")
+            .add(requests.len() as u64);
+        reg.counter("trace.sessionize.sessions", "")
+            .add(sessions.len() as u64);
     }
     sessions
 }
@@ -270,7 +278,7 @@ mod tests {
     fn embed_window_is_relative_to_the_html_not_the_previous_image() {
         let reqs = vec![
             req(0, 0, 1, DocKind::Html, 100),
-            req(8, 0, 10, DocKind::Image, 1), // folded (8 <= 10)
+            req(8, 0, 10, DocKind::Image, 1),  // folded (8 <= 10)
             req(16, 0, 11, DocKind::Image, 1), // 16 s after the HTML: not folded
         ];
         let s = sessionize(&reqs, &SessionizerConfig::default());

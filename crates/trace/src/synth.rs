@@ -190,8 +190,7 @@ impl SessionGen {
             rng.gen_range(0..site.len()) as u32
         };
         // Regularity 2: top-decile entries head longer sessions.
-        let boosted = start_popular
-            && (current as usize) < (site.entry_count() / 10).max(1);
+        let boosted = start_popular && (current as usize) < (site.entry_count() / 10).max(1);
 
         let mut visits = Vec::with_capacity(6);
         loop {
@@ -214,8 +213,8 @@ impl SessionGen {
                 self.fresh_counter += 1;
                 let n = self.fresh_counter;
                 let url = site.urls.intern(&format!("/day{day}/one-off{n}.html"));
-                let size = (self.cfg.fresh_size_log_mean.exp()
-                    * (0.5 + rng.gen::<f64>() * 1.5)) as u32;
+                let size =
+                    (self.cfg.fresh_size_log_mean.exp() * (0.5 + rng.gen::<f64>() * 1.5)) as u32;
                 visits.push(Visit::Fresh(url, size.max(256)));
                 if visits.len() >= self.cfg.max_len.max(1) {
                     break;

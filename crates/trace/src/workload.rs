@@ -356,10 +356,7 @@ mod tests {
     #[test]
     fn embedded_images_follow_their_pages() {
         let t = WorkloadConfig::tiny(9).generate();
-        assert!(t
-            .requests
-            .iter()
-            .any(|r| r.kind == DocKind::Image));
+        assert!(t.requests.iter().any(|r| r.kind == DocKind::Image));
     }
 
     #[test]
@@ -381,7 +378,10 @@ mod tests {
             .map(|s| s.len())
             .max()
             .unwrap();
-        assert!(robot_max >= cfg.robot_crawl_pages / 2, "robot sessions are long");
+        assert!(
+            robot_max >= cfg.robot_crawl_pages / 2,
+            "robot sessions are long"
+        );
     }
 
     #[test]

@@ -30,10 +30,10 @@ fn main() -> std::io::Result<()> {
             let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
             for r in &trace.requests {
                 let rec = ClfRecord {
-                    host: trace.clients.resolve(pbppm::core::UrlId(r.client.0)).map_or_else(
-                        || format!("host{}", r.client.0),
-                        |s| s.to_owned(),
-                    ),
+                    host: trace
+                        .clients
+                        .resolve(pbppm::core::UrlId(r.client.0))
+                        .map_or_else(|| format!("host{}", r.client.0), |s| s.to_owned()),
                     time: r.time as i64 + 804_571_200, // July 1 1995, 04:00 UTC
                     method: "GET".to_owned(),
                     path: trace.urls.resolve(r.url).unwrap_or("/").to_owned(),
@@ -102,7 +102,10 @@ fn main() -> std::io::Result<()> {
 
     // Regularity 2: long sessions are headed by popular URLs.
     let long: Vec<_> = sessions.iter().filter(|s| s.len() >= 6).collect();
-    let long_popular = long.iter().filter(|s| pop.is_popular(s.views[0].url)).count();
+    let long_popular = long
+        .iter()
+        .filter(|s| pop.is_popular(s.views[0].url))
+        .count();
     if !long.is_empty() {
         println!(
             "Regularity 2: {:.1}% of long (>= 6 view) sessions are headed by popular URLs",

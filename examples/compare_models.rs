@@ -33,7 +33,9 @@ fn main() {
     );
     for spec in [
         ModelSpec::Standard { max_height: None },
-        ModelSpec::Standard { max_height: Some(3) },
+        ModelSpec::Standard {
+            max_height: Some(3),
+        },
         ModelSpec::Lrs,
         ModelSpec::pb_paper(true),
         ModelSpec::Order1,

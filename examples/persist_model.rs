@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.train_session(&s.urls());
     }
     model.finalize();
-    println!("trained: {} nodes from {} sessions", model.node_count(), sessions.len());
+    println!(
+        "trained: {} nodes from {} sessions",
+        model.node_count(),
+        sessions.len()
+    );
 
     // Snapshot to disk.
     let path = std::env::temp_dir().join("pbppm-model.json");
@@ -42,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ... server restarts ...
 
     // Reload and verify.
-    let loaded: pbppm::core::pb::PbSnapshot = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    let loaded: pbppm::core::pb::PbSnapshot =
+        serde_json::from_str(&std::fs::read_to_string(&path)?)?;
     let mut restored = PbPpm::from_snapshot(&loaded)?;
     assert_eq!(restored.node_count(), model.node_count());
 

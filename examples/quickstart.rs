@@ -34,7 +34,12 @@ fn main() {
         }
     }
     let popularity = counts.build();
-    for &(name, url) in &[("home", home), ("news", news), ("launch", launch), ("gallery", gallery)] {
+    for &(name, url) in &[
+        ("home", home),
+        ("news", news),
+        ("launch", launch),
+        ("gallery", gallery),
+    ] {
         println!(
             "{name:8} grade {:?}  relative popularity {:.3}",
             popularity.grade(url),
@@ -49,7 +54,10 @@ fn main() {
     }
     model.finalize();
 
-    println!("\nprediction tree ({} nodes, `~>` marks special links):", model.node_count());
+    println!(
+        "\nprediction tree ({} nodes, `~>` marks special links):",
+        model.node_count()
+    );
     println!("{}", render_tree(model.tree(), Some(&urls)));
 
     // 4. A user just clicked /index.html then /news.html: what should the

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-stop hygiene gate: formatting, lints, and the full test suite.
+#
+# Usage: scripts/check.sh
+#
+# Runs, in order, failing fast:
+#   1. cargo fmt --check     — no unformatted code
+#   2. cargo clippy          — workspace + all targets, warnings are errors
+#   3. cargo test -q         — the tier-1 suite
+#
+# The perf-regression gate is separate (scripts/perf-gate.sh) because it
+# needs a quiet machine and a release build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check" >&2
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test" >&2
+cargo test -q
+
+echo "check.sh: all green" >&2

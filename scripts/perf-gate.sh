@@ -29,4 +29,17 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 cp "$baseline" "$tmp"
 
-PBPPM_PERF_BASELINE="$tmp" cargo run --release -p pbppm-bench --bin throughput
+status=0
+PBPPM_PERF_BASELINE="$tmp" cargo run --release -p pbppm-bench --bin throughput || status=$?
+
+# On a regression (exit 1), render the run's span-level telemetry so the
+# failure names where the time went, not just which metric moved. The
+# report is written before the gate runs, so it exists even on failure.
+metrics="${PBPPM_RESULTS:-$repo/results}/run_metrics_throughput.json"
+if [[ "$status" -eq 1 && -f "$metrics" ]]; then
+    echo >&2
+    echo "perf-gate: span-level breakdown of the failing run ($metrics):" >&2
+    cargo run -q --release -p pbppm-cli --bin pbppm -- stats "$metrics" >&2 || true
+fi
+
+exit "$status"

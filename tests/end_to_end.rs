@@ -8,7 +8,9 @@ use pbppm::trace::{sessionize_trace, WorkloadConfig};
 fn all_specs() -> Vec<ModelSpec> {
     vec![
         ModelSpec::Standard { max_height: None },
-        ModelSpec::Standard { max_height: Some(3) },
+        ModelSpec::Standard {
+            max_height: Some(3),
+        },
         ModelSpec::Lrs,
         ModelSpec::pb_paper(true),
         ModelSpec::pb_paper(false),
@@ -42,7 +44,12 @@ fn every_model_trains_and_predicts_on_a_real_workload() {
             for i in 0..urls.len() {
                 model.predict(&urls[..=i], &mut out);
                 for p in &out {
-                    assert!(p.prob > 0.0 && p.prob <= 1.0 + 1e-9, "{}: bad prob {}", spec.label(), p.prob);
+                    assert!(
+                        p.prob > 0.0 && p.prob <= 1.0 + 1e-9,
+                        "{}: bad prob {}",
+                        spec.label(),
+                        p.prob
+                    );
                 }
                 // Sorted by descending probability.
                 assert!(
@@ -70,7 +77,11 @@ fn experiment_metrics_are_well_formed() {
         assert!((0.0..=1.0).contains(&r.hit_ratio()), "{}", r.label);
         assert!((0.0..=1.0).contains(&r.baseline_hit_ratio()));
         assert!(r.latency_reduction() <= 1.0);
-        assert!(r.traffic_increment() >= 0.0, "{}: prefetching cannot reduce server transfers", r.label);
+        assert!(
+            r.traffic_increment() >= 0.0,
+            "{}: prefetching cannot reduce server transfers",
+            r.label
+        );
         assert!((0.0..=1.0).contains(&r.popular_prefetch_fraction()));
         assert!((0.0..=1.0).contains(&r.path_utilization()));
         assert_eq!(r.counters.requests, r.baseline.requests);

@@ -110,11 +110,21 @@ fn path_utilization_pb_far_above_baselines_and_decaying_for_them() {
     // window grows.
     let early = run_experiment(
         &trace,
-        &ExperimentConfig::paper_default(ModelSpec::Standard { max_height: Some(3) }, 1),
+        &ExperimentConfig::paper_default(
+            ModelSpec::Standard {
+                max_height: Some(3),
+            },
+            1,
+        ),
     );
     let late = run_experiment(
         &trace,
-        &ExperimentConfig::paper_default(ModelSpec::Standard { max_height: Some(3) }, 4),
+        &ExperimentConfig::paper_default(
+            ModelSpec::Standard {
+                max_height: Some(3),
+            },
+            4,
+        ),
     );
     assert!(
         late.path_utilization() < early.path_utilization(),

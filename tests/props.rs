@@ -90,7 +90,11 @@ fn request_stream() -> impl Strategy<Value = Vec<Request>> {
             0u64..50_000,
             0u32..4,
             0u32..30,
-            prop_oneof![Just(DocKind::Html), Just(DocKind::Image), Just(DocKind::Other)],
+            prop_oneof![
+                Just(DocKind::Html),
+                Just(DocKind::Image),
+                Just(DocKind::Other)
+            ],
             1u32..10_000,
         ),
         0..300,
@@ -154,7 +158,12 @@ fn training_sessions() -> impl Strategy<Value = Vec<Vec<UrlId>>> {
 fn check_predictions(label: &str, out: &[Prediction], current: UrlId) -> Result<(), TestCaseError> {
     let mut seen = std::collections::HashSet::new();
     for p in out {
-        prop_assert!(p.prob > 0.0 && p.prob <= 1.0 + 1e-9, "{}: prob {}", label, p.prob);
+        prop_assert!(
+            p.prob > 0.0 && p.prob <= 1.0 + 1e-9,
+            "{}: prob {}",
+            label,
+            p.prob
+        );
         prop_assert!(seen.insert(p.url), "{}: duplicate prediction", label);
     }
     prop_assert!(
