@@ -1,8 +1,13 @@
-//! The CLI commands: generate, analyze, train, predict, simulate.
+//! The CLI commands: generate, analyze, train, predict, save,
+//! load-predict, simulate.
 
 use crate::args::Args;
 use crate::bundle::{interner_urls, ModelSnapshot, TrainedBundle};
-use pbppm_core::{LrsPpm, PbConfig, PbPpm, PopularityTable, Predictor, PruneConfig, StandardPpm};
+use pbppm_core::snapshot::{ModelImage, SnapshotFile};
+use pbppm_core::{
+    Interner, LrsPpm, Order1Markov, PbConfig, PbPpm, PopularityTable, Predictor, PruneConfig,
+    StandardPpm,
+};
 use pbppm_sim::{run_experiment, ExperimentConfig, ModelSpec};
 use pbppm_trace::clf::{format_clf_line, ClfRecord};
 use pbppm_trace::combined::{format_combined_line, trace_from_log, CombinedRecord, LogIngest};
@@ -17,6 +22,8 @@ type CmdResult = Result<(), Box<dyn std::error::Error>>;
 /// What `train_model` hands back: the label, the serializable snapshot,
 /// and the live model for immediate reporting.
 type TrainedModel = (String, ModelSnapshot, Box<dyn Predictor>);
+/// Same, for `train_image`: the binary-codec image instead of the JSON one.
+type TrainedImage = (String, ModelImage, Box<dyn Predictor>);
 
 /// Seconds of 1995-07-01 04:00 UTC — the epoch generated logs start at,
 /// matching the real NASA-KSC file.
@@ -257,6 +264,41 @@ fn train_model(
     }
 }
 
+/// Trains a model and hands back a binary-codec [`ModelImage`] instead of
+/// the JSON bundle snapshot. Adds the order-1 baseline, which the JSON
+/// bundle format never learned to carry.
+pub fn train_image(
+    kind: &str,
+    sessions: &[Session],
+    aggressive: bool,
+    no_links: bool,
+) -> Result<TrainedImage, Box<dyn std::error::Error>> {
+    match kind {
+        "o1" => {
+            let mut urls = Vec::new();
+            let mut m = Order1Markov::new();
+            for s in sessions {
+                urls.clear();
+                urls.extend(s.views.iter().map(|v| v.url));
+                m.train_session(&urls);
+            }
+            m.finalize();
+            let image = ModelImage::Order1(m.to_snapshot());
+            Ok(("O1".into(), image, Box::new(m)))
+        }
+        "pb" | "standard" | "lrs" => {
+            let (label, snap, model) = train_model(kind, sessions, aggressive, no_links)?;
+            let image = match snap {
+                ModelSnapshot::Pb(s) => ModelImage::Pb(s),
+                ModelSnapshot::Standard(s) => ModelImage::Standard(s),
+                ModelSnapshot::Lrs(s) => ModelImage::Lrs(s),
+            };
+            Ok((label, image, model))
+        }
+        other => Err(format!("unknown model {other:?} (expected pb, standard, lrs, or o1)").into()),
+    }
+}
+
 /// `pbppm train access.log --out model.json [--model pb|standard|lrs]
 /// [--days N] [--aggressive-prune] [--no-links]`
 pub fn train(args: &Args) -> CmdResult {
@@ -309,6 +351,38 @@ pub fn predict(args: &Args) -> CmdResult {
     let bundle = TrainedBundle::load(Path::new(path))?;
     let interner = bundle.interner();
     let mut model = bundle.instantiate()?;
+    let mut stdout = std::io::stdout().lock();
+    run_predict(&interner, model.as_mut(), args, &mut stdout)
+}
+
+/// `pbppm load-predict model.pbss --context "/a.html,/b.html" [--top N]
+/// [--json]`
+///
+/// Same query interface as `predict`, but over a binary snapshot written
+/// by `save` (or a `serve` checkpoint). The rendered output is
+/// byte-identical to what the in-process model would produce — the
+/// integration tests pin that.
+pub fn load_predict(args: &Args) -> CmdResult {
+    args.reject_unknown(&["context", "top"])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pbppm load-predict <model.pbss> --context \"/a,/b\"")?;
+    let file = SnapshotFile::read(Path::new(path))?;
+    let interner = file.interner();
+    let mut model = file.instantiate()?;
+    let mut stdout = std::io::stdout().lock();
+    run_predict(&interner, model.as_mut(), args, &mut stdout)
+}
+
+/// The shared prediction-query driver behind `predict` and `load-predict`:
+/// parses `--context`, batches the query, renders to `out`.
+pub fn run_predict(
+    interner: &Interner,
+    model: &mut dyn Predictor,
+    args: &Args,
+    out: &mut dyn Write,
+) -> CmdResult {
     let top = args.get_parsed("top", 10usize)?;
 
     let context_raw = args.require("context")?;
@@ -336,13 +410,14 @@ pub fn predict(args: &Args) -> CmdResult {
     let slices: Vec<&[pbppm_core::UrlId]> = contexts.iter().map(Vec::as_slice).collect();
     let mut outs = Vec::new();
     model.predict_many(&slices, &mut outs);
-    for out in &mut outs {
-        out.truncate(top);
+    for preds in &mut outs {
+        preds.truncate(top);
     }
 
     if args.switch("json") {
-        let render = |out: &[pbppm_core::Prediction]| -> Vec<serde_json::Value> {
-            out.iter()
+        let render = |preds: &[pbppm_core::Prediction]| -> Vec<serde_json::Value> {
+            preds
+                .iter()
                 .map(|p| {
                     serde_json::json!({
                         "url": interner.resolve(p.url),
@@ -352,36 +427,81 @@ pub fn predict(args: &Args) -> CmdResult {
                 .collect()
         };
         if outs.len() == 1 {
-            println!("{}", serde_json::to_string_pretty(&render(&outs[0]))?);
+            writeln!(out, "{}", serde_json::to_string_pretty(&render(&outs[0]))?)?;
         } else {
             let rows: Vec<_> = contexts
                 .iter()
                 .zip(&outs)
-                .map(|(ctx, out)| {
+                .map(|(ctx, preds)| {
                     let urls: Vec<_> = ctx.iter().filter_map(|&u| interner.resolve(u)).collect();
-                    serde_json::json!({"context": urls, "predictions": render(out)})
+                    serde_json::json!({"context": urls, "predictions": render(preds)})
                 })
                 .collect();
-            println!("{}", serde_json::to_string_pretty(&rows)?);
+            writeln!(out, "{}", serde_json::to_string_pretty(&rows)?)?;
         }
         return Ok(());
     }
-    for (i, (ctx, out)) in contexts.iter().zip(&outs).enumerate() {
+    for (i, (ctx, preds)) in contexts.iter().zip(&outs).enumerate() {
         if outs.len() > 1 {
             let urls: Vec<_> = ctx
                 .iter()
                 .map(|&u| interner.resolve(u).unwrap_or("?"))
                 .collect();
-            println!("context {}: {}", i + 1, urls.join(" -> "));
+            writeln!(out, "context {}: {}", i + 1, urls.join(" -> "))?;
         }
-        if out.is_empty() {
-            println!("no predictions for this context");
+        if preds.is_empty() {
+            writeln!(out, "no predictions for this context")?;
         } else {
-            for p in out {
-                println!("{:.3}  {}", p.prob, interner.resolve(p.url).unwrap_or("?"));
+            for p in preds {
+                writeln!(
+                    out,
+                    "{:.3}  {}",
+                    p.prob,
+                    interner.resolve(p.url).unwrap_or("?")
+                )?;
             }
         }
     }
+    Ok(())
+}
+
+/// `pbppm save access.log --out model.pbss [--model pb|standard|lrs|o1]
+/// [--days N] [--aggressive-prune] [--no-links]`
+///
+/// `train`'s sibling for the binary snapshot format: same training
+/// pipeline, but the result is written with the versioned, checksummed
+/// codec that `load-predict` and `serve` read.
+pub fn save(args: &Args) -> CmdResult {
+    args.reject_unknown(&["out", "model", "days"])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pbppm save <access.log> --out model.pbss")?;
+    let out = args.require("out")?;
+    let trace = load_trace(path)?;
+    let days = args.get_parsed("days", usize::MAX)?;
+    let requests = if days == usize::MAX {
+        &trace.requests[..]
+    } else {
+        trace.first_days(days)
+    };
+    let sessions = sessionize(requests, &SessionizerConfig::default());
+    let (label, image, model) = train_image(
+        args.get("model").unwrap_or("pb"),
+        &sessions,
+        args.switch("aggressive-prune"),
+        args.switch("no-links"),
+    )?;
+    let file = SnapshotFile {
+        urls: interner_urls(&trace.urls),
+        model: image,
+    };
+    let bytes = file.write_atomic(Path::new(out))?;
+    println!(
+        "saved {label}: {} sessions, {} nodes, {bytes} bytes -> {out}",
+        sessions.len(),
+        model.node_count()
+    );
     Ok(())
 }
 

@@ -8,3 +8,4 @@
 pub mod args;
 pub mod bundle;
 pub mod commands;
+pub mod serve;

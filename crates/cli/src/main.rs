@@ -36,6 +36,17 @@ COMMANDS:
     predict    Query a trained model for prefetch candidates; separate
                multiple contexts with ';' for one batched query
                <model.json>  --context \"/a.html,/b.html\"  [--top N] [--json]
+    save       Train a model and write it as a binary snapshot (.pbss)
+               <access.log>  --out model.pbss  [--model pb|standard|lrs|o1]
+               [--days N] [--aggressive-prune] [--no-links]
+    load-predict
+               Query a binary snapshot; same interface and output as predict
+               <model.pbss>  --context \"/a.html,/b.html\"  [--top N] [--json]
+    serve      Long-running online prediction loop with crash-safe
+               checkpoints (line protocol on stdin: train/predict/
+               checkpoint/stats/quit)
+               --dir DIR  [--window N] [--rebuild-every N]
+               [--checkpoint-every N] [--top N] [--aggressive-prune] [--no-links]
     simulate   Run a full trace-driven prefetching experiment
                (<access.log> | --preset nasa|ucb|tiny [--seed N])
                [--model pb|standard|3ppm|lrs|o1|top10|none] [--train-days N]
@@ -103,6 +114,9 @@ fn main() {
         "analyze" => commands::analyze(&args),
         "train" => commands::train(&args),
         "predict" => commands::predict(&args),
+        "save" => commands::save(&args),
+        "load-predict" => commands::load_predict(&args),
+        "serve" => pbppm_cli::serve::serve(&args),
         "simulate" => commands::simulate(&args),
         "stats" => commands::stats(&args),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,365 @@
+//! `pbppm serve` — a long-running, crash-safe online prediction loop.
+//!
+//! Wraps [`OnlinePbPpm`] behind a line protocol on stdin/stdout and
+//! checkpoints its full serving state (URL interner + sliding window +
+//! built model) through [`SnapshotStore`] every `--checkpoint-every`
+//! rebuilds. On startup the newest valid checkpoint generation is
+//! recovered, so a crash — even one that truncates the latest snapshot
+//! mid-write — costs at most the sessions since the previous checkpoint.
+//!
+//! ## Protocol
+//!
+//! One command per line; every command answers with one `ok …` or `err …`
+//! line (plus prediction rows after `ok N`):
+//!
+//! ```text
+//! train /a.html,/b.html,/c.html      feed one session
+//! predict /a.html,/b.html            -> "ok N" then N lines "prob url"
+//! checkpoint                         force a checkpoint now
+//! stats                              one-line model summary
+//! quit                               checkpoint and exit
+//! ```
+
+use crate::args::Args;
+use crate::bundle::interner_urls;
+use pbppm_core::snapshot::{Generation, ModelImage, SnapshotFile, SnapshotStore};
+use pbppm_core::{Interner, OnlinePbPpm, PbConfig, Predictor, PruneConfig, UrlId};
+use std::io::{BufRead, Write};
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// What a handled protocol line means for the read loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep reading.
+    Continue,
+    /// The client said `quit`; stop cleanly.
+    Quit,
+}
+
+/// Where a freshly opened serving session got its state from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// No checkpoint existed; the model starts empty.
+    Fresh,
+    /// A checkpoint generation was loaded.
+    Warm(Generation),
+}
+
+impl Recovery {
+    fn label(self) -> &'static str {
+        match self {
+            Recovery::Fresh => "fresh",
+            Recovery::Warm(Generation::Current) => "current",
+            Recovery::Warm(Generation::Previous) => "previous",
+        }
+    }
+}
+
+/// The serving loop's state: interner, online model, checkpoint store.
+pub struct ServeSession {
+    urls: Interner,
+    online: OnlinePbPpm,
+    store: SnapshotStore,
+    /// Checkpoint after this many completed rebuilds.
+    checkpoint_every: u64,
+    last_checkpoint_rebuilds: u64,
+    top: usize,
+}
+
+impl ServeSession {
+    /// Opens a serving session over `dir`, recovering from the newest
+    /// valid checkpoint when one exists. The `cfg`/`window`/`rebuild_every`
+    /// parameters only shape a **fresh** session; a recovered snapshot
+    /// carries its own configuration.
+    pub fn open(
+        dir: &str,
+        cfg: PbConfig,
+        window: usize,
+        rebuild_every: usize,
+        checkpoint_every: u64,
+        top: usize,
+    ) -> Result<(Self, Recovery), Box<dyn std::error::Error>> {
+        let store = SnapshotStore::open(dir)?;
+        let (urls, online, recovery) = match store.recover()? {
+            Some((file, generation)) => {
+                let ModelImage::OnlinePb(snap) = &file.model else {
+                    return Err(format!(
+                        "{}: snapshot holds a {} model, not online serving state",
+                        store.dir().display(),
+                        file.model.kind_label()
+                    )
+                    .into());
+                };
+                let online = OnlinePbPpm::from_snapshot(snap)?;
+                (file.interner(), online, Recovery::Warm(generation))
+            }
+            None => (
+                Interner::new(),
+                OnlinePbPpm::new(cfg, window, rebuild_every),
+                Recovery::Fresh,
+            ),
+        };
+        let last_checkpoint_rebuilds = online.rebuild_count();
+        Ok((
+            Self {
+                urls,
+                online,
+                store,
+                checkpoint_every: checkpoint_every.max(1),
+                last_checkpoint_rebuilds,
+                top,
+            },
+            recovery,
+        ))
+    }
+
+    /// The online model being served (tests).
+    pub fn online(&self) -> &OnlinePbPpm {
+        &self.online
+    }
+
+    /// Writes a checkpoint of the full serving state. Returns its size.
+    pub fn checkpoint(&mut self) -> Result<u64, Box<dyn std::error::Error>> {
+        let file = SnapshotFile {
+            urls: interner_urls(&self.urls),
+            model: ModelImage::OnlinePb(self.online.to_snapshot()),
+        };
+        let bytes = self.store.checkpoint(&file)?;
+        self.last_checkpoint_rebuilds = self.online.rebuild_count();
+        Ok(bytes)
+    }
+
+    /// Checkpoints when enough rebuilds have accumulated since the last
+    /// one. Returns the bytes written, if any.
+    fn maybe_checkpoint(&mut self) -> Result<Option<u64>, Box<dyn std::error::Error>> {
+        if self.online.rebuild_count() - self.last_checkpoint_rebuilds >= self.checkpoint_every {
+            return self.checkpoint().map(Some);
+        }
+        Ok(None)
+    }
+
+    fn parse_urls(&mut self, raw: &str, intern_new: bool) -> Vec<UrlId> {
+        raw.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| {
+                if intern_new {
+                    Some(self.urls.intern(s))
+                } else {
+                    // Prediction contexts only match URLs the model has
+                    // seen; unknown ones cannot contribute and are skipped.
+                    self.urls.get(s)
+                }
+            })
+            .collect()
+    }
+
+    /// Handles one protocol line, writing the response to `out`.
+    pub fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> std::io::Result<Flow> {
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "train" => {
+                let session = self.parse_urls(rest, true);
+                if session.is_empty() {
+                    writeln!(out, "err train expects a comma-separated URL list")?;
+                    return Ok(Flow::Continue);
+                }
+                self.online.train_session(&session);
+                match self.maybe_checkpoint() {
+                    Ok(saved) => writeln!(
+                        out,
+                        "ok trained {} url(s); window {}, rebuilds {}{}",
+                        session.len(),
+                        self.online.window_len(),
+                        self.online.rebuild_count(),
+                        match saved {
+                            Some(bytes) => format!(", checkpointed {bytes} bytes"),
+                            None => String::new(),
+                        }
+                    )?,
+                    Err(e) => writeln!(out, "err checkpoint failed: {e}")?,
+                }
+            }
+            "predict" => {
+                let context = self.parse_urls(rest, false);
+                let mut preds = Vec::new();
+                self.online.predict(&context, &mut preds);
+                preds.truncate(self.top);
+                writeln!(out, "ok {}", preds.len())?;
+                for p in &preds {
+                    writeln!(
+                        out,
+                        "{:.3} {}",
+                        p.prob,
+                        self.urls.resolve(p.url).unwrap_or("?")
+                    )?;
+                }
+            }
+            "checkpoint" => match self.checkpoint() {
+                Ok(bytes) => writeln!(out, "ok checkpointed {bytes} bytes")?,
+                Err(e) => writeln!(out, "err checkpoint failed: {e}")?,
+            },
+            "stats" => {
+                let s = self.online.stats();
+                writeln!(
+                    out,
+                    "ok urls {}, window {}, rebuilds {}, nodes {}, bytes {}",
+                    self.urls.len(),
+                    self.online.window_len(),
+                    self.online.rebuild_count(),
+                    s.nodes,
+                    s.total_bytes()
+                )?;
+            }
+            "quit" => {
+                match self.checkpoint() {
+                    Ok(bytes) => writeln!(out, "ok bye; checkpointed {bytes} bytes")?,
+                    Err(e) => writeln!(out, "err final checkpoint failed: {e}")?,
+                }
+                return Ok(Flow::Quit);
+            }
+            other => {
+                writeln!(
+                    out,
+                    "err unknown command {other:?} (train/predict/checkpoint/stats/quit)"
+                )?;
+            }
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+/// `pbppm serve --dir DIR [--window N] [--rebuild-every N]
+/// [--checkpoint-every N] [--top N] [--aggressive-prune] [--no-links]`
+pub fn serve(args: &Args) -> CmdResult {
+    args.reject_unknown(&["dir", "window", "rebuild-every", "checkpoint-every", "top"])?;
+    let dir = args.require("dir")?;
+    let window = args.get_parsed("window", 1000usize)?;
+    let rebuild_every = args.get_parsed("rebuild-every", 50usize)?;
+    let checkpoint_every = args.get_parsed("checkpoint-every", 1u64)?;
+    let top = args.get_parsed("top", 10usize)?;
+    let cfg = PbConfig {
+        prune: if args.switch("aggressive-prune") {
+            PruneConfig::aggressive()
+        } else {
+            PruneConfig::default()
+        },
+        special_links: !args.switch("no-links"),
+        ..PbConfig::default()
+    };
+    let (mut session, recovery) =
+        ServeSession::open(dir, cfg, window, rebuild_every, checkpoint_every, top)?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    writeln!(
+        stdout,
+        "ready recovered={} window={} rebuilds={}",
+        recovery.label(),
+        session.online().window_len(),
+        session.online().rebuild_count()
+    )?;
+    stdout.flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let flow = session.handle_line(&line, &mut stdout)?;
+        stdout.flush()?;
+        if flow == Flow::Quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("pbppm-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.display().to_string()
+    }
+
+    fn open(dir: &str) -> (ServeSession, Recovery) {
+        // rebuild_every=1 + checkpoint_every=1: every session rebuilds and
+        // checkpoints, so generations accumulate quickly.
+        ServeSession::open(dir, PbConfig::default(), 100, 1, 1, 10).unwrap()
+    }
+
+    fn line(s: &mut ServeSession, cmd: &str) -> String {
+        let mut buf = Vec::new();
+        s.handle_line(cmd, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn protocol_basics() {
+        let dir = temp_dir("protocol");
+        let (mut s, recovery) = open(&dir);
+        assert_eq!(recovery, Recovery::Fresh);
+        assert!(line(&mut s, "train /a,/b,/a,/b").starts_with("ok trained 4"));
+        let reply = line(&mut s, "predict /a");
+        assert!(reply.starts_with("ok 1"), "unexpected reply: {reply}");
+        assert!(reply.contains("/b"), "unexpected reply: {reply}");
+        assert!(line(&mut s, "predict /never-seen").starts_with("ok 0"));
+        assert!(line(&mut s, "stats").starts_with("ok urls 2"));
+        assert!(line(&mut s, "bogus").starts_with("err unknown command"));
+        assert!(line(&mut s, "train ").starts_with("err train expects"));
+        assert!(line(&mut s, "quit").starts_with("ok bye"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_restores_predictions() {
+        let dir = temp_dir("warm");
+        let (mut s, _) = open(&dir);
+        line(&mut s, "train /a,/b,/c");
+        line(&mut s, "train /a,/b,/c");
+        let before = line(&mut s, "predict /a,/b");
+        drop(s);
+
+        let (mut s2, recovery) = open(&dir);
+        assert_eq!(recovery, Recovery::Warm(Generation::Current));
+        assert_eq!(line(&mut s2, "predict /a,/b"), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovers_from_truncated_current_snapshot() {
+        let dir = temp_dir("truncated");
+        let (mut s, _) = open(&dir);
+        line(&mut s, "train /a,/b");
+        let after_first = line(&mut s, "predict /a");
+        line(&mut s, "train /x,/y");
+        drop(s);
+
+        // Simulate a crash mid-write: the newest generation is cut short.
+        let current = SnapshotStore::open(&dir).unwrap().current_path();
+        let bytes = std::fs::read(&current).unwrap();
+        std::fs::write(&current, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (mut s2, recovery) = open(&dir);
+        assert_eq!(recovery, Recovery::Warm(Generation::Previous));
+        // The previous generation predates the second train line.
+        assert_eq!(line(&mut s2, "predict /a"), after_first);
+        assert!(line(&mut s2, "predict /x").starts_with("ok 0"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn training_continues_after_recovery() {
+        let dir = temp_dir("resume");
+        let (mut s, _) = open(&dir);
+        line(&mut s, "train /a,/b");
+        drop(s);
+        let (mut s2, _) = open(&dir);
+        assert!(line(&mut s2, "train /a,/c").starts_with("ok trained 2"));
+        let reply = line(&mut s2, "predict /a");
+        assert!(reply.starts_with("ok 2"), "both sessions count: {reply}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,129 @@
+//! Binary snapshot CLI flow: save → load-predict must serve the same
+//! bytes as the in-process model, and corrupt snapshots must fail cleanly.
+
+use pbppm_cli::args::Args;
+use pbppm_cli::bundle::TrainedBundle;
+use pbppm_cli::commands;
+use pbppm_core::snapshot::{ModelImage, SnapshotFile};
+use std::path::PathBuf;
+
+fn args(tokens: &[&str]) -> Args {
+    Args::parse(tokens.iter().map(|s| s.to_string())).expect("parse")
+}
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pbppm-snapcli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn render(
+    file_model: &mut dyn pbppm_core::Predictor,
+    interner: &pbppm_core::Interner,
+    query: &Args,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    commands::run_predict(interner, file_model, query, &mut buf).expect("run_predict");
+    buf
+}
+
+#[test]
+fn save_then_load_predict_is_byte_identical_to_in_process_model() {
+    let log = temp("identity.log");
+    let log_s = log.to_str().unwrap();
+    commands::generate(&args(&["--preset", "tiny", "--out", log_s, "--seed", "5"]))
+        .expect("generate");
+
+    // Same training pipeline twice: once into the JSON bundle (the
+    // in-process reference), once through the binary codec.
+    let bundle_path = temp("identity-model.json");
+    let snap_path = temp("identity-model.pbss");
+    commands::train(&args(&[log_s, "--out", bundle_path.to_str().unwrap()])).expect("train");
+    commands::save(&args(&[log_s, "--out", snap_path.to_str().unwrap()])).expect("save");
+
+    let bundle = TrainedBundle::load(&bundle_path).expect("load bundle");
+    let snapshot = SnapshotFile::read(&snap_path).expect("read snapshot");
+    assert_eq!(bundle.urls, snapshot.urls, "identical interner contents");
+
+    let mut reference = bundle.instantiate().expect("bundle model");
+    let mut restored = snapshot.instantiate().expect("snapshot model");
+
+    // Single context, batched contexts, text and JSON renderings: every
+    // output byte must match the in-process model's. Contexts come from
+    // the trained URL list itself, so they are guaranteed to resolve.
+    let (u0, u1) = (&snapshot.urls[0], &snapshot.urls[1]);
+    let batch = format!("{u0},{u1};{u1}");
+    for query in [
+        args(&["--context", u0, "--top", "5"]),
+        args(&["--context", &batch, "--top", "3"]),
+        args(&["--context", u0, "--json"]),
+    ] {
+        let a = render(reference.as_mut(), &bundle.interner(), &query);
+        let b = render(restored.as_mut(), &snapshot.interner(), &query);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "load-predict output diverged for {query:?}");
+    }
+}
+
+#[test]
+fn save_supports_every_model_kind() {
+    let log = temp("kinds.log");
+    let log_s = log.to_str().unwrap();
+    commands::generate(&args(&["--preset", "tiny", "--out", log_s, "--seed", "6"]))
+        .expect("generate");
+    for kind in ["pb", "standard", "lrs", "o1"] {
+        let path = temp(&format!("kind-{kind}.pbss"));
+        let path_s = path.to_str().unwrap();
+        commands::save(&args(&[log_s, "--out", path_s, "--model", kind]))
+            .unwrap_or_else(|e| panic!("save {kind}: {e}"));
+        let file = SnapshotFile::read(&path).expect("read back");
+        let model = file.instantiate().expect("instantiate");
+        assert!(model.node_count() > 0, "{kind} snapshot holds a model");
+        commands::load_predict(&args(&[path_s, "--context", "/l0/p0.html", "--top", "3"]))
+            .unwrap_or_else(|e| panic!("load-predict {kind}: {e}"));
+    }
+    assert!(commands::save(&args(&[log_s, "--out", "/tmp/x.pbss", "--model", "bogus"])).is_err());
+}
+
+#[test]
+fn load_predict_rejects_corruption_cleanly() {
+    let log = temp("corrupt.log");
+    let log_s = log.to_str().unwrap();
+    commands::generate(&args(&["--preset", "tiny", "--out", log_s, "--seed", "7"]))
+        .expect("generate");
+    let path = temp("corrupt.pbss");
+    let path_s = path.to_str().unwrap();
+    commands::save(&args(&[log_s, "--out", path_s])).expect("save");
+
+    let good = std::fs::read(&path).unwrap();
+    // A flipped payload byte and a truncation both yield clean errors.
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x20;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(commands::load_predict(&args(&[path_s, "--context", "/l0/p0.html"])).is_err());
+    std::fs::write(&path, &good[..good.len() - 9]).unwrap();
+    assert!(commands::load_predict(&args(&[path_s, "--context", "/l0/p0.html"])).is_err());
+    // And the JSON bundle loader rejects the binary format outright.
+    assert!(commands::predict(&args(&[path_s, "--context", "/l0/p0.html"])).is_err());
+}
+
+#[test]
+fn snapshot_carries_train_image_labels() {
+    let log = temp("labels.log");
+    let log_s = log.to_str().unwrap();
+    commands::generate(&args(&["--preset", "tiny", "--out", log_s, "--seed", "8"]))
+        .expect("generate");
+    let path = temp("labels.pbss");
+    commands::save(&args(&[
+        log_s,
+        "--out",
+        path.to_str().unwrap(),
+        "--model",
+        "o1",
+    ]))
+    .expect("save o1");
+    let file = SnapshotFile::read(&path).expect("read");
+    assert!(matches!(file.model, ModelImage::Order1(_)));
+    assert_eq!(file.model.kind_label(), "O1");
+}

@@ -268,4 +268,50 @@ mod tests {
         assert_eq!(q.mrr(), 0.0);
         assert_eq!(q.emitted_per_context(), 0.0);
     }
+
+    /// Every derived ratio must report 0 — never NaN — on zero
+    /// denominators, so downstream JSON stays clean numbers.
+    #[test]
+    fn zero_context_ratios_are_zero_not_nan() {
+        let q = PredictionQuality::default();
+        for value in [
+            q.coverage(),
+            q.precision_at_1(),
+            q.precision_at_k(),
+            q.useful_rate(),
+            q.mrr(),
+            q.emitted_per_context(),
+        ] {
+            assert_eq!(value, 0.0, "zero-denominator ratio must be exactly 0");
+        }
+        // The serialized form carries no NaN either (serde_json turns
+        // non-finite floats into null, which breaks consumers).
+        let json = serde_json::to_string(&q).unwrap();
+        assert!(!json.contains("null") && !json.contains("NaN"), "{json}");
+    }
+
+    /// Degenerate parameters — single-view sessions, zero context cap,
+    /// zero k, zero horizon — must not panic or divide by zero.
+    #[test]
+    fn degenerate_configs_are_safe() {
+        let mut m = Order1Markov::new();
+        m.train_session(&[u(0), u(1)]);
+        m.finalize();
+        // Single-view sessions produce no contexts at all.
+        let q = evaluate(&mut m, &[vec![u(0)]], 12, &EvalConfig::default());
+        assert_eq!(q.contexts, 0);
+        assert_eq!(q.coverage(), 0.0);
+        // Zero cap and zero k are clamped to 1; zero horizon means no
+        // view can ever be "useful".
+        let cfg = EvalConfig {
+            k: 0,
+            horizon: 0,
+            ..EvalConfig::default()
+        };
+        let q = evaluate(&mut m, &[vec![u(0), u(1)]], 0, &cfg);
+        assert_eq!(q.contexts, 1);
+        assert_eq!(q.covered, 1, "k is clamped to 1, not truncated to none");
+        assert_eq!(q.useful_at_k, 0, "zero horizon sees no upcoming views");
+        assert!(q.mrr().is_finite());
+    }
 }

@@ -61,6 +61,7 @@ pub mod popularity;
 pub mod predictor;
 pub mod prune;
 pub mod render;
+pub mod snapshot;
 pub mod standard;
 pub mod stats;
 pub mod topn;
@@ -77,6 +78,9 @@ pub use pb_online::OnlinePbPpm;
 pub use popularity::{Grade, PopularityBuilder, PopularityTable, PopularityTracker};
 pub use predictor::{ModelKind, PredictUsage, Prediction, Predictor};
 pub use prune::PruneConfig;
+pub use snapshot::{
+    CodecError, Generation, ModelImage, SnapshotFile, SnapshotIoError, SnapshotStore,
+};
 pub use standard::StandardPpm;
 pub use stats::ModelStats;
 pub use topn::TopN;

@@ -136,10 +136,10 @@ impl LrsPpm {
 /// A serializable image of a trained [`LrsPpm`] model.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct LrsSnapshot {
-    tree: crate::tree::TreeSnapshot,
-    min_support: u64,
-    max_height: usize,
-    finalized: bool,
+    pub(crate) tree: crate::tree::TreeSnapshot,
+    pub(crate) min_support: u64,
+    pub(crate) max_height: usize,
+    pub(crate) finalized: bool,
 }
 
 impl Predictor for LrsPpm {

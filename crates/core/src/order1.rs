@@ -32,6 +32,67 @@ impl Order1Markov {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Serializes the model into a canonical (id-sorted) image. As with the
+    /// tree models, per-evaluation `used` bookkeeping is not persisted.
+    pub fn to_snapshot(&self) -> Order1Snapshot {
+        let mut rows: Vec<Order1RowSnapshot> = self
+            .rows
+            .iter()
+            .map(|(&url, row)| {
+                let mut next: Vec<(u32, u64)> = row.next.iter().map(|(&u, &c)| (u.0, c)).collect();
+                next.sort_unstable();
+                Order1RowSnapshot {
+                    url: url.0,
+                    total: row.total,
+                    next,
+                }
+            })
+            .collect();
+        rows.sort_unstable_by_key(|r| r.url);
+        Order1Snapshot {
+            rows,
+            finalized: self.finalized,
+        }
+    }
+
+    /// Restores a model from a snapshot.
+    pub fn from_snapshot(snap: &Order1Snapshot) -> Self {
+        let mut rows = FxHashMap::default();
+        for r in &snap.rows {
+            let mut next = FxHashMap::default();
+            for &(u, c) in &r.next {
+                next.insert(UrlId(u), c);
+            }
+            rows.insert(
+                UrlId(r.url),
+                Row {
+                    total: r.total,
+                    next,
+                    used: false,
+                },
+            );
+        }
+        Self {
+            rows,
+            finalized: snap.finalized,
+        }
+    }
+}
+
+/// A serializable image of an [`Order1Markov`] model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Order1Snapshot {
+    pub(crate) rows: Vec<Order1RowSnapshot>,
+    pub(crate) finalized: bool,
+}
+
+/// One source URL's transition counts, successors sorted by URL id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Order1RowSnapshot {
+    pub(crate) url: u32,
+    pub(crate) total: u64,
+    pub(crate) next: Vec<(u32, u64)>,
 }
 
 impl Predictor for Order1Markov {
@@ -163,6 +224,26 @@ mod tests {
         m.predict(&[], &mut out);
         assert!(out.is_empty());
         assert_eq!(m.node_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions() {
+        let mut m = Order1Markov::new();
+        m.train_session(&[u(0), u(1), u(0), u(2), u(0), u(1)]);
+        m.train_session(&[u(3), u(0), u(1)]);
+        m.finalize();
+        let back = Order1Markov::from_snapshot(&m.to_snapshot());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for ctx in [&[u(0)][..], &[u(3)], &[u(9)]] {
+            let mut ua = crate::predictor::PredictUsage::default();
+            let mut ub = crate::predictor::PredictUsage::default();
+            m.predict_ro(ctx, &mut a, &mut ua);
+            back.predict_ro(ctx, &mut b, &mut ub);
+            assert_eq!(a, b);
+        }
+        assert_eq!(m.stats(), back.stats());
+        // The snapshot itself is canonical: re-snapshotting is identity.
+        assert_eq!(m.to_snapshot(), back.to_snapshot());
     }
 
     #[test]

@@ -365,10 +365,10 @@ impl PbPpm {
 /// A serializable image of a trained [`PbPpm`] model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PbSnapshot {
-    tree: crate::tree::TreeSnapshot,
-    pop: PopularityTable,
-    cfg: PbConfig,
-    finalized: bool,
+    pub(crate) tree: crate::tree::TreeSnapshot,
+    pub(crate) pop: PopularityTable,
+    pub(crate) cfg: PbConfig,
+    pub(crate) finalized: bool,
 }
 
 impl Predictor for PbPpm {

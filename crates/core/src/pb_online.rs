@@ -62,6 +62,46 @@ impl OnlinePbPpm {
         self.model.as_ref()
     }
 
+    /// Sessions trained since the last rebuild (0 right after a rebuild).
+    pub fn since_rebuild(&self) -> usize {
+        self.since_rebuild
+    }
+
+    /// Serializes the complete online state: configuration, the sliding
+    /// window, the rebuild schedule counters, and the current inner model
+    /// (if one has been built). Restoring via
+    /// [`OnlinePbPpm::from_snapshot`] resumes exactly where the snapshot
+    /// was taken — including a model that is stale with respect to the
+    /// window (sessions trained since the last rebuild).
+    pub fn to_snapshot(&self) -> OnlinePbSnapshot {
+        OnlinePbSnapshot {
+            cfg: self.cfg,
+            window: self.window.iter().cloned().collect(),
+            max_window: self.max_window,
+            rebuild_every: self.rebuild_every,
+            since_rebuild: self.since_rebuild,
+            rebuilds: self.rebuilds,
+            model: self.model.as_ref().map(PbPpm::to_snapshot),
+        }
+    }
+
+    /// Restores an online model from a snapshot.
+    pub fn from_snapshot(snap: &OnlinePbSnapshot) -> Result<Self, crate::tree::SnapshotError> {
+        let model = match &snap.model {
+            Some(m) => Some(PbPpm::from_snapshot(m)?),
+            None => None,
+        };
+        Ok(Self {
+            cfg: snap.cfg,
+            window: snap.window.iter().cloned().collect(),
+            max_window: snap.max_window.max(1),
+            rebuild_every: snap.rebuild_every.max(1),
+            since_rebuild: snap.since_rebuild,
+            rebuilds: snap.rebuilds,
+            model,
+        })
+    }
+
     /// Rebuilds the inner model from the window now.
     pub fn rebuild(&mut self) {
         let mut counts = PopularityTable::builder();
@@ -79,6 +119,19 @@ impl OnlinePbPpm {
         self.since_rebuild = 0;
         self.rebuilds += 1;
     }
+}
+
+/// A serializable image of an [`OnlinePbPpm`]: window, schedule counters,
+/// and the current inner model.
+#[derive(Debug, Clone)]
+pub struct OnlinePbSnapshot {
+    pub(crate) cfg: PbConfig,
+    pub(crate) window: Vec<Vec<UrlId>>,
+    pub(crate) max_window: usize,
+    pub(crate) rebuild_every: usize,
+    pub(crate) since_rebuild: usize,
+    pub(crate) rebuilds: u64,
+    pub(crate) model: Option<crate::pb::PbSnapshot>,
 }
 
 impl Predictor for OnlinePbPpm {
@@ -100,10 +153,19 @@ impl Predictor for OnlinePbPpm {
         }
     }
 
-    /// Forces a rebuild so the model reflects every session seen so far.
-    /// Unlike the offline models, the online model may keep training after
-    /// this.
+    /// Rebuilds so the model reflects every session seen so far. A no-op
+    /// when nothing was trained since the last rebuild: repeating a rebuild
+    /// over the unchanged window would waste the work and inflate
+    /// [`OnlinePbPpm::rebuild_count`], and on a never-trained model it would
+    /// install a useless empty tree. Unlike the offline models, the online
+    /// model may keep training after this.
     fn finalize(&mut self) {
+        // `since_rebuild == 0` holds in exactly two states: right after a
+        // rebuild (model is up to date) or before any training (window is
+        // empty) — both are no-ops.
+        if self.since_rebuild == 0 {
+            return;
+        }
         self.rebuild();
     }
 
@@ -232,6 +294,86 @@ mod tests {
             max <= 2 * min.max(1),
             "window should bound growth: sizes {sizes:?}"
         );
+    }
+
+    #[test]
+    fn finalize_on_empty_model_is_a_noop() {
+        let mut m = OnlinePbPpm::new(cfg(), 10, 3);
+        m.finalize();
+        assert_eq!(m.rebuild_count(), 0, "nothing to build from");
+        assert!(m.current().is_none(), "no empty model installed");
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn finalize_right_after_a_scheduled_rebuild_does_not_rebuild_again() {
+        let mut m = OnlinePbPpm::new(cfg(), 100, 2);
+        m.train_session(&[u(0), u(1)]);
+        m.train_session(&[u(0), u(1)]); // triggers the scheduled rebuild
+        assert_eq!(m.rebuild_count(), 1);
+        m.finalize();
+        m.finalize();
+        assert_eq!(m.rebuild_count(), 1, "window unchanged: no-op");
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert_eq!(out[0].url, u(1), "the existing model keeps serving");
+    }
+
+    #[test]
+    fn finalize_still_rebuilds_pending_sessions() {
+        let mut m = OnlinePbPpm::new(cfg(), 100, 1000);
+        m.train_session(&[u(0), u(1)]);
+        assert_eq!(m.rebuild_count(), 0);
+        m.finalize();
+        assert_eq!(m.rebuild_count(), 1);
+        let mut out = Vec::new();
+        m.predict(&[u(0)], &mut out);
+        assert_eq!(out[0].url, u(1));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state_and_predictions() {
+        let mut m = OnlinePbPpm::new(cfg(), 50, 4);
+        for i in 0..10u32 {
+            m.train_session(&[u(0), u(1 + i % 3), u(4)]);
+        }
+        // Deliberately leave the model stale: 10 % 4 = 2 pending sessions.
+        assert_eq!(m.since_rebuild(), 2);
+        let back = OnlinePbPpm::from_snapshot(&m.to_snapshot()).unwrap();
+        assert_eq!(back.rebuild_count(), m.rebuild_count());
+        assert_eq!(back.window_len(), m.window_len());
+        assert_eq!(back.since_rebuild(), m.since_rebuild());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut ua = PredictUsage::default();
+        let mut ub = PredictUsage::default();
+        m.predict_ro(&[u(0)], &mut a, &mut ua);
+        back.predict_ro(&[u(0)], &mut b, &mut ub);
+        assert_eq!(a, b, "restored model serves identical predictions");
+        // Snapshots compact the tree arena, so byte sizes may shrink;
+        // every structural stat must survive the round-trip.
+        let (mut sa, mut sb) = (m.stats(), back.stats());
+        assert!(sb.memory_bytes <= sa.memory_bytes);
+        sa.memory_bytes = 0;
+        sb.memory_bytes = 0;
+        assert_eq!(sa, sb);
+
+        // Training resumes seamlessly: two more sessions complete the
+        // rebuild schedule on both instances alike.
+        let mut m2 = back;
+        m2.train_session(&[u(0), u(1)]);
+        m2.train_session(&[u(0), u(1)]);
+        assert_eq!(m2.rebuild_count(), m.rebuild_count() + 1);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let m = OnlinePbPpm::new(cfg(), 10, 2);
+        let back = OnlinePbPpm::from_snapshot(&m.to_snapshot()).unwrap();
+        assert!(back.current().is_none());
+        assert_eq!(back.window_len(), 0);
+        assert_eq!(back.rebuild_count(), 0);
     }
 
     #[test]

@@ -180,6 +180,15 @@ impl PopularityTable {
         self.counts.get(url.index()).copied().unwrap_or(0)
     }
 
+    /// The dense per-URL count vector (`counts()[url.index()]` accesses).
+    ///
+    /// Grades, `max_count`, and `total` are all derived from it, so the
+    /// vector is the table's complete serializable state:
+    /// `PopularityTable::from_counts(t.counts().to_vec())` reproduces `t`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Total number of recorded accesses.
     pub fn total_accesses(&self) -> u64 {
         self.total

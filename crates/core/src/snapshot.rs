@@ -1,0 +1,1124 @@
+//! Versioned, dependency-free binary persistence for trained models.
+//!
+//! The paper's low-storage pitch (§3, Table 1) implies a server that
+//! persists its small PB-PPM model and warm-starts from it instead of
+//! replaying the training trace. This module is that persistence layer: a
+//! compact length-prefixed binary codec for every [`Predictor`] in the
+//! crate — PB-PPM (special links included), standard PPM, LRS-PPM, the
+//! order-1 Markov baseline, and the online sliding-window model — together
+//! with the URL interner and the popularity table they depend on.
+//!
+//! ## File layout
+//!
+//! | offset  | size | field                                          |
+//! |---------|------|------------------------------------------------|
+//! | 0       | 8    | magic `"PBPPMSNP"`                             |
+//! | 8       | 2    | format version, little-endian `u16`            |
+//! | 10      | 8    | payload length `N`, little-endian `u64`        |
+//! | 18      | N    | payload: model kind tag + body (varint-packed) |
+//! | 18 + N  | 8    | FNV-1a 64 checksum of bytes `[0, 18 + N)`      |
+//!
+//! Integers inside the payload are LEB128 varints; `f64`s are stored as
+//! their IEEE-754 bit pattern (8 bytes, little-endian) so probabilities and
+//! thresholds round-trip **exactly** — reloading a model yields
+//! bit-identical predictions, which the property tests in
+//! `tests/snapshot_codec.rs` pin.
+//!
+//! ## Versioning policy
+//!
+//! The format version is bumped on any incompatible layout change; readers
+//! reject other versions outright ([`CodecError::UnsupportedVersion`])
+//! rather than guessing. The checksum covers header and payload, so
+//! truncation and bit corruption both surface as clean errors instead of
+//! garbage models.
+//!
+//! ## Crash-safe generations
+//!
+//! [`SnapshotStore`] manages a two-generation checkpoint directory
+//! (`current.pbss` + `previous.pbss`): checkpoints are written to a temp
+//! file, fsynced, and renamed into place, demoting the old current to
+//! `previous`. [`SnapshotStore::recover`] loads the newest valid
+//! generation, falling back to `previous` when `current` is truncated or
+//! corrupt — the serving loop in the CLI builds directly on this.
+
+use crate::interner::Interner;
+use crate::lrs::{LrsPpm, LrsSnapshot};
+use crate::order1::{Order1Markov, Order1RowSnapshot, Order1Snapshot};
+use crate::pb::{PbConfig, PbPpm, PbSnapshot};
+use crate::pb_online::{OnlinePbPpm, OnlinePbSnapshot};
+use crate::popularity::PopularityTable;
+use crate::predictor::Predictor;
+use crate::prune::PruneConfig;
+use crate::standard::{StandardPpm, StandardSnapshot};
+use crate::tree::{NodeSnapshot, SnapshotError, TreeSnapshot};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic at offset 0 of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"PBPPMSNP";
+
+/// Current format version. Bumped on incompatible layout changes; readers
+/// accept exactly this version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// magic + version + payload length + checksum.
+const ENVELOPE_BYTES: usize = 8 + 2 + 8 + 8;
+
+/// File-name convention for snapshot files.
+pub const SNAPSHOT_EXT: &str = "pbss";
+
+// ------------------------------------------------------------------ errors
+
+/// Why a snapshot byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the declared structure was complete.
+    Truncated,
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic,
+    /// The format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u16),
+    /// The trailing checksum does not match the stream contents.
+    ChecksumMismatch,
+    /// An unknown model kind tag.
+    BadKind(u8),
+    /// Payload bytes left over after the model body — a length lie.
+    TrailingBytes,
+    /// A structurally invalid value (context in the message).
+    Invalid(&'static str),
+    /// The embedded tree image failed structural validation.
+    Tree(SnapshotError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "snapshot is truncated"),
+            CodecError::BadMagic => write!(f, "not a pbppm snapshot (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            CodecError::ChecksumMismatch => write!(f, "snapshot checksum mismatch (corrupt file)"),
+            CodecError::BadKind(k) => write!(f, "unknown model kind tag {k}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after snapshot payload"),
+            CodecError::Invalid(what) => write!(f, "invalid snapshot field: {what}"),
+            CodecError::Tree(e) => write!(f, "invalid tree image: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<SnapshotError> for CodecError {
+    fn from(e: SnapshotError) -> Self {
+        CodecError::Tree(e)
+    }
+}
+
+/// A snapshot file operation failure: the I/O or the decode step.
+#[derive(Debug)]
+pub enum SnapshotIoError {
+    /// Filesystem failure (path in the message).
+    Io(String, std::io::Error),
+    /// The bytes were read but did not decode.
+    Codec(String, CodecError),
+}
+
+impl SnapshotIoError {
+    fn io(path: &Path, e: std::io::Error) -> Self {
+        SnapshotIoError::Io(path.display().to_string(), e)
+    }
+
+    /// True when the underlying cause is a missing file (recovery treats
+    /// this as "no generation here", not corruption).
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, SnapshotIoError::Io(_, e) if e.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+impl std::fmt::Display for SnapshotIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotIoError::Io(path, e) => write!(f, "{path}: {e}"),
+            SnapshotIoError::Codec(path, e) => write!(f, "{path}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotIoError {}
+
+// ----------------------------------------------------------------- checksum
+
+/// FNV-1a 64. Not cryptographic — it guards against truncation and bit rot,
+/// not adversaries. Every byte feeds an invertible step (xor + odd-prime
+/// multiply), so any single-byte change alters the digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ------------------------------------------------------------ writer/reader
+
+/// Append-only byte sink with LEB128 varints.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn u32v(&mut self, v: u32) {
+        self.varint(u64::from(v));
+    }
+
+    fn usizev(&mut self, v: usize) {
+        self.varint(v as u64);
+    }
+
+    fn f64bits(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usizev(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked byte source matching [`Writer`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("boolean")),
+        }
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..).step_by(7) {
+            if shift >= 64 {
+                return Err(CodecError::Invalid("varint overflow"));
+            }
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        unreachable!()
+    }
+
+    fn u32v(&mut self) -> Result<u32, CodecError> {
+        u32::try_from(self.varint()?).map_err(|_| CodecError::Invalid("u32 overflow"))
+    }
+
+    fn usizev(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.varint()?).map_err(|_| CodecError::Invalid("usize overflow"))
+    }
+
+    /// A collection count, sanity-capped against the bytes that could
+    /// possibly encode that many elements (at least one byte each), so a
+    /// corrupt length cannot drive a huge allocation before [`Self::take`]
+    /// fails naturally.
+    fn count(&mut self) -> Result<usize, CodecError> {
+        let n = self.usizev()?;
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn f64bits(&mut self) -> Result<f64, CodecError> {
+        let raw = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(b)))
+    }
+
+    fn str(&mut self) -> Result<&'a str, CodecError> {
+        let n = self.count()?;
+        std::str::from_utf8(self.take(n)?).map_err(|_| CodecError::Invalid("utf-8 string"))
+    }
+}
+
+// -------------------------------------------------------- component codecs
+
+fn write_tree(w: &mut Writer, t: &TreeSnapshot) {
+    w.usizev(t.nodes.len());
+    for n in &t.nodes {
+        w.u32v(n.url);
+        w.varint(n.count);
+        w.u32v(n.parent);
+        w.u8(n.depth);
+        w.usizev(n.children.len());
+        for &(u, c) in &n.children {
+            w.u32v(u);
+            w.u32v(c);
+        }
+        w.bool(n.link_dup);
+    }
+    w.usizev(t.roots.len());
+    for &(u, id) in &t.roots {
+        w.u32v(u);
+        w.u32v(id);
+    }
+    w.usizev(t.links.len());
+    for (root, targets) in &t.links {
+        w.u32v(*root);
+        w.usizev(targets.len());
+        for &t in targets {
+            w.u32v(t);
+        }
+    }
+}
+
+fn read_tree(r: &mut Reader) -> Result<TreeSnapshot, CodecError> {
+    let node_count = r.count()?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let url = r.u32v()?;
+        let count = r.varint()?;
+        let parent = r.u32v()?;
+        let depth = r.u8()?;
+        let child_count = r.count()?;
+        let mut children = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            children.push((r.u32v()?, r.u32v()?));
+        }
+        let link_dup = r.bool()?;
+        nodes.push(NodeSnapshot {
+            url,
+            count,
+            parent,
+            depth,
+            children,
+            link_dup,
+        });
+    }
+    let root_count = r.count()?;
+    let mut roots = Vec::with_capacity(root_count);
+    for _ in 0..root_count {
+        roots.push((r.u32v()?, r.u32v()?));
+    }
+    let link_count = r.count()?;
+    let mut links = Vec::with_capacity(link_count);
+    for _ in 0..link_count {
+        let root = r.u32v()?;
+        let target_count = r.count()?;
+        let mut targets = Vec::with_capacity(target_count);
+        for _ in 0..target_count {
+            targets.push(r.u32v()?);
+        }
+        links.push((root, targets));
+    }
+    Ok(TreeSnapshot {
+        nodes,
+        roots,
+        links,
+    })
+}
+
+fn write_pop(w: &mut Writer, pop: &PopularityTable) {
+    let counts = pop.counts();
+    w.usizev(counts.len());
+    for &c in counts {
+        w.varint(c);
+    }
+}
+
+fn read_pop(r: &mut Reader) -> Result<PopularityTable, CodecError> {
+    let n = r.count()?;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(r.varint()?);
+    }
+    Ok(PopularityTable::from_counts(counts))
+}
+
+fn write_pb_config(w: &mut Writer, cfg: &PbConfig) {
+    for h in cfg.heights {
+        w.u8(h);
+    }
+    w.bool(cfg.special_links);
+    match cfg.prune.relative_threshold {
+        Some(t) => {
+            w.bool(true);
+            w.f64bits(t);
+        }
+        None => w.bool(false),
+    }
+    match cfg.prune.min_abs_count {
+        Some(c) => {
+            w.bool(true);
+            w.varint(c);
+        }
+        None => w.bool(false),
+    }
+    w.usizev(cfg.max_order);
+}
+
+fn read_pb_config(r: &mut Reader) -> Result<PbConfig, CodecError> {
+    let mut heights = [0u8; 4];
+    for h in &mut heights {
+        *h = r.u8()?;
+    }
+    let special_links = r.bool()?;
+    let relative_threshold = if r.bool()? { Some(r.f64bits()?) } else { None };
+    let min_abs_count = if r.bool()? { Some(r.varint()?) } else { None };
+    let max_order = r.usizev()?;
+    Ok(PbConfig {
+        heights,
+        special_links,
+        prune: PruneConfig {
+            relative_threshold,
+            min_abs_count,
+        },
+        max_order,
+    })
+}
+
+fn write_pb(w: &mut Writer, s: &PbSnapshot) {
+    write_tree(w, &s.tree);
+    write_pop(w, &s.pop);
+    write_pb_config(w, &s.cfg);
+    w.bool(s.finalized);
+}
+
+fn read_pb(r: &mut Reader) -> Result<PbSnapshot, CodecError> {
+    let tree = read_tree(r)?;
+    let pop = read_pop(r)?;
+    let cfg = read_pb_config(r)?;
+    let finalized = r.bool()?;
+    Ok(PbSnapshot {
+        tree,
+        pop,
+        cfg,
+        finalized,
+    })
+}
+
+fn write_sessions(w: &mut Writer, sessions: &[Vec<crate::interner::UrlId>]) {
+    w.usizev(sessions.len());
+    for s in sessions {
+        w.usizev(s.len());
+        for &u in s {
+            w.u32v(u.0);
+        }
+    }
+}
+
+fn read_sessions(r: &mut Reader) -> Result<Vec<Vec<crate::interner::UrlId>>, CodecError> {
+    let n = r.count()?;
+    let mut sessions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.count()?;
+        let mut s = Vec::with_capacity(len);
+        for _ in 0..len {
+            s.push(crate::interner::UrlId(r.u32v()?));
+        }
+        sessions.push(s);
+    }
+    Ok(sessions)
+}
+
+// ------------------------------------------------------------- model image
+
+/// Kind tags in the payload's first byte.
+const KIND_PB: u8 = 1;
+const KIND_STANDARD: u8 = 2;
+const KIND_LRS: u8 = 3;
+const KIND_ORDER1: u8 = 4;
+const KIND_ONLINE_PB: u8 = 5;
+
+/// A serializable image of any model the crate can persist.
+#[derive(Debug, Clone)]
+pub enum ModelImage {
+    /// Popularity-based PPM (special links included).
+    Pb(PbSnapshot),
+    /// Standard PPM.
+    Standard(StandardSnapshot),
+    /// LRS-PPM.
+    Lrs(LrsSnapshot),
+    /// First-order Markov baseline.
+    Order1(Order1Snapshot),
+    /// Sliding-window online PB-PPM (window + inner model + schedule).
+    OnlinePb(OnlinePbSnapshot),
+}
+
+impl ModelImage {
+    fn tag(&self) -> u8 {
+        match self {
+            ModelImage::Pb(_) => KIND_PB,
+            ModelImage::Standard(_) => KIND_STANDARD,
+            ModelImage::Lrs(_) => KIND_LRS,
+            ModelImage::Order1(_) => KIND_ORDER1,
+            ModelImage::OnlinePb(_) => KIND_ONLINE_PB,
+        }
+    }
+
+    /// Short label for telemetry and messages ("PB-PPM", "PPM", …).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ModelImage::Pb(_) => "PB-PPM",
+            ModelImage::Standard(_) => "PPM",
+            ModelImage::Lrs(_) => "LRS-PPM",
+            ModelImage::Order1(_) => "O1",
+            ModelImage::OnlinePb(_) => "online-PB-PPM",
+        }
+    }
+}
+
+// ------------------------------------------------------------ the envelope
+
+/// A complete snapshot: the URL interner (id order) plus one model image.
+///
+/// Snapshots store dense [`crate::interner::UrlId`]s; the URL list makes
+/// them meaningful again after a restart.
+#[derive(Debug, Clone)]
+pub struct SnapshotFile {
+    /// Interned URL strings, in id order (`urls[i]` is `UrlId(i)`).
+    pub urls: Vec<String>,
+    /// The model.
+    pub model: ModelImage,
+}
+
+impl SnapshotFile {
+    /// Encodes the snapshot into the framed binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        payload.u8(self.model.tag());
+        payload.usizev(self.urls.len());
+        for url in &self.urls {
+            payload.str(url);
+        }
+        match &self.model {
+            ModelImage::Pb(s) => write_pb(&mut payload, s),
+            ModelImage::Standard(s) => {
+                write_tree(&mut payload, &s.tree);
+                match s.max_height {
+                    Some(h) => {
+                        payload.bool(true);
+                        payload.u8(h);
+                    }
+                    None => payload.bool(false),
+                }
+                payload.bool(s.finalized);
+            }
+            ModelImage::Lrs(s) => {
+                write_tree(&mut payload, &s.tree);
+                payload.varint(s.min_support);
+                payload.usizev(s.max_height);
+                payload.bool(s.finalized);
+            }
+            ModelImage::Order1(s) => {
+                payload.usizev(s.rows.len());
+                for row in &s.rows {
+                    payload.u32v(row.url);
+                    payload.varint(row.total);
+                    payload.usizev(row.next.len());
+                    for &(u, c) in &row.next {
+                        payload.u32v(u);
+                        payload.varint(c);
+                    }
+                }
+                payload.bool(s.finalized);
+            }
+            ModelImage::OnlinePb(s) => {
+                write_pb_config(&mut payload, &s.cfg);
+                payload.usizev(s.max_window);
+                payload.usizev(s.rebuild_every);
+                payload.usizev(s.since_rebuild);
+                payload.varint(s.rebuilds);
+                write_sessions(&mut payload, &s.window);
+                match &s.model {
+                    Some(m) => {
+                        payload.bool(true);
+                        write_pb(&mut payload, m);
+                    }
+                    None => payload.bool(false),
+                }
+            }
+        }
+        let payload = payload.buf;
+
+        let mut out = Vec::with_capacity(ENVELOPE_BYTES + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a framed snapshot, validating magic, version, length, and
+    /// checksum before touching the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() >= 8 && bytes[..8] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if bytes.len() < ENVELOPE_BYTES {
+            return Err(CodecError::Truncated);
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != FORMAT_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&bytes[10..18]);
+        let payload_len = u64::from_le_bytes(len8);
+        let expected_total = (ENVELOPE_BYTES as u64).checked_add(payload_len);
+        match expected_total {
+            Some(total) if total == bytes.len() as u64 => {}
+            Some(total) if total > bytes.len() as u64 => return Err(CodecError::Truncated),
+            _ => return Err(CodecError::TrailingBytes),
+        }
+        let body_end = bytes.len() - 8;
+        let mut sum8 = [0u8; 8];
+        sum8.copy_from_slice(&bytes[body_end..]);
+        if fnv1a(&bytes[..body_end]) != u64::from_le_bytes(sum8) {
+            return Err(CodecError::ChecksumMismatch);
+        }
+
+        let mut r = Reader::new(&bytes[18..body_end]);
+        let tag = r.u8()?;
+        let url_count = r.count()?;
+        let mut urls = Vec::with_capacity(url_count);
+        for _ in 0..url_count {
+            urls.push(r.str()?.to_owned());
+        }
+        let model = match tag {
+            KIND_PB => ModelImage::Pb(read_pb(&mut r)?),
+            KIND_STANDARD => {
+                let tree = read_tree(&mut r)?;
+                let max_height = if r.bool()? { Some(r.u8()?) } else { None };
+                let finalized = r.bool()?;
+                ModelImage::Standard(StandardSnapshot {
+                    tree,
+                    max_height,
+                    finalized,
+                })
+            }
+            KIND_LRS => {
+                let tree = read_tree(&mut r)?;
+                let min_support = r.varint()?;
+                let max_height = r.usizev()?;
+                let finalized = r.bool()?;
+                ModelImage::Lrs(LrsSnapshot {
+                    tree,
+                    min_support,
+                    max_height,
+                    finalized,
+                })
+            }
+            KIND_ORDER1 => {
+                let row_count = r.count()?;
+                let mut rows = Vec::with_capacity(row_count);
+                for _ in 0..row_count {
+                    let url = r.u32v()?;
+                    let total = r.varint()?;
+                    let next_count = r.count()?;
+                    let mut next = Vec::with_capacity(next_count);
+                    for _ in 0..next_count {
+                        next.push((r.u32v()?, r.varint()?));
+                    }
+                    rows.push(Order1RowSnapshot { url, total, next });
+                }
+                let finalized = r.bool()?;
+                ModelImage::Order1(Order1Snapshot { rows, finalized })
+            }
+            KIND_ONLINE_PB => {
+                let cfg = read_pb_config(&mut r)?;
+                let max_window = r.usizev()?;
+                let rebuild_every = r.usizev()?;
+                let since_rebuild = r.usizev()?;
+                let rebuilds = r.varint()?;
+                let window = read_sessions(&mut r)?;
+                let model = if r.bool()? {
+                    Some(read_pb(&mut r)?)
+                } else {
+                    None
+                };
+                ModelImage::OnlinePb(OnlinePbSnapshot {
+                    cfg,
+                    window,
+                    max_window,
+                    rebuild_every,
+                    since_rebuild,
+                    rebuilds,
+                    model,
+                })
+            }
+            other => return Err(CodecError::BadKind(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(SnapshotFile { urls, model })
+    }
+
+    /// Rebuilds the interner from the stored URL list.
+    pub fn interner(&self) -> Interner {
+        let mut interner = Interner::with_capacity(self.urls.len());
+        for url in &self.urls {
+            interner.intern(url);
+        }
+        interner
+    }
+
+    /// Instantiates the stored model behind the common [`Predictor`]
+    /// interface, revalidating the tree image.
+    pub fn instantiate(&self) -> Result<Box<dyn Predictor>, SnapshotError> {
+        Ok(match &self.model {
+            ModelImage::Pb(s) => Box::new(PbPpm::from_snapshot(s)?),
+            ModelImage::Standard(s) => Box::new(StandardPpm::from_snapshot(s)?),
+            ModelImage::Lrs(s) => Box::new(LrsPpm::from_snapshot(s)?),
+            ModelImage::Order1(s) => Box::new(Order1Markov::from_snapshot(s)),
+            ModelImage::OnlinePb(s) => Box::new(OnlinePbPpm::from_snapshot(s)?),
+        })
+    }
+
+    /// Atomically writes the snapshot to `path`: encode, write to a
+    /// sibling temp file, fsync, rename into place, fsync the directory.
+    /// Returns the file size in bytes.
+    pub fn write_atomic(&self, path: &Path) -> Result<u64, SnapshotIoError> {
+        let start = std::time::Instant::now();
+        let bytes = self.encode();
+        let tmp = path.with_extension("tmp");
+        let write = |p: &Path| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(p)?;
+            f.write_all(&bytes)?;
+            f.sync_all()
+        };
+        write(&tmp).map_err(|e| SnapshotIoError::io(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| SnapshotIoError::io(path, e))?;
+        sync_dir(path);
+        if pbppm_obs::ENABLED {
+            let reg = pbppm_obs::global();
+            let label = format!("model={}", self.model.kind_label());
+            reg.counter("snapshot.writes", &label).inc();
+            reg.gauge("snapshot.bytes", &label).set(bytes.len() as u64);
+            reg.histogram("snapshot.write_micros", &label)
+                .observe(start.elapsed().as_micros() as u64);
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and decodes a snapshot from `path`.
+    pub fn read(path: &Path) -> Result<Self, SnapshotIoError> {
+        let start = std::time::Instant::now();
+        let bytes = std::fs::read(path).map_err(|e| SnapshotIoError::io(path, e))?;
+        let file = Self::decode(&bytes)
+            .map_err(|e| SnapshotIoError::Codec(path.display().to_string(), e))?;
+        if pbppm_obs::ENABLED {
+            let reg = pbppm_obs::global();
+            let label = format!("model={}", file.model.kind_label());
+            reg.counter("snapshot.loads", &label).inc();
+            reg.histogram("snapshot.load_micros", &label)
+                .observe(start.elapsed().as_micros() as u64);
+        }
+        Ok(file)
+    }
+}
+
+/// Best-effort directory fsync so the rename itself is durable. Failure is
+/// ignored: not every platform or filesystem supports it, and the data file
+/// was already synced.
+fn sync_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+// ------------------------------------------------------------------- store
+
+/// Which checkpoint generation a recovery loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generation {
+    /// `current.pbss` — the newest checkpoint.
+    Current,
+    /// `previous.pbss` — the fallback after a corrupt or truncated current.
+    Previous,
+}
+
+/// A two-generation crash-safe checkpoint directory.
+///
+/// [`SnapshotStore::checkpoint`] writes the new snapshot to a temp file
+/// (fsynced), demotes `current.pbss` to `previous.pbss`, and renames the
+/// temp file into place. Each step is an atomic rename; a crash between the
+/// demotion and the final rename leaves only `previous.pbss`, which
+/// [`SnapshotStore::recover`] handles like any other missing-current case.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory managed by the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the newest checkpoint.
+    pub fn current_path(&self) -> PathBuf {
+        self.dir.join(format!("current.{SNAPSHOT_EXT}"))
+    }
+
+    /// Path of the demoted (one-older) checkpoint.
+    pub fn previous_path(&self) -> PathBuf {
+        self.dir.join(format!("previous.{SNAPSHOT_EXT}"))
+    }
+
+    /// Writes a new checkpoint generation, demoting the old current.
+    /// Returns the checkpoint size in bytes.
+    pub fn checkpoint(&self, file: &SnapshotFile) -> Result<u64, SnapshotIoError> {
+        let current = self.current_path();
+        let incoming = self.dir.join(format!("incoming.{SNAPSHOT_EXT}"));
+        let bytes = file.write_atomic(&incoming)?;
+        if current.exists() {
+            std::fs::rename(&current, self.previous_path())
+                .map_err(|e| SnapshotIoError::io(&current, e))?;
+        }
+        std::fs::rename(&incoming, &current).map_err(|e| SnapshotIoError::io(&current, e))?;
+        sync_dir(&current);
+        if pbppm_obs::ENABLED {
+            pbppm_obs::global()
+                .counter("snapshot.checkpoints", "")
+                .inc();
+        }
+        Ok(bytes)
+    }
+
+    /// Loads the newest valid checkpoint.
+    ///
+    /// `Ok(None)` when the directory holds no checkpoint at all. When
+    /// `current.pbss` is corrupt or truncated, falls back to
+    /// `previous.pbss` (counting the event under
+    /// `snapshot.recover.fallback`); the error is returned only when no
+    /// generation is loadable.
+    pub fn recover(&self) -> Result<Option<(SnapshotFile, Generation)>, SnapshotIoError> {
+        let reg = pbppm_obs::ENABLED.then(pbppm_obs::global);
+        match SnapshotFile::read(&self.current_path()) {
+            Ok(file) => {
+                if let Some(reg) = reg {
+                    reg.counter("snapshot.recover.current", "").inc();
+                }
+                Ok(Some((file, Generation::Current)))
+            }
+            Err(current_err) => {
+                let current_missing = current_err.is_not_found();
+                if !current_missing {
+                    pbppm_obs::obs_warn!(
+                        "snapshot recovery: current generation unusable ({current_err}); \
+                         falling back to previous"
+                    );
+                }
+                match SnapshotFile::read(&self.previous_path()) {
+                    Ok(file) => {
+                        if let Some(reg) = reg {
+                            reg.counter("snapshot.recover.fallback", "").inc();
+                        }
+                        Ok(Some((file, Generation::Previous)))
+                    }
+                    Err(prev_err) if prev_err.is_not_found() => {
+                        if current_missing {
+                            // Nothing here yet: a fresh directory.
+                            Ok(None)
+                        } else {
+                            if let Some(reg) = reg {
+                                reg.counter("snapshot.recover.failed", "").inc();
+                            }
+                            Err(current_err)
+                        }
+                    }
+                    Err(prev_err) => {
+                        if let Some(reg) = reg {
+                            reg.counter("snapshot.recover.failed", "").inc();
+                        }
+                        if current_missing {
+                            Err(prev_err)
+                        } else {
+                            pbppm_obs::obs_warn!(
+                                "snapshot recovery: previous generation also unusable ({prev_err})"
+                            );
+                            Err(current_err)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::UrlId;
+    use crate::popularity::PopularityTable;
+
+    fn trained_pb() -> (Vec<String>, PbPpm) {
+        let urls: Vec<String> = (0..6).map(|i| format!("/page{i}.html")).collect();
+        let mut pop = PopularityTable::builder();
+        for _ in 0..50 {
+            pop.record(UrlId(0));
+        }
+        for _ in 0..5 {
+            pop.record(UrlId(1));
+            pop.record(UrlId(2));
+        }
+        pop.record(UrlId(3));
+        let mut m = PbPpm::new(pop.build(), PbConfig::default());
+        for _ in 0..10 {
+            m.train_session(&[UrlId(0), UrlId(1), UrlId(2)]);
+            m.train_session(&[UrlId(0), UrlId(2), UrlId(3)]);
+        }
+        m.finalize();
+        (urls, m)
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let (urls, m) = trained_pb();
+        let file = SnapshotFile {
+            urls: urls.clone(),
+            model: ModelImage::Pb(m.to_snapshot()),
+        };
+        let bytes = file.encode();
+        assert_eq!(&bytes[..8], &MAGIC);
+        let back = SnapshotFile::decode(&bytes).unwrap();
+        assert_eq!(back.urls, urls);
+        let restored = back.instantiate().unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut ua = crate::predictor::PredictUsage::default();
+        let mut ub = crate::predictor::PredictUsage::default();
+        m.predict_ro(&[UrlId(0)], &mut a, &mut ua);
+        restored.predict_ro(&[UrlId(0)], &mut b, &mut ub);
+        assert_eq!(a, b);
+        // Snapshots compact the arena (pruned slots disappear), so byte
+        // sizes may shrink; every structural stat must survive.
+        let (mut sa, mut sb) = (m.stats(), restored.stats());
+        assert!(sb.memory_bytes <= sa.memory_bytes);
+        sa.memory_bytes = 0;
+        sb.memory_bytes = 0;
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let (urls, m) = trained_pb();
+        let mut bytes = SnapshotFile {
+            urls,
+            model: ModelImage::Pb(m.to_snapshot()),
+        }
+        .encode();
+        bytes[0] ^= 0xff;
+        assert_eq!(
+            SnapshotFile::decode(&bytes).unwrap_err(),
+            CodecError::BadMagic
+        );
+        assert_eq!(
+            SnapshotFile::decode(b"not a snapshot at all").unwrap_err(),
+            CodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn decode_rejects_future_version() {
+        let (urls, m) = trained_pb();
+        let mut bytes = SnapshotFile {
+            urls,
+            model: ModelImage::Pb(m.to_snapshot()),
+        }
+        .encode();
+        bytes[8] = 0x63; // version 99
+        assert_eq!(
+            SnapshotFile::decode(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_any_prefix() {
+        let (urls, m) = trained_pb();
+        let bytes = SnapshotFile {
+            urls,
+            model: ModelImage::Pb(m.to_snapshot()),
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            let err = SnapshotFile::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::BadMagic),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_any_flipped_payload_byte() {
+        let (urls, m) = trained_pb();
+        let bytes = SnapshotFile {
+            urls,
+            model: ModelImage::Pb(m.to_snapshot()),
+        }
+        .encode();
+        // Flip one bit in every payload byte (and the checksum itself):
+        // never a panic, always a clean error.
+        for i in 18..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                SnapshotFile::decode(&corrupt).is_err(),
+                "flipped byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let (urls, m) = trained_pb();
+        let mut bytes = SnapshotFile {
+            urls,
+            model: ModelImage::Pb(m.to_snapshot()),
+        }
+        .encode();
+        bytes.push(0);
+        assert_eq!(
+            SnapshotFile::decode(&bytes).unwrap_err(),
+            CodecError::TrailingBytes
+        );
+    }
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("pbppm-snapshot-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_keeps_one_previous_generation() {
+        let store = temp_store("generations");
+        let (urls, m) = trained_pb();
+        let file = SnapshotFile {
+            urls,
+            model: ModelImage::Pb(m.to_snapshot()),
+        };
+        assert!(store.recover().unwrap().is_none(), "fresh dir is empty");
+        store.checkpoint(&file).unwrap();
+        assert!(store.current_path().exists());
+        assert!(!store.previous_path().exists());
+        store.checkpoint(&file).unwrap();
+        assert!(store.current_path().exists());
+        assert!(store.previous_path().exists());
+        let (_, generation) = store.recover().unwrap().unwrap();
+        assert_eq!(generation, Generation::Current);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn store_falls_back_to_previous_on_truncated_current() {
+        let store = temp_store("fallback");
+        let (urls, m) = trained_pb();
+        let file = SnapshotFile {
+            urls: urls.clone(),
+            model: ModelImage::Pb(m.to_snapshot()),
+        };
+        store.checkpoint(&file).unwrap();
+        store.checkpoint(&file).unwrap();
+        // Truncate the current generation mid-payload.
+        let bytes = std::fs::read(store.current_path()).unwrap();
+        std::fs::write(store.current_path(), &bytes[..bytes.len() / 2]).unwrap();
+        let (recovered, generation) = store.recover().unwrap().unwrap();
+        assert_eq!(generation, Generation::Previous);
+        assert_eq!(recovered.urls, urls);
+        assert!(recovered.instantiate().is_ok());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn store_errors_when_every_generation_is_corrupt() {
+        let store = temp_store("all-corrupt");
+        let (urls, m) = trained_pb();
+        let file = SnapshotFile {
+            urls,
+            model: ModelImage::Pb(m.to_snapshot()),
+        };
+        store.checkpoint(&file).unwrap();
+        store.checkpoint(&file).unwrap();
+        for path in [store.current_path(), store.previous_path()] {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let at = bytes.len() / 2;
+            bytes[at] ^= 0xff;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        assert!(store.recover().is_err());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

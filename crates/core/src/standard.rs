@@ -124,9 +124,9 @@ impl StandardPpm {
 /// A serializable image of a trained [`StandardPpm`] model.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StandardSnapshot {
-    tree: crate::tree::TreeSnapshot,
-    max_height: Option<u8>,
-    finalized: bool,
+    pub(crate) tree: crate::tree::TreeSnapshot,
+    pub(crate) max_height: Option<u8>,
+    pub(crate) finalized: bool,
 }
 
 impl Predictor for StandardPpm {

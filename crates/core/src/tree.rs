@@ -639,9 +639,9 @@ impl Tree {
 /// bookkeeping belongs to one evaluation run, not to the model.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TreeSnapshot {
-    nodes: Vec<NodeSnapshot>,
-    roots: Vec<(u32, u32)>,
-    links: Vec<(u32, Vec<u32>)>,
+    pub(crate) nodes: Vec<NodeSnapshot>,
+    pub(crate) roots: Vec<(u32, u32)>,
+    pub(crate) links: Vec<(u32, Vec<u32>)>,
 }
 
 impl TreeSnapshot {
@@ -657,13 +657,13 @@ impl TreeSnapshot {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct NodeSnapshot {
-    url: u32,
-    count: u64,
-    parent: u32,
-    depth: u8,
-    children: Vec<(u32, u32)>,
-    link_dup: bool,
+pub(crate) struct NodeSnapshot {
+    pub(crate) url: u32,
+    pub(crate) count: u64,
+    pub(crate) parent: u32,
+    pub(crate) depth: u8,
+    pub(crate) children: Vec<(u32, u32)>,
+    pub(crate) link_dup: bool,
 }
 
 /// Why a [`TreeSnapshot`] failed to load.

@@ -66,7 +66,8 @@ impl LruCache {
         self.capacity
     }
 
-    /// Bytes currently cached.
+    /// Bytes currently charged (zero-size documents count as one byte —
+    /// see [`LruCache::insert`]).
     pub fn used_bytes(&self) -> u64 {
         self.used
     }
@@ -137,31 +138,43 @@ impl LruCache {
     /// entries as needed. Documents larger than the whole cache are not
     /// cached at all. Returns `false` in that case.
     ///
+    /// Zero-size documents (HTTP 204s, empty files) are charged one byte:
+    /// a free entry would never create eviction pressure and could occupy
+    /// a slot forever, outliving every sized neighbor. The one-byte charge
+    /// keeps them reclaimable by the normal LRU walk and matches how the
+    /// simulator's proxy already accounts transfer sizes (`max(1)`).
+    ///
     /// Re-inserting an existing document updates its size, promotes it, and
     /// — when `prefetched` is false — clears its prefetch attribution;
     /// a prefetch of an already-cached document leaves attribution as is.
     pub fn insert(&mut self, url: UrlId, size: u64, prefetched: bool) -> bool {
-        if size > self.capacity {
+        let charge = size.max(1);
+        if charge > self.capacity {
             // Too big to ever fit: also drop any stale smaller copy.
             self.remove(url);
             return false;
         }
         if let Some(&idx) = self.map.get(&url) {
-            self.used = self.used - self.slots[idx].size + size;
-            self.slots[idx].size = size;
+            let old = self.slots[idx].size;
+            self.used = self.used - old + charge;
+            self.slots[idx].size = charge;
             if !prefetched {
                 self.slots[idx].prefetched = false;
             }
             self.detach(idx);
             self.push_front(idx);
-            self.evict_to_fit();
+            // A same-size (or shrinking) refresh cannot overflow the cache:
+            // only a grown charge needs the eviction walk.
+            if charge > old {
+                self.evict_to_fit();
+            }
             return true;
         }
         let idx = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Slot {
                     url,
-                    size,
+                    size: charge,
                     prev: NIL,
                     next: NIL,
                     prefetched,
@@ -171,7 +184,7 @@ impl LruCache {
             None => {
                 self.slots.push(Slot {
                     url,
-                    size,
+                    size: charge,
                     prev: NIL,
                     next: NIL,
                     prefetched,
@@ -180,7 +193,7 @@ impl LruCache {
             }
         };
         self.map.insert(url, idx);
-        self.used += size;
+        self.used += charge;
         self.push_front(idx);
         self.evict_to_fit();
         true
@@ -375,8 +388,39 @@ mod tests {
     fn zero_capacity_caches_nothing() {
         let mut c = LruCache::new(0);
         assert!(!c.insert(u(1), 1, false));
-        assert!(c.insert(u(2), 0, false), "zero-size object fits anywhere");
+        // Zero-size objects carry a one-byte charge, so they need capacity
+        // like everything else.
+        assert!(!c.insert(u(2), 0, false));
         assert_eq!(c.demand(u(1)), Lookup::Miss);
+        assert_eq!(c.demand(u(2)), Lookup::Miss);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_size_documents_age_out_like_any_other() {
+        let mut c = LruCache::new(3);
+        c.insert(u(1), 0, false);
+        assert_eq!(c.used_bytes(), 1, "zero-size doc is charged one byte");
+        // Three sized inserts create enough pressure to reclaim its slot.
+        c.insert(u(2), 1, false);
+        c.insert(u(3), 1, false);
+        c.insert(u(4), 1, false);
+        assert!(!c.contains(u(1)), "zero-size entry must not be immortal");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn same_size_refresh_keeps_cache_intact() {
+        let mut c = LruCache::new(100);
+        c.insert(u(1), 50, false);
+        c.insert(u(2), 50, false); // exactly full
+        c.insert(u(1), 50, false); // refresh: no eviction may happen
+        assert_eq!(c.evictions(), 0);
+        assert!(c.contains(u(1)) && c.contains(u(2)));
+        assert_eq!(c.used_bytes(), 100);
+        c.insert(u(1), 30, false); // shrink: still no eviction
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.used_bytes(), 80);
     }
 
     #[test]
@@ -388,5 +432,77 @@ mod tests {
         c.insert(u(3), 1, false); // evicts 1 (contains() must not have promoted it)
         assert!(!c.contains(u(1)));
         assert!(c.contains(u(2)));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert {
+                url: u32,
+                size: u64,
+                prefetched: bool,
+            },
+            Demand(u32),
+            Remove(u32),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            // (kind, url, size, prefetched): kind 0-3 inserts (weighting
+            // inserts over the other ops), 4-5 demands, 6 removes.
+            (0u8..7, 0u32..12, 0u64..40, 0u8..2).prop_map(
+                |(kind, url, size, prefetched)| match kind {
+                    0..=3 => Op::Insert {
+                        url,
+                        size,
+                        prefetched: prefetched == 1,
+                    },
+                    4 | 5 => Op::Demand(url),
+                    _ => Op::Remove(url),
+                },
+            )
+        }
+
+        /// The accounting invariant the `used` counter must never drift
+        /// from: it equals the sum of live slot charges exactly.
+        fn check_invariants(c: &LruCache) {
+            let slot_sum: u64 = c.map.values().map(|&idx| c.slots[idx].size).sum();
+            assert_eq!(c.used_bytes(), slot_sum, "used drifted from slot sizes");
+            assert!(c.used_bytes() <= c.capacity(), "over capacity");
+            assert_eq!(c.len(), c.map.len());
+            assert_eq!(c.iter_mru().count(), c.len(), "list length != map size");
+            for &idx in c.map.values() {
+                assert!(c.slots[idx].size >= 1, "zero charge stored");
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn used_bytes_equals_sum_of_live_slot_sizes(
+                capacity in 0u64..120,
+                ops in prop::collection::vec(op_strategy(), 1..80),
+            ) {
+                let mut c = LruCache::new(capacity);
+                for op in ops {
+                    match op {
+                        Op::Insert { url, size, prefetched } => {
+                            let fits = size.max(1) <= capacity;
+                            prop_assert_eq!(c.insert(u(url), size, prefetched), fits);
+                        }
+                        Op::Demand(url) => {
+                            c.demand(u(url));
+                        }
+                        Op::Remove(url) => {
+                            c.remove(u(url));
+                        }
+                    }
+                    check_invariants(&c);
+                }
+            }
+        }
     }
 }

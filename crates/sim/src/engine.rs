@@ -639,6 +639,34 @@ mod tests {
         assert_eq!(r.counters.useful_bytes, r.baseline.useful_bytes);
     }
 
+    /// A run with an empty evaluation window (everything zero) must report
+    /// clean zeros from every derived ratio, and its JSON must hold plain
+    /// numbers — no NaN, no null.
+    #[test]
+    fn zeroed_result_reports_finite_ratios_and_json() {
+        let r = RunResult {
+            label: "PB-PPM".into(),
+            trace: "empty".into(),
+            train_days: 0,
+            train_sessions: 0,
+            eval_requests: 0,
+            node_count: 0,
+            model_stats: None,
+            counters: Counters::default(),
+            baseline: Counters::default(),
+        };
+        assert_eq!(r.hit_ratio(), 0.0);
+        assert_eq!(r.baseline_hit_ratio(), 0.0);
+        assert_eq!(r.latency_reduction(), 0.0);
+        assert_eq!(r.traffic_increment(), 0.0);
+        assert_eq!(r.popular_prefetch_fraction(), 0.0);
+        assert_eq!(r.path_utilization(), 0.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("NaN"), "{json}");
+        // `model_stats` is a legitimate null; no float field may be one.
+        assert_eq!(json.matches("null").count(), 1, "{json}");
+    }
+
     #[test]
     fn zero_training_days_is_safe() {
         let trace = tiny_trace();

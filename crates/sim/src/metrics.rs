@@ -129,6 +129,25 @@ mod tests {
         assert_eq!(c.prefetch_accuracy(), 0.0);
     }
 
+    /// An empty run serializes to clean zeros — no NaN, and no null (what
+    /// serde_json degrades non-finite floats to).
+    #[test]
+    fn empty_counters_serialize_to_finite_json() {
+        let c = Counters::default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("null") && !json.contains("NaN"), "{json}");
+        let back: Counters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(latency_reduction(&c, &c), 0.0);
+        // A negative-latency baseline (impossible, but defensive) also
+        // takes the guarded branch rather than dividing.
+        let neg = Counters {
+            latency_secs: -1.0,
+            ..Counters::default()
+        };
+        assert_eq!(latency_reduction(&c, &neg), 0.0);
+    }
+
     #[test]
     fn hit_ratio_combines_both_hit_kinds() {
         let c = Counters {

@@ -316,6 +316,16 @@ mod tests {
         assert!(sessionize(&[], &SessionizerConfig::default()).is_empty());
     }
 
+    /// No sessions → all-zero stats with finite floats (no 0/0 NaN).
+    #[test]
+    fn stats_of_no_sessions_are_zero_not_nan() {
+        let s = SessionStats::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_len, 0.0);
+        assert_eq!(s.frac_len_le_9, 0.0);
+        assert!(s.mean_len.is_finite() && s.frac_len_le_9.is_finite());
+    }
+
     #[test]
     fn stats() {
         let reqs = vec![

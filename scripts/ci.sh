@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The whole CI pipeline in one command:
+#
+#   1. scripts/check.sh      — fmt --check, clippy -D warnings, tests
+#   2. scripts/perf-gate.sh  — throughput must stay within 15% of baseline
+#   3. snapshot smoke        — generate a tiny trace, `pbppm save` it, and
+#                              answer a query from the snapshot with
+#                              `pbppm load-predict` (exercises the binary
+#                              codec end to end through the real binary)
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+echo "== ci: check.sh" >&2
+scripts/check.sh
+
+echo "== ci: perf-gate.sh" >&2
+scripts/perf-gate.sh
+
+echo "== ci: snapshot save/load-predict smoke" >&2
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release -q -p pbppm-cli
+pbppm="$repo/target/release/pbppm"
+
+"$pbppm" generate --preset tiny --out "$tmp/access.log" >/dev/null
+"$pbppm" save "$tmp/access.log" --out "$tmp/model.pbss" --model pb >/dev/null
+# Query a context the tiny preset always contains; any prediction output
+# (or a clean empty "no prediction" answer) proves the snapshot loads.
+"$pbppm" load-predict "$tmp/model.pbss" --context "/l0/p0.html" >"$tmp/preds.txt"
+if [[ ! -s "$tmp/preds.txt" ]]; then
+    echo "ci: load-predict produced no output" >&2
+    exit 1
+fi
+
+echo "ci: all green" >&2
