@@ -1,6 +1,8 @@
 //! Regenerates every table and figure of the paper in sequence (the same
 //! code paths as the individual binaries; results land under `results/`).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     use pbppm_bench::experiments as e;
     let steps: [(&str, fn()); 13] = [

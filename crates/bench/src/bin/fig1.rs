@@ -1,5 +1,7 @@
 //! See [`pbppm_bench::experiments::fig1`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pbppm_bench::experiments::fig1::run();
 }

@@ -1,5 +1,7 @@
 //! See [`pbppm_bench::experiments::fig4`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pbppm_bench::experiments::fig4::run();
 }

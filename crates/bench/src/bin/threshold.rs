@@ -1,5 +1,7 @@
 //! See [`pbppm_bench::experiments::threshold`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pbppm_bench::experiments::threshold::run();
 }

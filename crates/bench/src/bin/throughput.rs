@@ -2,6 +2,8 @@
 //! baseline (`BENCH_throughput.json`). With `PBPPM_PERF_BASELINE` set it
 //! doubles as the perf-regression gate — see `scripts/perf-gate.sh`.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     pbppm_bench::experiments::throughput::run();
 }

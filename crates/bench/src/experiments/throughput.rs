@@ -104,6 +104,7 @@ fn secs_per_pass(mut pass: impl FnMut() -> u64) -> f64 {
     let t0 = Instant::now();
     let mut checksum = pass();
     let once = t0.elapsed().as_secs_f64();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // positive, then clamped
     let reps = ((0.5 / once.max(1e-9)) as usize).clamp(5, 60);
     let per_chunk = reps.div_ceil(5);
     let mut best = f64::INFINITY;
@@ -187,6 +188,7 @@ fn best_secs<T>(mut run: impl FnMut() -> T) -> (T, f64) {
     let t0 = Instant::now();
     let mut out = run();
     let mut best = t0.elapsed().as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // positive, then clamped
     let reps = ((0.5 / best) as usize).clamp(2, 15);
     for _ in 0..reps {
         let t = Instant::now();

@@ -24,6 +24,8 @@
 //! defaults to 1 (override with `PBPPM_SEED`), and experiment cells are
 //! executed in parallel over the machine's cores.
 
+#![forbid(unsafe_code)]
+
 use pbppm_sim::{parallel_map, ExperimentConfig, ModelSpec, RunResult};
 use pbppm_trace::{Trace, WorkloadConfig};
 use serde::Serialize;

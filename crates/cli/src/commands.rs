@@ -559,6 +559,38 @@ pub fn simulate(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `pbppm audit model.pbss [--json]`
+///
+/// Structurally verifies a binary snapshot: decodes the envelope, loads
+/// the model image, and runs every invariant check in `pbppm-audit`
+/// (tree shape, height caps, special links, popularity grades, index
+/// aggregates, symbol resolution). Exits nonzero when any violation is
+/// found — including payloads whose checksum passes but whose contents
+/// are structurally invalid. `serve` runs the same audit on recovery.
+pub fn audit(args: &Args) -> CmdResult {
+    args.reject_unknown(&[])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pbppm audit <model.pbss> [--json]")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let report = pbppm_audit::verify_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    if args.switch("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: {} structural violation(s)",
+            report.violations.len()
+        )
+        .into())
+    }
+}
+
 /// `pbppm stats run_metrics.json [--prom]`
 ///
 /// Renders a telemetry report exported by `--metrics-out`: a human-readable

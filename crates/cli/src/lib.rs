@@ -5,6 +5,8 @@
 //! ([`commands`]). The binary in `main.rs` is a thin dispatcher, which
 //! keeps every command testable as a plain function.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod bundle;
 pub mod commands;

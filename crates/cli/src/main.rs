@@ -10,6 +10,8 @@
 //! pbppm stats    run_metrics.json                  render an exported report
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pbppm_cli::args::Args;
 use pbppm_cli::commands;
 
@@ -47,6 +49,10 @@ COMMANDS:
                checkpoint/stats/quit)
                --dir DIR  [--window N] [--rebuild-every N]
                [--checkpoint-every N] [--top N] [--aggressive-prune] [--no-links]
+    audit      Structurally verify a binary snapshot (tree shape, height
+               caps, special links, grades, index aggregates); exits
+               nonzero when any invariant is violated
+               <model.pbss>  [--json]
     simulate   Run a full trace-driven prefetching experiment
                (<access.log> | --preset nasa|ucb|tiny [--seed N])
                [--model pb|standard|3ppm|lrs|o1|top10|none] [--train-days N]
@@ -116,6 +122,7 @@ fn main() {
         "predict" => commands::predict(&args),
         "save" => commands::save(&args),
         "load-predict" => commands::load_predict(&args),
+        "audit" => commands::audit(&args),
         "serve" => pbppm_cli::serve::serve(&args),
         "simulate" => commands::simulate(&args),
         "stats" => commands::stats(&args),

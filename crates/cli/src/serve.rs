@@ -92,6 +92,23 @@ impl ServeSession {
                     .into());
                 };
                 let online = OnlinePbPpm::from_snapshot(snap)?;
+                // A checkpoint can be checksum-valid yet structurally
+                // rotten (writer bug, partial logic migration). Refuse to
+                // serve predictions from a model that fails the audit —
+                // at this point the damage is recoverable; after hours of
+                // serving and re-checkpointing it no longer is.
+                let report = pbppm_audit::verify_model_with_urls(
+                    &pbppm_audit::ModelRef::OnlinePb(&online),
+                    Some(file.urls.len()),
+                );
+                if !report.is_clean() {
+                    return Err(format!(
+                        "{}: recovered checkpoint fails the structural audit; \
+                         refusing to serve from it\n{report}",
+                        store.dir().display()
+                    )
+                    .into());
+                }
                 (file.interner(), online, Recovery::Warm(generation))
             }
             None => (

@@ -55,7 +55,7 @@ pub fn hash_url(url: UrlId) -> u64 {
 /// Folds the window length into the fingerprint so a length-2 window never
 /// shares a bucket with a length-3 window of the same rolling hash.
 #[inline]
-fn bucket_key(len: usize, hash: u64) -> u64 {
+pub(crate) fn bucket_key(len: usize, hash: u64) -> u64 {
     hash ^ (len as u64).wrapping_mul(0xA24B_AED4_963E_E407)
 }
 
@@ -135,7 +135,7 @@ pub fn match_top(tree: &Tree, node: NodeId, suffix: &[UrlId]) -> Option<NodeId> 
 /// when the window already starts at a branch root) — because PB-PPM's
 /// grouping excludes members whose match would extend to a longer context
 /// suffix: at query time that exclusion is a subtraction of one sub-group.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowGroup {
     /// Representative member: one upward walk against it verifies the
     /// whole bucket's content against the query suffix.
@@ -154,7 +154,7 @@ pub struct WindowGroup {
 
 /// The slice of a [`WindowGroup`] contributed by members sharing one
 /// extension URL.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct SubGroup {
     /// URL the members' stored paths continue with above the window;
     /// `None` when the window starts at a branch root (never excluded).
@@ -234,11 +234,11 @@ type RawBucket = (usize, Vec<(NodeId, Option<UrlId>)>);
 
 #[derive(Debug, Clone, Default)]
 pub struct ContextIndex {
-    buckets: FxHashMap<u64, Vec<NodeId>>,
+    pub(crate) buckets: FxHashMap<u64, Vec<NodeId>>,
     /// Windows mode only: precomputed aggregates per bucket, same keys as
     /// `buckets`. Empty in full-paths mode.
-    groups: FxHashMap<u64, WindowGroup>,
-    entries: usize,
+    pub(crate) groups: FxHashMap<u64, WindowGroup>,
+    pub(crate) entries: usize,
 }
 
 impl ContextIndex {

@@ -89,6 +89,7 @@ impl Interner {
     }
 
     /// Iterates over `(id, name)` pairs in id order.
+    #[allow(clippy::cast_possible_truncation)] // ids were handed out as u32, so indices fit
     pub fn iter(&self) -> impl Iterator<Item = (UrlId, &str)> {
         self.by_id
             .iter()

@@ -49,6 +49,8 @@
 //! assert_eq!(out[0].url, b); // after /index.html the model expects /docs
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod context_index;
 pub mod eval;
 pub mod fxhash;
@@ -66,6 +68,7 @@ pub mod standard;
 pub mod stats;
 pub mod topn;
 pub mod tree;
+pub mod verify;
 
 pub use context_index::{ContextHashes, ContextIndex, IndexOccupancy};
 pub use eval::{evaluate, EvalConfig, PredictionQuality};
@@ -85,3 +88,7 @@ pub use standard::StandardPpm;
 pub use stats::ModelStats;
 pub use topn::TopN;
 pub use tree::{NodeId, Tree};
+pub use verify::{
+    runtime_audit, runtime_audit_enabled, verify_model, verify_model_with_urls, AuditReport,
+    ModelRef, Violation,
+};

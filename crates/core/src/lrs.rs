@@ -27,14 +27,14 @@ pub const DEFAULT_MIN_SUPPORT: u64 = 2;
 /// LRS-PPM prediction model.
 #[derive(Debug, Clone)]
 pub struct LrsPpm {
-    tree: Tree,
-    min_support: u64,
-    max_height: usize,
-    finalized: bool,
+    pub(crate) tree: Tree,
+    pub(crate) min_support: u64,
+    pub(crate) max_height: usize,
+    pub(crate) finalized: bool,
     /// Full-root-path fingerprint index, built by `finalize` over the
     /// extracted repeating forest. `None` before finalization, when
     /// prediction falls back to the descend walk.
-    index: Option<ContextIndex>,
+    pub(crate) index: Option<ContextIndex>,
 }
 
 impl Default for LrsPpm {
@@ -136,10 +136,14 @@ impl LrsPpm {
 /// A serializable image of a trained [`LrsPpm`] model.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct LrsSnapshot {
-    pub(crate) tree: crate::tree::TreeSnapshot,
-    pub(crate) min_support: u64,
-    pub(crate) max_height: usize,
-    pub(crate) finalized: bool,
+    /// The extracted repeating forest.
+    pub tree: crate::tree::TreeSnapshot,
+    /// Occurrence threshold nodes had to clear at finalize.
+    pub min_support: u64,
+    /// Branch height cap used during training.
+    pub max_height: usize,
+    /// Whether [`Predictor::finalize`] had run.
+    pub finalized: bool,
 }
 
 impl Predictor for LrsPpm {
@@ -169,6 +173,7 @@ impl Predictor for LrsPpm {
         self.tree.compact();
         self.index = Some(ContextIndex::full_paths(&mut self.tree));
         self.finalized = true;
+        crate::verify::runtime_audit(&crate::verify::ModelRef::Lrs(self), "LrsPpm::finalize");
     }
 
     fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {

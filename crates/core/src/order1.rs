@@ -14,17 +14,17 @@ use crate::stats::ModelStats;
 
 /// Transition counts out of one URL.
 #[derive(Debug, Clone, Default)]
-struct Row {
-    total: u64,
-    next: FxHashMap<UrlId, u64>,
-    used: bool,
+pub(crate) struct Row {
+    pub(crate) total: u64,
+    pub(crate) next: FxHashMap<UrlId, u64>,
+    pub(crate) used: bool,
 }
 
 /// First-order Markov prediction model.
 #[derive(Debug, Clone, Default)]
 pub struct Order1Markov {
-    rows: FxHashMap<UrlId, Row>,
-    finalized: bool,
+    pub(crate) rows: FxHashMap<UrlId, Row>,
+    pub(crate) finalized: bool,
 }
 
 impl Order1Markov {
@@ -83,16 +83,21 @@ impl Order1Markov {
 /// A serializable image of an [`Order1Markov`] model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Order1Snapshot {
-    pub(crate) rows: Vec<Order1RowSnapshot>,
-    pub(crate) finalized: bool,
+    /// Per-source-URL rows, sorted by URL id.
+    pub rows: Vec<Order1RowSnapshot>,
+    /// Whether [`Predictor::finalize`] had run.
+    pub finalized: bool,
 }
 
 /// One source URL's transition counts, successors sorted by URL id.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Order1RowSnapshot {
-    pub(crate) url: u32,
-    pub(crate) total: u64,
-    pub(crate) next: Vec<(u32, u64)>,
+pub struct Order1RowSnapshot {
+    /// Interned id of the source URL.
+    pub url: u32,
+    /// Total transitions observed out of the source URL.
+    pub total: u64,
+    /// `(successor url, count)` entries sorted by URL id.
+    pub next: Vec<(u32, u64)>,
 }
 
 impl Predictor for Order1Markov {

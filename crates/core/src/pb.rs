@@ -84,10 +84,10 @@ struct Cursor {
 
 /// Popularity-based PPM prediction model.
 pub struct PbPpm {
-    tree: Tree,
-    pop: PopularityTable,
-    cfg: PbConfig,
-    finalized: bool,
+    pub(crate) tree: Tree,
+    pub(crate) pop: PopularityTable,
+    pub(crate) cfg: PbConfig,
+    pub(crate) finalized: bool,
     prune_report: Option<PruneReport>,
     /// Diagnostics: cumulative number of predictions emitted via special
     /// links vs via branch matching (since construction).
@@ -104,12 +104,12 @@ pub struct PbPpm {
     /// ([`PbPpm::predict_reference`]); live prediction goes through the
     /// hashed `index` below, which the property tests hold bit-identical
     /// to the scan.
-    by_url: crate::fxhash::FxHashMap<UrlId, Vec<NodeId>>,
+    pub(crate) by_url: crate::fxhash::FxHashMap<UrlId, Vec<NodeId>>,
     /// Fingerprint fast path: `(window length, rolling hash)` → candidate
     /// nodes plus precomputed per-bucket vote aggregates
     /// ([`crate::context_index::WindowGroup`]), built once in
     /// [`PbPpm::finalize`] over the pruned arena.
-    index: ContextIndex,
+    pub(crate) index: ContextIndex,
 }
 
 impl PbPpm {
@@ -360,15 +360,42 @@ impl PbPpm {
             index,
         })
     }
+
+    /// Corruption hook for the audit adversarial harness: swaps in a
+    /// (possibly forged) popularity table without any rederivation.
+    #[doc(hidden)]
+    pub fn set_popularity_for_audit(&mut self, pop: crate::popularity::PopularityTable) {
+        self.pop = pop;
+    }
+
+    /// Corruption hook for the audit adversarial harness: skews one
+    /// precomputed fingerprint-bucket vote aggregate in place, simulating a
+    /// stale index (the bug class [`crate::verify`]'s index check exists
+    /// for). Returns false when the index has no live aggregate to skew.
+    /// Not part of the public API.
+    #[doc(hidden)]
+    pub fn skew_index_aggregate_for_audit(&mut self) -> bool {
+        for g in self.index.groups.values_mut() {
+            if !g.dirty && g.total > 0 {
+                g.total += 1;
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// A serializable image of a trained [`PbPpm`] model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PbSnapshot {
-    pub(crate) tree: crate::tree::TreeSnapshot,
-    pub(crate) pop: PopularityTable,
-    pub(crate) cfg: PbConfig,
-    pub(crate) finalized: bool,
+    /// The pruned, compacted prediction forest.
+    pub tree: crate::tree::TreeSnapshot,
+    /// The frozen popularity table the model was built with.
+    pub pop: PopularityTable,
+    /// Construction parameters.
+    pub cfg: PbConfig,
+    /// Whether [`Predictor::finalize`] had run.
+    pub finalized: bool,
 }
 
 impl Predictor for PbPpm {
@@ -450,6 +477,7 @@ impl Predictor for PbPpm {
         if pbppm_obs::ENABLED {
             self.publish_storage_gauges();
         }
+        crate::verify::runtime_audit(&crate::verify::ModelRef::Pb(self), "PbPpm::finalize");
     }
 
     fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
@@ -583,6 +611,9 @@ impl Predictor for PbPpm {
                 let Some(g) = index.group_by_key(key) else {
                     continue;
                 };
+                // `ext_code` is a widened `UrlId` (or the `u64::MAX` "none"
+                // sentinel), so narrowing back is lossless.
+                #[allow(clippy::cast_possible_truncation)]
                 let excluded = (ext_code != u64::MAX).then_some(UrlId(ext_code as u32));
                 for sub in &g.subs {
                     if excluded.is_some() && sub.ext == excluded {
@@ -613,6 +644,8 @@ impl Predictor for PbPpm {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::cast_possible_truncation)] // tiny fixture indices
+
     use super::*;
     use crate::popularity::PopularityBuilder;
 

@@ -23,13 +23,13 @@ use std::collections::VecDeque;
 
 /// Sliding-window online PB-PPM.
 pub struct OnlinePbPpm {
-    cfg: PbConfig,
-    window: VecDeque<Vec<UrlId>>,
-    max_window: usize,
-    rebuild_every: usize,
-    since_rebuild: usize,
-    rebuilds: u64,
-    model: Option<PbPpm>,
+    pub(crate) cfg: PbConfig,
+    pub(crate) window: VecDeque<Vec<UrlId>>,
+    pub(crate) max_window: usize,
+    pub(crate) rebuild_every: usize,
+    pub(crate) since_rebuild: usize,
+    pub(crate) rebuilds: u64,
+    pub(crate) model: Option<PbPpm>,
 }
 
 impl OnlinePbPpm {
@@ -118,6 +118,12 @@ impl OnlinePbPpm {
         self.model = Some(model);
         self.since_rebuild = 0;
         self.rebuilds += 1;
+        // The inner finalize audited the fresh PbPpm; this pass also covers
+        // the online wrapper's own window/schedule invariants.
+        crate::verify::runtime_audit(
+            &crate::verify::ModelRef::OnlinePb(self),
+            "OnlinePbPpm::rebuild",
+        );
     }
 }
 
@@ -125,13 +131,20 @@ impl OnlinePbPpm {
 /// and the current inner model.
 #[derive(Debug, Clone)]
 pub struct OnlinePbSnapshot {
-    pub(crate) cfg: PbConfig,
-    pub(crate) window: Vec<Vec<UrlId>>,
-    pub(crate) max_window: usize,
-    pub(crate) rebuild_every: usize,
-    pub(crate) since_rebuild: usize,
-    pub(crate) rebuilds: u64,
-    pub(crate) model: Option<crate::pb::PbSnapshot>,
+    /// Construction parameters for the inner PB-PPM.
+    pub cfg: PbConfig,
+    /// The sliding window of recent sessions, oldest first.
+    pub window: Vec<Vec<UrlId>>,
+    /// Window capacity in sessions.
+    pub max_window: usize,
+    /// Rebuild cadence in sessions.
+    pub rebuild_every: usize,
+    /// Sessions trained since the last rebuild.
+    pub since_rebuild: usize,
+    /// Lifetime rebuild counter.
+    pub rebuilds: u64,
+    /// The current inner model, if one was built.
+    pub model: Option<crate::pb::PbSnapshot>,
 }
 
 impl Predictor for OnlinePbPpm {
@@ -195,6 +208,8 @@ impl Predictor for OnlinePbPpm {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::cast_sign_loss)] // tiny fixture indices
+
     use super::*;
     use crate::prune::PruneConfig;
 

@@ -159,6 +159,26 @@ impl PopularityTable {
         }
     }
 
+    /// Assembles a table from already-separated parts **without** rederiving
+    /// grades from the counts. This deliberately permits internally
+    /// inconsistent tables — it is the forgery hook the audit crate's
+    /// adversarial harness uses to exercise the grade-consistency check in
+    /// [`crate::verify`]. Not part of the public API.
+    #[doc(hidden)]
+    pub fn from_parts_unchecked(
+        counts: Vec<u64>,
+        grades: Vec<Grade>,
+        max_count: u64,
+        total: u64,
+    ) -> Self {
+        Self {
+            counts,
+            grades,
+            max_count,
+            total,
+        }
+    }
+
     /// The popularity grade of `url` ([`Grade::G0`] if never seen).
     #[inline]
     pub fn grade(&self, url: UrlId) -> Grade {

@@ -164,6 +164,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// usize → u64 without an `as` cast. Lossless on every supported platform
+/// (usize is at most 64 bits); saturates rather than truncates if that ever
+/// stops being true.
+fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 // ------------------------------------------------------------ writer/reader
 
 /// Append-only byte sink with LEB128 varints.
@@ -186,7 +193,7 @@ impl Writer {
 
     fn varint(&mut self, mut v: u64) {
         loop {
-            let byte = (v & 0x7f) as u8;
+            let byte = (v & 0x7f).to_le_bytes()[0];
             v >>= 7;
             if v == 0 {
                 self.buf.push(byte);
@@ -201,7 +208,7 @@ impl Writer {
     }
 
     fn usizev(&mut self, v: usize) {
-        self.varint(v as u64);
+        self.varint(len_u64(v));
     }
 
     fn f64bits(&mut self, v: f64) {
@@ -601,7 +608,7 @@ impl SnapshotFile {
         let mut out = Vec::with_capacity(ENVELOPE_BYTES + payload.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&len_u64(payload.len()).to_le_bytes());
         out.extend_from_slice(&payload);
         let checksum = fnv1a(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
@@ -624,10 +631,10 @@ impl SnapshotFile {
         let mut len8 = [0u8; 8];
         len8.copy_from_slice(&bytes[10..18]);
         let payload_len = u64::from_le_bytes(len8);
-        let expected_total = (ENVELOPE_BYTES as u64).checked_add(payload_len);
+        let expected_total = len_u64(ENVELOPE_BYTES).checked_add(payload_len);
         match expected_total {
-            Some(total) if total == bytes.len() as u64 => {}
-            Some(total) if total > bytes.len() as u64 => return Err(CodecError::Truncated),
+            Some(total) if total == len_u64(bytes.len()) => {}
+            Some(total) if total > len_u64(bytes.len()) => return Err(CodecError::Truncated),
             _ => return Err(CodecError::TrailingBytes),
         }
         let body_end = bytes.len() - 8;
@@ -754,11 +761,12 @@ impl SnapshotFile {
             let reg = pbppm_obs::global();
             let label = format!("model={}", self.model.kind_label());
             reg.counter("snapshot.writes", &label).inc();
-            reg.gauge("snapshot.bytes", &label).set(bytes.len() as u64);
+            reg.gauge("snapshot.bytes", &label)
+                .set(len_u64(bytes.len()));
             reg.histogram("snapshot.write_micros", &label)
-                .observe(start.elapsed().as_micros() as u64);
+                .observe(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
         }
-        Ok(bytes.len() as u64)
+        Ok(len_u64(bytes.len()))
     }
 
     /// Reads and decodes a snapshot from `path`.
@@ -772,7 +780,7 @@ impl SnapshotFile {
             let label = format!("model={}", file.model.kind_label());
             reg.counter("snapshot.loads", &label).inc();
             reg.histogram("snapshot.load_micros", &label)
-                .observe(start.elapsed().as_micros() as u64);
+                .observe(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
         }
         Ok(file)
     }
@@ -1036,6 +1044,36 @@ mod tests {
             assert!(
                 SnapshotFile::decode(&corrupt).is_err(),
                 "flipped byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_payload_with_valid_envelope_is_rejected() {
+        // A syntactically valid envelope (magic, version, length, checksum
+        // all good) around a garbage payload must fail with a clean decode
+        // error, never a panic: the checksum only proves the bytes are what
+        // was written, not that what was written makes sense.
+        let payloads: [&[u8]; 4] = [
+            &[],        // no kind tag at all
+            &[0x2a],    // unknown kind tag
+            &[KIND_PB], // ends right after the tag
+            // kind tag + an 11-byte varint url count (overflows u64)
+            &[
+                KIND_PB, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+            ],
+        ];
+        for payload in payloads {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&MAGIC);
+            bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            bytes.extend_from_slice(&len_u64(payload.len()).to_le_bytes());
+            bytes.extend_from_slice(payload);
+            let checksum = fnv1a(&bytes);
+            bytes.extend_from_slice(&checksum.to_le_bytes());
+            assert!(
+                SnapshotFile::decode(&bytes).is_err(),
+                "garbage payload {payload:?} decoded"
             );
         }
     }

@@ -20,14 +20,14 @@ use crate::tree::{NodeId, Tree};
 /// Standard PPM prediction model.
 #[derive(Debug, Clone)]
 pub struct StandardPpm {
-    tree: Tree,
-    max_height: Option<u8>,
+    pub(crate) tree: Tree,
+    pub(crate) max_height: Option<u8>,
     /// Longest context (in URLs) considered when matching.
-    max_order: usize,
-    finalized: bool,
+    pub(crate) max_order: usize,
+    pub(crate) finalized: bool,
     /// Full-root-path fingerprint index, built by `finalize`. `None` before
     /// finalization, when prediction falls back to the descend walk.
-    index: Option<ContextIndex>,
+    pub(crate) index: Option<ContextIndex>,
 }
 
 impl StandardPpm {
@@ -124,9 +124,12 @@ impl StandardPpm {
 /// A serializable image of a trained [`StandardPpm`] model.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StandardSnapshot {
-    pub(crate) tree: crate::tree::TreeSnapshot,
-    pub(crate) max_height: Option<u8>,
-    pub(crate) finalized: bool,
+    /// The trained prediction forest.
+    pub tree: crate::tree::TreeSnapshot,
+    /// Branch height cap (`None` = unbounded).
+    pub max_height: Option<u8>,
+    /// Whether [`Predictor::finalize`] had run.
+    pub finalized: bool,
 }
 
 impl Predictor for StandardPpm {
@@ -150,6 +153,10 @@ impl Predictor for StandardPpm {
     fn finalize(&mut self) {
         self.index = Some(ContextIndex::full_paths(&mut self.tree));
         self.finalized = true;
+        crate::verify::runtime_audit(
+            &crate::verify::ModelRef::Standard(self),
+            "StandardPpm::finalize",
+        );
     }
 
     fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {

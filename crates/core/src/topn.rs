@@ -66,6 +66,7 @@ impl Predictor for TopN {
         }
     }
 
+    #[allow(clippy::cast_possible_truncation)] // `counts` is indexed by u32 ids
     fn finalize(&mut self) {
         debug_assert!(!self.finalized, "finalize called twice");
         let mut ranked: Vec<(UrlId, u64)> = self
@@ -84,11 +85,13 @@ impl Predictor for TopN {
     fn predict_ro(&self, context: &[UrlId], out: &mut Vec<Prediction>, usage: &mut PredictUsage) {
         debug_assert!(self.finalized, "predict before finalize");
         out.clear();
-        if context.is_empty() || self.total == 0 {
+        let Some(&current) = context.last() else {
+            return;
+        };
+        if self.total == 0 {
             return;
         }
         usage.touched = true;
-        let current = *context.last().unwrap();
         for &(url, count) in &self.top {
             if url != current {
                 out.push(Prediction::new(url, count as f64 / self.total as f64));

@@ -30,14 +30,14 @@ use serde::{Deserialize, Serialize};
 
 /// Index of a node in a [`Tree`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(u32);
+pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
     /// Sentinel for "no node" (used as the parent of roots).
     pub const NONE: NodeId = NodeId(u32::MAX);
 
     #[inline]
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0 as usize
     }
 
@@ -72,10 +72,10 @@ pub struct Node {
 /// The prediction forest: arena of nodes plus the root index.
 #[derive(Debug, Clone, Default)]
 pub struct Tree {
-    nodes: Vec<Node>,
-    roots: FxHashMap<UrlId, NodeId>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) roots: FxHashMap<UrlId, NodeId>,
     /// Special links: branch root → duplicated popular nodes (PB-PPM rule 3).
-    links: FxHashMap<NodeId, Vec<NodeId>>,
+    pub(crate) links: FxHashMap<NodeId, Vec<NodeId>>,
     dead: usize,
     /// Rolling hash of each node's root-to-node path, parallel to `nodes`.
     ///
@@ -289,6 +289,7 @@ impl Tree {
     }
 
     /// Iterates over the ids of all alive nodes.
+    #[allow(clippy::cast_possible_truncation)] // the arena refuses to grow past u32 ids
     pub fn iter_alive(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes
             .iter()
@@ -360,7 +361,10 @@ impl Tree {
         let mut new_nodes: Vec<Node> = Vec::with_capacity(self.node_count());
         for (i, n) in self.nodes.iter().enumerate() {
             if n.alive {
-                remap[i] = NodeId(new_nodes.len() as u32);
+                // Compaction only shrinks, so the new index fits u32 too.
+                #[allow(clippy::cast_possible_truncation)]
+                let new_id = NodeId(new_nodes.len() as u32);
+                remap[i] = new_id;
                 new_nodes.push(n.clone());
             }
         }
@@ -477,6 +481,41 @@ impl Tree {
                 used: false,
                 link_dup: s.link_dup,
             });
+        }
+        // Reject parent cycles before anything walks parent chains: a
+        // malformed (but checksum-valid) snapshot with `a.parent == b` and
+        // `b.parent == a` would otherwise send `rebuild_path_hashes` and
+        // every ancestor walk into an infinite loop. Each node is visited
+        // once across all chain walks, so this is O(n).
+        {
+            // 0 = unvisited, 1 = on the current chain, 2 = known acyclic.
+            let mut state = vec![0u8; n];
+            let mut chain: Vec<usize> = Vec::new();
+            for start in 0..n {
+                let mut cur = start;
+                loop {
+                    match state[cur] {
+                        2 => break,
+                        1 => {
+                            return Err(SnapshotError::ParentCycle(
+                                u32::try_from(cur).unwrap_or(u32::MAX),
+                            ))
+                        }
+                        _ => {}
+                    }
+                    state[cur] = 1;
+                    chain.push(cur);
+                    let parent = nodes[cur].parent;
+                    if parent.is_none() {
+                        break;
+                    }
+                    cur = parent.index();
+                }
+                for &i in &chain {
+                    state[i] = 2;
+                }
+                chain.clear();
+            }
         }
         let mut roots = FxHashMap::default();
         for &(u, id) in &snap.roots {
@@ -639,9 +678,12 @@ impl Tree {
 /// bookkeeping belongs to one evaluation run, not to the model.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TreeSnapshot {
-    pub(crate) nodes: Vec<NodeSnapshot>,
-    pub(crate) roots: Vec<(u32, u32)>,
-    pub(crate) links: Vec<(u32, Vec<u32>)>,
+    /// All nodes of the (compacted) arena.
+    pub nodes: Vec<NodeSnapshot>,
+    /// `(url, node id)` root registrations, sorted by URL id.
+    pub roots: Vec<(u32, u32)>,
+    /// `(root id, target ids)` special-link lists, sorted by root id.
+    pub links: Vec<(u32, Vec<u32>)>,
 }
 
 impl TreeSnapshot {
@@ -656,14 +698,21 @@ impl TreeSnapshot {
     }
 }
 
+/// One node of a [`TreeSnapshot`], with raw `u32` references.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub(crate) struct NodeSnapshot {
-    pub(crate) url: u32,
-    pub(crate) count: u64,
-    pub(crate) parent: u32,
-    pub(crate) depth: u8,
-    pub(crate) children: Vec<(u32, u32)>,
-    pub(crate) link_dup: bool,
+pub struct NodeSnapshot {
+    /// Interned URL id.
+    pub url: u32,
+    /// Training traversal count.
+    pub count: u64,
+    /// Parent node id, or `u32::MAX` for roots.
+    pub parent: u32,
+    /// Depth within the branch (roots are 1).
+    pub depth: u8,
+    /// `(url, child id)` entries sorted by URL id.
+    pub children: Vec<(u32, u32)>,
+    /// True for PB-PPM duplicated popular nodes.
+    pub link_dup: bool,
 }
 
 /// Why a [`TreeSnapshot`] failed to load.
@@ -675,6 +724,9 @@ pub enum SnapshotError {
     BadRoot(u32),
     /// A node's child list is not strictly sorted by URL id.
     UnsortedChildren,
+    /// A node's parent chain loops back on itself instead of reaching a
+    /// root; the payload would hang every ancestor walk.
+    ParentCycle(u32),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -683,6 +735,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadNodeId(id) => write!(f, "snapshot references unknown node {id}"),
             SnapshotError::BadRoot(url) => write!(f, "invalid root entry for url {url}"),
             SnapshotError::UnsortedChildren => write!(f, "child list not sorted"),
+            SnapshotError::ParentCycle(id) => {
+                write!(f, "parent chain of node {id} is cyclic")
+            }
         }
     }
 }
@@ -938,6 +993,39 @@ mod tests {
             Tree::from_snapshot(&snap2).unwrap_err(),
             SnapshotError::BadRoot(7)
         );
+    }
+
+    #[test]
+    fn snapshot_rejects_parent_cycles() {
+        // Two nodes each claiming the other as parent: must error, not hang
+        // (rebuild_path_hashes would otherwise loop forever).
+        let cyclic = |url: u32, parent: u32| NodeSnapshot {
+            url,
+            count: 1,
+            parent,
+            depth: 2,
+            children: Vec::new(),
+            link_dup: false,
+        };
+        let snap = TreeSnapshot {
+            nodes: vec![cyclic(0, 1), cyclic(1, 0)],
+            roots: Vec::new(),
+            links: Vec::new(),
+        };
+        assert!(matches!(
+            Tree::from_snapshot(&snap).unwrap_err(),
+            SnapshotError::ParentCycle(_)
+        ));
+        // A self-loop is the degenerate case.
+        let snap = TreeSnapshot {
+            nodes: vec![cyclic(0, 0)],
+            roots: Vec::new(),
+            links: Vec::new(),
+        };
+        assert!(matches!(
+            Tree::from_snapshot(&snap).unwrap_err(),
+            SnapshotError::ParentCycle(0)
+        ));
     }
 
     #[test]

@@ -1,0 +1,1345 @@
+//! Structural invariant verification for every model family.
+//!
+//! The paper's whole contribution is structural surgery on the prediction
+//! tree — grade-capped branch heights (§3.4 rule 1/2), special links to
+//! duplicated popular nodes (rule 3), root admission on popularity ascents
+//! (rule 4), and the two post-build prunes (§3.4). Four independent
+//! producers build or reshape that structure (offline training, the online
+//! rebuild loop, pruning, and the binary snapshot codec), so this module
+//! encodes *once* what a valid model is and lets everything else check
+//! against it:
+//!
+//! * [`verify_model`] walks a model and returns an [`AuditReport`] of typed
+//!   [`Violation`]s, each carrying the offending node's root-to-node URL
+//!   path where one exists.
+//! * [`runtime_audit`] is the `debug_assertions`-gated (and
+//!   `PBPPM_AUDIT=1`-forced) hook every build/prune/rebuild site calls; it
+//!   panics with the formatted report on the first violation.
+//! * The `pbppm-audit` crate re-exports this API and adds snapshot-level
+//!   entry points plus the adversarial corruption harness.
+//!
+//! One paper rule is deliberately *not* re-checked post hoc: rule 4 (root
+//! admission) is a statement about the training stream — any URL may
+//! legally head a branch because every session head roots one — so a
+//! finished tree cannot falsify it. The checker instead verifies the root
+//! *registry* is structurally sound in both directions.
+
+use crate::context_index::ContextIndex;
+use crate::interner::UrlId;
+use crate::lrs::LrsPpm;
+use crate::order1::Order1Markov;
+use crate::pb::PbPpm;
+use crate::pb_online::OnlinePbPpm;
+use crate::popularity::{Grade, PopularityTable};
+use crate::standard::StandardPpm;
+use crate::tree::{NodeId, Tree};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A borrowed view of any model the checker understands.
+///
+/// [`crate::predictor::ModelKind`] is a tag without data, so the audit API
+/// takes this explicit by-reference enum instead.
+pub enum ModelRef<'a> {
+    /// The paper's popularity-based model.
+    Pb(&'a PbPpm),
+    /// Classic suffix-forest PPM.
+    Standard(&'a StandardPpm),
+    /// Longest-repeating-subsequence PPM.
+    Lrs(&'a LrsPpm),
+    /// Sliding-window online PB-PPM.
+    OnlinePb(&'a OnlinePbPpm),
+    /// First-order Markov baseline.
+    Order1(&'a Order1Markov),
+}
+
+impl ModelRef<'_> {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelRef::Pb(_) => "pb",
+            ModelRef::Standard(_) => "standard",
+            ModelRef::Lrs(_) => "lrs",
+            ModelRef::OnlinePb(_) => "online-pb",
+            ModelRef::Order1(_) => "order1",
+        }
+    }
+}
+
+/// One structural invariant violation, with enough context to locate it.
+///
+/// `path` fields hold the offending node's root-to-node URL-id sequence.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A child entry's URL key differs from the child node's own URL.
+    ChildUrlMismatch {
+        /// Root-to-parent URL path.
+        path: Vec<u32>,
+        /// URL key under which the child is filed.
+        entry_url: u32,
+        /// URL the child node actually carries.
+        child_url: u32,
+    },
+    /// A child's parent pointer does not point back at its parent.
+    ChildParentMismatch {
+        /// Root-to-parent URL path.
+        path: Vec<u32>,
+        /// URL of the child whose back-pointer is wrong.
+        child_url: u32,
+    },
+    /// A child's stored depth is not its parent's depth plus one.
+    ChildDepthMismatch {
+        /// Root-to-child URL path.
+        path: Vec<u32>,
+        /// Depth the child should have.
+        expected: u8,
+        /// Depth the child carries.
+        found: u8,
+    },
+    /// An alive non-root node is missing from its parent's child list.
+    ChildNotLinked {
+        /// Root-to-node URL path.
+        path: Vec<u32>,
+    },
+    /// An alive node hangs off a dead parent.
+    OrphanNode {
+        /// Root-to-node URL path.
+        path: Vec<u32>,
+    },
+    /// The summed counts of a node's alive children exceed its own count
+    /// (training bumps every ancestor at least as often as any child, and
+    /// pruning only removes counts — the sum can never exceed the parent).
+    ChildCountExceedsParent {
+        /// Root-to-parent URL path.
+        path: Vec<u32>,
+        /// The parent's transition count.
+        parent_count: u64,
+        /// Sum of the alive children's counts.
+        children_sum: u64,
+    },
+    /// An alive parentless branch node is not in the root registry.
+    RootNotRegistered {
+        /// The node's URL.
+        url: u32,
+    },
+    /// A root-registry entry points at a node that is not a depth-1
+    /// parentless branch node for that URL.
+    RootRegistrationInvalid {
+        /// The registry key.
+        url: u32,
+    },
+    /// A branch grows deeper than its cap — for PB-PPM the grade→height
+    /// cap of the heading URL (§3.4 rules 1/2), for the bounded baselines
+    /// their fixed height limit.
+    HeightExceedsCap {
+        /// Root-to-offending-node URL path.
+        path: Vec<u32>,
+        /// Heading URL's popularity grade, when the cap is grade-derived.
+        grade: Option<u8>,
+        /// The height cap in nodes.
+        cap: u8,
+        /// Actual walk depth of the offending node.
+        depth: u8,
+    },
+    /// A special-link list hangs off a node that is not a branch root.
+    LinkFromNonRoot {
+        /// URL of the non-root link head.
+        url: u32,
+    },
+    /// A special link points at a node not marked as a duplicated popular
+    /// node.
+    LinkTargetNotDup {
+        /// URL of the branch head.
+        head_url: u32,
+        /// URL of the bad target.
+        target_url: u32,
+    },
+    /// A special-link target is not attached directly under its root at
+    /// depth 2.
+    LinkTargetDetached {
+        /// URL of the branch head.
+        head_url: u32,
+        /// URL of the detached target.
+        target_url: u32,
+    },
+    /// A special link points back at the branch head's own URL.
+    LinkSelf {
+        /// URL of the branch head.
+        head_url: u32,
+    },
+    /// A special-link target's grade neither exceeds the head's grade nor
+    /// is the maximum grade (§3.4 rule 3).
+    LinkGradeRule {
+        /// URL of the branch head.
+        head_url: u32,
+        /// Grade of the branch head.
+        head_grade: u8,
+        /// URL of the duplicated node.
+        target_url: u32,
+        /// Grade of the duplicated node.
+        target_grade: u8,
+    },
+    /// An alive duplicated node is not reachable through the link map of
+    /// an alive root (dangling after prune/compact).
+    LinkDupOrphaned {
+        /// URL of the orphaned duplicate.
+        url: u32,
+    },
+    /// A duplicated link node appears in a child list — duplicates hang
+    /// off roots through the link map only.
+    LinkDupMisplaced {
+        /// Root-to-parent URL path of the child list it appears in.
+        path: Vec<u32>,
+    },
+    /// A model family that never creates special links carries one.
+    UnexpectedSpecialLink {
+        /// URL of the offending node.
+        url: u32,
+    },
+    /// A node references a URL id beyond the interner's symbol table.
+    SymbolUnresolved {
+        /// The unresolvable URL id.
+        url: u32,
+        /// Number of interned symbols.
+        url_count: u64,
+    },
+    /// A stored popularity grade differs from the grade rederived from the
+    /// count vector (§3.1's log₁₀ bucketing).
+    GradeMismatch {
+        /// The URL id with the forged grade.
+        url: u32,
+        /// Grade the table stores.
+        stored: u8,
+        /// Grade rederived from the counts.
+        derived: u8,
+    },
+    /// A popularity table's derived scalars (max count, total accesses)
+    /// disagree with its count vector.
+    PopularityTotalsInconsistent {
+        /// Which scalar disagrees.
+        what: &'static str,
+    },
+    /// A finalized LRS tree keeps a node below the support threshold.
+    SupportBelowThreshold {
+        /// Root-to-node URL path.
+        path: Vec<u32>,
+        /// The node's count.
+        count: u64,
+        /// The model's threshold.
+        min_support: u64,
+    },
+    /// An order-1 row's total differs from the sum of its successor counts.
+    Order1RowTotalMismatch {
+        /// The row's source URL.
+        url: u32,
+        /// Stored row total.
+        total: u64,
+        /// Actual sum over successors.
+        sum: u64,
+    },
+    /// The fingerprint index's bucket structure diverges from a fresh
+    /// rebuild over the same tree.
+    IndexShapeDiverges {
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// A fingerprint bucket's precomputed vote aggregate differs from a
+    /// fresh reference recomputation — a stale index.
+    IndexAggregateStale {
+        /// Human-readable description of the stale aggregate.
+        detail: String,
+    },
+    /// PB-PPM's URL→occurrences index diverges from a fresh scan.
+    OccurrenceIndexDiverges {
+        /// The URL whose occurrence list is wrong.
+        url: u32,
+    },
+    /// The online wrapper's rebuild schedule counters are impossible.
+    ScheduleInconsistent {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The online wrapper holds more sessions than its window capacity.
+    WindowOverflow {
+        /// Sessions held.
+        len: u64,
+        /// Window capacity.
+        max: u64,
+    },
+    /// A snapshot payload failed to decode into a model at all.
+    SnapshotRejected {
+        /// The decoder's error message.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// Stable kebab-case identifier of the violation class.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::ChildUrlMismatch { .. } => "child-url-mismatch",
+            Violation::ChildParentMismatch { .. } => "child-parent-mismatch",
+            Violation::ChildDepthMismatch { .. } => "child-depth-mismatch",
+            Violation::ChildNotLinked { .. } => "child-not-linked",
+            Violation::OrphanNode { .. } => "orphan-node",
+            Violation::ChildCountExceedsParent { .. } => "child-count-exceeds-parent",
+            Violation::RootNotRegistered { .. } => "root-not-registered",
+            Violation::RootRegistrationInvalid { .. } => "root-registration-invalid",
+            Violation::HeightExceedsCap { .. } => "height-exceeds-cap",
+            Violation::LinkFromNonRoot { .. } => "link-from-non-root",
+            Violation::LinkTargetNotDup { .. } => "link-target-not-dup",
+            Violation::LinkTargetDetached { .. } => "link-target-detached",
+            Violation::LinkSelf { .. } => "link-self",
+            Violation::LinkGradeRule { .. } => "link-grade-rule",
+            Violation::LinkDupOrphaned { .. } => "link-dup-orphaned",
+            Violation::LinkDupMisplaced { .. } => "link-dup-misplaced",
+            Violation::UnexpectedSpecialLink { .. } => "unexpected-special-link",
+            Violation::SymbolUnresolved { .. } => "symbol-unresolved",
+            Violation::GradeMismatch { .. } => "grade-mismatch",
+            Violation::PopularityTotalsInconsistent { .. } => "popularity-totals-inconsistent",
+            Violation::SupportBelowThreshold { .. } => "support-below-threshold",
+            Violation::Order1RowTotalMismatch { .. } => "order1-row-total-mismatch",
+            Violation::IndexShapeDiverges { .. } => "index-shape-diverges",
+            Violation::IndexAggregateStale { .. } => "index-aggregate-stale",
+            Violation::OccurrenceIndexDiverges { .. } => "occurrence-index-diverges",
+            Violation::ScheduleInconsistent { .. } => "schedule-inconsistent",
+            Violation::WindowOverflow { .. } => "window-overflow",
+            Violation::SnapshotRejected { .. } => "snapshot-rejected",
+        }
+    }
+
+    /// The offending node's root-to-node URL path, when the violation is
+    /// anchored at a tree node.
+    #[must_use]
+    pub fn path(&self) -> Option<&[u32]> {
+        match self {
+            Violation::ChildUrlMismatch { path, .. }
+            | Violation::ChildParentMismatch { path, .. }
+            | Violation::ChildDepthMismatch { path, .. }
+            | Violation::ChildNotLinked { path }
+            | Violation::OrphanNode { path }
+            | Violation::ChildCountExceedsParent { path, .. }
+            | Violation::HeightExceedsCap { path, .. }
+            | Violation::LinkDupMisplaced { path }
+            | Violation::SupportBelowThreshold { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+}
+
+fn fmt_path(path: &[u32]) -> String {
+    let mut s = String::new();
+    for (i, url) in path.iter().enumerate() {
+        if i > 0 {
+            s.push_str("->");
+        }
+        s.push_str(&url.to_string());
+    }
+    s
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ChildUrlMismatch {
+                path,
+                entry_url,
+                child_url,
+            } => write!(
+                f,
+                "child entry under [{}] filed as url {entry_url} but node carries url {child_url}",
+                fmt_path(path)
+            ),
+            Violation::ChildParentMismatch { path, child_url } => write!(
+                f,
+                "child {child_url} of [{}] does not point back at its parent",
+                fmt_path(path)
+            ),
+            Violation::ChildDepthMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "node [{}] stores depth {found}, expected {expected}",
+                fmt_path(path)
+            ),
+            Violation::ChildNotLinked { path } => write!(
+                f,
+                "alive node [{}] is missing from its parent's child list",
+                fmt_path(path)
+            ),
+            Violation::OrphanNode { path } => {
+                write!(f, "alive node [{}] hangs off a dead parent", fmt_path(path))
+            }
+            Violation::ChildCountExceedsParent {
+                path,
+                parent_count,
+                children_sum,
+            } => write!(
+                f,
+                "children of [{}] sum to {children_sum} transitions, parent has only {parent_count}",
+                fmt_path(path)
+            ),
+            Violation::RootNotRegistered { url } => {
+                write!(f, "alive parentless node for url {url} is not a registered root")
+            }
+            Violation::RootRegistrationInvalid { url } => {
+                write!(f, "root registry entry for url {url} is not a valid root node")
+            }
+            Violation::HeightExceedsCap {
+                path,
+                grade,
+                cap,
+                depth,
+            } => match grade {
+                Some(g) => write!(
+                    f,
+                    "branch [{}] reaches depth {depth}, over the grade-{g} cap of {cap}",
+                    fmt_path(path)
+                ),
+                None => write!(
+                    f,
+                    "branch [{}] reaches depth {depth}, over the height cap of {cap}",
+                    fmt_path(path)
+                ),
+            },
+            Violation::LinkFromNonRoot { url } => {
+                write!(f, "special links hang off non-root node for url {url}")
+            }
+            Violation::LinkTargetNotDup {
+                head_url,
+                target_url,
+            } => write!(
+                f,
+                "special link {head_url} ~> {target_url} targets a non-duplicated node"
+            ),
+            Violation::LinkTargetDetached {
+                head_url,
+                target_url,
+            } => write!(
+                f,
+                "special-link duplicate {target_url} of root {head_url} is not attached under it at depth 2"
+            ),
+            Violation::LinkSelf { head_url } => {
+                write!(f, "root {head_url} links to a duplicate of itself")
+            }
+            Violation::LinkGradeRule {
+                head_url,
+                head_grade,
+                target_url,
+                target_grade,
+            } => write!(
+                f,
+                "special link {head_url} (grade {head_grade}) ~> {target_url} (grade {target_grade}) breaks rule 3: target grade must exceed the head's or be maximal"
+            ),
+            Violation::LinkDupOrphaned { url } => write!(
+                f,
+                "duplicated node for url {url} dangles: no alive root links to it"
+            ),
+            Violation::LinkDupMisplaced { path } => write!(
+                f,
+                "duplicated link node appears in the child list of [{}]",
+                fmt_path(path)
+            ),
+            Violation::UnexpectedSpecialLink { url } => write!(
+                f,
+                "model family never creates special links, yet url {url} carries one"
+            ),
+            Violation::SymbolUnresolved { url, url_count } => write!(
+                f,
+                "url id {url} does not resolve ({url_count} interned symbols)"
+            ),
+            Violation::GradeMismatch {
+                url,
+                stored,
+                derived,
+            } => write!(
+                f,
+                "url {url} stores grade {stored}, counts rederive grade {derived}"
+            ),
+            Violation::PopularityTotalsInconsistent { what } => {
+                write!(f, "popularity table {what} disagrees with its count vector")
+            }
+            Violation::SupportBelowThreshold {
+                path,
+                count,
+                min_support,
+            } => write!(
+                f,
+                "finalized LRS node [{}] has count {count} < support threshold {min_support}",
+                fmt_path(path)
+            ),
+            Violation::Order1RowTotalMismatch { url, total, sum } => write!(
+                f,
+                "order-1 row {url} stores total {total}, successors sum to {sum}"
+            ),
+            Violation::IndexShapeDiverges { detail } => {
+                write!(f, "fingerprint index shape diverges from rebuild: {detail}")
+            }
+            Violation::IndexAggregateStale { detail } => {
+                write!(f, "fingerprint index aggregate is stale: {detail}")
+            }
+            Violation::OccurrenceIndexDiverges { url } => write!(
+                f,
+                "occurrence index for url {url} diverges from a fresh scan"
+            ),
+            Violation::ScheduleInconsistent { detail } => {
+                write!(f, "online rebuild schedule inconsistent: {detail}")
+            }
+            Violation::WindowOverflow { len, max } => {
+                write!(f, "online window holds {len} sessions, capacity {max}")
+            }
+            Violation::SnapshotRejected { detail } => {
+                write!(f, "snapshot payload failed to decode: {detail}")
+            }
+        }
+    }
+}
+
+/// Outcome of a [`verify_model`] run.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "an audit report is only useful if its violations are inspected"]
+pub struct AuditReport {
+    /// Which model family was audited.
+    pub model: &'static str,
+    /// Number of individual invariant checks performed.
+    pub checks: u64,
+    /// Every violation found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// An empty report for `model`.
+    pub fn new(model: &'static str) -> Self {
+        Self {
+            model,
+            checks: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// A report for a payload that failed to decode at all.
+    pub fn rejected(model: &'static str, detail: String) -> Self {
+        Self {
+            model,
+            checks: 1,
+            violations: vec![Violation::SnapshotRejected { detail }],
+        }
+    }
+
+    /// True when no invariant was violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// True when a violation of the given [`Violation::kind`] is present.
+    #[must_use]
+    pub fn has(&self, kind: &str) -> bool {
+        self.violations.iter().any(|v| v.kind() == kind)
+    }
+
+    #[inline]
+    fn tick(&mut self) {
+        self.checks += 1;
+    }
+
+    /// Serializes the report as a single JSON object (hand-rolled: the
+    /// report must stay printable even when serde integration is what
+    /// broke).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128 + self.violations.len() * 96);
+        s.push_str("{\"model\":\"");
+        s.push_str(self.model);
+        s.push_str("\",\"checks\":");
+        s.push_str(&self.checks.to_string());
+        s.push_str(",\"clean\":");
+        s.push_str(if self.is_clean() { "true" } else { "false" });
+        s.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"kind\":\"");
+            s.push_str(v.kind());
+            s.push_str("\",\"message\":\"");
+            json_escape_into(&v.to_string(), &mut s);
+            s.push('"');
+            if let Some(path) = v.path() {
+                s.push_str(",\"path\":[");
+                for (j, url) in path.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&url.to_string());
+                }
+                s.push(']');
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit of {}: {} checks, {} violation(s)",
+            self.model,
+            self.checks,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  [{}] {v}", v.kind())?;
+        }
+        Ok(())
+    }
+}
+
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                let hex = b"0123456789abcdef";
+                out.push(char::from(hex[(b >> 4) as usize & 0xf]));
+                out.push(char::from(hex[b as usize & 0xf]));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The root-to-node URL-id path of `id`, cycle-guarded.
+fn node_path(tree: &Tree, id: NodeId) -> Vec<u32> {
+    let mut rev = Vec::new();
+    let mut cur = id;
+    let mut steps = 0usize;
+    loop {
+        rev.push(tree.nodes[cur.index()].url.0);
+        steps += 1;
+        let parent = tree.nodes[cur.index()].parent;
+        if parent.is_none() || steps > tree.nodes.len() {
+            break;
+        }
+        cur = parent;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Verifies the shared tree-shape invariants every model family obeys.
+fn verify_tree(tree: &Tree, url_count: Option<u64>, report: &mut AuditReport) {
+    for (i, node) in tree.nodes.iter().enumerate() {
+        if !node.alive {
+            continue;
+        }
+        let id = NodeId(u32::try_from(i).unwrap_or(u32::MAX));
+        if let Some(count) = url_count {
+            report.tick();
+            if u64::from(node.url.0) >= count {
+                report.violations.push(Violation::SymbolUnresolved {
+                    url: node.url.0,
+                    url_count: count,
+                });
+            }
+        }
+
+        // Child entries: url key, back-pointer, depth chaining, and no
+        // duplicated link nodes hiding in a child list.
+        let mut children_sum = 0u64;
+        for &(entry_url, cid) in &node.children {
+            let child = &tree.nodes[cid.index()];
+            if !child.alive {
+                continue;
+            }
+            report.tick();
+            children_sum += child.count;
+            if child.url != entry_url {
+                report.violations.push(Violation::ChildUrlMismatch {
+                    path: node_path(tree, id),
+                    entry_url: entry_url.0,
+                    child_url: child.url.0,
+                });
+            }
+            if child.link_dup {
+                report.violations.push(Violation::LinkDupMisplaced {
+                    path: node_path(tree, id),
+                });
+                continue;
+            }
+            if child.parent != id {
+                report.violations.push(Violation::ChildParentMismatch {
+                    path: node_path(tree, id),
+                    child_url: child.url.0,
+                });
+                continue;
+            }
+            let expected = node.depth.saturating_add(1);
+            if child.depth != expected {
+                report.violations.push(Violation::ChildDepthMismatch {
+                    path: node_path(tree, cid),
+                    expected,
+                    found: child.depth,
+                });
+            }
+        }
+        report.tick();
+        if children_sum > node.count {
+            report.violations.push(Violation::ChildCountExceedsParent {
+                path: node_path(tree, id),
+                parent_count: node.count,
+                children_sum,
+            });
+        }
+
+        if node.parent.is_none() {
+            // Forward registry check: every alive parentless branch node
+            // must be its URL's registered root.
+            if !node.link_dup {
+                report.tick();
+                if tree.roots.get(&node.url) != Some(&id) {
+                    report
+                        .violations
+                        .push(Violation::RootNotRegistered { url: node.url.0 });
+                }
+            } else {
+                report
+                    .violations
+                    .push(Violation::LinkDupOrphaned { url: node.url.0 });
+            }
+        } else {
+            let parent = &tree.nodes[node.parent.index()];
+            report.tick();
+            if !parent.alive {
+                if node.link_dup {
+                    report
+                        .violations
+                        .push(Violation::LinkDupOrphaned { url: node.url.0 });
+                } else {
+                    report.violations.push(Violation::OrphanNode {
+                        path: node_path(tree, id),
+                    });
+                }
+            } else if node.link_dup {
+                // An alive duplicate must be reachable via its root's
+                // link list.
+                report.tick();
+                let linked = tree
+                    .links
+                    .get(&node.parent)
+                    .is_some_and(|ts| ts.contains(&id));
+                if !linked {
+                    report
+                        .violations
+                        .push(Violation::LinkDupOrphaned { url: node.url.0 });
+                }
+            } else {
+                // Reverse edge: the parent's child list must hold it.
+                report.tick();
+                let listed = parent
+                    .children
+                    .binary_search_by_key(&node.url, |&(u, _)| u)
+                    .ok()
+                    .map(|pos| parent.children[pos].1)
+                    == Some(id);
+                if !listed {
+                    report.violations.push(Violation::ChildNotLinked {
+                        path: node_path(tree, id),
+                    });
+                }
+            }
+        }
+    }
+
+    // Backward registry check: every registry entry must describe a valid
+    // (possibly tombstoned — resurrectable) root node.
+    for (&url, &id) in &tree.roots {
+        report.tick();
+        let node = &tree.nodes[id.index()];
+        if node.url != url || !node.parent.is_none() || node.link_dup || node.depth != 1 {
+            report
+                .violations
+                .push(Violation::RootRegistrationInvalid { url: url.0 });
+        }
+    }
+
+    // Link lists: heads must be roots; alive targets must be well-formed
+    // duplicates directly under their head. Dead targets are legal
+    // tombstones until the next compaction.
+    for (&root, targets) in &tree.links {
+        let head = &tree.nodes[root.index()];
+        if !head.alive {
+            continue;
+        }
+        report.tick();
+        if !head.parent.is_none() {
+            report
+                .violations
+                .push(Violation::LinkFromNonRoot { url: head.url.0 });
+            continue;
+        }
+        for &t in targets {
+            let target = &tree.nodes[t.index()];
+            if !target.alive {
+                continue;
+            }
+            report.tick();
+            if !target.link_dup {
+                report.violations.push(Violation::LinkTargetNotDup {
+                    head_url: head.url.0,
+                    target_url: target.url.0,
+                });
+                continue;
+            }
+            if target.parent != root || target.depth != 2 {
+                report.violations.push(Violation::LinkTargetDetached {
+                    head_url: head.url.0,
+                    target_url: target.url.0,
+                });
+            }
+            if target.url == head.url {
+                report.violations.push(Violation::LinkSelf {
+                    head_url: head.url.0,
+                });
+            }
+        }
+    }
+}
+
+/// Walks each registered branch downward and reports nodes beyond `cap_of`'s
+/// height cap for that branch. Walk depth is counted independently of the
+/// stored `depth` fields, so a forged depth cannot hide a breach.
+fn verify_heights(
+    tree: &Tree,
+    cap_of: impl Fn(UrlId) -> (Option<u8>, u8),
+    report: &mut AuditReport,
+) {
+    for (&url, &root) in &tree.roots {
+        if !tree.nodes[root.index()].alive {
+            continue;
+        }
+        let (grade, cap) = cap_of(url);
+        report.tick();
+        let mut stack: Vec<(NodeId, u8)> = vec![(root, 1)];
+        while let Some((id, depth)) = stack.pop() {
+            if depth > cap {
+                report.violations.push(Violation::HeightExceedsCap {
+                    path: node_path(tree, id),
+                    grade,
+                    cap,
+                    depth,
+                });
+                continue; // deeper nodes are implied; avoid a flood
+            }
+            for &(_, cid) in &tree.nodes[id.index()].children {
+                if tree.nodes[cid.index()].alive && !tree.nodes[cid.index()].link_dup {
+                    stack.push((cid, depth.saturating_add(1)));
+                }
+            }
+        }
+    }
+}
+
+/// Checks a popularity table's internal consistency by rederiving it from
+/// its count vector (§3.1: grades are a pure function of the counts).
+fn verify_popularity(pop: &PopularityTable, report: &mut AuditReport) {
+    let derived = PopularityTable::from_counts(pop.counts().to_vec());
+    report.tick();
+    if pop.max_count() != derived.max_count() {
+        report
+            .violations
+            .push(Violation::PopularityTotalsInconsistent { what: "max_count" });
+    }
+    report.tick();
+    if pop.total_accesses() != derived.total_accesses() {
+        report
+            .violations
+            .push(Violation::PopularityTotalsInconsistent { what: "total" });
+    }
+    for i in 0..pop.counts().len() {
+        report.tick();
+        let url = UrlId(u32::try_from(i).unwrap_or(u32::MAX));
+        let stored = pop.grade(url);
+        let fresh = derived.grade(url);
+        if stored != fresh {
+            report.violations.push(Violation::GradeMismatch {
+                url: url.0,
+                stored: stored.level(),
+                derived: fresh.level(),
+            });
+        }
+    }
+}
+
+/// Reports no-special-links for the model families that never create them.
+fn verify_no_links(tree: &Tree, report: &mut AuditReport) {
+    report.tick();
+    for (&root, targets) in &tree.links {
+        if tree.nodes[root.index()].alive && targets.iter().any(|&t| tree.nodes[t.index()].alive) {
+            report.violations.push(Violation::UnexpectedSpecialLink {
+                url: tree.nodes[root.index()].url.0,
+            });
+        }
+    }
+    for node in &tree.nodes {
+        if node.alive && node.link_dup {
+            report
+                .violations
+                .push(Violation::UnexpectedSpecialLink { url: node.url.0 });
+        }
+    }
+}
+
+/// Compares a stored fingerprint index against a fresh rebuild field by
+/// field. Both builders file members in arena order, so a faithful stored
+/// index is bit-identical to the rebuild.
+fn verify_index(stored: &ContextIndex, fresh: &ContextIndex, report: &mut AuditReport) {
+    report.tick();
+    if stored.entries != fresh.entries {
+        report.violations.push(Violation::IndexShapeDiverges {
+            detail: format!(
+                "{} entries stored, rebuild files {}",
+                stored.entries, fresh.entries
+            ),
+        });
+    }
+    for (key, members) in &fresh.buckets {
+        report.tick();
+        match stored.buckets.get(key) {
+            None => report.violations.push(Violation::IndexShapeDiverges {
+                detail: format!("bucket {key:#x} missing"),
+            }),
+            Some(m) if m != members => report.violations.push(Violation::IndexShapeDiverges {
+                detail: format!("bucket {key:#x} member list differs"),
+            }),
+            Some(_) => {}
+        }
+    }
+    for key in stored.buckets.keys() {
+        if !fresh.buckets.contains_key(key) {
+            report.violations.push(Violation::IndexShapeDiverges {
+                detail: format!("bucket {key:#x} has no counterpart in a rebuild"),
+            });
+        }
+    }
+    for (key, fg) in &fresh.groups {
+        report.tick();
+        let Some(sg) = stored.groups.get(key) else {
+            report.violations.push(Violation::IndexShapeDiverges {
+                detail: format!("group {key:#x} missing"),
+            });
+            continue;
+        };
+        if sg.rep != fg.rep || sg.dirty != fg.dirty {
+            report.violations.push(Violation::IndexShapeDiverges {
+                detail: format!("group {key:#x} representative/dirty flag differs"),
+            });
+            continue;
+        }
+        if sg.total != fg.total || sg.votes != fg.votes {
+            report.violations.push(Violation::IndexAggregateStale {
+                detail: format!(
+                    "group {key:#x}: stored total {} / {} vote urls, recomputed total {} / {}",
+                    sg.total,
+                    sg.votes.len(),
+                    fg.total,
+                    fg.votes.len()
+                ),
+            });
+            continue;
+        }
+        if sg.subs != fg.subs {
+            report.violations.push(Violation::IndexAggregateStale {
+                detail: format!("group {key:#x}: extension sub-aggregates differ"),
+            });
+        }
+    }
+    for key in stored.groups.keys() {
+        if !fresh.groups.contains_key(key) {
+            report.violations.push(Violation::IndexShapeDiverges {
+                detail: format!("group {key:#x} has no counterpart in a rebuild"),
+            });
+        }
+    }
+}
+
+fn verify_pb(m: &PbPpm, url_count: Option<u64>, report: &mut AuditReport) {
+    verify_tree(&m.tree, url_count, report);
+    let cfg = m.cfg;
+    let pop = &m.pop;
+    verify_heights(
+        &m.tree,
+        |url| {
+            let g = pop.grade(url);
+            (Some(g.level()), cfg.height_for(g))
+        },
+        report,
+    );
+    verify_popularity(pop, report);
+
+    // Rule 3's grade condition for every alive special link.
+    for (&root, targets) in &m.tree.links {
+        let head = &m.tree.nodes[root.index()];
+        if !head.alive {
+            continue;
+        }
+        let head_grade = pop.grade(head.url);
+        for &t in targets {
+            let target = &m.tree.nodes[t.index()];
+            if !target.alive {
+                continue;
+            }
+            report.tick();
+            let target_grade = pop.grade(target.url);
+            if !(target_grade > head_grade || target_grade == Grade::MAX) {
+                report.violations.push(Violation::LinkGradeRule {
+                    head_url: head.url.0,
+                    head_grade: head_grade.level(),
+                    target_url: target.url.0,
+                    target_grade: target_grade.level(),
+                });
+            }
+        }
+    }
+
+    // The occurrence and fingerprint indexes are built at finalize; before
+    // that they are legitimately empty/stale.
+    if !m.finalized {
+        return;
+    }
+    let mut fresh_by_url: crate::fxhash::FxHashMap<UrlId, Vec<NodeId>> =
+        crate::fxhash::FxHashMap::default();
+    for id in m.tree.iter_alive() {
+        let node = m.tree.node(id);
+        if !node.link_dup {
+            fresh_by_url.entry(node.url).or_default().push(id);
+        }
+    }
+    report.tick();
+    for (url, ids) in &fresh_by_url {
+        if m.by_url.get(url) != Some(ids) {
+            report
+                .violations
+                .push(Violation::OccurrenceIndexDiverges { url: url.0 });
+        }
+    }
+    for url in m.by_url.keys() {
+        if !fresh_by_url.contains_key(url) {
+            report
+                .violations
+                .push(Violation::OccurrenceIndexDiverges { url: url.0 });
+        }
+    }
+    let mut clone = m.tree.clone();
+    let fresh = ContextIndex::windows(&mut clone, m.cfg.max_order);
+    verify_index(&m.index, &fresh, report);
+}
+
+fn verify_standard(m: &StandardPpm, url_count: Option<u64>, report: &mut AuditReport) {
+    verify_tree(&m.tree, url_count, report);
+    verify_no_links(&m.tree, report);
+    if let Some(cap) = m.max_height {
+        verify_heights(&m.tree, |_| (None, cap.max(1)), report);
+    }
+    if m.finalized {
+        if let Some(index) = &m.index {
+            let mut clone = m.tree.clone();
+            let fresh = ContextIndex::full_paths(&mut clone);
+            verify_index(index, &fresh, report);
+        }
+    }
+}
+
+fn verify_lrs(m: &LrsPpm, url_count: Option<u64>, report: &mut AuditReport) {
+    verify_tree(&m.tree, url_count, report);
+    verify_no_links(&m.tree, report);
+    let cap = u8::try_from(m.max_height.max(1)).unwrap_or(u8::MAX);
+    verify_heights(&m.tree, |_| (None, cap), report);
+    if m.finalized {
+        // Finalize killed everything below the support threshold; any
+        // survivor under it was smuggled in afterwards.
+        for id in m.tree.iter_alive() {
+            report.tick();
+            let node = m.tree.node(id);
+            if node.count < m.min_support {
+                report.violations.push(Violation::SupportBelowThreshold {
+                    path: node_path(&m.tree, id),
+                    count: node.count,
+                    min_support: m.min_support,
+                });
+            }
+        }
+        if let Some(index) = &m.index {
+            let mut clone = m.tree.clone();
+            let fresh = ContextIndex::full_paths(&mut clone);
+            verify_index(index, &fresh, report);
+        }
+    }
+}
+
+fn verify_order1(m: &Order1Markov, url_count: Option<u64>, report: &mut AuditReport) {
+    for (&url, row) in &m.rows {
+        report.tick();
+        let sum: u64 = row.next.values().sum();
+        if row.total != sum {
+            report.violations.push(Violation::Order1RowTotalMismatch {
+                url: url.0,
+                total: row.total,
+                sum,
+            });
+        }
+        if let Some(count) = url_count {
+            for &next in row.next.keys() {
+                report.tick();
+                if u64::from(next.0) >= count {
+                    report.violations.push(Violation::SymbolUnresolved {
+                        url: next.0,
+                        url_count: count,
+                    });
+                }
+            }
+            report.tick();
+            if u64::from(url.0) >= count {
+                report.violations.push(Violation::SymbolUnresolved {
+                    url: url.0,
+                    url_count: count,
+                });
+            }
+        }
+    }
+}
+
+fn verify_online(m: &OnlinePbPpm, url_count: Option<u64>, report: &mut AuditReport) {
+    report.tick();
+    if m.window.len() > m.max_window {
+        report.violations.push(Violation::WindowOverflow {
+            len: m.window.len() as u64,
+            max: m.max_window as u64,
+        });
+    }
+    report.tick();
+    if m.since_rebuild >= m.rebuild_every {
+        report.violations.push(Violation::ScheduleInconsistent {
+            detail: format!(
+                "{} sessions since rebuild, cadence is {} (training would have rebuilt)",
+                m.since_rebuild, m.rebuild_every
+            ),
+        });
+    }
+    report.tick();
+    if m.since_rebuild > 0 && m.window.is_empty() {
+        report.violations.push(Violation::ScheduleInconsistent {
+            detail: "sessions pending a rebuild but the window is empty".to_owned(),
+        });
+    }
+    if let Some(count) = url_count {
+        for session in &m.window {
+            for &url in session {
+                report.tick();
+                if u64::from(url.0) >= count {
+                    report.violations.push(Violation::SymbolUnresolved {
+                        url: url.0,
+                        url_count: count,
+                    });
+                }
+            }
+        }
+    }
+    if let Some(inner) = &m.model {
+        verify_pb(inner, url_count, report);
+    }
+}
+
+/// Verifies every structural invariant of `model`, additionally checking
+/// that each URL symbol resolves when the interner size is known.
+pub fn verify_model_with_urls(model: &ModelRef<'_>, url_count: Option<usize>) -> AuditReport {
+    let mut report = AuditReport::new(model.label());
+    let count = url_count.map(|n| n as u64);
+    match model {
+        ModelRef::Pb(m) => verify_pb(m, count, &mut report),
+        ModelRef::Standard(m) => verify_standard(m, count, &mut report),
+        ModelRef::Lrs(m) => verify_lrs(m, count, &mut report),
+        ModelRef::OnlinePb(m) => verify_online(m, count, &mut report),
+        ModelRef::Order1(m) => verify_order1(m, count, &mut report),
+    }
+    report
+}
+
+/// Verifies every structural invariant of `model`.
+pub fn verify_model(model: &ModelRef<'_>) -> AuditReport {
+    verify_model_with_urls(model, None)
+}
+
+/// Whether the in-process runtime audit is on.
+///
+/// Defaults to `debug_assertions`; the `PBPPM_AUDIT` environment variable
+/// overrides in either direction (`0`/`off`/`false` disables, anything else
+/// forces on). The decision is cached for the process lifetime.
+pub fn runtime_audit_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("PBPPM_AUDIT") {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "off" | "false"),
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+/// The hook every build/prune/rebuild site calls after reshaping a model:
+/// a no-op unless [`runtime_audit_enabled`], otherwise it verifies the
+/// model and panics with the formatted report on any violation — a corrupt
+/// model must not survive long enough to serve predictions.
+pub fn runtime_audit(model: &ModelRef<'_>, site: &str) {
+    if !runtime_audit_enabled() {
+        return;
+    }
+    let report = verify_model(model);
+    if !report.is_clean() {
+        panic!("PBPPM_AUDIT failed at {site}:\n{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pb::PbConfig;
+    use crate::popularity::PopularityBuilder;
+    use crate::predictor::Predictor;
+    use crate::prune::PruneConfig;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    fn pop_with_grades(grades: &[u8]) -> PopularityTable {
+        let mut b = PopularityBuilder::new();
+        for (i, &g) in grades.iter().enumerate() {
+            let count = match g {
+                3 => 1000,
+                2 => 50,
+                1 => 5,
+                _ => 0,
+            };
+            if count > 0 {
+                b.record_n(u(u32::try_from(i).unwrap_or(u32::MAX)), count);
+            }
+        }
+        b.record_n(u(u32::try_from(grades.len()).unwrap_or(u32::MAX)), 1000);
+        b.build()
+    }
+
+    fn trained_pb() -> PbPpm {
+        let pop = pop_with_grades(&[3, 2, 1, 3, 2, 1]);
+        let mut m = PbPpm::new(
+            pop,
+            PbConfig {
+                prune: PruneConfig::disabled(),
+                ..PbConfig::default()
+            },
+        );
+        for _ in 0..4 {
+            m.train_session(&[u(0), u(1), u(2), u(3), u(4), u(5)]);
+            m.train_session(&[u(3), u(1), u(2), u(0)]);
+        }
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn clean_models_verify_clean() {
+        let pb = trained_pb();
+        let report = verify_model(&ModelRef::Pb(&pb));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks > 10);
+
+        let mut std_m = crate::standard::StandardPpm::new(Some(4));
+        std_m.train_session(&[u(0), u(1), u(2), u(3)]);
+        std_m.finalize();
+        let report = verify_model(&ModelRef::Standard(&std_m));
+        assert!(report.is_clean(), "{report}");
+
+        let mut lrs = crate::lrs::LrsPpm::new();
+        for _ in 0..2 {
+            lrs.train_session(&[u(0), u(1), u(2)]);
+        }
+        lrs.finalize();
+        let report = verify_model(&ModelRef::Lrs(&lrs));
+        assert!(report.is_clean(), "{report}");
+
+        let mut o1 = Order1Markov::new();
+        o1.train_session(&[u(0), u(1), u(2)]);
+        o1.finalize();
+        let report = verify_model(&ModelRef::Order1(&o1));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn inflated_child_count_is_caught() {
+        let mut pb = trained_pb();
+        let child = pb.tree.descend(&[u(0), u(1)]).expect("branch exists");
+        pb.tree.node_mut(child).count += 1_000;
+        let report = verify_model(&ModelRef::Pb(&pb));
+        assert!(report.has("child-count-exceeds-parent"), "{report}");
+    }
+
+    #[test]
+    fn skewed_index_aggregate_is_caught() {
+        let mut pb = trained_pb();
+        assert!(pb.skew_index_aggregate_for_audit());
+        let report = verify_model(&ModelRef::Pb(&pb));
+        assert!(report.has("index-aggregate-stale"), "{report}");
+    }
+
+    #[test]
+    fn forged_grade_table_is_caught() {
+        let mut pb = trained_pb();
+        let counts = pb.pop.counts().to_vec();
+        let mut grades: Vec<Grade> = (0..counts.len())
+            .map(|i| pb.pop.grade(u(u32::try_from(i).unwrap_or(u32::MAX))))
+            .collect();
+        if let Some(g) = grades.first_mut() {
+            *g = Grade::G0; // url 0 really has grade 3
+        }
+        pb.pop = PopularityTable::from_parts_unchecked(
+            counts,
+            grades,
+            pb.pop.max_count(),
+            pb.pop.total_accesses(),
+        );
+        let report = verify_model(&ModelRef::Pb(&pb));
+        assert!(report.has("grade-mismatch"), "{report}");
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut pb = trained_pb();
+        let child = pb.tree.descend(&[u(0), u(1)]).expect("branch exists");
+        pb.tree.node_mut(child).count += 1_000;
+        let report = verify_model(&ModelRef::Pb(&pb));
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("child-count-exceeds-parent"));
+        assert!(json.contains("\"path\":[0]"));
+    }
+
+    #[test]
+    fn symbol_check_uses_interner_size() {
+        let pb = trained_pb();
+        let clean = verify_model_with_urls(&ModelRef::Pb(&pb), Some(7));
+        assert!(clean.is_clean(), "{clean}");
+        let bad = verify_model_with_urls(&ModelRef::Pb(&pb), Some(2));
+        assert!(bad.has("symbol-unresolved"), "{bad}");
+    }
+}

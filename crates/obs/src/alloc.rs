@@ -15,6 +15,8 @@
 //! simply report 0. With the `enabled` feature off the allocator forwards
 //! straight to [`System`] with no counting at all.
 
+#![allow(unsafe_code)] // the workspace's sole unsafe: the GlobalAlloc impl below
+
 use std::alloc::{GlobalAlloc, Layout, System};
 
 #[cfg(feature = "enabled")]

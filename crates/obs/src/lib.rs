@@ -20,6 +20,9 @@
 //! feature); instrumented hot paths branch on [`ENABLED`] so the disabled
 //! mode costs nothing on the predict path.
 
+// `deny`, not `forbid`: `alloc` re-allows it for the one GlobalAlloc impl.
+#![deny(unsafe_code)]
+
 pub mod alloc;
 pub mod log;
 pub mod metrics;

@@ -210,6 +210,8 @@ impl LocalHist {
         if self.count == 0 {
             return 0;
         }
+        // In [1, count] after the clamp/ceil, so the narrowing is lossless.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -272,6 +274,8 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0;
         }
+        // In [1, count] after the clamp/ceil, so the narrowing is lossless.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for b in &self.buckets {

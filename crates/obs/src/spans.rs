@@ -110,7 +110,7 @@ mod imp {
     }
 
     pub(super) fn enter(name: &'static str, detail: String) -> SpanGuard {
-        let start_ns = epoch().elapsed().as_nanos() as u64;
+        let start_ns = u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX);
         let frame = Frame {
             name,
             detail,
@@ -132,7 +132,7 @@ mod imp {
                     name: frame.name.to_owned(),
                     detail: frame.detail,
                     start_ns: frame.start_ns,
-                    dur_ns: frame.start.elapsed().as_nanos() as u64,
+                    dur_ns: u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     alloc_bytes: crate::alloc::allocated_bytes().saturating_sub(frame.alloc0),
                     children: frame.children,
                 };

@@ -324,7 +324,9 @@ fn eval_client_shard(
                             &mut usage,
                         );
                         if let Some(started) = started {
-                            obs.predict_ns.observe(started.elapsed().as_nanos() as u64);
+                            obs.predict_ns.observe(
+                                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
                         }
                         obs.predict_calls += 1;
                         obs.push_depth.observe(push.len() as u64);

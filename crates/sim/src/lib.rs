@@ -16,6 +16,8 @@
 //! * [`sweep`] — parallel execution of independent experiment cells;
 //! * [`config`] — serializable experiment configuration.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod engine;

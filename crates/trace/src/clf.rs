@@ -72,6 +72,7 @@ fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
 }
 
 /// Inverse of [`days_from_civil`]: civil date for a day count from the epoch.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // ranges proven in comments
 fn civil_from_days(z: i64) -> (i64, u32, u32) {
     let z = z + 719_468;
     let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
@@ -92,6 +93,7 @@ fn parse_clf_time(s: &str) -> Option<i64> {
     let mut parts = date.split(&['/', ':'][..]);
     let d: u32 = parts.next()?.parse().ok()?;
     let mon_name = parts.next()?;
+    #[allow(clippy::cast_possible_truncation)] // 12 month names
     let m = MONTHS
         .iter()
         .position(|&mn| mn.eq_ignore_ascii_case(mon_name))? as u32
@@ -257,7 +259,7 @@ where
         let url = trace.urls.intern(&r.path);
         let client = ClientId(trace.clients.intern(&r.host).0);
         trace.requests.push(Request {
-            time: (r.time - epoch).max(0) as u64,
+            time: u64::try_from((r.time - epoch).max(0)).unwrap_or(0),
             client,
             url,
             size: r.size,

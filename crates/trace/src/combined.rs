@@ -189,7 +189,7 @@ where
             ingest.robot_clients[idx] = true;
         }
         trace.requests.push(Request {
-            time: (r.time - epoch).max(0) as u64,
+            time: u64::try_from((r.time - epoch).max(0)).unwrap_or(0),
             client,
             url,
             size: r.size,

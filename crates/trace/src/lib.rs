@@ -20,6 +20,8 @@
 //! obtainable) raw server logs; see `DESIGN.md` §2 for the substitution
 //! argument.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod classify;
 pub mod clf;

@@ -103,6 +103,9 @@ pub struct SiteModel {
 
 impl SiteModel {
     /// Generates a site from `cfg` using `rng`.
+    // Page indices fit u32 (the interner would overflow first), levels fit
+    // u8, and sampled sizes are clamped to positive ranges before narrowing.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn generate<R: Rng + ?Sized>(cfg: &SiteConfig, rng: &mut R) -> Self {
         assert!(cfg.levels >= 1, "need at least one level");
         assert!(cfg.entry_pages >= 1, "need at least one entry page");
@@ -223,6 +226,7 @@ impl SiteModel {
     /// which leaf documents are hot churns daily, while the popular top of
     /// the site stays stable — the property the paper leans on ("the
     /// popularity of Web files is normally stable over a long period", §1).
+    #[allow(clippy::cast_possible_truncation)] // tier count fits u8
     pub fn reshuffle_deep_links<R: Rng + ?Sized>(
         &mut self,
         min_level: u8,

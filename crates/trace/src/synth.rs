@@ -134,6 +134,7 @@ impl SessionGen {
     /// and because popular crawlers (and re-crawls) repeat the *same*
     /// sweeps, those paths pass LRS's repetition filter too. The UCB-CS
     /// trace's extreme LRS growth in the paper's Table 2 is this effect.
+    #[allow(clippy::cast_possible_truncation)] // page indices fit u32
     pub fn gen_robot_session(
         &mut self,
         site: &SiteModel,
@@ -176,6 +177,9 @@ impl SessionGen {
     /// popular-start coin comes up, the session begins at that page instead
     /// of a fresh Zipf draw — this is how per-client favourite entries
     /// (revisit locality) are injected by the workload generator.
+    // Page indices fit u32 and the one-off size expression is positive
+    // before it is narrowed and floored at 256.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn gen_session_from<R: Rng + ?Sized>(
         &mut self,
         site: &mut SiteModel,

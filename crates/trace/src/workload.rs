@@ -171,6 +171,9 @@ impl WorkloadConfig {
     }
 
     /// Generates the trace (deterministic in the config, including `seed`).
+    // Client/entry indices fit u32 and the exponential think time is
+    // positive before it is narrowed and clamped to [8, 900] seconds.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn generate(&self) -> Trace {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut site = SiteModel::generate(&self.site, &mut rng);

@@ -152,6 +152,7 @@ mod tests {
     #[test]
     fn empirical_alpha_recovers_the_exponent() {
         // Perfect Zipf(1.2) counts.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // positive, < 1e9
         let counts: Vec<u64> = (1..=200u64)
             .map(|r| ((1e9 / (r as f64).powf(1.2)) as u64).max(1))
             .collect();

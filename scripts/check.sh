@@ -4,15 +4,20 @@
 # Usage: scripts/check.sh
 #
 # Runs, in order, failing fast:
-#   1. cargo fmt --check     — no unformatted code
-#   2. cargo clippy          — workspace + all targets, warnings are errors
-#   3. cargo test -q         — the tier-1 suite
+#   1. scripts/lint-rules.sh — repo-specific grep lints (unsafe, unwrap, casts)
+#   2. cargo fmt --check     — no unformatted code
+#   3. cargo clippy          — workspace + all targets, warnings are errors
+#   4. cargo test -q         — the tier-1 suite
+#   5. cargo test -p pbppm-audit — the structural-audit adversarial suite
 #
 # The perf-regression gate is separate (scripts/perf-gate.sh) because it
 # needs a quiet machine and a release build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "== lint-rules.sh" >&2
+scripts/lint-rules.sh
 
 echo "== cargo fmt --check" >&2
 cargo fmt --all -- --check
@@ -22,5 +27,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test" >&2
 cargo test -q
+
+echo "== cargo test -p pbppm-audit" >&2
+cargo test -q -p pbppm-audit
 
 echo "check.sh: all green" >&2

@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
 # The whole CI pipeline in one command:
 #
-#   1. scripts/check.sh      — fmt --check, clippy -D warnings, tests
-#   2. scripts/perf-gate.sh  — throughput must stay within 15% of baseline
-#   3. snapshot smoke        — generate a tiny trace, `pbppm save` it, and
+#   1. scripts/lint-rules.sh — repo-specific grep lints, plus the gate's
+#                              own self-test (planted violations must trip)
+#   2. scripts/check.sh      — fmt --check, clippy -D warnings, tests
+#   3. scripts/perf-gate.sh  — throughput must stay within 15% of baseline
+#   4. snapshot smoke        — generate a tiny trace, `pbppm save` it, and
 #                              answer a query from the snapshot with
 #                              `pbppm load-predict` (exercises the binary
 #                              codec end to end through the real binary)
+#   5. audit smoke           — `pbppm audit` accepts the snapshot it just
+#                              saved and rejects (nonzero exit) a copy with
+#                              a flipped payload byte
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
+
+echo "== ci: lint-rules.sh --self-test" >&2
+scripts/lint-rules.sh --self-test
 
 echo "== ci: check.sh" >&2
 scripts/check.sh
@@ -34,6 +42,23 @@ pbppm="$repo/target/release/pbppm"
 "$pbppm" load-predict "$tmp/model.pbss" --context "/l0/p0.html" >"$tmp/preds.txt"
 if [[ ! -s "$tmp/preds.txt" ]]; then
     echo "ci: load-predict produced no output" >&2
+    exit 1
+fi
+
+echo "== ci: snapshot audit smoke" >&2
+# The freshly saved model must pass the structural audit...
+"$pbppm" audit "$tmp/model.pbss" >/dev/null
+# ...and a corrupted copy must fail it with a nonzero exit. Flipping a byte
+# in the middle of the payload breaks the checksum at minimum; either the
+# decoder or the audit must refuse it.
+python3 - "$tmp/model.pbss" "$tmp/corrupt.pbss" <<'EOF'
+import sys
+data = bytearray(open(sys.argv[1], "rb").read())
+data[len(data) // 2] ^= 0xFF
+open(sys.argv[2], "wb").write(bytes(data))
+EOF
+if "$pbppm" audit "$tmp/corrupt.pbss" >/dev/null 2>&1; then
+    echo "ci: audit accepted a corrupted snapshot" >&2
     exit 1
 fi
 

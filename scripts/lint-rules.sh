@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Repo-specific lint rules that rustc/clippy do not enforce. Pure grep/awk —
+# no network, no cargo — so it runs in under a second and anywhere.
+#
+#   1. Every crate root opts out of unsafe code with #![forbid(unsafe_code)].
+#      Exceptions: pbppm-obs's lib.rs uses #![deny(unsafe_code)] so that its
+#      alloc module can locally re-allow it for the one GlobalAlloc impl
+#      (forbid cannot be overridden), and alloc.rs itself must carry
+#      #![allow(unsafe_code)].
+#   2. No .unwrap() / .expect( in non-test crates/core/src code, outside the
+#      entries in scripts/lint-allowlist.txt. The model library must surface
+#      errors as values; panics belong to tests and to the binaries' edges.
+#   3. No lossy `as` integer casts in the snapshot codec's non-test code
+#      (crates/core/src/snapshot.rs). Narrowing in the wire format is how
+#      silent corruption is born; use try_from or the len_u64 helper.
+#
+# "Non-test" means everything above the first line-leading #[cfg(test)]:
+# by convention every file in crates/core/src keeps its test module last.
+#
+# Usage: scripts/lint-rules.sh [--self-test]
+# --self-test corrupts a scratch copy of the tree and asserts the gate
+# notices, guarding the gate itself against pattern rot.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+    echo "lint-rules: $1" >&2
+    fail=1
+}
+
+# ---------------------------------------------------------------- rule 1
+check_attr() {
+    local file="$1" attr="$2"
+    if ! grep -q "^#!\[$attr(unsafe_code)\]" "$file"; then
+        complain "$file: missing #![$attr(unsafe_code)]"
+    fi
+}
+
+for root in src/lib.rs crates/*/src/lib.rs crates/*/src/main.rs crates/bench/src/bin/*.rs; do
+    [ -f "$root" ] || continue
+    case "$root" in
+        crates/obs/src/lib.rs) check_attr "$root" deny ;;
+        *) check_attr "$root" forbid ;;
+    esac
+done
+check_attr crates/obs/src/alloc.rs allow
+
+# ---------------------------------------------------------------- rule 2
+# Candidate lines: path:lineno:content, test modules stripped.
+core_nontest() {
+    local f
+    for f in crates/core/src/*.rs; do
+        awk -v F="$f" '/^#\[cfg\(test\)\]/{exit} {print F":"FNR":"$0}' "$f"
+    done
+}
+
+unwraps=$(core_nontest | grep -F '.unwrap()' || true)
+expects=$(core_nontest | grep -F '.expect(' || true)
+panics=$(printf '%s\n%s\n' "$unwraps" "$expects" | sed '/^$/d' || true)
+
+if [ -n "$panics" ]; then
+    leftovers=$(printf '%s\n' "$panics" | awk -F'\t' '
+        NR == FNR {
+            if ($0 !~ /^#/ && NF >= 2) { n++; file[n] = $1; pat[n] = $2 }
+            next
+        }
+        {
+            split($0, parts, ":")
+            for (i = 1; i <= n; i++)
+                if (parts[1] == file[i] && index($0, pat[i]) > 0) next
+            print
+        }
+    ' scripts/lint-allowlist.txt -)
+    if [ -n "$leftovers" ]; then
+        while IFS= read -r line; do
+            complain "unwrap/expect outside the allowlist: $line"
+        done <<<"$leftovers"
+    fi
+fi
+
+# ---------------------------------------------------------------- rule 3
+casts=$(awk '/^#\[cfg\(test\)\]/{exit} {print "crates/core/src/snapshot.rs:"FNR":"$0}' \
+        crates/core/src/snapshot.rs \
+    | grep -E ' as (u8|u16|u32|u64|u128|usize|i8|i16|i32|i64|isize)\b' || true)
+if [ -n "$casts" ]; then
+    while IFS= read -r line; do
+        complain "lossy integer cast in the snapshot codec: $line"
+    done <<<"$casts"
+fi
+
+# ---------------------------------------------------------------- self-test
+if [ "${1:-}" = "--self-test" ]; then
+    if [ "$fail" -ne 0 ]; then
+        echo "lint-rules: cannot self-test, the tree already fails" >&2
+        exit 1
+    fi
+    scratch=$(mktemp -d)
+    trap 'rm -rf "$scratch"' EXIT
+    cp -r scripts crates src "$scratch"/
+    # Plant one violation of each rule and require the gate to trip.
+    sed -i 's/^#!\[forbid(unsafe_code)\]//' "$scratch/crates/core/src/lib.rs"
+    # Insert above the test module so the stripper cannot hide it.
+    sed -i '1i fn _lint_canary() { let x: Option<u32> = None; x.unwrap(); }' \
+        "$scratch/crates/core/src/interner.rs"
+    sed -i '1i fn _cast_canary(n: usize) -> u32 { n as u32 }' \
+        "$scratch/crates/core/src/snapshot.rs"
+    if out=$(cd "$scratch" && bash scripts/lint-rules.sh 2>&1); then
+        echo "lint-rules: SELF-TEST FAILED — planted violations were not caught" >&2
+        exit 1
+    fi
+    for expected in "missing #!\[forbid" "unwrap/expect outside the allowlist" \
+        "lossy integer cast"; do
+        if ! grep -q "$expected" <<<"$out"; then
+            echo "lint-rules: SELF-TEST FAILED — no complaint matching '$expected'" >&2
+            exit 1
+        fi
+    done
+    echo "lint-rules: self-test ok (planted violations were caught)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "lint-rules: ok"

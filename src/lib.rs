@@ -17,6 +17,8 @@
 //! crate for the binaries that regenerate every table and figure of the
 //! paper.
 
+#![forbid(unsafe_code)]
+
 pub use pbppm_core as core;
 pub use pbppm_sim as sim;
 pub use pbppm_trace as trace;

@@ -1,5 +1,7 @@
 //! Property-based tests over the core invariants, spanning crates.
 
+#![allow(clippy::cast_possible_truncation)] // tiny generated indices fit u32
+
 use pbppm::core::{
     LrsPpm, PbConfig, PbPpm, PopularityTable, Prediction, Predictor, StandardPpm, UrlId,
 };
