@@ -1,0 +1,858 @@
+//! Frozen struct-of-arrays / CSR arena: the cache-conscious read-only form
+//! a finalized model serves from.
+//!
+//! The pointer arena ([`crate::tree::Tree`]) is built for *growth*: each
+//! node owns a heap-allocated child vector, roots and special links live in
+//! hash maps, and every predict-time hop chases a pointer into cold memory.
+//! Once a model is finalized its shape never changes again, so
+//! [`Tree::freeze`] compiles the forest into this contiguous
+//! struct-of-arrays layout:
+//!
+//! * parallel `u32`-indexed arrays for `url`, `count`, `depth`, `parent`
+//!   and popularity `grade` (one cache line covers eight nodes' counts);
+//! * a CSR `child_offsets`/`child_entries` pair — all children of a node
+//!   are adjacent, so the child-vote loop is a linear scan instead of a
+//!   binary search through a per-node heap vector;
+//! * special links flattened into a second CSR pair parallel to the sorted
+//!   root table, plus a direct-indexed `root_lookup` table (URL ids are
+//!   dense interner ids) that answers "is the current click a root?" in
+//!   one array load;
+//! * the mutable `used` tracking stays behind on the pointer tree (the
+//!   [`crate::predictor::PredictUsage`] side channel), so every frozen
+//!   read path takes `&self`.
+//!
+//! Freezing happens after compaction, so frozen index `i` **is**
+//! [`NodeId`]`(i)`: usage bookkeeping, the occurrence index, and the
+//! fingerprint index all keep working against frozen indices unchanged.
+//!
+//! [`MatchStrategy`] + [`choose_strategy`] implement the adaptive selector:
+//! a model picks the fingerprint index only when the measured bucket
+//! occupancy predicts the precomputed aggregates actually pay for the
+//! hashing, and serves straight frozen descents otherwise.
+//!
+//! [`Tree`]: crate::tree::Tree
+//! [`Tree::freeze`]: crate::tree::Tree::freeze
+//! [`NodeId`]: crate::tree::NodeId
+
+use crate::context_index::IndexOccupancy;
+use crate::interner::UrlId;
+use crate::popularity::PopularityTable;
+use crate::tree::{NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "no node" in the `u32` index space (mirrors
+/// [`NodeId::NONE`]).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Child lists at most this long are scanned linearly; longer ones are
+/// binary-searched. CSR entries are adjacent, so the scan stays within one
+/// or two cache lines.
+const LINEAR_SCAN_MAX: usize = 16;
+
+#[inline]
+fn ix(i: u32) -> usize {
+    i as usize
+}
+
+/// How a finalized model matches a context against its frozen arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchStrategy {
+    /// Direct suffix descent / occurrence scan over the frozen arrays. No
+    /// hashing, no per-call allocation.
+    FrozenScan,
+    /// The hashed [`crate::context_index::ContextIndex`] fast path, with
+    /// frozen-array verification walks.
+    FingerprintIndex,
+}
+
+/// Picks the serving strategy from measured fingerprint-index occupancy.
+///
+/// The index only wins when its buckets aggregate *several* stored nodes
+/// per distinct context — then one probe replaces a whole occurrence scan
+/// (PB-PPM's windows mode: 5.4× measured). When occupancy is ~one entry
+/// per bucket (standard/LRS full-path mode: trie paths are unique), the
+/// probe answers nothing a direct descent would not, and the per-query
+/// hashing plus hash-map cache misses made the "fast" path *slower* than
+/// the reference scan (0.92× for standard PPM in the committed baseline).
+/// This selector is what removes that regression honestly.
+pub fn choose_strategy(entries: usize, occ: IndexOccupancy) -> MatchStrategy {
+    if occ.buckets == 0 {
+        return MatchStrategy::FrozenScan;
+    }
+    // Aggregation wins when buckets hold ≥1.5 entries on average (integer
+    // form: 2·entries ≥ 3·buckets) or any single bucket folds 4+ nodes.
+    if entries.saturating_mul(2) >= occ.buckets.saturating_mul(3) || occ.max_bucket >= 4 {
+        MatchStrategy::FingerprintIndex
+    } else {
+        MatchStrategy::FrozenScan
+    }
+}
+
+/// The frozen struct-of-arrays / CSR image of a compacted [`Tree`].
+///
+/// All arrays are indexed by the node's arena position (identical to its
+/// [`NodeId`] — freezing compacts first). Immutable by construction: every
+/// accessor takes `&self`.
+///
+/// [`Tree`]: crate::tree::Tree
+/// [`NodeId`]: crate::tree::NodeId
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrozenTree {
+    /// `urls[i]`: URL of node `i`.
+    pub(crate) urls: Vec<UrlId>,
+    /// `counts[i]`: transition count of node `i`.
+    pub(crate) counts: Vec<u64>,
+    /// `depths[i]`: branch depth of node `i` (root = 1).
+    pub(crate) depths: Vec<u8>,
+    /// `parents[i]`: parent index, [`NO_NODE`] for roots.
+    pub(crate) parents: Vec<u32>,
+    /// `grades[i]`: popularity grade level of node `i`'s URL (0 for model
+    /// families without a popularity table).
+    pub(crate) grades: Vec<u8>,
+    /// Bitset: bit `i` set when node `i` is a duplicated special-link node.
+    pub(crate) dup_bits: Vec<u64>,
+    /// CSR row offsets into `child_entries`; length `n + 1`.
+    pub(crate) child_offsets: Vec<u32>,
+    /// CSR child entries `(url, child index)`, sorted by URL per node.
+    pub(crate) child_entries: Vec<(UrlId, u32)>,
+    /// Root table `(url, node index)`, sorted by URL.
+    pub(crate) roots: Vec<(UrlId, u32)>,
+    /// Direct index: `root_lookup[url.0]` is the slot in `roots` (or
+    /// [`NO_NODE`]). URL ids are dense, so this stays small.
+    pub(crate) root_lookup: Vec<u32>,
+    /// CSR row offsets into `link_entries`, parallel to `roots`; length
+    /// `roots.len() + 1`.
+    pub(crate) link_offsets: Vec<u32>,
+    /// Special-link targets (duplicated nodes), flattened.
+    pub(crate) link_entries: Vec<u32>,
+}
+
+/// Raw decoded pieces of a [`FrozenTree`], as read by the snapshot codec.
+/// [`FrozenTree::from_parts`] validates them into an arena.
+pub(crate) struct FrozenParts {
+    pub urls: Vec<UrlId>,
+    pub counts: Vec<u64>,
+    pub depths: Vec<u8>,
+    pub parents: Vec<u32>,
+    pub grades: Vec<u8>,
+    pub dup_bits: Vec<u64>,
+    pub child_offsets: Vec<u32>,
+    pub child_entries: Vec<(UrlId, u32)>,
+    pub roots: Vec<(UrlId, u32)>,
+    pub link_offsets: Vec<u32>,
+    pub link_entries: Vec<u32>,
+}
+
+fn build_root_lookup(roots: &[(UrlId, u32)]) -> Vec<u32> {
+    let width = roots.iter().map(|&(u, _)| ix(u.0) + 1).max().unwrap_or(0);
+    let mut lookup = vec![NO_NODE; width];
+    for (slot, &(url, _)) in roots.iter().enumerate() {
+        // Slots are root-table positions; the table is bounded by the node
+        // count, which the arena caps below u32::MAX.
+        lookup[ix(url.0)] = u32::try_from(slot).unwrap_or(NO_NODE);
+    }
+    lookup
+}
+
+impl FrozenTree {
+    /// Compiles a compacted tree (`node_count == arena_len`) into the
+    /// frozen form. `pop` supplies the per-URL popularity grades for
+    /// PB-PPM; baselines pass `None` and get zero grades.
+    pub(crate) fn from_tree(tree: &Tree, pop: Option<&PopularityTable>) -> Self {
+        debug_assert_eq!(
+            tree.node_count(),
+            tree.arena_len(),
+            "freeze requires a compacted arena"
+        );
+        let n = tree.nodes.len();
+        let mut urls = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        let mut depths = Vec::with_capacity(n);
+        let mut parents = Vec::with_capacity(n);
+        let mut grades = Vec::with_capacity(n);
+        let mut dup_bits = vec![0u64; n.div_ceil(64)];
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut child_entries = Vec::new();
+        child_offsets.push(0u32);
+        for (i, node) in tree.nodes.iter().enumerate() {
+            urls.push(node.url);
+            counts.push(node.count);
+            depths.push(node.depth);
+            parents.push(node.parent.0);
+            grades.push(pop.map_or(0, |p| p.grade(node.url).level()));
+            if node.link_dup {
+                dup_bits[i / 64] |= 1u64 << (i % 64);
+            }
+            for &(url, child) in &node.children {
+                child_entries.push((url, child.0));
+            }
+            // Every entry names a distinct node, so the total fits u32 like
+            // the arena ids themselves do.
+            child_offsets.push(u32::try_from(child_entries.len()).unwrap_or(NO_NODE));
+        }
+        let mut roots: Vec<(UrlId, u32)> = tree.roots.iter().map(|(&u, &id)| (u, id.0)).collect();
+        roots.sort_unstable_by_key(|&(u, _)| u);
+        let root_lookup = build_root_lookup(&roots);
+        let mut link_offsets = Vec::with_capacity(roots.len() + 1);
+        let mut link_entries = Vec::new();
+        link_offsets.push(0u32);
+        for &(_, root) in &roots {
+            if let Some(targets) = tree.links.get(&NodeId(root)) {
+                for &t in targets {
+                    if tree.nodes[t.index()].alive {
+                        link_entries.push(t.0);
+                    }
+                }
+            }
+            link_offsets.push(u32::try_from(link_entries.len()).unwrap_or(NO_NODE));
+        }
+        let mut frozen = Self {
+            urls,
+            counts,
+            depths,
+            parents,
+            grades,
+            dup_bits,
+            child_offsets,
+            child_entries,
+            roots,
+            root_lookup,
+            link_offsets,
+            link_entries,
+        };
+        frozen.shrink();
+        frozen
+    }
+
+    fn shrink(&mut self) {
+        self.urls.shrink_to_fit();
+        self.counts.shrink_to_fit();
+        self.depths.shrink_to_fit();
+        self.parents.shrink_to_fit();
+        self.grades.shrink_to_fit();
+        self.dup_bits.shrink_to_fit();
+        self.child_offsets.shrink_to_fit();
+        self.child_entries.shrink_to_fit();
+        self.roots.shrink_to_fit();
+        self.root_lookup.shrink_to_fit();
+        self.link_offsets.shrink_to_fit();
+        self.link_entries.shrink_to_fit();
+    }
+
+    /// Validates raw decoded parts into a frozen arena: array-length
+    /// parity, CSR well-formedness (monotone in-bounds offsets, per-node
+    /// URL-sorted children), in-bounds parent and link references, and a
+    /// sorted root table. The codec maps the error text into
+    /// [`crate::snapshot::CodecError::Invalid`].
+    pub(crate) fn from_parts(parts: FrozenParts) -> Result<Self, &'static str> {
+        let FrozenParts {
+            urls,
+            counts,
+            depths,
+            parents,
+            grades,
+            dup_bits,
+            child_offsets,
+            child_entries,
+            roots,
+            link_offsets,
+            link_entries,
+        } = parts;
+        let n = urls.len();
+        if counts.len() != n || depths.len() != n || parents.len() != n || grades.len() != n {
+            return Err("frozen arrays disagree on length");
+        }
+        if dup_bits.len() != n.div_ceil(64) {
+            return Err("frozen dup bitset has the wrong width");
+        }
+        if child_offsets.len() != n + 1 || child_offsets.first() != Some(&0) {
+            return Err("frozen child offsets malformed");
+        }
+        for w in child_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("frozen child offsets not monotone");
+            }
+        }
+        if ix(*child_offsets.last().unwrap_or(&0)) != child_entries.len() {
+            return Err("frozen child offsets disagree with entry count");
+        }
+        for (i, w) in child_offsets.windows(2).enumerate() {
+            let row = &child_entries[ix(w[0])..ix(w[1])];
+            for pair in row.windows(2) {
+                if pair[0].0 >= pair[1].0 {
+                    return Err("frozen child entries not sorted by url");
+                }
+            }
+            for &(_, c) in row {
+                if ix(c) >= n {
+                    return Err("frozen child entry out of bounds");
+                }
+                if ix(c) == i {
+                    return Err("frozen child entry references its own node");
+                }
+            }
+        }
+        for &p in &parents {
+            if p != NO_NODE && ix(p) >= n {
+                return Err("frozen parent out of bounds");
+            }
+        }
+        for pair in roots.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err("frozen root table not sorted by url");
+            }
+        }
+        for &(_, id) in &roots {
+            if ix(id) >= n {
+                return Err("frozen root out of bounds");
+            }
+        }
+        if link_offsets.len() != roots.len() + 1 || link_offsets.first() != Some(&0) {
+            return Err("frozen link offsets malformed");
+        }
+        for w in link_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("frozen link offsets not monotone");
+            }
+        }
+        if ix(*link_offsets.last().unwrap_or(&0)) != link_entries.len() {
+            return Err("frozen link offsets disagree with entry count");
+        }
+        for &t in &link_entries {
+            if ix(t) >= n {
+                return Err("frozen link entry out of bounds");
+            }
+        }
+        let root_lookup = build_root_lookup(&roots);
+        Ok(Self {
+            urls,
+            counts,
+            depths,
+            parents,
+            grades,
+            dup_bits,
+            child_offsets,
+            child_entries,
+            roots,
+            root_lookup,
+            link_offsets,
+            link_entries,
+        })
+    }
+
+    /// Number of nodes in the arena.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// True when the arena holds no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// URL of node `i`.
+    #[inline]
+    #[must_use]
+    pub fn url(&self, i: u32) -> UrlId {
+        self.urls[ix(i)]
+    }
+
+    /// Transition count of node `i`.
+    #[inline]
+    #[must_use]
+    pub fn count(&self, i: u32) -> u64 {
+        self.counts[ix(i)]
+    }
+
+    /// Branch depth of node `i` (roots are depth 1).
+    #[inline]
+    #[must_use]
+    pub fn depth(&self, i: u32) -> u8 {
+        self.depths[ix(i)]
+    }
+
+    /// Popularity grade level of node `i`'s URL.
+    #[inline]
+    #[must_use]
+    pub fn grade(&self, i: u32) -> u8 {
+        self.grades[ix(i)]
+    }
+
+    /// Parent index of node `i`, [`NO_NODE`] for roots.
+    #[inline]
+    #[must_use]
+    pub fn parent(&self, i: u32) -> u32 {
+        self.parents[ix(i)]
+    }
+
+    /// True when node `i` is a duplicated special-link node.
+    #[inline]
+    #[must_use]
+    pub fn is_link_dup(&self, i: u32) -> bool {
+        (self.dup_bits[ix(i) / 64] >> (ix(i) % 64)) & 1 == 1
+    }
+
+    /// The children of node `i`: adjacent `(url, child)` entries sorted by
+    /// URL.
+    #[inline]
+    #[must_use]
+    pub fn children(&self, i: u32) -> &[(UrlId, u32)] {
+        &self.child_entries[ix(self.child_offsets[ix(i)])..ix(self.child_offsets[ix(i) + 1])]
+    }
+
+    /// True when node `i` has at least one child (one offset subtraction —
+    /// no pointer chase).
+    #[inline]
+    #[must_use]
+    pub fn has_children(&self, i: u32) -> bool {
+        self.child_offsets[ix(i)] < self.child_offsets[ix(i) + 1]
+    }
+
+    /// The child of node `i` carrying `url`, if any. Short rows are a
+    /// linear scan over the adjacent entries; long rows binary-search.
+    #[inline]
+    #[must_use]
+    pub fn child(&self, i: u32, url: UrlId) -> Option<u32> {
+        let row = self.children(i);
+        if row.len() <= LINEAR_SCAN_MAX {
+            for &(u, c) in row {
+                if u == url {
+                    return Some(c);
+                }
+                if u > url {
+                    return None;
+                }
+            }
+            None
+        } else {
+            row.binary_search_by_key(&url, |&(u, _)| u)
+                .ok()
+                .map(|pos| row[pos].1)
+        }
+    }
+
+    /// Slot of `url` in the sorted root table, via the direct-index lookup.
+    #[inline]
+    fn root_slot(&self, url: UrlId) -> Option<usize> {
+        let slot = *self.root_lookup.get(ix(url.0))?;
+        (slot != NO_NODE).then(|| ix(slot))
+    }
+
+    /// The branch root for `url`, if one exists.
+    #[inline]
+    #[must_use]
+    pub fn root(&self, url: UrlId) -> Option<u32> {
+        self.root_slot(url).map(|slot| self.roots[slot].1)
+    }
+
+    /// Special-link targets (duplicated nodes) hanging off `url`'s root.
+    #[inline]
+    #[must_use]
+    pub fn links_of(&self, url: UrlId) -> &[u32] {
+        match self.root_slot(url) {
+            Some(slot) => {
+                &self.link_entries[ix(self.link_offsets[slot])..ix(self.link_offsets[slot + 1])]
+            }
+            None => &[],
+        }
+    }
+
+    /// Walks `path` down from a root, returning the node spelling the whole
+    /// path.
+    #[must_use]
+    pub fn descend(&self, path: &[UrlId]) -> Option<u32> {
+        let (&first, rest) = path.split_first()?;
+        let mut cur = self.root(first)?;
+        for &url in rest {
+            cur = self.child(cur, url)?;
+        }
+        Some(cur)
+    }
+
+    /// Frozen mirror of [`Tree::longest_predictive_match`]: the deepest
+    /// suffix match (longest first, at most `max_order` URLs) that has at
+    /// least one child. No hashing and no allocation — this *is* the
+    /// frozen-scan strategy for the suffix-forest models.
+    ///
+    /// [`Tree::longest_predictive_match`]: crate::tree::Tree::longest_predictive_match
+    #[must_use]
+    pub fn longest_predictive(&self, context: &[UrlId], max_order: usize) -> Option<u32> {
+        let len = context.len();
+        let longest = len.min(max_order).min(usize::from(u8::MAX));
+        for k in (1..=longest).rev() {
+            if let Some(node) = self.descend(&context[len - k..]) {
+                if self.has_children(node) {
+                    return Some(node);
+                }
+            }
+        }
+        None
+    }
+
+    /// Frozen mirror of [`crate::context_index::match_top`]: verifies the
+    /// upward path ending at `node` spells `suffix`, returning the topmost
+    /// matched node.
+    #[must_use]
+    pub fn match_top(&self, node: u32, suffix: &[UrlId]) -> Option<u32> {
+        let mut cur = node;
+        let mut iter = suffix.iter().rev();
+        let &last = iter.next()?;
+        if self.url(cur) != last {
+            return None;
+        }
+        for &url in iter {
+            let parent = self.parent(cur);
+            if parent == NO_NODE {
+                return None; // stored path is shorter than the suffix
+            }
+            cur = parent;
+            if self.url(cur) != url {
+                return None;
+            }
+        }
+        Some(cur)
+    }
+
+    /// Frozen mirror of PB-PPM's `match_len`: length of the longest context
+    /// suffix matching the upward path ending at `node`, capped at
+    /// `max_order`.
+    #[must_use]
+    pub fn match_len(&self, node: u32, context: &[UrlId], max_order: usize) -> usize {
+        let mut len = 0;
+        let mut cur = node;
+        for &url in context.iter().rev().take(max_order) {
+            if self.url(cur) != url {
+                break;
+            }
+            len += 1;
+            let parent = self.parent(cur);
+            if parent == NO_NODE {
+                break;
+            }
+            cur = parent;
+        }
+        len
+    }
+
+    /// Resident heap bytes of the frozen arena (all backing arrays at
+    /// capacity). The bench reports this against the pointer arena's
+    /// [`Tree::memory_bytes`].
+    ///
+    /// [`Tree::memory_bytes`]: crate::tree::Tree::memory_bytes
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.urls.capacity() * size_of::<UrlId>()
+            + self.counts.capacity() * size_of::<u64>()
+            + self.depths.capacity()
+            + self.parents.capacity() * size_of::<u32>()
+            + self.grades.capacity()
+            + self.dup_bits.capacity() * size_of::<u64>()
+            + self.child_offsets.capacity() * size_of::<u32>()
+            + self.child_entries.capacity() * size_of::<(UrlId, u32)>()
+            + self.roots.capacity() * size_of::<(UrlId, u32)>()
+            + self.root_lookup.capacity() * size_of::<u32>()
+            + self.link_offsets.capacity() * size_of::<u32>()
+            + self.link_entries.capacity() * size_of::<u32>()
+    }
+
+    /// Corruption hook for the audit adversarial harness: bumps one node's
+    /// frozen count so it diverges from the pointer arena. Returns false on
+    /// an empty arena. Not part of the public API.
+    #[doc(hidden)]
+    pub fn skew_count_for_audit(&mut self) -> bool {
+        match self.counts.first_mut() {
+            Some(c) => {
+                *c += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lrs::LrsPpm;
+    use crate::pb::{PbConfig, PbPpm};
+    use crate::popularity::PopularityBuilder;
+    use crate::predictor::Predictor;
+    use crate::prune::PruneConfig;
+    use crate::standard::StandardPpm;
+
+    fn u(n: u32) -> UrlId {
+        UrlId(n)
+    }
+
+    fn trained_standard() -> StandardPpm {
+        let mut m = StandardPpm::unbounded();
+        m.train_session(&[u(0), u(1), u(2), u(3)]);
+        m.train_session(&[u(0), u(1), u(4)]);
+        m.train_session(&[u(2), u(3), u(1)]);
+        m.finalize();
+        m
+    }
+
+    fn trained_pb() -> PbPpm {
+        let mut b = PopularityBuilder::new();
+        b.record_n(u(0), 1000);
+        b.record_n(u(1), 50);
+        b.record_n(u(2), 5);
+        b.record_n(u(3), 1000);
+        let cfg = PbConfig {
+            prune: PruneConfig::disabled(),
+            ..PbConfig::default()
+        };
+        let mut m = PbPpm::new(b.build(), cfg);
+        for _ in 0..3 {
+            m.train_session(&[u(0), u(1), u(2), u(3), u(1), u(2)]);
+        }
+        m.train_session(&[u(3), u(1), u(2), u(0)]);
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn freeze_is_identity_mapped_and_field_faithful() {
+        let m = trained_standard();
+        let frozen = m.frozen().expect("finalize froze");
+        let tree = m.tree();
+        assert_eq!(frozen.len(), tree.arena_len());
+        for id in tree.iter_alive() {
+            let node = &tree.nodes[id.index()];
+            let i = id.0;
+            assert_eq!(frozen.url(i), node.url);
+            assert_eq!(frozen.count(i), node.count);
+            assert_eq!(frozen.depth(i), node.depth);
+            assert_eq!(frozen.parent(i), node.parent.0);
+            assert_eq!(frozen.is_link_dup(i), node.link_dup);
+            let kids: Vec<(UrlId, u32)> = node.children.iter().map(|&(u, c)| (u, c.0)).collect();
+            assert_eq!(frozen.children(i), kids.as_slice());
+        }
+    }
+
+    #[test]
+    fn frozen_lookups_mirror_pointer_lookups() {
+        let m = trained_standard();
+        let frozen = m.frozen().expect("finalize froze");
+        let tree = m.tree();
+        for url in 0..6 {
+            assert_eq!(
+                frozen.root(u(url)),
+                tree.root(u(url)).map(|id| id.0),
+                "root({url})"
+            );
+        }
+        let probes: Vec<Vec<UrlId>> = vec![
+            vec![u(0)],
+            vec![u(0), u(1)],
+            vec![u(0), u(1), u(2)],
+            vec![u(0), u(1), u(2), u(3)],
+            vec![u(9), u(0), u(1)],
+            vec![u(2), u(3)],
+            vec![u(5)],
+            vec![],
+        ];
+        for ctx in &probes {
+            assert_eq!(
+                frozen.longest_predictive(ctx, 255),
+                tree.longest_predictive_match(ctx, 255).map(|id| id.0),
+                "context {ctx:?}"
+            );
+            assert_eq!(
+                frozen.descend(ctx),
+                tree.descend(ctx).map(|id| id.0),
+                "descend {ctx:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_links_and_grades_mirror_pb() {
+        let m = trained_pb();
+        let frozen = m.frozen().expect("finalize froze");
+        let tree = m.tree();
+        for url in 0..5 {
+            let mut want: Vec<u32> = tree
+                .root(u(url))
+                .map(|root| tree.links_of(root).map(|id| id.0).collect())
+                .unwrap_or_default();
+            let mut got = frozen.links_of(u(url)).to_vec();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "links_of({url})");
+        }
+        for id in tree.iter_alive() {
+            let node = tree.node(id);
+            assert_eq!(
+                frozen.grade(id.0),
+                m.popularity().grade(node.url).level(),
+                "grade of node {}",
+                id.0
+            );
+        }
+    }
+
+    #[test]
+    fn match_len_and_match_top_mirror_pointer_walks() {
+        let m = trained_pb();
+        let frozen = m.frozen().expect("finalize froze");
+        let tree = m.tree();
+        let contexts = [
+            vec![u(0)],
+            vec![u(0), u(1)],
+            vec![u(1), u(2)],
+            vec![u(9), u(1), u(2)],
+            vec![u(0), u(1), u(2), u(3)],
+        ];
+        for id in tree.iter_alive() {
+            for ctx in &contexts {
+                assert_eq!(
+                    frozen.match_top(id.0, ctx),
+                    crate::context_index::match_top(tree, id, ctx).map(|t| t.0),
+                    "match_top node {} ctx {ctx:?}",
+                    id.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_arena_is_smaller_than_pointer_arena() {
+        let m = trained_standard();
+        let frozen = m.frozen().expect("finalize froze");
+        assert!(
+            frozen.heap_bytes() < m.tree().memory_bytes(),
+            "frozen {} bytes vs pointer {} bytes",
+            frozen.heap_bytes(),
+            m.tree().memory_bytes()
+        );
+    }
+
+    #[test]
+    fn from_parts_accepts_a_faithful_roundtrip() {
+        let m = trained_pb();
+        let f = m.frozen().expect("finalize froze").clone();
+        let parts = FrozenParts {
+            urls: f.urls.clone(),
+            counts: f.counts.clone(),
+            depths: f.depths.clone(),
+            parents: f.parents.clone(),
+            grades: f.grades.clone(),
+            dup_bits: f.dup_bits.clone(),
+            child_offsets: f.child_offsets.clone(),
+            child_entries: f.child_entries.clone(),
+            roots: f.roots.clone(),
+            link_offsets: f.link_offsets.clone(),
+            link_entries: f.link_entries.clone(),
+        };
+        let back = FrozenTree::from_parts(parts).expect("faithful parts validate");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_structure() {
+        let m = trained_pb();
+        let f = m.frozen().expect("finalize froze");
+        let parts = |mutate: &dyn Fn(&mut FrozenParts)| {
+            let mut p = FrozenParts {
+                urls: f.urls.clone(),
+                counts: f.counts.clone(),
+                depths: f.depths.clone(),
+                parents: f.parents.clone(),
+                grades: f.grades.clone(),
+                dup_bits: f.dup_bits.clone(),
+                child_offsets: f.child_offsets.clone(),
+                child_entries: f.child_entries.clone(),
+                roots: f.roots.clone(),
+                link_offsets: f.link_offsets.clone(),
+                link_entries: f.link_entries.clone(),
+            };
+            mutate(&mut p);
+            p
+        };
+        // Length disagreement.
+        assert!(FrozenTree::from_parts(parts(&|p| {
+            p.counts.pop();
+        }))
+        .is_err());
+        // Non-monotone child offsets.
+        assert!(FrozenTree::from_parts(parts(&|p| {
+            if p.child_offsets.len() > 2 {
+                p.child_offsets[1] = u32::MAX - 1;
+            }
+        }))
+        .is_err());
+        // Out-of-bounds child entry.
+        assert!(FrozenTree::from_parts(parts(&|p| {
+            if let Some(e) = p.child_entries.first_mut() {
+                e.1 = u32::MAX - 1;
+            }
+        }))
+        .is_err());
+        // Unsorted root table.
+        assert!(
+            FrozenTree::from_parts(parts(&|p| {
+                p.roots.reverse();
+            }))
+            .is_err()
+                || f.roots.len() < 2
+        );
+        // Link offsets disagreeing with entries.
+        assert!(FrozenTree::from_parts(parts(&|p| {
+            p.link_entries.push(0);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn strategy_selector_prefers_scan_for_sparse_buckets() {
+        let sparse = IndexOccupancy {
+            buckets: 1000,
+            max_bucket: 1,
+            dirty_groups: 0,
+        };
+        assert_eq!(choose_strategy(1000, sparse), MatchStrategy::FrozenScan);
+        let dense = IndexOccupancy {
+            buckets: 1000,
+            max_bucket: 2,
+            dirty_groups: 0,
+        };
+        assert_eq!(
+            choose_strategy(2500, dense),
+            MatchStrategy::FingerprintIndex
+        );
+        let skewed = IndexOccupancy {
+            buckets: 1000,
+            max_bucket: 64,
+            dirty_groups: 0,
+        };
+        assert_eq!(
+            choose_strategy(1100, skewed),
+            MatchStrategy::FingerprintIndex
+        );
+        let empty = IndexOccupancy {
+            buckets: 0,
+            max_bucket: 0,
+            dirty_groups: 0,
+        };
+        assert_eq!(choose_strategy(0, empty), MatchStrategy::FrozenScan);
+    }
+
+    #[test]
+    fn lrs_freeze_survives_prune_and_compact() {
+        let mut m = LrsPpm::new();
+        for _ in 0..3 {
+            m.train_session(&[u(0), u(1), u(2)]);
+        }
+        m.train_session(&[u(3), u(4)]); // below min_support: pruned away
+        m.finalize();
+        let frozen = m.frozen().expect("finalize froze");
+        assert_eq!(frozen.len(), m.tree().node_count());
+        assert!(frozen.root(u(3)).is_none(), "pruned root must not survive");
+        assert!(frozen.descend(&[u(0), u(1), u(2)]).is_some());
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod context_index;
 pub mod eval;
+pub mod frozen;
 pub mod fxhash;
 pub mod interner;
 pub mod lrs;
@@ -72,6 +73,7 @@ pub mod verify;
 
 pub use context_index::{ContextHashes, ContextIndex, IndexOccupancy};
 pub use eval::{evaluate, EvalConfig, PredictionQuality};
+pub use frozen::{choose_strategy, FrozenTree, MatchStrategy};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interner::{Interner, UrlId};
 pub use lrs::LrsPpm;

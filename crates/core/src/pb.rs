@@ -25,6 +25,7 @@
 //! optimizations of [`crate::prune`].
 
 use crate::context_index::{match_top, ContextHashes, ContextIndex};
+use crate::frozen::{choose_strategy, FrozenTree, MatchStrategy};
 use crate::interner::UrlId;
 use crate::popularity::{Grade, PopularityTable};
 use crate::predictor::{rank_predictions, ModelKind, PredictUsage, Prediction, Predictor};
@@ -110,6 +111,12 @@ pub struct PbPpm {
     /// ([`crate::context_index::WindowGroup`]), built once in
     /// [`PbPpm::finalize`] over the pruned arena.
     pub(crate) index: ContextIndex,
+    /// Frozen SoA/CSR arena, compiled by `finalize`; verification walks and
+    /// the link channel read it instead of chasing pointer-tree nodes.
+    pub(crate) frozen: Option<FrozenTree>,
+    /// Adaptive choice between the frozen occurrence scan and the
+    /// fingerprint index, made at finalize from measured bucket occupancy.
+    pub(crate) strategy: MatchStrategy,
 }
 
 impl PbPpm {
@@ -126,6 +133,8 @@ impl PbPpm {
             emitted_branch_preds: 0,
             by_url: crate::fxhash::FxHashMap::default(),
             index: ContextIndex::default(),
+            frozen: None,
+            strategy: MatchStrategy::FingerprintIndex,
         }
     }
 
@@ -323,6 +332,260 @@ impl PbPpm {
         &self.cfg
     }
 
+    /// The frozen SoA/CSR arena compiled at finalize, if any.
+    pub fn frozen(&self) -> Option<&FrozenTree> {
+        self.frozen.as_ref()
+    }
+
+    /// Pins the match strategy regardless of what the adaptive selector
+    /// chose, so tests can exercise a specific path. Not public API.
+    #[doc(hidden)]
+    pub fn force_strategy(&mut self, strategy: MatchStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Pointer-arena prediction path (fingerprint index + pointer-tree
+    /// walks), retained verbatim so the throughput bench can time the
+    /// frozen arena against it. Not public API.
+    #[doc(hidden)]
+    pub fn predict_pointer(
+        &self,
+        context: &[UrlId],
+        out: &mut Vec<Prediction>,
+        usage: &mut PredictUsage,
+    ) {
+        out.clear();
+        let Some(&current) = context.last() else {
+            return;
+        };
+        self.predict_via_index(None, context, current, out, usage);
+    }
+
+    /// The reference occurrence scan served from the frozen SoA/CSR arrays
+    /// instead of pointer-tree nodes, chosen by the adaptive selector when
+    /// the fingerprint index's measured occupancy predicts no win over a
+    /// linear grouped scan. Emits exactly the reference algorithm's
+    /// predictions ([`rank_predictions`] makes the ordering deterministic)
+    /// with `vote_candidates`-style per-node usage records.
+    fn predict_frozen_scan(
+        &self,
+        frozen: &FrozenTree,
+        context: &[UrlId],
+        current: UrlId,
+        out: &mut Vec<Prediction>,
+        usage: &mut PredictUsage,
+    ) {
+        if let Some(nodes) = self.by_url.get(&current) {
+            // Group candidate occurrences by match length, longest first —
+            // `by_url` is rebuilt over the compacted arena at finalize, so
+            // every id is alive and maps 1:1 onto a frozen row.
+            let mut scored: Vec<(usize, u32)> = nodes
+                .iter()
+                .map(|&id| (frozen.match_len(id.0, context, self.cfg.max_order), id.0))
+                .collect();
+            scored.sort_by_key(|&(len, _)| std::cmp::Reverse(len));
+            let mut i = 0;
+            while i < scored.len() {
+                let len = scored[i].0;
+                let mut j = i;
+                let mut parent_total = 0u64;
+                while j < scored.len() && scored[j].0 == len {
+                    if frozen.has_children(scored[j].1) {
+                        parent_total += frozen.count(scored[j].1);
+                    }
+                    j += 1;
+                }
+                if parent_total > 0 {
+                    let mut agg: crate::fxhash::FxHashMap<UrlId, u64> =
+                        crate::fxhash::FxHashMap::default();
+                    for &(_, node) in &scored[i..j] {
+                        if !frozen.has_children(node) {
+                            continue;
+                        }
+                        usage.used_paths.push(NodeId(node));
+                        for &(url, child) in frozen.children(node) {
+                            *agg.entry(url).or_default() += frozen.count(child);
+                            usage.used_nodes.push(NodeId(child));
+                        }
+                    }
+                    for (url, count) in agg {
+                        out.push(Prediction::new(url, count as f64 / parent_total as f64));
+                        usage.branch_preds += 1;
+                    }
+                    usage.index_fast += 1;
+                    break;
+                }
+                i = j;
+            }
+        }
+        // Link channel from the frozen link CSR (same stored order as the
+        // pointer tree's alive-filtered link lists).
+        if let Some(root) = frozen.root(current) {
+            let root_count = frozen.count(root);
+            if root_count > 0 {
+                let mut any = false;
+                for &id in frozen.links_of(current) {
+                    out.push(Prediction::new(
+                        frozen.url(id),
+                        frozen.count(id) as f64 / root_count as f64,
+                    ));
+                    usage.used_nodes.push(NodeId(id));
+                    usage.link_preds += 1;
+                    any = true;
+                }
+                if any {
+                    usage.used_nodes.push(NodeId(root));
+                }
+            }
+        }
+        rank_predictions(out, usize::MAX);
+    }
+
+    /// Branch predictions via the longest matching context, sought at
+    /// interior nodes (see the `by_url` field docs). The fingerprint
+    /// index hands us, per window length, the *precomputed aggregate*
+    /// of all nodes whose window spells that content: one representative
+    /// upward walk verifies the whole bucket against the suffix
+    /// (hash-bucket collisions), and the reference scan's maximality
+    /// rule — a node whose stored path keeps agreeing with an even older
+    /// context URL belongs to a longer match group — becomes a
+    /// subtraction of the per-extension sub-aggregate for the next-older
+    /// context URL. The longest length whose remaining total is positive
+    /// votes with its aggregated children, weighted by count. Buckets
+    /// flagged dirty at build time (a genuine fingerprint collision)
+    /// fall back to the per-member scan in `vote_candidates`.
+    ///
+    /// When `frozen` is given, the representative verification walk and
+    /// the link channel read the SoA/CSR arrays (node ids map 1:1); with
+    /// `None` everything runs against the pointer tree, which is the
+    /// bench's pointer comparator.
+    fn predict_via_index(
+        &self,
+        frozen: Option<&FrozenTree>,
+        context: &[UrlId],
+        current: UrlId,
+        out: &mut Vec<Prediction>,
+        usage: &mut PredictUsage,
+    ) {
+        let len = context.len();
+        let longest = len.min(self.cfg.max_order).min(usize::from(u8::MAX));
+        let mut hashes = ContextHashes::new();
+        hashes.compute(context, longest);
+        for l in (1..=longest).rev() {
+            let suffix = &context[len - l..];
+            let Some((key, g)) = self.index.group(l, hashes.suffix_hash(l)) else {
+                continue;
+            };
+            if g.dirty {
+                let older = (l < longest).then(|| context[len - 1 - l]);
+                let candidates = self.index.candidates(l, hashes.suffix_hash(l));
+                if self.vote_candidates(suffix, older, candidates, out, usage) {
+                    usage.index_fallback += 1;
+                    break;
+                }
+                continue;
+            }
+            let spelled = match frozen {
+                Some(f) => f.match_top(g.rep.0, suffix).is_some(),
+                None => match_top(&self.tree, g.rep, suffix).is_some(),
+            };
+            if !spelled {
+                continue; // clean bucket, so no node spells this suffix
+            }
+            let excluded = if l < longest {
+                let ext = context[len - 1 - l];
+                g.sub_for(ext).map(|s| (ext, s))
+            } else {
+                None
+            };
+            match excluded {
+                None => {
+                    if g.total == 0 {
+                        continue;
+                    }
+                    for &(url, count) in &g.votes {
+                        out.push(Prediction::new(url, count as f64 / g.total as f64));
+                        usage.branch_preds += 1;
+                    }
+                    usage.used_groups.push((key, u64::MAX));
+                }
+                Some((ext, sub)) => {
+                    let total = g.total - sub.total;
+                    if total == 0 {
+                        continue;
+                    }
+                    // `sub.votes` is a sorted subset of `g.votes`: one
+                    // forward merge subtracts the excluded members' votes.
+                    let mut j = 0;
+                    for &(url, count) in &g.votes {
+                        let mut c = count;
+                        if j < sub.votes.len() && sub.votes[j].0 == url {
+                            c -= sub.votes[j].1;
+                            j += 1;
+                        }
+                        if c > 0 {
+                            out.push(Prediction::new(url, c as f64 / total as f64));
+                            usage.branch_preds += 1;
+                        }
+                    }
+                    usage.used_groups.push((key, u64::from(ext.0)));
+                }
+            }
+            usage.index_fast += 1;
+            break;
+        }
+
+        // Additional predictions from the special links when the current
+        // click is a root (§3.4 rule 3, §4.1). A link's probability is the
+        // fraction of the branch's sessions in which the duplicated popular
+        // URL was visited later on — the "possibility" that pushing it now
+        // pays off before the session ends. On a home-oriented site the top
+        // entry pages clear the 0.25 policy threshold this way; on a site
+        // without a popular anchor they do not, and the channel stays quiet.
+        match frozen {
+            Some(f) => {
+                if let Some(root) = f.root(current) {
+                    let root_count = f.count(root);
+                    if root_count > 0 {
+                        let mut any = false;
+                        for &id in f.links_of(current) {
+                            out.push(Prediction::new(
+                                f.url(id),
+                                f.count(id) as f64 / root_count as f64,
+                            ));
+                            usage.used_nodes.push(NodeId(id));
+                            usage.link_preds += 1;
+                            any = true;
+                        }
+                        if any {
+                            usage.used_nodes.push(NodeId(root));
+                        }
+                    }
+                }
+            }
+            None => {
+                if let Some(root) = self.tree.root(current) {
+                    let root_count = self.tree.node(root).count;
+                    if root_count > 0 {
+                        let mut any = false;
+                        for id in self.tree.links_of(root) {
+                            let n = self.tree.node(id);
+                            out.push(Prediction::new(n.url, n.count as f64 / root_count as f64));
+                            usage.used_nodes.push(id);
+                            usage.link_preds += 1;
+                            any = true;
+                        }
+                        if any {
+                            usage.used_nodes.push(root);
+                        }
+                    }
+                }
+            }
+        }
+
+        rank_predictions(out, usize::MAX);
+    }
+
     /// Serializes the trained model (tree, popularity table, config) so a
     /// server can persist it across restarts. Only meaningful after
     /// [`Predictor::finalize`].
@@ -332,6 +595,7 @@ impl PbPpm {
             pop: self.pop.clone(),
             cfg: self.cfg,
             finalized: self.finalized,
+            frozen: self.frozen.clone(),
         }
     }
 
@@ -348,6 +612,11 @@ impl PbPpm {
             }
         }
         let index = ContextIndex::windows(&mut tree, snap.cfg.max_order);
+        let strategy = choose_strategy(index.len(), index.occupancy());
+        // The frozen arena is always recompiled from the decoded tree —
+        // a persisted copy is never trusted for serving (the audit layer
+        // compares it against this rebuild instead).
+        let frozen = snap.finalized.then(|| tree.freeze(Some(&snap.pop)));
         Ok(Self {
             tree,
             pop: snap.pop.clone(),
@@ -358,6 +627,8 @@ impl PbPpm {
             emitted_branch_preds: 0,
             by_url,
             index,
+            frozen,
+            strategy,
         })
     }
 
@@ -396,6 +667,11 @@ pub struct PbSnapshot {
     pub cfg: PbConfig,
     /// Whether [`Predictor::finalize`] had run.
     pub finalized: bool,
+    /// The frozen SoA/CSR arena compiled at finalize (`None` for
+    /// unfinalized models or snapshots written before the frozen format).
+    /// Restoring always recompiles from `tree`; this copy exists so the
+    /// audit layer can cross-check what was persisted.
+    pub frozen: Option<FrozenTree>,
 }
 
 impl Predictor for PbPpm {
@@ -473,6 +749,12 @@ impl Predictor for PbPpm {
             }
         }
         self.index = ContextIndex::windows(&mut self.tree, self.cfg.max_order);
+        // Choose between the frozen occurrence scan and the fingerprint
+        // index from the index's measured shape, then compile the SoA/CSR
+        // arena (a no-op compact: prune already ran, so node ids are
+        // stable and `by_url`/index references stay valid).
+        self.strategy = choose_strategy(self.index.len(), self.index.occupancy());
+        self.frozen = Some(self.tree.freeze(Some(&self.pop)));
         self.finalized = true;
         if pbppm_obs::ENABLED {
             self.publish_storage_gauges();
@@ -486,109 +768,14 @@ impl Predictor for PbPpm {
             return;
         };
         debug_assert!(self.finalized, "predict before finalize");
-
-        // Branch predictions via the longest matching context, sought at
-        // interior nodes (see the `by_url` field docs). The fingerprint
-        // index hands us, per window length, the *precomputed aggregate*
-        // of all nodes whose window spells that content: one representative
-        // upward walk verifies the whole bucket against the suffix
-        // (hash-bucket collisions), and the reference scan's maximality
-        // rule — a node whose stored path keeps agreeing with an even older
-        // context URL belongs to a longer match group — becomes a
-        // subtraction of the per-extension sub-aggregate for the next-older
-        // context URL. The longest length whose remaining total is positive
-        // votes with its aggregated children, weighted by count. Buckets
-        // flagged dirty at build time (a genuine fingerprint collision)
-        // fall back to the per-member scan in `vote_candidates`.
-        let len = context.len();
-        let longest = len.min(self.cfg.max_order).min(usize::from(u8::MAX));
-        let mut hashes = ContextHashes::new();
-        hashes.compute(context, longest);
-        for l in (1..=longest).rev() {
-            let suffix = &context[len - l..];
-            let Some((key, g)) = self.index.group(l, hashes.suffix_hash(l)) else {
-                continue;
-            };
-            if g.dirty {
-                let older = (l < longest).then(|| context[len - 1 - l]);
-                let candidates = self.index.candidates(l, hashes.suffix_hash(l));
-                if self.vote_candidates(suffix, older, candidates, out, usage) {
-                    usage.index_fallback += 1;
-                    break;
-                }
-                continue;
+        match (&self.frozen, self.strategy) {
+            (Some(frozen), MatchStrategy::FrozenScan) => {
+                self.predict_frozen_scan(frozen, context, current, out, usage);
             }
-            if match_top(&self.tree, g.rep, suffix).is_none() {
-                continue; // clean bucket, so no node spells this suffix
-            }
-            let excluded = if l < longest {
-                let ext = context[len - 1 - l];
-                g.sub_for(ext).map(|s| (ext, s))
-            } else {
-                None
-            };
-            match excluded {
-                None => {
-                    if g.total == 0 {
-                        continue;
-                    }
-                    for &(url, count) in &g.votes {
-                        out.push(Prediction::new(url, count as f64 / g.total as f64));
-                        usage.branch_preds += 1;
-                    }
-                    usage.used_groups.push((key, u64::MAX));
-                }
-                Some((ext, sub)) => {
-                    let total = g.total - sub.total;
-                    if total == 0 {
-                        continue;
-                    }
-                    // `sub.votes` is a sorted subset of `g.votes`: one
-                    // forward merge subtracts the excluded members' votes.
-                    let mut j = 0;
-                    for &(url, count) in &g.votes {
-                        let mut c = count;
-                        if j < sub.votes.len() && sub.votes[j].0 == url {
-                            c -= sub.votes[j].1;
-                            j += 1;
-                        }
-                        if c > 0 {
-                            out.push(Prediction::new(url, c as f64 / total as f64));
-                            usage.branch_preds += 1;
-                        }
-                    }
-                    usage.used_groups.push((key, u64::from(ext.0)));
-                }
-            }
-            usage.index_fast += 1;
-            break;
-        }
-
-        // Additional predictions from the special links when the current
-        // click is a root (§3.4 rule 3, §4.1). A link's probability is the
-        // fraction of the branch's sessions in which the duplicated popular
-        // URL was visited later on — the "possibility" that pushing it now
-        // pays off before the session ends. On a home-oriented site the top
-        // entry pages clear the 0.25 policy threshold this way; on a site
-        // without a popular anchor they do not, and the channel stays quiet.
-        if let Some(root) = self.tree.root(current) {
-            let root_count = self.tree.node(root).count;
-            if root_count > 0 {
-                let mut any = false;
-                for id in self.tree.links_of(root) {
-                    let n = self.tree.node(id);
-                    out.push(Prediction::new(n.url, n.count as f64 / root_count as f64));
-                    usage.used_nodes.push(id);
-                    usage.link_preds += 1;
-                    any = true;
-                }
-                if any {
-                    usage.used_nodes.push(root);
-                }
+            (frozen, _) => {
+                self.predict_via_index(frozen.as_ref(), context, current, out, usage);
             }
         }
-
-        rank_predictions(out, usize::MAX);
     }
 
     fn apply_usage(&mut self, usage: &PredictUsage) {
@@ -631,6 +818,10 @@ impl Predictor for PbPpm {
         }
         self.emitted_branch_preds += usage.branch_preds;
         self.emitted_link_preds += usage.link_preds;
+    }
+
+    fn frozen(&self) -> Option<&crate::frozen::FrozenTree> {
+        self.frozen.as_ref()
     }
 
     fn node_count(&self) -> usize {
@@ -967,21 +1158,24 @@ mod tests {
         m.finalize();
         let mut fast = Vec::new();
         let mut slow = Vec::new();
-        for ctx in [
-            vec![u(0)],
-            vec![u(1)],
-            vec![u(0), u(1)],
-            vec![u(3), u(1)],
-            vec![u(9), u(1)],
-            vec![u(0), u(1), u(2)],
-            vec![u(3), u(4), u(5)],
-            vec![u(99)],
-            vec![],
-        ] {
-            let mut usage = crate::predictor::PredictUsage::default();
-            m.predict_ro(&ctx, &mut fast, &mut usage);
-            m.predict_reference(&ctx, &mut slow);
-            assert_eq!(fast, slow, "context {ctx:?}");
+        for strategy in [MatchStrategy::FingerprintIndex, MatchStrategy::FrozenScan] {
+            m.force_strategy(strategy);
+            for ctx in [
+                vec![u(0)],
+                vec![u(1)],
+                vec![u(0), u(1)],
+                vec![u(3), u(1)],
+                vec![u(9), u(1)],
+                vec![u(0), u(1), u(2)],
+                vec![u(3), u(4), u(5)],
+                vec![u(99)],
+                vec![],
+            ] {
+                let mut usage = crate::predictor::PredictUsage::default();
+                m.predict_ro(&ctx, &mut fast, &mut usage);
+                m.predict_reference(&ctx, &mut slow);
+                assert_eq!(fast, slow, "context {ctx:?} under {strategy:?}");
+            }
         }
     }
 
@@ -997,6 +1191,9 @@ mod tests {
         }
         m.train_session(&[u(3), u(1), u(2), u(0)]);
         m.finalize();
+        // Dirty-bucket handling lives on the index path; pin it so the
+        // adaptive selector cannot route this fixture to the frozen scan.
+        m.force_strategy(MatchStrategy::FingerprintIndex);
         m.index.force_dirty();
         let mut fast = Vec::new();
         let mut slow = Vec::new();
@@ -1033,6 +1230,8 @@ mod tests {
             }
             m.train_session(&[u(3), u(1), u(2), u(0)]);
             m.finalize();
+            // Group marking is index-path machinery; pin the strategy.
+            m.force_strategy(MatchStrategy::FingerprintIndex);
             m
         };
         let contexts = [

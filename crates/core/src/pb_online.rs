@@ -195,6 +195,10 @@ impl Predictor for OnlinePbPpm {
         }
     }
 
+    fn frozen(&self) -> Option<&crate::frozen::FrozenTree> {
+        self.model.as_ref().and_then(PbPpm::frozen)
+    }
+
     fn node_count(&self) -> usize {
         self.model.as_ref().map_or(0, |m| m.node_count())
     }

@@ -95,6 +95,12 @@ pub struct PredictUsage {
     /// the member nodes keeps the fast path free of per-member work, and
     /// since marking is idempotent the records deduplicate freely.
     pub used_groups: Vec<(u64, u64)>,
+    /// Nodes whose *entire* child row voted (the frozen CSR vote of the
+    /// standard/LRS serving path). Like [`Self::used_groups`], one record
+    /// stands in for every member: `apply_usage` expands it back to
+    /// per-child marks, keeping the hot predict loop free of per-child
+    /// pushes.
+    pub used_child_rows: Vec<NodeId>,
     /// Context matches answered through the hashed `ContextIndex` fast
     /// path. Plain counters so the predict path stays free of atomics; the
     /// engine folds them into the telemetry registry after the merge.
@@ -114,6 +120,7 @@ impl PredictUsage {
         self.link_preds = 0;
         self.branch_preds = 0;
         self.used_groups.clear();
+        self.used_child_rows.clear();
         self.index_fast = 0;
         self.index_fallback = 0;
     }
@@ -127,6 +134,8 @@ impl PredictUsage {
         self.link_preds += other.link_preds;
         self.branch_preds += other.branch_preds;
         self.used_groups.extend_from_slice(&other.used_groups);
+        self.used_child_rows
+            .extend_from_slice(&other.used_child_rows);
         self.index_fast += other.index_fast;
         self.index_fallback += other.index_fallback;
     }
@@ -140,6 +149,7 @@ impl PredictUsage {
             && self.link_preds == 0
             && self.branch_preds == 0
             && self.used_groups.is_empty()
+            && self.used_child_rows.is_empty()
             && self.index_fast == 0
             && self.index_fallback == 0
     }
@@ -203,6 +213,13 @@ pub trait Predictor: Send + Sync {
         self.apply_usage(&usage);
     }
 
+    /// The frozen SoA/CSR arena this model serves from, if it has been
+    /// finalized into one. Models without a frozen form (baselines,
+    /// pre-finalize states) return `None`.
+    fn frozen(&self) -> Option<&crate::frozen::FrozenTree> {
+        None
+    }
+
     /// The paper's space metric: number of URL nodes the model stores.
     fn node_count(&self) -> usize;
 
@@ -224,6 +241,20 @@ pub fn rank_predictions(out: &mut Vec<Prediction>, max: usize) {
     let mut seen = crate::fxhash::FxHashSet::default();
     out.retain(|p| seen.insert(p.url));
     out.truncate(max);
+}
+
+/// [`rank_predictions`] for an input already distinct by URL — one frozen
+/// CSR child row, whose keys are unique by construction. Skips the dedup
+/// set (and its allocation); the `(prob desc, url asc)` key is a strict
+/// total order on distinct URLs, so the unstable sort produces exactly the
+/// ordering `rank_predictions` would.
+pub(crate) fn rank_distinct_predictions(out: &mut [Prediction]) {
+    out.sort_unstable_by(|a, b| {
+        b.prob
+            .partial_cmp(&a.prob)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.url.cmp(&b.url))
+    });
 }
 
 #[cfg(test)]

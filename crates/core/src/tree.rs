@@ -239,6 +239,17 @@ impl Tree {
         self.nodes[id.index()].used = true;
     }
 
+    /// Flags every alive child of `id` as used — the expansion of a
+    /// [`crate::PredictUsage::used_child_rows`] record.
+    pub fn mark_children_used(&mut self, id: NodeId) {
+        for i in 0..self.nodes[id.index()].children.len() {
+            let (_, child) = self.nodes[id.index()].children[i];
+            if self.nodes[child.index()].alive {
+                self.nodes[child.index()].used = true;
+            }
+        }
+    }
+
     /// Kills `id` and its whole subtree (tombstoned until [`Tree::compact`]).
     pub fn kill_subtree(&mut self, id: NodeId) {
         let mut stack = vec![id];
@@ -405,6 +416,35 @@ impl Tree {
         self.dead = 0;
         // Ids were remapped: drop the hash chain rather than leave it lying.
         self.path_hashes.clear();
+        // A heavy prune can shrink the forest by orders of magnitude; do
+        // not keep the arena or the freshly rebuilt maps at the training
+        // high-water capacity.
+        self.nodes.shrink_to_fit();
+        for n in &mut self.nodes {
+            n.children.shrink_to_fit();
+        }
+        self.roots.shrink_to_fit();
+        self.links.shrink_to_fit();
+        for targets in self.links.values_mut() {
+            targets.shrink_to_fit();
+        }
+        self.path_hashes.shrink_to_fit();
+    }
+
+    /// Compiles the forest into its read-only [`FrozenTree`] form.
+    ///
+    /// Compacts first (freezing only makes sense for a finalized model), so
+    /// frozen index `i` equals [`NodeId`]`(i)` afterwards — usage records
+    /// and fingerprint-index ids stay valid against the pointer arena.
+    /// `pop` supplies PB-PPM's popularity grades; baselines pass `None`.
+    ///
+    /// [`FrozenTree`]: crate::frozen::FrozenTree
+    pub fn freeze(
+        &mut self,
+        pop: Option<&crate::popularity::PopularityTable>,
+    ) -> crate::frozen::FrozenTree {
+        self.compact();
+        crate::frozen::FrozenTree::from_tree(self, pop)
     }
 
     /// Serializes the forest into a self-contained [`TreeSnapshot`].
@@ -540,13 +580,23 @@ impl Tree {
         })
     }
 
-    /// Approximate resident bytes of the arena (for storage reporting).
+    /// Approximate resident bytes of the arena (for storage reporting):
+    /// the node vector, every child vector, and the root/link maps — all
+    /// at *capacity*, so memory parked by a prune shows up until
+    /// [`Tree::compact`] releases it.
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<Node>()
+        self.nodes.capacity() * std::mem::size_of::<Node>()
             + self
                 .nodes
                 .iter()
                 .map(|n| n.children.capacity() * std::mem::size_of::<(UrlId, NodeId)>())
+                .sum::<usize>()
+            + self.roots.capacity() * std::mem::size_of::<(UrlId, NodeId)>()
+            + self.links.capacity() * std::mem::size_of::<(NodeId, Vec<NodeId>)>()
+            + self
+                .links
+                .values()
+                .map(|t| t.capacity() * std::mem::size_of::<NodeId>())
                 .sum::<usize>()
     }
 
@@ -1036,6 +1086,46 @@ mod tests {
         t.mark_used(leaf);
         let back = Tree::from_snapshot(&t.to_snapshot()).unwrap();
         assert_eq!(back.path_usage(), (1, 0));
+    }
+
+    #[test]
+    fn compact_releases_high_water_capacity() {
+        // Grow a wide forest (many roots → large hash maps and arena), then
+        // prune almost everything: the reported storage bytes must drop once
+        // compact has run, i.e. compaction shrinks capacities instead of
+        // keeping the maps and vectors at their training high-water mark.
+        let mut t = Tree::new();
+        for r in 0..2000u32 {
+            t.insert_path(&[u(r), u(r + 10_000), u(r + 20_000)], usize::MAX);
+        }
+        let before = t.memory_bytes();
+        for r in 1..2000u32 {
+            let root = t.root(u(r)).unwrap();
+            t.kill_subtree(root);
+        }
+        t.compact();
+        let after = t.memory_bytes();
+        assert_eq!(t.node_count(), 3);
+        assert!(
+            after * 10 < before,
+            "storage bytes must collapse after a heavy prune: {before} -> {after}"
+        );
+        // The surviving branch is intact.
+        assert!(t.descend(&[u(0), u(10_000), u(20_000)]).is_some());
+    }
+
+    #[test]
+    fn freeze_compacts_and_mirrors_counts() {
+        let mut t = Tree::new();
+        t.insert_path(&[u(1), u(2), u(3)], usize::MAX);
+        t.insert_path(&[u(4), u(5)], usize::MAX);
+        t.kill_subtree(t.root(u(4)).unwrap());
+        let frozen = t.freeze(None);
+        assert_eq!(t.arena_len(), t.node_count(), "freeze must compact");
+        assert_eq!(frozen.len(), t.node_count());
+        let n = t.descend(&[u(1), u(2), u(3)]).unwrap();
+        assert_eq!(frozen.count(n.0), t.node(n).count);
+        assert!(frozen.root(u(4)).is_none());
     }
 
     #[test]

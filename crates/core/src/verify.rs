@@ -272,6 +272,24 @@ pub enum Violation {
         /// The decoder's error message.
         detail: String,
     },
+    /// The frozen arena's CSR structure is malformed (array length parity,
+    /// offset monotonicity, index bounds, or per-row ordering).
+    FrozenCsrMalformed {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// A frozen-arena field disagrees with the pointer tree it freezes
+    /// (or with the rebuilt arena, for persisted copies).
+    FrozenMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// A frozen-arena aggregate (total mass, root table, link table)
+    /// disagrees with the pointer tree's.
+    FrozenAggregateMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -307,6 +325,9 @@ impl Violation {
             Violation::ScheduleInconsistent { .. } => "schedule-inconsistent",
             Violation::WindowOverflow { .. } => "window-overflow",
             Violation::SnapshotRejected { .. } => "snapshot-rejected",
+            Violation::FrozenCsrMalformed { .. } => "frozen-csr-malformed",
+            Violation::FrozenMismatch { .. } => "frozen-mismatch",
+            Violation::FrozenAggregateMismatch { .. } => "frozen-aggregate-mismatch",
         }
     }
 
@@ -494,6 +515,15 @@ impl fmt::Display for Violation {
             }
             Violation::SnapshotRejected { detail } => {
                 write!(f, "snapshot payload failed to decode: {detail}")
+            }
+            Violation::FrozenCsrMalformed { detail } => {
+                write!(f, "frozen arena CSR is malformed: {detail}")
+            }
+            Violation::FrozenMismatch { detail } => {
+                write!(f, "frozen arena diverges from the pointer tree: {detail}")
+            }
+            Violation::FrozenAggregateMismatch { detail } => {
+                write!(f, "frozen arena aggregate diverges: {detail}")
             }
         }
     }
@@ -976,6 +1006,155 @@ fn verify_index(stored: &ContextIndex, fresh: &ContextIndex, report: &mut AuditR
     }
 }
 
+/// Audits a frozen SoA/CSR arena against the pointer tree it claims to
+/// freeze: structural CSR validation first (through the same gate the
+/// snapshot codec uses), then per-node field parity under the identity
+/// mapping, root/link table equality, grade rederivation against `pop`,
+/// and a total-mass aggregate cross-check.
+fn verify_frozen(
+    tree: &Tree,
+    frozen: &crate::frozen::FrozenTree,
+    pop: Option<&PopularityTable>,
+    report: &mut AuditReport,
+) {
+    use crate::frozen::{FrozenParts, FrozenTree};
+
+    // CSR well-formedness. A malformed arena makes every index unreliable,
+    // so field checks stop here when this fails.
+    report.tick();
+    let parts = FrozenParts {
+        urls: frozen.urls.clone(),
+        counts: frozen.counts.clone(),
+        depths: frozen.depths.clone(),
+        parents: frozen.parents.clone(),
+        grades: frozen.grades.clone(),
+        dup_bits: frozen.dup_bits.clone(),
+        child_offsets: frozen.child_offsets.clone(),
+        child_entries: frozen.child_entries.clone(),
+        roots: frozen.roots.clone(),
+        link_offsets: frozen.link_offsets.clone(),
+        link_entries: frozen.link_entries.clone(),
+    };
+    if let Err(detail) = FrozenTree::from_parts(parts) {
+        report.violations.push(Violation::FrozenCsrMalformed {
+            detail: detail.to_owned(),
+        });
+        return;
+    }
+
+    // Identity mapping: freezing compacts, so frozen row i must be arena
+    // slot i and every slot must be alive.
+    report.tick();
+    if frozen.len() != tree.node_count() || tree.node_count() != tree.arena_len() {
+        report.violations.push(Violation::FrozenMismatch {
+            detail: format!(
+                "arena shape: frozen {} rows, tree {} alive of {} slots",
+                frozen.len(),
+                tree.node_count(),
+                tree.arena_len()
+            ),
+        });
+        return;
+    }
+
+    let mut frozen_mass = 0u64;
+    let mut tree_mass = 0u64;
+    for (i, node) in tree.nodes.iter().enumerate() {
+        let Ok(fi) = u32::try_from(i) else { break };
+        report.tick();
+        let derived_grade = pop.map_or(0, |p| p.grade(node.url).level());
+        if frozen.url(fi) != node.url
+            || frozen.count(fi) != node.count
+            || frozen.depth(fi) != node.depth
+            || frozen.parent(fi) != node.parent.0
+            || frozen.is_link_dup(fi) != node.link_dup
+            || frozen.grade(fi) != derived_grade
+        {
+            report.violations.push(Violation::FrozenMismatch {
+                detail: format!(
+                    "node {i} ({}): frozen row fields diverge from the arena node",
+                    node.url.0
+                ),
+            });
+        }
+        let tree_children: Vec<(UrlId, u32)> = tree
+            .children_of(NodeId(fi))
+            .map(|(u, c, _)| (u, c.0))
+            .collect();
+        if frozen.children(fi) != tree_children.as_slice() {
+            report.violations.push(Violation::FrozenMismatch {
+                detail: format!("node {i} ({}): frozen CSR row diverges", node.url.0),
+            });
+        }
+        frozen_mass = frozen_mass.wrapping_add(frozen.count(fi));
+        tree_mass = tree_mass.wrapping_add(node.count);
+    }
+
+    // Root and link tables, both directions.
+    report.tick();
+    if frozen.roots.len() != tree.roots.len() {
+        report.violations.push(Violation::FrozenAggregateMismatch {
+            detail: format!(
+                "root table size: frozen {}, tree {}",
+                frozen.roots.len(),
+                tree.roots.len()
+            ),
+        });
+    }
+    for (&url, &id) in &tree.roots {
+        report.tick();
+        if frozen.root(url) != Some(id.0) {
+            report.violations.push(Violation::FrozenMismatch {
+                detail: format!("root {} missing or remapped in the frozen arena", url.0),
+            });
+            continue;
+        }
+        let tree_links: Vec<u32> = tree.links_of(id).map(|n| n.0).collect();
+        if frozen.links_of(url) != tree_links.as_slice() {
+            report.violations.push(Violation::FrozenMismatch {
+                detail: format!(
+                    "special links of root {} diverge in the frozen arena",
+                    url.0
+                ),
+            });
+        }
+    }
+
+    // Aggregate cross-check: same total transition mass on both sides.
+    report.tick();
+    if frozen_mass != tree_mass {
+        report.violations.push(Violation::FrozenAggregateMismatch {
+            detail: format!("total count mass: frozen {frozen_mass}, tree {tree_mass}"),
+        });
+    }
+}
+
+/// Compares a frozen arena persisted in a snapshot against the arena
+/// recompiled from the decoded tree. Serving always uses the rebuild;
+/// this check exists so the audit tool surfaces a forged or stale
+/// persisted copy instead of silently ignoring it.
+pub fn verify_frozen_matches(
+    rebuilt: Option<&crate::frozen::FrozenTree>,
+    persisted: &crate::frozen::FrozenTree,
+    report: &mut AuditReport,
+) {
+    report.tick();
+    match rebuilt {
+        None => report.violations.push(Violation::FrozenMismatch {
+            detail: "snapshot persists a frozen arena but the decoded model compiles none"
+                .to_owned(),
+        }),
+        Some(rebuilt) if rebuilt != persisted => {
+            report.violations.push(Violation::FrozenMismatch {
+                detail: "persisted frozen arena differs from the arena recompiled from the \
+                         decoded tree"
+                    .to_owned(),
+            });
+        }
+        Some(_) => {}
+    }
+}
+
 fn verify_pb(m: &PbPpm, url_count: Option<u64>, report: &mut AuditReport) {
     verify_tree(&m.tree, url_count, report);
     let cfg = m.cfg;
@@ -1046,6 +1225,9 @@ fn verify_pb(m: &PbPpm, url_count: Option<u64>, report: &mut AuditReport) {
     let mut clone = m.tree.clone();
     let fresh = ContextIndex::windows(&mut clone, m.cfg.max_order);
     verify_index(&m.index, &fresh, report);
+    if let Some(frozen) = &m.frozen {
+        verify_frozen(&m.tree, frozen, Some(&m.pop), report);
+    }
 }
 
 fn verify_standard(m: &StandardPpm, url_count: Option<u64>, report: &mut AuditReport) {
@@ -1059,6 +1241,9 @@ fn verify_standard(m: &StandardPpm, url_count: Option<u64>, report: &mut AuditRe
             let mut clone = m.tree.clone();
             let fresh = ContextIndex::full_paths(&mut clone);
             verify_index(index, &fresh, report);
+        }
+        if let Some(frozen) = &m.frozen {
+            verify_frozen(&m.tree, frozen, None, report);
         }
     }
 }
@@ -1086,6 +1271,9 @@ fn verify_lrs(m: &LrsPpm, url_count: Option<u64>, report: &mut AuditReport) {
             let mut clone = m.tree.clone();
             let fresh = ContextIndex::full_paths(&mut clone);
             verify_index(index, &fresh, report);
+        }
+        if let Some(frozen) = &m.frozen {
+            verify_frozen(&m.tree, frozen, None, report);
         }
     }
 }
@@ -1282,6 +1470,49 @@ mod tests {
         o1.finalize();
         let report = verify_model(&ModelRef::Order1(&o1));
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn skewed_frozen_count_is_caught() {
+        let mut pb = trained_pb();
+        assert!(
+            pb.frozen
+                .as_mut()
+                .is_some_and(crate::frozen::FrozenTree::skew_count_for_audit),
+            "fixture must carry a non-empty frozen arena"
+        );
+        let report = verify_model(&ModelRef::Pb(&pb));
+        assert!(report.has("frozen-mismatch"), "{report}");
+        assert!(report.has("frozen-aggregate-mismatch"), "{report}");
+    }
+
+    #[test]
+    fn malformed_frozen_csr_is_caught() {
+        let mut pb = trained_pb();
+        pb.frozen
+            .as_mut()
+            .expect("finalized PB carries an arena")
+            .child_offsets
+            .pop();
+        let report = verify_model(&ModelRef::Pb(&pb));
+        assert!(report.has("frozen-csr-malformed"), "{report}");
+    }
+
+    #[test]
+    fn persisted_frozen_divergence_is_caught() {
+        let pb = trained_pb();
+        let rebuilt = pb.frozen.clone();
+        let mut persisted = rebuilt.clone().expect("finalized PB carries an arena");
+        assert!(persisted.skew_count_for_audit());
+        let mut report = AuditReport::new("pb");
+        verify_frozen_matches(rebuilt.as_ref(), &persisted, &mut report);
+        assert!(report.has("frozen-mismatch"), "{report}");
+        let mut clean = AuditReport::new("pb");
+        verify_frozen_matches(rebuilt.as_ref(), rebuilt.as_ref().unwrap(), &mut clean);
+        assert!(clean.is_clean(), "{clean}");
+        let mut missing = AuditReport::new("pb");
+        verify_frozen_matches(None, &persisted, &mut missing);
+        assert!(missing.has("frozen-mismatch"), "{missing}");
     }
 
     #[test]

@@ -290,6 +290,150 @@ proptest! {
         }
     }
 
+    /// The frozen SoA/CSR serving path emits bit-identical predictions to
+    /// the retained pointer-tree fast path, for all three tree models and
+    /// under both forced match strategies — so the adaptive selector can
+    /// never change *what* is predicted, only how fast.
+    #[test]
+    fn frozen_predict_is_bit_identical_to_pointer_predict(
+        sessions in sessions_strategy(9, 8, 18),
+        counts in prop::collection::vec(0u64..2000, 9),
+    ) {
+        use pbppm_core::{MatchStrategy, PredictUsage};
+        let pop = PopularityTable::from_counts(counts);
+        let mut pb = PbPpm::new(pop, PbConfig::default());
+        let mut standard = StandardPpm::unbounded();
+        let mut lrs = LrsPpm::new();
+        for s in &sessions {
+            pb.train_session(s);
+            standard.train_session(s);
+            lrs.train_session(s);
+        }
+        pb.finalize();
+        standard.finalize();
+        lrs.finalize();
+        prop_assert!(pb.frozen().is_some(), "finalize must compile a PB arena");
+        prop_assert!(standard.frozen().is_some(), "finalize must compile a PPM arena");
+        prop_assert!(lrs.frozen().is_some(), "finalize must compile an LRS arena");
+
+        let mut contexts: Vec<Vec<UrlId>> = Vec::new();
+        for s in &sessions {
+            for i in 0..s.len() {
+                contexts.push(s[..=i].to_vec());
+            }
+        }
+        // Contexts the models never saw, including unknown URLs.
+        contexts.push(vec![UrlId(100)]);
+        contexts.push(vec![UrlId(100), sessions[0][0]]);
+        contexts.push(sessions[0].iter().rev().copied().collect());
+
+        let mut usage = PredictUsage::default();
+        let mut frozen_out = Vec::new();
+        let mut pointer_out = Vec::new();
+        for strategy in [MatchStrategy::FingerprintIndex, MatchStrategy::FrozenScan] {
+            pb.force_strategy(strategy);
+            standard.force_strategy(strategy);
+            lrs.force_strategy(strategy);
+            for context in &contexts {
+                usage.clear();
+                pb.predict_ro(context, &mut frozen_out, &mut usage);
+                usage.clear();
+                pb.predict_pointer(context, &mut pointer_out, &mut usage);
+                prop_assert_eq!(&frozen_out, &pointer_out,
+                    "PB-PPM diverged on {:?} under {:?}", context, strategy);
+
+                usage.clear();
+                standard.predict_ro(context, &mut frozen_out, &mut usage);
+                usage.clear();
+                standard.predict_pointer(context, &mut pointer_out, &mut usage);
+                prop_assert_eq!(&frozen_out, &pointer_out,
+                    "standard PPM diverged on {:?} under {:?}", context, strategy);
+
+                usage.clear();
+                lrs.predict_ro(context, &mut frozen_out, &mut usage);
+                usage.clear();
+                lrs.predict_pointer(context, &mut pointer_out, &mut usage);
+                prop_assert_eq!(&frozen_out, &pointer_out,
+                    "LRS diverged on {:?} under {:?}", context, strategy);
+            }
+        }
+    }
+
+    /// Snapshot roundtrips preserve the frozen arena: the restored model
+    /// recompiles an arena equal to the one that was persisted, and its
+    /// predictions are bit-identical to the original's — including through
+    /// the full byte codec.
+    #[test]
+    fn snapshot_roundtrip_preserves_frozen_arena_and_predictions(
+        sessions in sessions_strategy(8, 7, 14),
+        counts in prop::collection::vec(0u64..2000, 8),
+    ) {
+        use pbppm_core::{ModelImage, PredictUsage, SnapshotFile};
+        let pop = PopularityTable::from_counts(counts);
+        let mut pb = PbPpm::new(pop, PbConfig::default());
+        let mut standard = StandardPpm::unbounded();
+        let mut lrs = LrsPpm::new();
+        for s in &sessions {
+            pb.train_session(s);
+            standard.train_session(s);
+            lrs.train_session(s);
+        }
+        pb.finalize();
+        standard.finalize();
+        lrs.finalize();
+
+        let pb2 = PbPpm::from_snapshot(&pb.to_snapshot()).expect("PB snapshot loads");
+        let standard2 =
+            StandardPpm::from_snapshot(&standard.to_snapshot()).expect("PPM snapshot loads");
+        let lrs2 = LrsPpm::from_snapshot(&lrs.to_snapshot()).expect("LRS snapshot loads");
+        prop_assert_eq!(pb.frozen(), pb2.frozen());
+        prop_assert_eq!(standard.frozen(), standard2.frozen());
+        prop_assert_eq!(lrs.frozen(), lrs2.frozen());
+
+        // Full byte codec for the PB image: the persisted frozen section
+        // survives encode/decode and the decoded model still recompiles an
+        // identical arena.
+        let file = SnapshotFile {
+            urls: (0..8).map(|i| format!("/p{i}")).collect(),
+            model: ModelImage::Pb(pb.to_snapshot()),
+        };
+        let decoded = SnapshotFile::decode(&file.encode()).expect("envelope roundtrips");
+        let ModelImage::Pb(snap) = &decoded.model else {
+            return Err(TestCaseError::fail("decoded image changed kind"));
+        };
+        prop_assert_eq!(snap.frozen.as_ref(), pb.frozen());
+        let pb3 = PbPpm::from_snapshot(snap).expect("decoded PB snapshot loads");
+
+        let mut contexts: Vec<Vec<UrlId>> = Vec::new();
+        for s in &sessions {
+            for i in 0..s.len() {
+                contexts.push(s[..=i].to_vec());
+            }
+        }
+        let mut usage = PredictUsage::default();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for context in &contexts {
+            for (orig, restored) in [(&pb, &pb2), (&pb, &pb3)] {
+                usage.clear();
+                orig.predict_ro(context, &mut a, &mut usage);
+                usage.clear();
+                restored.predict_ro(context, &mut b, &mut usage);
+                prop_assert_eq!(&a, &b, "restored PB diverged on {:?}", context);
+            }
+            usage.clear();
+            standard.predict_ro(context, &mut a, &mut usage);
+            usage.clear();
+            standard2.predict_ro(context, &mut b, &mut usage);
+            prop_assert_eq!(&a, &b, "restored PPM diverged on {:?}", context);
+            usage.clear();
+            lrs.predict_ro(context, &mut a, &mut usage);
+            usage.clear();
+            lrs2.predict_ro(context, &mut b, &mut usage);
+            prop_assert_eq!(&a, &b, "restored LRS diverged on {:?}", context);
+        }
+    }
+
     /// PB-PPM's branch predictions never exceed probability 1 and are
     /// supported by actual training transitions.
     #[test]

@@ -5,13 +5,17 @@
 #                              own self-test (planted violations must trip)
 #   2. scripts/check.sh      — fmt --check, clippy -D warnings, tests
 #   3. scripts/perf-gate.sh  — throughput must stay within 15% of baseline
-#   4. snapshot smoke        — generate a tiny trace, `pbppm save` it, and
-#                              answer a query from the snapshot with
-#                              `pbppm load-predict` (exercises the binary
-#                              codec end to end through the real binary)
-#   5. audit smoke           — `pbppm audit` accepts the snapshot it just
-#                              saved and rejects (nonzero exit) a copy with
-#                              a flipped payload byte
+#   4. snapshot smoke        — generate a tiny trace, then for each tree
+#                              model (pb, standard, lrs): `pbppm save`
+#                              (finalize freezes the SoA/CSR arena and the
+#                              v2 codec persists it), `pbppm audit` (cross-
+#                              checks the persisted arena against a fresh
+#                              recompile), and `pbppm load-predict` (serves
+#                              a query from the recompiled arena) — the
+#                              full freeze → save → audit → load-predict
+#                              cycle through the real binary
+#   5. audit smoke           — `pbppm audit` rejects (nonzero exit) a
+#                              snapshot copy with a flipped payload byte
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -36,19 +40,25 @@ cargo build --release -q -p pbppm-cli
 pbppm="$repo/target/release/pbppm"
 
 "$pbppm" generate --preset tiny --out "$tmp/access.log" >/dev/null
-"$pbppm" save "$tmp/access.log" --out "$tmp/model.pbss" --model pb >/dev/null
-# Query a context the tiny preset always contains; any prediction output
-# (or a clean empty "no prediction" answer) proves the snapshot loads.
-"$pbppm" load-predict "$tmp/model.pbss" --context "/l0/p0.html" >"$tmp/preds.txt"
-if [[ ! -s "$tmp/preds.txt" ]]; then
-    echo "ci: load-predict produced no output" >&2
-    exit 1
-fi
+for model in pb standard lrs; do
+    # `save` finalizes (which freezes the SoA/CSR arena) and persists it in
+    # the v2 snapshot; `audit` recompiles the arena from the decoded tree
+    # and cross-checks the persisted copy; `load-predict` answers from the
+    # recompiled arena. Any prediction output (or a clean empty "no
+    # prediction" answer) proves the cycle worked.
+    "$pbppm" save "$tmp/access.log" --out "$tmp/model-$model.pbss" --model "$model" >/dev/null
+    "$pbppm" audit "$tmp/model-$model.pbss" >/dev/null
+    "$pbppm" load-predict "$tmp/model-$model.pbss" --context "/l0/p0.html" >"$tmp/preds-$model.txt"
+    if [[ ! -s "$tmp/preds-$model.txt" ]]; then
+        echo "ci: load-predict ($model) produced no output" >&2
+        exit 1
+    fi
+done
+# Keep the pb snapshot under the historical name for the corruption check.
+cp "$tmp/model-pb.pbss" "$tmp/model.pbss"
 
 echo "== ci: snapshot audit smoke" >&2
-# The freshly saved model must pass the structural audit...
-"$pbppm" audit "$tmp/model.pbss" >/dev/null
-# ...and a corrupted copy must fail it with a nonzero exit. Flipping a byte
+# A corrupted copy must fail the audit with a nonzero exit. Flipping a byte
 # in the middle of the payload breaks the checksum at minimum; either the
 # decoder or the audit must refuse it.
 python3 - "$tmp/model.pbss" "$tmp/corrupt.pbss" <<'EOF'

@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Perf-regression gate: re-measures prediction and simulation throughput
-# and fails (exit 1) if any gated metric — single-click predict latency,
-# batched predict throughput, or end-to-end eval throughput, per model —
-# is more than 15% slower than the committed baseline.
+# and fails (exit 1) if any gated metric, per model, regressed:
+#
+#   * frozen_ns_per_click        — single-click predict latency on the
+#                                  frozen SoA/CSR arena serving path,
+#                                  >15% slower than baseline fails
+#   * batched_clicks_per_sec     — batched predict throughput, same 15%
+#   * parallel_requests_per_sec  — end-to-end eval throughput, same 15%
+#   * heap_bytes_per_node_frozen — frozen arena density; growing >15%
+#                                  past baseline fails even if speed holds
+#   * fast_path_speedup          — hard floor, baseline-independent: the
+#                                  serving path must stay >= 1.0x the
+#                                  reference scan on every model
 #
 # Usage: scripts/perf-gate.sh [baseline.json]
 #
