@@ -12,7 +12,11 @@
 //!    whole context set, clicks per second;
 //! 3. **end-to-end experiment throughput** — [`pbppm_sim::run_experiment`]
 //!    serial (`threads = 1`) versus parallel (`threads = 0`, auto),
-//!    evaluated requests per second.
+//!    evaluated requests per second;
+//! 4. **serve-loop predict latency** — the real `pbppm serve` line
+//!    protocol driven in-process ([`ServeSession::handle_line`]): parse,
+//!    predict, format, flight-record per request, reported as p50/p99
+//!    nanoseconds and gated on the p99 tail.
 //!
 //! Results are printed as tables and written both to
 //! `results/throughput.json` and to `BENCH_throughput.json` at the
@@ -22,6 +26,7 @@
 //! than 15% — see `scripts/perf-gate.sh`.
 
 use crate::{nasa_trace, write_json, Table};
+use pbppm_cli::serve::{ServeOptions, ServeSession};
 use pbppm_core::{
     LrsPpm, PbConfig, PbPpm, PopularityTable, PredictUsage, Prediction, Predictor, PruneConfig,
     StandardPpm, UrlId,
@@ -35,6 +40,13 @@ use std::time::Instant;
 const TRAIN_DAYS: usize = 7;
 /// Allowed slowdown before the gate fails (15%).
 const GATE_TOLERANCE: f64 = 0.15;
+/// Timing rounds for the serve-loop latency percentiles (min across
+/// rounds, the same noise-robust statistic as `secs_per_pass`).
+const SERVE_ROUNDS: usize = 5;
+/// Sessions replayed into the serve loop before timing — enough to cover
+/// the prediction working set (drawn from the first 400 sessions) while
+/// keeping the one-time setup cheap.
+const SERVE_TRAIN_SESSIONS: usize = 1500;
 
 /// One model's prediction-throughput measurements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -95,6 +107,21 @@ pub struct EvalThroughput {
     pub phases: Vec<PhaseSecs>,
 }
 
+/// Serve-loop predict latency through the real `pbppm serve` line
+/// protocol: context parsing, interner lookup, prediction, response
+/// formatting and flight-recording — everything a client waits on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeLatency {
+    /// Predict requests timed per round (= the working-set size).
+    pub requests: usize,
+    /// Median per-request latency of the best round, nanoseconds.
+    pub predict_p50_ns: f64,
+    /// 99th-percentile per-request latency of the best round,
+    /// nanoseconds. This is the gated tail: single slow requests are what
+    /// a prefetching client actually notices.
+    pub predict_p99_ns: f64,
+}
+
 /// Everything one `throughput` run measured.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -108,6 +135,10 @@ pub struct ThroughputReport {
     pub models: Vec<ModelThroughput>,
     /// Per-model end-to-end experiment throughput.
     pub eval: Vec<EvalThroughput>,
+    /// Serve-loop predict latency; `None` when the measurement could not
+    /// run (unwritable scratch dir). Baselines written before this
+    /// section existed read back as `None` — see [`gate`].
+    pub serve: Option<ServeLatency>,
 }
 
 /// Times one pass, then enough repetitions for ~0.5 s of samples split
@@ -248,6 +279,93 @@ fn min_phase_secs(roots: &[pbppm_obs::SpanRecord], span_label: &str) -> Vec<Phas
     phases
 }
 
+/// Nearest-rank percentile of an ascending-sorted latency list.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // in-range by construction
+fn percentile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+/// Measures per-request predict latency through the real serve loop.
+///
+/// The session trains with `rebuild_every` sized so the model rebuilds
+/// exactly once, after all training — every timed request then answers
+/// from the same frozen arena, the steady state between rebuilds of a
+/// real deployment. Checkpointing and metrics flushing are disabled so no
+/// disk traffic lands inside the timed region. Each request is timed
+/// individually (`handle_line` end to end, into a reused buffer); p50 and
+/// p99 take the minimum across rounds.
+fn serve_latency(
+    trace: &Trace,
+    sessions: &[Session],
+    contexts: &[Vec<UrlId>],
+) -> Option<ServeLatency> {
+    let dir = std::env::temp_dir().join(format!("pbppm-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = sessions.len().clamp(1, SERVE_TRAIN_SESSIONS);
+    let opts = ServeOptions {
+        window: n,
+        rebuild_every: n,           // exactly one rebuild, after training
+        checkpoint_every: u64::MAX, // no disk traffic while timing
+        flush_every: 0,
+        ..ServeOptions::default()
+    };
+    let resolve = |id: UrlId| trace.urls.resolve(id).unwrap_or("?");
+    let measured = (|| -> Result<ServeLatency, String> {
+        let (mut serve, _) =
+            ServeSession::open(&dir.display().to_string(), PbConfig::default(), opts)
+                .map_err(|e| e.to_string())?;
+        let mut out: Vec<u8> = Vec::new();
+        for s in &sessions[..n] {
+            let urls: Vec<&str> = s.views.iter().map(|v| resolve(v.url)).collect();
+            out.clear();
+            serve
+                .handle_line(&format!("train {}", urls.join(",")), &mut out)
+                .map_err(|e| e.to_string())?;
+        }
+        let commands: Vec<String> = contexts
+            .iter()
+            .map(|c| {
+                let urls: Vec<&str> = c.iter().map(|&u| resolve(u)).collect();
+                format!("predict {}", urls.join(","))
+            })
+            .collect();
+        let mut p50 = f64::INFINITY;
+        let mut p99 = f64::INFINITY;
+        let mut lat: Vec<u64> = Vec::with_capacity(commands.len());
+        for _ in 0..SERVE_ROUNDS {
+            lat.clear();
+            for cmd in &commands {
+                out.clear();
+                let t = Instant::now();
+                serve
+                    .handle_line(cmd, &mut out)
+                    .map_err(|e| e.to_string())?;
+                lat.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            lat.sort_unstable();
+            p50 = p50.min(percentile_ns(&lat, 0.50));
+            p99 = p99.min(percentile_ns(&lat, 0.99));
+        }
+        Ok(ServeLatency {
+            requests: commands.len(),
+            predict_p50_ns: p50,
+            predict_p99_ns: p99,
+        })
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    match measured {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("warning: serve-loop latency measurement skipped: {e}");
+            None
+        }
+    }
+}
+
 fn eval_row(trace: &Trace, label: &str, spec: ModelSpec) -> EvalThroughput {
     let mut cfg = ExperimentConfig::paper_default(spec, TRAIN_DAYS);
     let span_label = cfg.model.label();
@@ -298,8 +416,18 @@ fn gate(report: &ThroughputReport) {
     };
     let baseline: ThroughputReport = match std::fs::read_to_string(&path)
         .map_err(|e| e.to_string())
-        .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
-    {
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).map_err(|e| e.to_string()))
+        .and_then(|mut v| {
+            // Baselines written before the serve section carry no "serve"
+            // key; the vendored serde has no `#[serde(default)]`, so an
+            // explicit null (which reads back as `None`) is spliced in.
+            if let serde_json::Value::Object(entries) = &mut v {
+                if !entries.iter().any(|(k, _)| k == "serve") {
+                    entries.push(("serve".to_owned(), serde_json::Value::Null));
+                }
+            }
+            <ThroughputReport as serde::Deserialize>::from_value(&v).map_err(|e| e.to_string())
+        }) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("perf-gate: cannot read baseline {path}: {e}");
@@ -375,6 +503,16 @@ fn gate(report: &ThroughputReport) {
             }
             failures.push(msg);
         }
+    }
+    // Serve-loop latency gates on the p99 tail — the latency a prefetching
+    // client actually experiences. Skipped when either side lacks the
+    // section (old baseline, or the measurement could not run).
+    if let (Some(new), Some(old)) = (&report.serve, &baseline.serve) {
+        failures.extend(slower(
+            "serve-loop predict p99".to_owned(),
+            new.predict_p99_ns,
+            old.predict_p99_ns,
+        ));
     }
     if failures.is_empty() {
         eprintln!(
@@ -503,12 +641,15 @@ pub fn run() {
         eval_row(&trace, "PB-PPM", ModelSpec::pb_paper(true)),
     ];
 
+    let serve = serve_latency(&trace, &train_sessions, &contexts);
+
     let report = ThroughputReport {
         trace: trace.name.clone(),
         train_days: TRAIN_DAYS,
         contexts: contexts.len(),
         models,
         eval,
+        serve,
     };
 
     let mut predict_table = Table::new(
@@ -568,6 +709,19 @@ pub fn run() {
         ]);
     }
     eval_table.print();
+
+    if let Some(s) = &report.serve {
+        let mut serve_table = Table::new(
+            "Throughput — serve loop, line-protocol predict".to_owned(),
+            &["requests/round", "p50 ns", "p99 ns"],
+        );
+        serve_table.row(vec![
+            s.requests.to_string(),
+            format!("{:.0}", s.predict_p50_ns),
+            format!("{:.0}", s.predict_p99_ns),
+        ]);
+        serve_table.print();
+    }
 
     write_json("throughput", &report);
     write_root_json(&report);

@@ -45,10 +45,13 @@ COMMANDS:
                Query a binary snapshot; same interface and output as predict
                <model.pbss>  --context \"/a.html,/b.html\"  [--top N] [--json]
     serve      Long-running online prediction loop with crash-safe
-               checkpoints (line protocol on stdin: train/predict/
-               checkpoint/stats/quit)
+               checkpoints and live self-observation (line protocol on
+               stdin: train/predict/checkpoint/stats/metrics [--prom]/
+               trace N/health/quit)
                --dir DIR  [--window N] [--rebuild-every N]
-               [--checkpoint-every N] [--top N] [--aggressive-prune] [--no-links]
+               [--checkpoint-every N] [--top N] [--eval-window N]
+               [--drift-fraction F] [--flight-capacity N] [--flush-every N]
+               [--aggressive-prune] [--no-links]
     audit      Structurally verify a binary snapshot (tree shape, height
                caps, special links, grades, index aggregates); exits
                nonzero when any invariant is violated

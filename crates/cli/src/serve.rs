@@ -7,24 +7,45 @@
 //! recovered, so a crash — even one that truncates the latest snapshot
 //! mid-write — costs at most the sessions since the previous checkpoint.
 //!
+//! The loop observes itself (ISSUE 7): every request is timed and ringed
+//! through a fixed-capacity [`FlightRecorder`]; every `train` session is
+//! first scored against the current model's own predictions ([`LiveEval`],
+//! prequential test-then-train), so the server carries live sliding-window
+//! precision / hit-ratio / traffic-increment numbers and a popularity-drift
+//! signal; and the `metrics` / `trace` / `health` commands expose all of it
+//! without stopping the process. A `serve_metrics.json` report is flushed
+//! into the snapshot dir alongside checkpoints (and every `--flush-every`
+//! requests), so even a crashed process leaves its last observed state
+//! behind.
+//!
 //! ## Protocol
 //!
 //! One command per line; every command answers with one `ok …` or `err …`
-//! line (plus prediction rows after `ok N`):
+//! line (plus extra rows after `ok N`):
 //!
 //! ```text
-//! train /a.html,/b.html,/c.html      feed one session
+//! train /a.html,/b.html,/c.html      feed one session (scored, then trained)
 //! predict /a.html,/b.html            -> "ok N" then N lines "prob url"
 //! checkpoint                         force a checkpoint now
-//! stats                              one-line model summary
+//! stats                              one-line model + serving-session summary
+//! metrics [--prom]                   -> "ok N" then N report lines
+//! trace N                            -> "ok M" then M flight-recorder lines
+//! health                             one line: healthy/degraded + counters
 //! quit                               checkpoint and exit
 //! ```
 
 use crate::args::Args;
 use crate::bundle::interner_urls;
+use pbppm_core::eval::EvalConfig;
 use pbppm_core::snapshot::{Generation, ModelImage, SnapshotFile, SnapshotStore};
-use pbppm_core::{Interner, OnlinePbPpm, PbConfig, Predictor, PruneConfig, UrlId};
+use pbppm_core::{
+    traffic_increment, Interner, LiveEval, LiveEvalConfig, OnlinePbPpm, PbConfig,
+    PredictionQuality, Predictor, PruneConfig, UrlId,
+};
+use pbppm_obs::flight::COMMAND_KINDS;
+use pbppm_obs::{CommandKind, FlightRecorder, Registry, RunReport};
 use std::io::{BufRead, Write};
+use std::time::Instant;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -54,9 +75,57 @@ impl Recovery {
             Recovery::Warm(Generation::Previous) => "previous",
         }
     }
+
+    /// Numeric form for the `serve.recovered_generation` gauge.
+    fn gauge(self) -> u64 {
+        match self {
+            Recovery::Fresh => 0,
+            Recovery::Warm(Generation::Current) => 1,
+            Recovery::Warm(Generation::Previous) => 2,
+        }
+    }
 }
 
-/// The serving loop's state: interner, online model, checkpoint store.
+/// Tunables for a serving session beyond the model configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Sliding window of sessions the online model keeps.
+    pub window: usize,
+    /// Rebuild the model every this many trained sessions.
+    pub rebuild_every: usize,
+    /// Checkpoint after this many completed rebuilds.
+    pub checkpoint_every: u64,
+    /// Predictions returned per `predict`.
+    pub top: usize,
+    /// Live-eval sliding window, in contexts.
+    pub eval_window: usize,
+    /// Degrade health when windowed precision@k falls below this fraction
+    /// of the lifetime mean.
+    pub drift_fraction: f64,
+    /// Flight-recorder ring capacity, in requests.
+    pub flight_capacity: usize,
+    /// Flush `serve_metrics.json` every this many requests (0 = only on
+    /// checkpoints and quit).
+    pub flush_every: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            window: 1000,
+            rebuild_every: 50,
+            checkpoint_every: 1,
+            top: 10,
+            eval_window: 512,
+            drift_fraction: 0.5,
+            flight_capacity: 256,
+            flush_every: 256,
+        }
+    }
+}
+
+/// The serving loop's state: interner, online model, checkpoint store,
+/// and the observability layer (flight recorder + live evaluator).
 pub struct ServeSession {
     urls: Interner,
     online: OnlinePbPpm,
@@ -65,22 +134,30 @@ pub struct ServeSession {
     checkpoint_every: u64,
     last_checkpoint_rebuilds: u64,
     top: usize,
+    recovery: Recovery,
+    recorder: FlightRecorder,
+    live: LiveEval,
+    start_rebuilds: u64,
+    checkpoints_written: u64,
+    recovery_audits: u64,
+    requests: u64,
+    errors: u64,
+    flush_every: u64,
+    flush_failures: u64,
 }
 
 impl ServeSession {
     /// Opens a serving session over `dir`, recovering from the newest
-    /// valid checkpoint when one exists. The `cfg`/`window`/`rebuild_every`
-    /// parameters only shape a **fresh** session; a recovered snapshot
-    /// carries its own configuration.
+    /// valid checkpoint when one exists. The model-shaping options
+    /// (`window`/`rebuild_every`) only apply to a **fresh** session; a
+    /// recovered snapshot carries its own configuration.
     pub fn open(
         dir: &str,
         cfg: PbConfig,
-        window: usize,
-        rebuild_every: usize,
-        checkpoint_every: u64,
-        top: usize,
+        opts: ServeOptions,
     ) -> Result<(Self, Recovery), Box<dyn std::error::Error>> {
         let store = SnapshotStore::open(dir)?;
+        let mut recovery_audits = 0u64;
         let (urls, online, recovery) = match store.recover()? {
             Some((file, generation)) => {
                 let ModelImage::OnlinePb(snap) = &file.model else {
@@ -109,11 +186,12 @@ impl ServeSession {
                     )
                     .into());
                 }
+                recovery_audits = 1;
                 (file.interner(), online, Recovery::Warm(generation))
             }
             None => (
                 Interner::new(),
-                OnlinePbPpm::new(cfg, window, rebuild_every),
+                OnlinePbPpm::new(cfg, opts.window, opts.rebuild_every),
                 Recovery::Fresh,
             ),
         };
@@ -121,11 +199,29 @@ impl ServeSession {
         Ok((
             Self {
                 urls,
+                start_rebuilds: online.rebuild_count(),
                 online,
                 store,
-                checkpoint_every: checkpoint_every.max(1),
+                checkpoint_every: opts.checkpoint_every.max(1),
                 last_checkpoint_rebuilds,
-                top,
+                top: opts.top,
+                recovery,
+                recorder: FlightRecorder::new(opts.flight_capacity),
+                live: LiveEval::new(LiveEvalConfig {
+                    eval: EvalConfig {
+                        k: opts.top.max(1),
+                        ..EvalConfig::default()
+                    },
+                    window: opts.eval_window,
+                    drift_fraction: opts.drift_fraction,
+                    ..LiveEvalConfig::default()
+                }),
+                checkpoints_written: 0,
+                recovery_audits,
+                requests: 0,
+                errors: 0,
+                flush_every: opts.flush_every,
+                flush_failures: 0,
             },
             recovery,
         ))
@@ -136,7 +232,28 @@ impl ServeSession {
         &self.online
     }
 
-    /// Writes a checkpoint of the full serving state. Returns its size.
+    /// The live prequential evaluator (tests).
+    pub fn live(&self) -> &LiveEval {
+        &self.live
+    }
+
+    /// The flight recorder (tests).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Where this session's state came from at open time.
+    pub fn recovery(&self) -> Recovery {
+        self.recovery
+    }
+
+    /// Checkpoints written by this session.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Writes a checkpoint of the full serving state (and refreshes the
+    /// metrics flush alongside it). Returns its size.
     pub fn checkpoint(&mut self) -> Result<u64, Box<dyn std::error::Error>> {
         let file = SnapshotFile {
             urls: interner_urls(&self.urls),
@@ -144,6 +261,10 @@ impl ServeSession {
         };
         let bytes = self.store.checkpoint(&file)?;
         self.last_checkpoint_rebuilds = self.online.rebuild_count();
+        self.checkpoints_written += 1;
+        if self.flush_metrics().is_err() {
+            self.flush_failures += 1;
+        }
         Ok(bytes)
     }
 
@@ -154,6 +275,16 @@ impl ServeSession {
             return self.checkpoint().map(Some);
         }
         Ok(None)
+    }
+
+    /// Atomically (write + rename) refreshes `serve_metrics.json` in the
+    /// snapshot dir with the current [`RunReport`], so the last observed
+    /// serving state survives a crash.
+    pub fn flush_metrics(&self) -> std::io::Result<()> {
+        let path = self.store.dir().join("serve_metrics.json");
+        let tmp = self.store.dir().join("serve_metrics.json.tmp");
+        std::fs::write(&tmp, self.build_report().to_json())?;
+        std::fs::rename(&tmp, &path)
     }
 
     fn parse_urls(&mut self, raw: &str, intern_new: bool) -> Vec<UrlId> {
@@ -173,18 +304,76 @@ impl ServeSession {
     }
 
     /// Handles one protocol line, writing the response to `out`.
+    ///
+    /// The response is staged through a local buffer so the outcome
+    /// (`ok`/`err`), latency, and predict payload can be recorded in the
+    /// flight recorder before anything reaches the client.
     pub fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> std::io::Result<Flow> {
         let line = line.trim();
+        if line.is_empty() {
+            return Ok(Flow::Continue);
+        }
+        let started = Instant::now();
         let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
-        match cmd {
-            "" => {}
-            "train" => {
+        let kind = CommandKind::parse(cmd);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut top: Vec<(String, f64)> = Vec::new();
+        let flow = self.dispatch(kind, cmd, rest, &mut buf, &mut top)?;
+        let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ok = buf.starts_with(b"ok");
+        if !ok {
+            self.errors += 1;
+        }
+        let strategy = match kind {
+            CommandKind::Predict => self.online.match_strategy().map(|s| s.label()),
+            _ => None,
+        };
+        let top_refs: Vec<(&str, f64)> = top.iter().map(|(u, p)| (u.as_str(), *p)).collect();
+        self.recorder
+            .push(kind, latency_ns, ok, strategy, &top_refs);
+        self.requests += 1;
+        out.write_all(&buf)?;
+        if self.flush_every > 0
+            && self.requests.is_multiple_of(self.flush_every)
+            && self.flush_metrics().is_err()
+        {
+            self.flush_failures += 1;
+        }
+        Ok(flow)
+    }
+
+    /// Runs one command, writing its response lines into `buf`. `top`
+    /// receives the predict payload for the flight record.
+    fn dispatch(
+        &mut self,
+        kind: CommandKind,
+        cmd: &str,
+        rest: &str,
+        buf: &mut Vec<u8>,
+        top: &mut Vec<(String, f64)>,
+    ) -> std::io::Result<Flow> {
+        let out: &mut dyn Write = buf;
+        match kind {
+            CommandKind::Train => {
                 let session = self.parse_urls(rest, true);
                 if session.is_empty() {
                     writeln!(out, "err train expects a comma-separated URL list")?;
                     return Ok(Flow::Continue);
                 }
+                // Prequential self-evaluation: score the incoming clicks
+                // against the *current* model before training on them.
+                let grades = self.online.current().map(|m| m.popularity());
+                self.live.observe_session(&self.online, grades, &session);
+                let rebuilds_before = self.online.rebuild_count();
+                let train_started = Instant::now();
                 self.online.train_session(&session);
+                if self.online.rebuild_count() > rebuilds_before {
+                    // Attribute the whole train call to the rebuild
+                    // histogram when one fired: the rebuild dominates the
+                    // window push by orders of magnitude.
+                    let ns = u64::try_from(train_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.recorder.observe(CommandKind::Rebuild, ns);
+                }
                 match self.maybe_checkpoint() {
                     Ok(saved) => writeln!(
                         out,
@@ -200,64 +389,225 @@ impl ServeSession {
                     Err(e) => writeln!(out, "err checkpoint failed: {e}")?,
                 }
             }
-            "predict" => {
+            CommandKind::Predict => {
                 let context = self.parse_urls(rest, false);
                 let mut preds = Vec::new();
                 self.online.predict(&context, &mut preds);
                 preds.truncate(self.top);
                 writeln!(out, "ok {}", preds.len())?;
                 for p in &preds {
-                    writeln!(
-                        out,
-                        "{:.3} {}",
-                        p.prob,
-                        self.urls.resolve(p.url).unwrap_or("?")
-                    )?;
+                    let url = self.urls.resolve(p.url).unwrap_or("?");
+                    writeln!(out, "{:.3} {}", p.prob, url)?;
+                    top.push((url.to_owned(), p.prob));
                 }
             }
-            "checkpoint" => match self.checkpoint() {
+            CommandKind::Checkpoint => match self.checkpoint() {
                 Ok(bytes) => writeln!(out, "ok checkpointed {bytes} bytes")?,
                 Err(e) => writeln!(out, "err checkpoint failed: {e}")?,
             },
-            "stats" => {
+            CommandKind::Stats => {
                 let s = self.online.stats();
                 writeln!(
                     out,
-                    "ok urls {}, window {}, rebuilds {}, nodes {}, bytes {}",
+                    "ok urls {}, window {}, rebuilds {}, nodes {}, bytes {}, \
+                     recovered {}, rebuilds_since_start {}, checkpoints {}",
                     self.urls.len(),
                     self.online.window_len(),
                     self.online.rebuild_count(),
                     s.nodes,
-                    s.total_bytes()
+                    s.total_bytes(),
+                    self.recovery.label(),
+                    self.online.rebuild_count() - self.start_rebuilds,
+                    self.checkpoints_written,
                 )?;
             }
-            "quit" => {
+            CommandKind::Metrics => {
+                let report = self.build_report();
+                let rendered = if rest.trim() == "--prom" {
+                    report.render_prometheus()
+                } else if rest.trim().is_empty() {
+                    report.render_text()
+                } else {
+                    writeln!(out, "err metrics takes no argument except --prom")?;
+                    return Ok(Flow::Continue);
+                };
+                let lines: Vec<&str> = rendered.lines().collect();
+                writeln!(out, "ok {}", lines.len())?;
+                for l in lines {
+                    writeln!(out, "{l}")?;
+                }
+            }
+            CommandKind::Trace => {
+                let n = if rest.trim().is_empty() {
+                    10
+                } else {
+                    match rest.trim().parse::<usize>() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            writeln!(out, "err trace expects a count, got {:?}", rest.trim())?;
+                            return Ok(Flow::Continue);
+                        }
+                    }
+                };
+                let records: Vec<String> = self.recorder.last(n).map(|r| r.render()).collect();
+                writeln!(out, "ok {}", records.len())?;
+                for r in records {
+                    writeln!(out, "{r}")?;
+                }
+            }
+            CommandKind::Health => {
+                let drifted = self.live.drifted();
+                let window = self.live.window_quality();
+                writeln!(
+                    out,
+                    "ok {} recovered={} rebuilds={} checkpoints={} audits={} \
+                     window_precision_at_k={:.3} lifetime_precision_at_k={:.3}",
+                    if drifted { "degraded" } else { "healthy" },
+                    self.recovery.label(),
+                    self.online.rebuild_count(),
+                    self.checkpoints_written,
+                    self.recovery_audits,
+                    window.precision_at_k(),
+                    self.live.lifetime().precision_at_k(),
+                )?;
+            }
+            CommandKind::Quit => {
                 match self.checkpoint() {
                     Ok(bytes) => writeln!(out, "ok bye; checkpointed {bytes} bytes")?,
                     Err(e) => writeln!(out, "err final checkpoint failed: {e}")?,
                 }
                 return Ok(Flow::Quit);
             }
-            other => {
+            CommandKind::Rebuild | CommandKind::Other => {
                 writeln!(
                     out,
-                    "err unknown command {other:?} (train/predict/checkpoint/stats/quit)"
+                    "err unknown command {cmd:?} \
+                     (train/predict/checkpoint/stats/metrics/trace/health/quit)"
                 )?;
             }
         }
         Ok(Flow::Continue)
     }
+
+    /// Builds the serving [`RunReport`]: request/error counters, per-kind
+    /// latency histograms, the online model's shape, and the live
+    /// evaluator's lifetime/window/per-grade quality — the same schema
+    /// `--metrics-out` uses everywhere else, so `metrics --prom` is
+    /// directly scrapeable and `serve_metrics.json` is directly parseable.
+    pub fn build_report(&self) -> RunReport {
+        let reg = Registry::new();
+        for kind in COMMAND_KINDS {
+            let hist = self.recorder.hist(kind);
+            if hist.count() == 0 {
+                continue;
+            }
+            let label = format!("cmd={}", kind.label());
+            reg.counter("serve.requests", &label).add(hist.count());
+            reg.histogram("serve.latency_ns", &label).absorb(hist);
+        }
+        reg.counter("serve.errors", "").add(self.errors);
+        reg.counter("serve.rebuilds", "")
+            .add(self.online.rebuild_count());
+        reg.counter("serve.checkpoints", "")
+            .add(self.checkpoints_written);
+        reg.counter("serve.recovery_audits", "")
+            .add(self.recovery_audits);
+        reg.counter("serve.metrics_flush_failures", "")
+            .add(self.flush_failures);
+        reg.gauge("serve.recovered_generation", "")
+            .set(self.recovery.gauge());
+        reg.gauge("serve.window_sessions", "")
+            .set(self.online.window_len() as u64);
+
+        let s = self.online.stats();
+        reg.gauge("model.nodes", "").set(s.nodes as u64);
+        reg.gauge("model.bytes", "").set(s.total_bytes() as u64);
+
+        let lifetime = self.live.lifetime();
+        reg.counter("live.sessions", "").add(self.live.sessions());
+        quality_counters(&reg, "live", lifetime);
+        for (level, g) in self.live.by_grade().iter().enumerate() {
+            let label = format!("grade=G{level}");
+            reg.counter("live.grade.contexts", &label).add(g.contexts);
+            reg.counter("live.grade.hits_at_k", &label).add(g.hits_at_k);
+        }
+
+        let window = self.live.window_quality();
+        reg.gauge("live.window.contexts", "").set(window.contexts);
+        reg.gauge("live.window.precision_at_1_ppm", "")
+            .set(ppm(window.precision_at_1()));
+        reg.gauge("live.window.precision_at_k_ppm", "")
+            .set(ppm(window.precision_at_k()));
+        reg.gauge("live.window.coverage_ppm", "")
+            .set(ppm(window.coverage()));
+        reg.gauge("live.window.traffic_increment_milli", "")
+            .set(milli(traffic_increment(&window)));
+        reg.gauge("live.drift", "")
+            .set(u64::from(self.live.drifted()));
+
+        RunReport {
+            schema_version: pbppm_obs::report::SCHEMA_VERSION,
+            command: "serve".to_owned(),
+            telemetry_enabled: pbppm_obs::ENABLED,
+            spans: Vec::new(),
+            metrics: reg.snapshot(),
+        }
+    }
+}
+
+/// Publishes one [`PredictionQuality`]'s raw counters under `prefix.*`.
+fn quality_counters(reg: &Registry, prefix: &str, q: &PredictionQuality) {
+    reg.counter(&format!("{prefix}.contexts"), "")
+        .add(q.contexts);
+    reg.counter(&format!("{prefix}.covered"), "").add(q.covered);
+    reg.counter(&format!("{prefix}.hits_at_1"), "")
+        .add(q.hits_at_1);
+    reg.counter(&format!("{prefix}.hits_at_k"), "")
+        .add(q.hits_at_k);
+    reg.counter(&format!("{prefix}.useful_at_k"), "")
+        .add(q.useful_at_k);
+    reg.counter(&format!("{prefix}.emitted"), "").add(q.emitted);
+}
+
+/// A ratio in `[0, 1]` as integer parts-per-million (gauges store `u64`).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn ppm(x: f64) -> u64 {
+    (x.clamp(0.0, 1.0) * 1_000_000.0).round() as u64
+}
+
+/// A small non-negative rate as integer thousandths.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn milli(x: f64) -> u64 {
+    (x.max(0.0) * 1_000.0).round().min(1e18) as u64
 }
 
 /// `pbppm serve --dir DIR [--window N] [--rebuild-every N]
-/// [--checkpoint-every N] [--top N] [--aggressive-prune] [--no-links]`
+/// [--checkpoint-every N] [--top N] [--eval-window N] [--drift-fraction F]
+/// [--flight-capacity N] [--flush-every N] [--aggressive-prune] [--no-links]`
 pub fn serve(args: &Args) -> CmdResult {
-    args.reject_unknown(&["dir", "window", "rebuild-every", "checkpoint-every", "top"])?;
+    args.reject_unknown(&[
+        "dir",
+        "window",
+        "rebuild-every",
+        "checkpoint-every",
+        "top",
+        "eval-window",
+        "drift-fraction",
+        "flight-capacity",
+        "flush-every",
+    ])?;
     let dir = args.require("dir")?;
-    let window = args.get_parsed("window", 1000usize)?;
-    let rebuild_every = args.get_parsed("rebuild-every", 50usize)?;
-    let checkpoint_every = args.get_parsed("checkpoint-every", 1u64)?;
-    let top = args.get_parsed("top", 10usize)?;
+    let defaults = ServeOptions::default();
+    let opts = ServeOptions {
+        window: args.get_parsed("window", defaults.window)?,
+        rebuild_every: args.get_parsed("rebuild-every", defaults.rebuild_every)?,
+        checkpoint_every: args.get_parsed("checkpoint-every", defaults.checkpoint_every)?,
+        top: args.get_parsed("top", defaults.top)?,
+        eval_window: args.get_parsed("eval-window", defaults.eval_window)?,
+        drift_fraction: args.get_parsed("drift-fraction", defaults.drift_fraction)?,
+        flight_capacity: args.get_parsed("flight-capacity", defaults.flight_capacity)?,
+        flush_every: args.get_parsed("flush-every", defaults.flush_every)?,
+    };
     let cfg = PbConfig {
         prune: if args.switch("aggressive-prune") {
             PruneConfig::aggressive()
@@ -267,8 +617,7 @@ pub fn serve(args: &Args) -> CmdResult {
         special_links: !args.switch("no-links"),
         ..PbConfig::default()
     };
-    let (mut session, recovery) =
-        ServeSession::open(dir, cfg, window, rebuild_every, checkpoint_every, top)?;
+    let (mut session, recovery) = ServeSession::open(dir, cfg, opts)?;
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
     writeln!(
@@ -304,7 +653,14 @@ mod tests {
     fn open(dir: &str) -> (ServeSession, Recovery) {
         // rebuild_every=1 + checkpoint_every=1: every session rebuilds and
         // checkpoints, so generations accumulate quickly.
-        ServeSession::open(dir, PbConfig::default(), 100, 1, 1, 10).unwrap()
+        let opts = ServeOptions {
+            window: 100,
+            rebuild_every: 1,
+            checkpoint_every: 1,
+            top: 10,
+            ..ServeOptions::default()
+        };
+        ServeSession::open(dir, PbConfig::default(), opts).unwrap()
     }
 
     fn line(s: &mut ServeSession, cmd: &str) -> String {
@@ -377,6 +733,120 @@ mod tests {
         assert!(line(&mut s2, "train /a,/c").starts_with("ok trained 2"));
         let reply = line(&mut s2, "predict /a");
         assert!(reply.starts_with("ok 2"), "both sessions count: {reply}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_reports_serving_session_state() {
+        let dir = temp_dir("stats-session");
+        let (mut s, _) = open(&dir);
+        line(&mut s, "train /a,/b");
+        line(&mut s, "checkpoint");
+        let reply = line(&mut s, "stats");
+        assert!(reply.contains("recovered fresh"), "{reply}");
+        assert!(reply.contains("rebuilds_since_start 1"), "{reply}");
+        // rebuild-triggered checkpoint + the explicit one
+        assert!(reply.contains("checkpoints 2"), "{reply}");
+        drop(s);
+        let (mut s2, _) = open(&dir);
+        let reply = line(&mut s2, "stats");
+        assert!(reply.contains("recovered current"), "{reply}");
+        assert!(reply.contains("rebuilds_since_start 0"), "{reply}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_command_renders_both_formats() {
+        let dir = temp_dir("metrics");
+        let (mut s, _) = open(&dir);
+        line(&mut s, "train /a,/b");
+        line(&mut s, "predict /a");
+        let human = line(&mut s, "metrics");
+        let (head, body) = human.split_once('\n').unwrap();
+        let n: usize = head.strip_prefix("ok ").unwrap().parse().unwrap();
+        assert_eq!(body.lines().count(), n, "line count must match header");
+        assert!(body.contains("serve.requests"), "{body}");
+        let prom = line(&mut s, "metrics --prom");
+        assert!(prom.starts_with("ok "), "{prom}");
+        assert!(
+            prom.contains("pbppm_serve_requests{cmd=\"train\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("pbppm_serve_latency_ns_bucket"), "{prom}");
+        assert!(prom.contains("pbppm_live_contexts 1"), "{prom}");
+        assert!(line(&mut s, "metrics bogus").starts_with("err metrics"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_dumps_recent_requests() {
+        let dir = temp_dir("trace");
+        let (mut s, _) = open(&dir);
+        line(&mut s, "train /a,/b");
+        line(&mut s, "train /a,/b");
+        line(&mut s, "predict /a");
+        let reply = line(&mut s, "trace 2");
+        let mut lines = reply.lines();
+        assert_eq!(lines.next(), Some("ok 2"));
+        let second_to_last = lines.next().unwrap();
+        assert!(second_to_last.contains("train ok"), "{second_to_last}");
+        let last = lines.next().unwrap();
+        assert!(last.contains("predict ok"), "{last}");
+        assert!(last.contains("strategy="), "{last}");
+        assert!(last.contains("/b"), "predict payload recorded: {last}");
+        assert!(line(&mut s, "trace x").starts_with("err trace expects"));
+        // The malformed trace request itself lands in the ring.
+        let after = line(&mut s, "trace 10");
+        assert!(after.contains("trace err"), "{after}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_degrades_on_drift_and_reports_recovery() {
+        let dir = temp_dir("health");
+        let opts = ServeOptions {
+            window: 100,
+            rebuild_every: 1,
+            checkpoint_every: 1_000_000, // keep checkpoints out of the way
+            top: 10,
+            eval_window: 8,
+            drift_fraction: 0.5,
+            ..ServeOptions::default()
+        };
+        let (mut s, _) = ServeSession::open(&dir, PbConfig::default(), opts).unwrap();
+        assert!(line(&mut s, "health").starts_with("ok healthy"), "fresh");
+        // Long accurate phase: the model keeps predicting /a -> /b right.
+        for _ in 0..64 {
+            line(&mut s, "train /a,/b");
+        }
+        assert!(line(&mut s, "health").starts_with("ok healthy"));
+        // Popularity shifts: /a now leads somewhere never seen before
+        // (a fresh URL each time, so no rebuild can catch up within the
+        // window) and the windowed precision collapses to zero.
+        for i in 0..8 {
+            line(&mut s, &format!("train /a,/shift{i}"));
+        }
+        let reply = line(&mut s, "health");
+        assert!(reply.starts_with("ok degraded"), "{reply}");
+        assert!(reply.contains("recovered=fresh"), "{reply}");
+        assert!(reply.contains("checkpoints=0"), "{reply}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_flush_lands_in_the_snapshot_dir() {
+        let dir = temp_dir("flush");
+        let (mut s, _) = open(&dir);
+        line(&mut s, "train /a,/b"); // rebuild + checkpoint -> flush
+        let path = std::path::Path::new(&dir).join("serve_metrics.json");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let report = RunReport::from_json(&json).unwrap();
+        assert_eq!(report.command, "serve");
+        assert!(report
+            .metrics
+            .counters
+            .iter()
+            .any(|c| c.name == "serve.requests"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

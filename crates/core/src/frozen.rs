@@ -65,6 +65,17 @@ pub enum MatchStrategy {
     FingerprintIndex,
 }
 
+impl MatchStrategy {
+    /// Stable lower-case label for telemetry (flight-recorder lines,
+    /// metric label values).
+    pub fn label(self) -> &'static str {
+        match self {
+            MatchStrategy::FrozenScan => "frozen-scan",
+            MatchStrategy::FingerprintIndex => "fingerprint-index",
+        }
+    }
+}
+
 /// Picks the serving strategy from measured fingerprint-index occupancy.
 ///
 /// The index only wins when its buckets aggregate *several* stored nodes

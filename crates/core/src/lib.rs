@@ -56,6 +56,7 @@ pub mod eval;
 pub mod frozen;
 pub mod fxhash;
 pub mod interner;
+pub mod live;
 pub mod lrs;
 pub mod order1;
 pub mod pb;
@@ -76,6 +77,7 @@ pub use eval::{evaluate, EvalConfig, PredictionQuality};
 pub use frozen::{choose_strategy, FrozenTree, MatchStrategy};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interner::{Interner, UrlId};
+pub use live::{traffic_increment, GradeAccuracy, LiveEval, LiveEvalConfig};
 pub use lrs::LrsPpm;
 pub use order1::Order1Markov;
 pub use pb::{PbConfig, PbPpm};

@@ -824,6 +824,10 @@ impl Predictor for PbPpm {
         self.frozen.as_ref()
     }
 
+    fn match_strategy(&self) -> Option<MatchStrategy> {
+        self.finalized.then_some(self.strategy)
+    }
+
     fn node_count(&self) -> usize {
         self.tree.node_count()
     }

@@ -220,6 +220,13 @@ pub trait Predictor: Send + Sync {
         None
     }
 
+    /// The context-match strategy the adaptive selector picked at
+    /// finalization, for telemetry. `None` before finalization and for
+    /// models without a frozen serving path.
+    fn match_strategy(&self) -> Option<crate::frozen::MatchStrategy> {
+        None
+    }
+
     /// The paper's space metric: number of URL nodes the model stores.
     fn node_count(&self) -> usize;
 

@@ -309,6 +309,10 @@ impl Predictor for StandardPpm {
         self.frozen.as_ref()
     }
 
+    fn match_strategy(&self) -> Option<MatchStrategy> {
+        self.frozen.as_ref().map(|_| self.strategy)
+    }
+
     fn node_count(&self) -> usize {
         self.tree.node_count()
     }

@@ -10,6 +10,9 @@
 //!   power-of-two-bucket histograms, plus [`metrics::LocalHist`], the
 //!   contention-free shard accumulator the eval engine merges
 //!   deterministically (ascending client order, like PR 1's counters);
+//! - [`flight`] — the serving flight recorder: a fixed-capacity ring of
+//!   per-request records plus per-command latency histograms, behind the
+//!   `trace` / `metrics` serve commands;
 //! - [`log`] — leveled stderr logging gated by `PBPPM_LOG` / `--verbose`,
 //!   so quiet runs stay quiet and JSON stdout never interleaves;
 //! - [`report`] — the exportable run report: schema-stable JSON
@@ -24,6 +27,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc;
+pub mod flight;
 pub mod log;
 pub mod metrics;
 pub mod report;
@@ -33,6 +37,7 @@ pub mod spans;
 /// blocks around timing code const-fold away in the disabled build.
 pub const ENABLED: bool = cfg!(feature = "enabled");
 
+pub use flight::{CommandKind, FlightRecord, FlightRecorder};
 pub use metrics::{
     global, BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, LocalHist, MetricValue,
     MetricsSnapshot, Registry,

@@ -35,6 +35,35 @@ pub fn bucket_bound(index: usize) -> u64 {
     }
 }
 
+/// Upper bound of the bucket containing the `q`-quantile of a bucketed
+/// distribution, given `count` total observations and `(upper bound,
+/// bucket count)` pairs in ascending bound order.
+///
+/// This returns the containing bucket's **upper bound**, not an
+/// interpolated quantile: with power-of-two buckets the answer is "the
+/// p99 is below 4096 ns", never "the p99 is 3871 ns". That coarseness is
+/// deliberate — bounds are stable across runs, interpolation inside a
+/// bucket would be fiction. Returns 0 when `count` is 0, and the last
+/// seen bound if the pairs sum to less than `count` (malformed input).
+fn bucketed_quantile_bound(count: u64, q: f64, buckets: impl Iterator<Item = (u64, u64)>) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // In [1, count] after the clamp/ceil, so the narrowing is lossless.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    let mut last_bound = 0u64;
+    for (bound, n) in buckets {
+        last_bound = bound;
+        seen += n;
+        if seen >= target {
+            return bound;
+        }
+    }
+    last_bound
+}
+
 /// A monotonically increasing counter.
 #[derive(Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -205,22 +234,17 @@ impl LocalHist {
     }
 
     /// Upper bound of the bucket containing the `q`-quantile (`q` in
-    /// `[0, 1]`); 0 for an empty accumulator.
+    /// `[0, 1]`); 0 for an empty accumulator. See [`bucketed_quantile_bound`]
+    /// for the exact (bucket-bound, not interpolated) semantics.
     pub fn quantile_bound(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        // In [1, count] after the clamp/ceil, so the narrowing is lossless.
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return bucket_bound(i);
-            }
-        }
-        bucket_bound(HIST_BUCKETS - 1)
+        bucketed_quantile_bound(
+            self.count,
+            q,
+            self.buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (bucket_bound(i), n)),
+        )
     }
 }
 
@@ -269,22 +293,11 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile.
+    /// Upper bound of the bucket containing the `q`-quantile. See
+    /// [`bucketed_quantile_bound`] for the exact (bucket-bound, not
+    /// interpolated) semantics.
     pub fn quantile_bound(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        // In [1, count] after the clamp/ceil, so the narrowing is lossless.
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for b in &self.buckets {
-            seen += b.count;
-            if seen >= target {
-                return b.le;
-            }
-        }
-        self.buckets.last().map_or(0, |b| b.le)
+        bucketed_quantile_bound(self.count, q, self.buckets.iter().map(|b| (b.le, b.count)))
     }
 }
 

@@ -1,0 +1,85 @@
+//! Golden-file test pinning `RunReport::render_prometheus` (the
+//! exposition `pbppm stats --prom` and `metrics --prom` serve).
+//!
+//! The fixture is the v1 JSON golden (`run_report_v1.json`) — so the two
+//! goldens can never drift apart — and this file pins its exact
+//! Prometheus rendering: metric-name mangling, label quoting, cumulative
+//! `le` buckets ending in `+Inf`, and the `_sum`/`_count` lines scrapers
+//! rely on. If the rendering changes intentionally, regenerate with:
+//!
+//! ```sh
+//! cargo test -p pbppm-obs --test golden_prometheus -- --ignored regenerate
+//! ```
+
+use pbppm_obs::RunReport;
+
+const JSON_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_report_v1.json"
+);
+const PROM_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_report_v1.prom"
+);
+
+fn rendered() -> String {
+    let json = std::fs::read_to_string(JSON_GOLDEN)
+        .unwrap_or_else(|e| panic!("cannot read golden file {JSON_GOLDEN}: {e}"));
+    RunReport::from_json(&json)
+        .expect("JSON golden must parse")
+        .render_prometheus()
+}
+
+#[test]
+fn prometheus_rendering_matches_golden() {
+    let golden = std::fs::read_to_string(PROM_GOLDEN)
+        .unwrap_or_else(|e| panic!("cannot read golden file {PROM_GOLDEN}: {e}"));
+    assert_eq!(
+        rendered().trim(),
+        golden.trim(),
+        "render_prometheus output no longer matches the checked-in golden — \
+         exposition drift; see the module docs for how to proceed"
+    );
+}
+
+/// The structural properties scrapers depend on, asserted directly so a
+/// regenerated golden cannot silently lose them.
+#[test]
+fn prometheus_rendering_is_structurally_sound() {
+    let prom = rendered();
+
+    // Name mangling: dots (and any non-alphanumerics) become underscores
+    // under a `pbppm_` prefix; label values are double-quoted.
+    assert!(
+        prom.contains("pbppm_sim_cache_demand_hits{model=\"PB-PPM\",cache=\"browser\"} 4321"),
+        "{prom}"
+    );
+    // An empty label renders with no braces at all.
+    assert!(
+        prom.contains("\npbppm_trace_parse_accepted 10000\n"),
+        "{prom}"
+    );
+    // Every series is preceded by a TYPE header of the right kind.
+    assert!(prom.contains("# TYPE pbppm_sim_cache_demand_hits counter"));
+    assert!(prom.contains("# TYPE pbppm_model_nodes gauge"));
+    assert!(prom.contains("# TYPE pbppm_sim_predict_latency_ns histogram"));
+
+    // Histogram buckets are cumulative: raw counts (2, 1) expose as 2
+    // then 3, and the +Inf bucket equals the total count.
+    let bucket =
+        |le: &str| format!("pbppm_sim_predict_latency_ns_bucket{{model=\"PB-PPM\",le=\"{le}\"}}");
+    assert!(prom.contains(&format!("{} 2", bucket("512"))), "{prom}");
+    assert!(prom.contains(&format!("{} 3", bucket("1024"))), "{prom}");
+    assert!(prom.contains(&format!("{} 3", bucket("+Inf"))), "{prom}");
+    assert!(prom.contains("pbppm_sim_predict_latency_ns_sum{model=\"PB-PPM\"} 1536"));
+    assert!(prom.contains("pbppm_sim_predict_latency_ns_count{model=\"PB-PPM\"} 3"));
+}
+
+/// Rewrites the Prometheus golden from the JSON golden's rendering. Run
+/// explicitly (`-- --ignored regenerate`) after an intentional change to
+/// `render_prometheus`.
+#[test]
+#[ignore = "regenerates the golden file; run after intentional rendering changes"]
+fn regenerate() {
+    std::fs::write(PROM_GOLDEN, rendered()).unwrap();
+}

@@ -16,6 +16,12 @@
 #                              cycle through the real binary
 #   5. audit smoke           — `pbppm audit` rejects (nonzero exit) a
 #                              snapshot copy with a flipped payload byte
+#   6. serve protocol smoke  — pipe train/predict/stats/metrics/trace/
+#                              health/quit through `pbppm serve`, assert
+#                              the one-`ok`/`err`-line-per-command
+#                              discipline, then restart against the same
+#                              dir and assert the greeting reports a
+#                              recovered generation (warm start)
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -71,5 +77,52 @@ if "$pbppm" audit "$tmp/corrupt.pbss" >/dev/null 2>&1; then
     echo "ci: audit accepted a corrupted snapshot" >&2
     exit 1
 fi
+
+echo "== ci: serve protocol smoke" >&2
+servedir="$tmp/serve"
+serveout="$tmp/serve-out.txt"
+printf '%s\n' \
+    "train /a.html,/b.html,/c.html" \
+    "train /a.html,/b.html,/d.html" \
+    "predict /a.html,/b.html" \
+    "stats" \
+    "metrics --prom" \
+    "trace 5" \
+    "health" \
+    "bogus-command" \
+    "quit" \
+    | "$pbppm" serve --dir "$servedir" --rebuild-every 1 >"$serveout"
+# Greeting first, then exactly one ok/err status line per command (the
+# metrics/trace/predict payload lines that follow an "ok N" header never
+# start with ok/err — metric names are pbppm_*, trace records are #N …).
+if ! head -n1 "$serveout" | grep -q '^ready recovered=fresh '; then
+    echo "ci: serve did not greet with a fresh session" >&2
+    exit 1
+fi
+ok_lines="$(grep -c '^ok' "$serveout")"
+err_lines="$(grep -c '^err' "$serveout")"
+if [[ "$ok_lines" -ne 8 || "$err_lines" -ne 1 ]]; then
+    echo "ci: serve ok/err discipline broken: $ok_lines ok + $err_lines err lines for 9 commands" >&2
+    exit 1
+fi
+grep -q '^pbppm_serve_requests{cmd="train"} 2$' "$serveout" || {
+    echo "ci: serve metrics --prom did not expose the train counter" >&2
+    exit 1
+}
+grep -q 'trained 3 url(s)' "$serveout" || {
+    echo "ci: serve train did not acknowledge the session" >&2
+    exit 1
+}
+# Warm restart against the same dir: the quit checkpoint must be
+# recovered, and the greeting must say so.
+printf '%s\n' "stats" "quit" | "$pbppm" serve --dir "$servedir" >"$serveout"
+if ! head -n1 "$serveout" | grep -Eq '^ready recovered=(current|previous) '; then
+    echo "ci: serve warm restart did not report a recovered generation" >&2
+    exit 1
+fi
+grep -Eq '^ok urls .* recovered (current|previous),' "$serveout" || {
+    echo "ci: serve stats did not report the recovered generation" >&2
+    exit 1
+}
 
 echo "ci: all green" >&2

@@ -12,6 +12,10 @@
 #   * fast_path_speedup          — hard floor, baseline-independent: the
 #                                  serving path must stay >= 1.0x the
 #                                  reference scan on every model
+#   * serve predict_p99_ns       — p99 per-request latency through the
+#                                  `pbppm serve` line protocol, same 15%
+#                                  (skipped against baselines predating
+#                                  the serve section)
 #
 # Usage: scripts/perf-gate.sh [baseline.json]
 #
