@@ -5,7 +5,7 @@
 
 fn main() {
     use pbppm_bench::experiments as e;
-    let steps: [(&str, fn()); 13] = [
+    let steps: [(&str, fn()); 14] = [
         ("fig1", e::fig1::run),
         ("table1", e::table1::run),
         ("table2", e::table2::run),
@@ -19,6 +19,7 @@ fn main() {
         ("quality", e::quality::run),
         ("network", e::network::run),
         ("throughput", e::throughput::run),
+        ("loadgen", e::loadgen::run),
     ];
     for (name, run) in steps {
         println!("\n################ {name} ################");

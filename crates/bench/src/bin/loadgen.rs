@@ -1,0 +1,8 @@
+//! Open-loop load generation against the sharded serving core; see
+//! `pbppm_bench::experiments::loadgen`.
+
+#![forbid(unsafe_code)]
+
+fn main() {
+    pbppm_bench::experiments::loadgen::run();
+}

@@ -26,11 +26,11 @@
 //! than 15% — see `scripts/perf-gate.sh`.
 
 use crate::{nasa_trace, write_json, Table};
-use pbppm_cli::serve::{ServeOptions, ServeSession};
 use pbppm_core::{
     LrsPpm, PbConfig, PbPpm, PopularityTable, PredictUsage, Prediction, Predictor, PruneConfig,
     StandardPpm, UrlId,
 };
+use pbppm_serve::{ServeOptions, ServeSession};
 use pbppm_sim::{resolve_threads, run_experiment, ExperimentConfig, ModelSpec};
 use pbppm_trace::{sessionize, Session, SessionizerConfig, Trace};
 use serde::{Deserialize, Serialize};

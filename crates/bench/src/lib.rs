@@ -17,6 +17,7 @@
 //! | `quality` | offline prediction accuracy (coverage, precision@k, MRR) |
 //! | `network` | Crovella–Barford network effects under offered load |
 //! | `throughput` | predict/simulate throughput + the perf-regression gate |
+//! | `loadgen` | open-loop latency of the sharded serve core + its gate |
 //! | `all`    | everything above, in sequence |
 //!
 //! Every binary prints an aligned text table *and* writes machine-readable

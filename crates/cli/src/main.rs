@@ -44,13 +44,16 @@ COMMANDS:
     load-predict
                Query a binary snapshot; same interface and output as predict
                <model.pbss>  --context \"/a.html,/b.html\"  [--top N] [--json]
-    serve      Long-running online prediction loop with crash-safe
+    serve      Long-running online prediction server: client-sharded
+               writers with epoch-published read snapshots, crash-safe
                checkpoints and live self-observation (line protocol on
                stdin: train/predict/checkpoint/stats/metrics [--prom]/
-               trace N/health/quit)
-               --dir DIR  [--window N] [--rebuild-every N]
-               [--checkpoint-every N] [--top N] [--eval-window N]
-               [--drift-fraction F] [--flight-capacity N] [--flush-every N]
+               trace N/health/quit; with --shards > 1, train/predict
+               accept an optional @client routing token)
+               --dir DIR  [--shards N] [--threads N] [--window N]
+               [--rebuild-every N] [--checkpoint-every N] [--top N]
+               [--eval-window N] [--drift-fraction F]
+               [--flight-capacity N] [--flush-every N]
                [--aggressive-prune] [--no-links]
     audit      Structurally verify a binary snapshot (tree shape, height
                caps, special links, grades, index aggregates); exits

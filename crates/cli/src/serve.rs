@@ -1,592 +1,45 @@
-//! `pbppm serve` — a long-running, crash-safe online prediction loop.
+//! `pbppm serve` — the stdin/stdout front-end over the sharded serving
+//! core ([`pbppm_serve::ShardedServer`]).
 //!
-//! Wraps [`OnlinePbPpm`] behind a line protocol on stdin/stdout and
-//! checkpoints its full serving state (URL interner + sliding window +
-//! built model) through [`SnapshotStore`] every `--checkpoint-every`
-//! rebuilds. On startup the newest valid checkpoint generation is
-//! recovered, so a crash — even one that truncates the latest snapshot
-//! mid-write — costs at most the sessions since the previous checkpoint.
+//! The engine itself (per-shard writer sessions, epoch-published read
+//! snapshots, batched dispatch) lives in the `pbppm-serve` crate; this
+//! module only parses flags, prints the greeting, and pumps lines between
+//! stdin and the server. A dedicated reader thread drains stdin into a
+//! channel so bursts of pipelined commands arrive at the core as one
+//! batch (drain-then-dispatch per shard) instead of one syscall-paced
+//! round-trip each.
 //!
-//! The loop observes itself (ISSUE 7): every request is timed and ringed
-//! through a fixed-capacity [`FlightRecorder`]; every `train` session is
-//! first scored against the current model's own predictions ([`LiveEval`],
-//! prequential test-then-train), so the server carries live sliding-window
-//! precision / hit-ratio / traffic-increment numbers and a popularity-drift
-//! signal; and the `metrics` / `trace` / `health` commands expose all of it
-//! without stopping the process. A `serve_metrics.json` report is flushed
-//! into the snapshot dir alongside checkpoints (and every `--flush-every`
-//! requests), so even a crashed process leaves its last observed state
-//! behind.
-//!
-//! ## Protocol
-//!
-//! One command per line; every command answers with one `ok …` or `err …`
-//! line (plus extra rows after `ok N`):
-//!
-//! ```text
-//! train /a.html,/b.html,/c.html      feed one session (scored, then trained)
-//! predict /a.html,/b.html            -> "ok N" then N lines "prob url"
-//! checkpoint                         force a checkpoint now
-//! stats                              one-line model + serving-session summary
-//! metrics [--prom]                   -> "ok N" then N report lines
-//! trace N                            -> "ok M" then M flight-recorder lines
-//! health                             one line: healthy/degraded + counters
-//! quit                               checkpoint and exit
-//! ```
+//! With `--shards 1` (the default) the protocol, directory layout, and
+//! responses are exactly the historical single-threaded server's. With
+//! `--shards N`, `train`/`predict` accept an optional `@client` routing
+//! token (`train @c7 /a,/b`) and every shard checkpoints under
+//! `DIR/shard-NNN`; `stats`/`health`/`metrics`/`trace` aggregate across
+//! shards.
 
 use crate::args::Args;
-use crate::bundle::interner_urls;
-use pbppm_core::eval::EvalConfig;
-use pbppm_core::snapshot::{Generation, ModelImage, SnapshotFile, SnapshotStore};
-use pbppm_core::{
-    traffic_increment, Interner, LiveEval, LiveEvalConfig, OnlinePbPpm, PbConfig,
-    PredictionQuality, Predictor, PruneConfig, UrlId,
+use std::io::Write;
+
+// Everything the old in-crate serve module exported is re-exported so
+// `pbppm_cli::serve::{ServeOptions, ServeSession, ...}` keeps working.
+pub use pbppm_serve::{
+    Flow, PublishedModel, Recovery, ServeOptions, ServeSession, ShardedOptions, ShardedServer,
 };
-use pbppm_obs::flight::COMMAND_KINDS;
-use pbppm_obs::{CommandKind, FlightRecorder, Registry, RunReport};
-use std::io::{BufRead, Write};
-use std::time::Instant;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
-/// What a handled protocol line means for the read loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Flow {
-    /// Keep reading.
-    Continue,
-    /// The client said `quit`; stop cleanly.
-    Quit,
-}
+/// Upper bound on lines dispatched as one batch: keeps control-command
+/// barriers responsive under sustained load.
+const MAX_BATCH: usize = 256;
 
-/// Where a freshly opened serving session got its state from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Recovery {
-    /// No checkpoint existed; the model starts empty.
-    Fresh,
-    /// A checkpoint generation was loaded.
-    Warm(Generation),
-}
-
-impl Recovery {
-    fn label(self) -> &'static str {
-        match self {
-            Recovery::Fresh => "fresh",
-            Recovery::Warm(Generation::Current) => "current",
-            Recovery::Warm(Generation::Previous) => "previous",
-        }
-    }
-
-    /// Numeric form for the `serve.recovered_generation` gauge.
-    fn gauge(self) -> u64 {
-        match self {
-            Recovery::Fresh => 0,
-            Recovery::Warm(Generation::Current) => 1,
-            Recovery::Warm(Generation::Previous) => 2,
-        }
-    }
-}
-
-/// Tunables for a serving session beyond the model configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ServeOptions {
-    /// Sliding window of sessions the online model keeps.
-    pub window: usize,
-    /// Rebuild the model every this many trained sessions.
-    pub rebuild_every: usize,
-    /// Checkpoint after this many completed rebuilds.
-    pub checkpoint_every: u64,
-    /// Predictions returned per `predict`.
-    pub top: usize,
-    /// Live-eval sliding window, in contexts.
-    pub eval_window: usize,
-    /// Degrade health when windowed precision@k falls below this fraction
-    /// of the lifetime mean.
-    pub drift_fraction: f64,
-    /// Flight-recorder ring capacity, in requests.
-    pub flight_capacity: usize,
-    /// Flush `serve_metrics.json` every this many requests (0 = only on
-    /// checkpoints and quit).
-    pub flush_every: u64,
-}
-
-impl Default for ServeOptions {
-    fn default() -> Self {
-        Self {
-            window: 1000,
-            rebuild_every: 50,
-            checkpoint_every: 1,
-            top: 10,
-            eval_window: 512,
-            drift_fraction: 0.5,
-            flight_capacity: 256,
-            flush_every: 256,
-        }
-    }
-}
-
-/// The serving loop's state: interner, online model, checkpoint store,
-/// and the observability layer (flight recorder + live evaluator).
-pub struct ServeSession {
-    urls: Interner,
-    online: OnlinePbPpm,
-    store: SnapshotStore,
-    /// Checkpoint after this many completed rebuilds.
-    checkpoint_every: u64,
-    last_checkpoint_rebuilds: u64,
-    top: usize,
-    recovery: Recovery,
-    recorder: FlightRecorder,
-    live: LiveEval,
-    start_rebuilds: u64,
-    checkpoints_written: u64,
-    recovery_audits: u64,
-    requests: u64,
-    errors: u64,
-    flush_every: u64,
-    flush_failures: u64,
-}
-
-impl ServeSession {
-    /// Opens a serving session over `dir`, recovering from the newest
-    /// valid checkpoint when one exists. The model-shaping options
-    /// (`window`/`rebuild_every`) only apply to a **fresh** session; a
-    /// recovered snapshot carries its own configuration.
-    pub fn open(
-        dir: &str,
-        cfg: PbConfig,
-        opts: ServeOptions,
-    ) -> Result<(Self, Recovery), Box<dyn std::error::Error>> {
-        let store = SnapshotStore::open(dir)?;
-        let mut recovery_audits = 0u64;
-        let (urls, online, recovery) = match store.recover()? {
-            Some((file, generation)) => {
-                let ModelImage::OnlinePb(snap) = &file.model else {
-                    return Err(format!(
-                        "{}: snapshot holds a {} model, not online serving state",
-                        store.dir().display(),
-                        file.model.kind_label()
-                    )
-                    .into());
-                };
-                let online = OnlinePbPpm::from_snapshot(snap)?;
-                // A checkpoint can be checksum-valid yet structurally
-                // rotten (writer bug, partial logic migration). Refuse to
-                // serve predictions from a model that fails the audit —
-                // at this point the damage is recoverable; after hours of
-                // serving and re-checkpointing it no longer is.
-                let report = pbppm_audit::verify_model_with_urls(
-                    &pbppm_audit::ModelRef::OnlinePb(&online),
-                    Some(file.urls.len()),
-                );
-                if !report.is_clean() {
-                    return Err(format!(
-                        "{}: recovered checkpoint fails the structural audit; \
-                         refusing to serve from it\n{report}",
-                        store.dir().display()
-                    )
-                    .into());
-                }
-                recovery_audits = 1;
-                (file.interner(), online, Recovery::Warm(generation))
-            }
-            None => (
-                Interner::new(),
-                OnlinePbPpm::new(cfg, opts.window, opts.rebuild_every),
-                Recovery::Fresh,
-            ),
-        };
-        let last_checkpoint_rebuilds = online.rebuild_count();
-        Ok((
-            Self {
-                urls,
-                start_rebuilds: online.rebuild_count(),
-                online,
-                store,
-                checkpoint_every: opts.checkpoint_every.max(1),
-                last_checkpoint_rebuilds,
-                top: opts.top,
-                recovery,
-                recorder: FlightRecorder::new(opts.flight_capacity),
-                live: LiveEval::new(LiveEvalConfig {
-                    eval: EvalConfig {
-                        k: opts.top.max(1),
-                        ..EvalConfig::default()
-                    },
-                    window: opts.eval_window,
-                    drift_fraction: opts.drift_fraction,
-                    ..LiveEvalConfig::default()
-                }),
-                checkpoints_written: 0,
-                recovery_audits,
-                requests: 0,
-                errors: 0,
-                flush_every: opts.flush_every,
-                flush_failures: 0,
-            },
-            recovery,
-        ))
-    }
-
-    /// The online model being served (tests).
-    pub fn online(&self) -> &OnlinePbPpm {
-        &self.online
-    }
-
-    /// The live prequential evaluator (tests).
-    pub fn live(&self) -> &LiveEval {
-        &self.live
-    }
-
-    /// The flight recorder (tests).
-    pub fn recorder(&self) -> &FlightRecorder {
-        &self.recorder
-    }
-
-    /// Where this session's state came from at open time.
-    pub fn recovery(&self) -> Recovery {
-        self.recovery
-    }
-
-    /// Checkpoints written by this session.
-    pub fn checkpoints_written(&self) -> u64 {
-        self.checkpoints_written
-    }
-
-    /// Writes a checkpoint of the full serving state (and refreshes the
-    /// metrics flush alongside it). Returns its size.
-    pub fn checkpoint(&mut self) -> Result<u64, Box<dyn std::error::Error>> {
-        let file = SnapshotFile {
-            urls: interner_urls(&self.urls),
-            model: ModelImage::OnlinePb(self.online.to_snapshot()),
-        };
-        let bytes = self.store.checkpoint(&file)?;
-        self.last_checkpoint_rebuilds = self.online.rebuild_count();
-        self.checkpoints_written += 1;
-        if self.flush_metrics().is_err() {
-            self.flush_failures += 1;
-        }
-        Ok(bytes)
-    }
-
-    /// Checkpoints when enough rebuilds have accumulated since the last
-    /// one. Returns the bytes written, if any.
-    fn maybe_checkpoint(&mut self) -> Result<Option<u64>, Box<dyn std::error::Error>> {
-        if self.online.rebuild_count() - self.last_checkpoint_rebuilds >= self.checkpoint_every {
-            return self.checkpoint().map(Some);
-        }
-        Ok(None)
-    }
-
-    /// Atomically (write + rename) refreshes `serve_metrics.json` in the
-    /// snapshot dir with the current [`RunReport`], so the last observed
-    /// serving state survives a crash.
-    pub fn flush_metrics(&self) -> std::io::Result<()> {
-        let path = self.store.dir().join("serve_metrics.json");
-        let tmp = self.store.dir().join("serve_metrics.json.tmp");
-        std::fs::write(&tmp, self.build_report().to_json())?;
-        std::fs::rename(&tmp, &path)
-    }
-
-    fn parse_urls(&mut self, raw: &str, intern_new: bool) -> Vec<UrlId> {
-        raw.split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .filter_map(|s| {
-                if intern_new {
-                    Some(self.urls.intern(s))
-                } else {
-                    // Prediction contexts only match URLs the model has
-                    // seen; unknown ones cannot contribute and are skipped.
-                    self.urls.get(s)
-                }
-            })
-            .collect()
-    }
-
-    /// Handles one protocol line, writing the response to `out`.
-    ///
-    /// The response is staged through a local buffer so the outcome
-    /// (`ok`/`err`), latency, and predict payload can be recorded in the
-    /// flight recorder before anything reaches the client.
-    pub fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> std::io::Result<Flow> {
-        let line = line.trim();
-        if line.is_empty() {
-            return Ok(Flow::Continue);
-        }
-        let started = Instant::now();
-        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
-        let kind = CommandKind::parse(cmd);
-        let mut buf: Vec<u8> = Vec::new();
-        let mut top: Vec<(String, f64)> = Vec::new();
-        let flow = self.dispatch(kind, cmd, rest, &mut buf, &mut top)?;
-        let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let ok = buf.starts_with(b"ok");
-        if !ok {
-            self.errors += 1;
-        }
-        let strategy = match kind {
-            CommandKind::Predict => self.online.match_strategy().map(|s| s.label()),
-            _ => None,
-        };
-        let top_refs: Vec<(&str, f64)> = top.iter().map(|(u, p)| (u.as_str(), *p)).collect();
-        self.recorder
-            .push(kind, latency_ns, ok, strategy, &top_refs);
-        self.requests += 1;
-        out.write_all(&buf)?;
-        if self.flush_every > 0
-            && self.requests.is_multiple_of(self.flush_every)
-            && self.flush_metrics().is_err()
-        {
-            self.flush_failures += 1;
-        }
-        Ok(flow)
-    }
-
-    /// Runs one command, writing its response lines into `buf`. `top`
-    /// receives the predict payload for the flight record.
-    fn dispatch(
-        &mut self,
-        kind: CommandKind,
-        cmd: &str,
-        rest: &str,
-        buf: &mut Vec<u8>,
-        top: &mut Vec<(String, f64)>,
-    ) -> std::io::Result<Flow> {
-        let out: &mut dyn Write = buf;
-        match kind {
-            CommandKind::Train => {
-                let session = self.parse_urls(rest, true);
-                if session.is_empty() {
-                    writeln!(out, "err train expects a comma-separated URL list")?;
-                    return Ok(Flow::Continue);
-                }
-                // Prequential self-evaluation: score the incoming clicks
-                // against the *current* model before training on them.
-                let grades = self.online.current().map(|m| m.popularity());
-                self.live.observe_session(&self.online, grades, &session);
-                let rebuilds_before = self.online.rebuild_count();
-                let train_started = Instant::now();
-                self.online.train_session(&session);
-                if self.online.rebuild_count() > rebuilds_before {
-                    // Attribute the whole train call to the rebuild
-                    // histogram when one fired: the rebuild dominates the
-                    // window push by orders of magnitude.
-                    let ns = u64::try_from(train_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    self.recorder.observe(CommandKind::Rebuild, ns);
-                }
-                match self.maybe_checkpoint() {
-                    Ok(saved) => writeln!(
-                        out,
-                        "ok trained {} url(s); window {}, rebuilds {}{}",
-                        session.len(),
-                        self.online.window_len(),
-                        self.online.rebuild_count(),
-                        match saved {
-                            Some(bytes) => format!(", checkpointed {bytes} bytes"),
-                            None => String::new(),
-                        }
-                    )?,
-                    Err(e) => writeln!(out, "err checkpoint failed: {e}")?,
-                }
-            }
-            CommandKind::Predict => {
-                let context = self.parse_urls(rest, false);
-                let mut preds = Vec::new();
-                self.online.predict(&context, &mut preds);
-                preds.truncate(self.top);
-                writeln!(out, "ok {}", preds.len())?;
-                for p in &preds {
-                    let url = self.urls.resolve(p.url).unwrap_or("?");
-                    writeln!(out, "{:.3} {}", p.prob, url)?;
-                    top.push((url.to_owned(), p.prob));
-                }
-            }
-            CommandKind::Checkpoint => match self.checkpoint() {
-                Ok(bytes) => writeln!(out, "ok checkpointed {bytes} bytes")?,
-                Err(e) => writeln!(out, "err checkpoint failed: {e}")?,
-            },
-            CommandKind::Stats => {
-                let s = self.online.stats();
-                writeln!(
-                    out,
-                    "ok urls {}, window {}, rebuilds {}, nodes {}, bytes {}, \
-                     recovered {}, rebuilds_since_start {}, checkpoints {}",
-                    self.urls.len(),
-                    self.online.window_len(),
-                    self.online.rebuild_count(),
-                    s.nodes,
-                    s.total_bytes(),
-                    self.recovery.label(),
-                    self.online.rebuild_count() - self.start_rebuilds,
-                    self.checkpoints_written,
-                )?;
-            }
-            CommandKind::Metrics => {
-                let report = self.build_report();
-                let rendered = if rest.trim() == "--prom" {
-                    report.render_prometheus()
-                } else if rest.trim().is_empty() {
-                    report.render_text()
-                } else {
-                    writeln!(out, "err metrics takes no argument except --prom")?;
-                    return Ok(Flow::Continue);
-                };
-                let lines: Vec<&str> = rendered.lines().collect();
-                writeln!(out, "ok {}", lines.len())?;
-                for l in lines {
-                    writeln!(out, "{l}")?;
-                }
-            }
-            CommandKind::Trace => {
-                let n = if rest.trim().is_empty() {
-                    10
-                } else {
-                    match rest.trim().parse::<usize>() {
-                        Ok(n) => n,
-                        Err(_) => {
-                            writeln!(out, "err trace expects a count, got {:?}", rest.trim())?;
-                            return Ok(Flow::Continue);
-                        }
-                    }
-                };
-                let records: Vec<String> = self.recorder.last(n).map(|r| r.render()).collect();
-                writeln!(out, "ok {}", records.len())?;
-                for r in records {
-                    writeln!(out, "{r}")?;
-                }
-            }
-            CommandKind::Health => {
-                let drifted = self.live.drifted();
-                let window = self.live.window_quality();
-                writeln!(
-                    out,
-                    "ok {} recovered={} rebuilds={} checkpoints={} audits={} \
-                     window_precision_at_k={:.3} lifetime_precision_at_k={:.3}",
-                    if drifted { "degraded" } else { "healthy" },
-                    self.recovery.label(),
-                    self.online.rebuild_count(),
-                    self.checkpoints_written,
-                    self.recovery_audits,
-                    window.precision_at_k(),
-                    self.live.lifetime().precision_at_k(),
-                )?;
-            }
-            CommandKind::Quit => {
-                match self.checkpoint() {
-                    Ok(bytes) => writeln!(out, "ok bye; checkpointed {bytes} bytes")?,
-                    Err(e) => writeln!(out, "err final checkpoint failed: {e}")?,
-                }
-                return Ok(Flow::Quit);
-            }
-            CommandKind::Rebuild | CommandKind::Other => {
-                writeln!(
-                    out,
-                    "err unknown command {cmd:?} \
-                     (train/predict/checkpoint/stats/metrics/trace/health/quit)"
-                )?;
-            }
-        }
-        Ok(Flow::Continue)
-    }
-
-    /// Builds the serving [`RunReport`]: request/error counters, per-kind
-    /// latency histograms, the online model's shape, and the live
-    /// evaluator's lifetime/window/per-grade quality — the same schema
-    /// `--metrics-out` uses everywhere else, so `metrics --prom` is
-    /// directly scrapeable and `serve_metrics.json` is directly parseable.
-    pub fn build_report(&self) -> RunReport {
-        let reg = Registry::new();
-        for kind in COMMAND_KINDS {
-            let hist = self.recorder.hist(kind);
-            if hist.count() == 0 {
-                continue;
-            }
-            let label = format!("cmd={}", kind.label());
-            reg.counter("serve.requests", &label).add(hist.count());
-            reg.histogram("serve.latency_ns", &label).absorb(hist);
-        }
-        reg.counter("serve.errors", "").add(self.errors);
-        reg.counter("serve.rebuilds", "")
-            .add(self.online.rebuild_count());
-        reg.counter("serve.checkpoints", "")
-            .add(self.checkpoints_written);
-        reg.counter("serve.recovery_audits", "")
-            .add(self.recovery_audits);
-        reg.counter("serve.metrics_flush_failures", "")
-            .add(self.flush_failures);
-        reg.gauge("serve.recovered_generation", "")
-            .set(self.recovery.gauge());
-        reg.gauge("serve.window_sessions", "")
-            .set(self.online.window_len() as u64);
-
-        let s = self.online.stats();
-        reg.gauge("model.nodes", "").set(s.nodes as u64);
-        reg.gauge("model.bytes", "").set(s.total_bytes() as u64);
-
-        let lifetime = self.live.lifetime();
-        reg.counter("live.sessions", "").add(self.live.sessions());
-        quality_counters(&reg, "live", lifetime);
-        for (level, g) in self.live.by_grade().iter().enumerate() {
-            let label = format!("grade=G{level}");
-            reg.counter("live.grade.contexts", &label).add(g.contexts);
-            reg.counter("live.grade.hits_at_k", &label).add(g.hits_at_k);
-        }
-
-        let window = self.live.window_quality();
-        reg.gauge("live.window.contexts", "").set(window.contexts);
-        reg.gauge("live.window.precision_at_1_ppm", "")
-            .set(ppm(window.precision_at_1()));
-        reg.gauge("live.window.precision_at_k_ppm", "")
-            .set(ppm(window.precision_at_k()));
-        reg.gauge("live.window.coverage_ppm", "")
-            .set(ppm(window.coverage()));
-        reg.gauge("live.window.traffic_increment_milli", "")
-            .set(milli(traffic_increment(&window)));
-        reg.gauge("live.drift", "")
-            .set(u64::from(self.live.drifted()));
-
-        RunReport {
-            schema_version: pbppm_obs::report::SCHEMA_VERSION,
-            command: "serve".to_owned(),
-            telemetry_enabled: pbppm_obs::ENABLED,
-            spans: Vec::new(),
-            metrics: reg.snapshot(),
-        }
-    }
-}
-
-/// Publishes one [`PredictionQuality`]'s raw counters under `prefix.*`.
-fn quality_counters(reg: &Registry, prefix: &str, q: &PredictionQuality) {
-    reg.counter(&format!("{prefix}.contexts"), "")
-        .add(q.contexts);
-    reg.counter(&format!("{prefix}.covered"), "").add(q.covered);
-    reg.counter(&format!("{prefix}.hits_at_1"), "")
-        .add(q.hits_at_1);
-    reg.counter(&format!("{prefix}.hits_at_k"), "")
-        .add(q.hits_at_k);
-    reg.counter(&format!("{prefix}.useful_at_k"), "")
-        .add(q.useful_at_k);
-    reg.counter(&format!("{prefix}.emitted"), "").add(q.emitted);
-}
-
-/// A ratio in `[0, 1]` as integer parts-per-million (gauges store `u64`).
-#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-fn ppm(x: f64) -> u64 {
-    (x.clamp(0.0, 1.0) * 1_000_000.0).round() as u64
-}
-
-/// A small non-negative rate as integer thousandths.
-#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-fn milli(x: f64) -> u64 {
-    (x.max(0.0) * 1_000.0).round().min(1e18) as u64
-}
-
-/// `pbppm serve --dir DIR [--window N] [--rebuild-every N]
-/// [--checkpoint-every N] [--top N] [--eval-window N] [--drift-fraction F]
-/// [--flight-capacity N] [--flush-every N] [--aggressive-prune] [--no-links]`
+/// `pbppm serve --dir DIR [--shards N] [--threads N] [--window N]
+/// [--rebuild-every N] [--checkpoint-every N] [--top N] [--eval-window N]
+/// [--drift-fraction F] [--flight-capacity N] [--flush-every N]
+/// [--aggressive-prune] [--no-links]`
 pub fn serve(args: &Args) -> CmdResult {
     args.reject_unknown(&[
         "dir",
+        "shards",
+        "threads",
         "window",
         "rebuild-every",
         "checkpoint-every",
@@ -598,255 +51,86 @@ pub fn serve(args: &Args) -> CmdResult {
     ])?;
     let dir = args.require("dir")?;
     let defaults = ServeOptions::default();
-    let opts = ServeOptions {
-        window: args.get_parsed("window", defaults.window)?,
-        rebuild_every: args.get_parsed("rebuild-every", defaults.rebuild_every)?,
-        checkpoint_every: args.get_parsed("checkpoint-every", defaults.checkpoint_every)?,
-        top: args.get_parsed("top", defaults.top)?,
-        eval_window: args.get_parsed("eval-window", defaults.eval_window)?,
-        drift_fraction: args.get_parsed("drift-fraction", defaults.drift_fraction)?,
-        flight_capacity: args.get_parsed("flight-capacity", defaults.flight_capacity)?,
-        flush_every: args.get_parsed("flush-every", defaults.flush_every)?,
+    let opts = ShardedOptions {
+        shards: args.get_parsed("shards", 1)?,
+        threads: args.get_parsed("threads", 0)?,
+        serve: ServeOptions {
+            window: args.get_parsed("window", defaults.window)?,
+            rebuild_every: args.get_parsed("rebuild-every", defaults.rebuild_every)?,
+            checkpoint_every: args.get_parsed("checkpoint-every", defaults.checkpoint_every)?,
+            top: args.get_parsed("top", defaults.top)?,
+            eval_window: args.get_parsed("eval-window", defaults.eval_window)?,
+            drift_fraction: args.get_parsed("drift-fraction", defaults.drift_fraction)?,
+            flight_capacity: args.get_parsed("flight-capacity", defaults.flight_capacity)?,
+            flush_every: args.get_parsed("flush-every", defaults.flush_every)?,
+        },
     };
-    let cfg = PbConfig {
+    let cfg = pbppm_core::PbConfig {
         prune: if args.switch("aggressive-prune") {
-            PruneConfig::aggressive()
+            pbppm_core::PruneConfig::aggressive()
         } else {
-            PruneConfig::default()
+            pbppm_core::PruneConfig::default()
         },
         special_links: !args.switch("no-links"),
-        ..PbConfig::default()
+        ..pbppm_core::PbConfig::default()
     };
-    let (mut session, recovery) = ServeSession::open(dir, cfg, opts)?;
-    let stdin = std::io::stdin();
+    let mut server = ShardedServer::open(dir, cfg, opts)?;
     let mut stdout = std::io::stdout().lock();
-    writeln!(
-        stdout,
-        "ready recovered={} window={} rebuilds={}",
-        recovery.label(),
-        session.online().window_len(),
-        session.online().rebuild_count()
-    )?;
+    if server.shard_count() == 1 {
+        // Byte-compatible with the historical single-threaded greeting.
+        writeln!(
+            stdout,
+            "ready recovered={} window={} rebuilds={}",
+            server.recovery_label(),
+            server.total_window(),
+            server.total_rebuilds()
+        )?;
+    } else {
+        writeln!(
+            stdout,
+            "ready recovered={} shards={} window={} rebuilds={}",
+            server.recovery_label(),
+            server.shard_count(),
+            server.total_window(),
+            server.total_rebuilds()
+        )?;
+    }
     stdout.flush()?;
-    for line in stdin.lock().lines() {
-        let line = line?;
-        let flow = session.handle_line(&line, &mut stdout)?;
+
+    // Reader thread: stdin drains into the channel while the core is
+    // busy, so pipelined commands dispatch as one batch. The thread may
+    // stay blocked on a final read after `quit`; process exit reaps it.
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let _reader = std::thread::spawn(move || {
+        for line in std::io::stdin().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut batch: Vec<String> = Vec::new();
+    let mut responses: Vec<String> = Vec::new();
+    // recv() blocks for the first line of a batch (Err = stdin EOF),
+    // then try_recv() drains whatever queued while the core was busy.
+    while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first);
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(line) => batch.push(line),
+                Err(_) => break,
+            }
+        }
+        let flow = server.handle_batch(&batch, &mut responses)?;
+        for r in &responses {
+            stdout.write_all(r.as_bytes())?;
+        }
         stdout.flush()?;
         if flow == Flow::Quit {
             break;
         }
     }
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn temp_dir(tag: &str) -> String {
-        let dir =
-            std::env::temp_dir().join(format!("pbppm-serve-test-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir.display().to_string()
-    }
-
-    fn open(dir: &str) -> (ServeSession, Recovery) {
-        // rebuild_every=1 + checkpoint_every=1: every session rebuilds and
-        // checkpoints, so generations accumulate quickly.
-        let opts = ServeOptions {
-            window: 100,
-            rebuild_every: 1,
-            checkpoint_every: 1,
-            top: 10,
-            ..ServeOptions::default()
-        };
-        ServeSession::open(dir, PbConfig::default(), opts).unwrap()
-    }
-
-    fn line(s: &mut ServeSession, cmd: &str) -> String {
-        let mut buf = Vec::new();
-        s.handle_line(cmd, &mut buf).unwrap();
-        String::from_utf8(buf).unwrap()
-    }
-
-    #[test]
-    fn protocol_basics() {
-        let dir = temp_dir("protocol");
-        let (mut s, recovery) = open(&dir);
-        assert_eq!(recovery, Recovery::Fresh);
-        assert!(line(&mut s, "train /a,/b,/a,/b").starts_with("ok trained 4"));
-        let reply = line(&mut s, "predict /a");
-        assert!(reply.starts_with("ok 1"), "unexpected reply: {reply}");
-        assert!(reply.contains("/b"), "unexpected reply: {reply}");
-        assert!(line(&mut s, "predict /never-seen").starts_with("ok 0"));
-        assert!(line(&mut s, "stats").starts_with("ok urls 2"));
-        assert!(line(&mut s, "bogus").starts_with("err unknown command"));
-        assert!(line(&mut s, "train ").starts_with("err train expects"));
-        assert!(line(&mut s, "quit").starts_with("ok bye"));
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn warm_start_restores_predictions() {
-        let dir = temp_dir("warm");
-        let (mut s, _) = open(&dir);
-        line(&mut s, "train /a,/b,/c");
-        line(&mut s, "train /a,/b,/c");
-        let before = line(&mut s, "predict /a,/b");
-        drop(s);
-
-        let (mut s2, recovery) = open(&dir);
-        assert_eq!(recovery, Recovery::Warm(Generation::Current));
-        assert_eq!(line(&mut s2, "predict /a,/b"), before);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn recovers_from_truncated_current_snapshot() {
-        let dir = temp_dir("truncated");
-        let (mut s, _) = open(&dir);
-        line(&mut s, "train /a,/b");
-        let after_first = line(&mut s, "predict /a");
-        line(&mut s, "train /x,/y");
-        drop(s);
-
-        // Simulate a crash mid-write: the newest generation is cut short.
-        let current = SnapshotStore::open(&dir).unwrap().current_path();
-        let bytes = std::fs::read(&current).unwrap();
-        std::fs::write(&current, &bytes[..bytes.len() / 2]).unwrap();
-
-        let (mut s2, recovery) = open(&dir);
-        assert_eq!(recovery, Recovery::Warm(Generation::Previous));
-        // The previous generation predates the second train line.
-        assert_eq!(line(&mut s2, "predict /a"), after_first);
-        assert!(line(&mut s2, "predict /x").starts_with("ok 0"));
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn training_continues_after_recovery() {
-        let dir = temp_dir("resume");
-        let (mut s, _) = open(&dir);
-        line(&mut s, "train /a,/b");
-        drop(s);
-        let (mut s2, _) = open(&dir);
-        assert!(line(&mut s2, "train /a,/c").starts_with("ok trained 2"));
-        let reply = line(&mut s2, "predict /a");
-        assert!(reply.starts_with("ok 2"), "both sessions count: {reply}");
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn stats_reports_serving_session_state() {
-        let dir = temp_dir("stats-session");
-        let (mut s, _) = open(&dir);
-        line(&mut s, "train /a,/b");
-        line(&mut s, "checkpoint");
-        let reply = line(&mut s, "stats");
-        assert!(reply.contains("recovered fresh"), "{reply}");
-        assert!(reply.contains("rebuilds_since_start 1"), "{reply}");
-        // rebuild-triggered checkpoint + the explicit one
-        assert!(reply.contains("checkpoints 2"), "{reply}");
-        drop(s);
-        let (mut s2, _) = open(&dir);
-        let reply = line(&mut s2, "stats");
-        assert!(reply.contains("recovered current"), "{reply}");
-        assert!(reply.contains("rebuilds_since_start 0"), "{reply}");
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn metrics_command_renders_both_formats() {
-        let dir = temp_dir("metrics");
-        let (mut s, _) = open(&dir);
-        line(&mut s, "train /a,/b");
-        line(&mut s, "predict /a");
-        let human = line(&mut s, "metrics");
-        let (head, body) = human.split_once('\n').unwrap();
-        let n: usize = head.strip_prefix("ok ").unwrap().parse().unwrap();
-        assert_eq!(body.lines().count(), n, "line count must match header");
-        assert!(body.contains("serve.requests"), "{body}");
-        let prom = line(&mut s, "metrics --prom");
-        assert!(prom.starts_with("ok "), "{prom}");
-        assert!(
-            prom.contains("pbppm_serve_requests{cmd=\"train\"} 1"),
-            "{prom}"
-        );
-        assert!(prom.contains("pbppm_serve_latency_ns_bucket"), "{prom}");
-        assert!(prom.contains("pbppm_live_contexts 1"), "{prom}");
-        assert!(line(&mut s, "metrics bogus").starts_with("err metrics"));
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn trace_dumps_recent_requests() {
-        let dir = temp_dir("trace");
-        let (mut s, _) = open(&dir);
-        line(&mut s, "train /a,/b");
-        line(&mut s, "train /a,/b");
-        line(&mut s, "predict /a");
-        let reply = line(&mut s, "trace 2");
-        let mut lines = reply.lines();
-        assert_eq!(lines.next(), Some("ok 2"));
-        let second_to_last = lines.next().unwrap();
-        assert!(second_to_last.contains("train ok"), "{second_to_last}");
-        let last = lines.next().unwrap();
-        assert!(last.contains("predict ok"), "{last}");
-        assert!(last.contains("strategy="), "{last}");
-        assert!(last.contains("/b"), "predict payload recorded: {last}");
-        assert!(line(&mut s, "trace x").starts_with("err trace expects"));
-        // The malformed trace request itself lands in the ring.
-        let after = line(&mut s, "trace 10");
-        assert!(after.contains("trace err"), "{after}");
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn health_degrades_on_drift_and_reports_recovery() {
-        let dir = temp_dir("health");
-        let opts = ServeOptions {
-            window: 100,
-            rebuild_every: 1,
-            checkpoint_every: 1_000_000, // keep checkpoints out of the way
-            top: 10,
-            eval_window: 8,
-            drift_fraction: 0.5,
-            ..ServeOptions::default()
-        };
-        let (mut s, _) = ServeSession::open(&dir, PbConfig::default(), opts).unwrap();
-        assert!(line(&mut s, "health").starts_with("ok healthy"), "fresh");
-        // Long accurate phase: the model keeps predicting /a -> /b right.
-        for _ in 0..64 {
-            line(&mut s, "train /a,/b");
-        }
-        assert!(line(&mut s, "health").starts_with("ok healthy"));
-        // Popularity shifts: /a now leads somewhere never seen before
-        // (a fresh URL each time, so no rebuild can catch up within the
-        // window) and the windowed precision collapses to zero.
-        for i in 0..8 {
-            line(&mut s, &format!("train /a,/shift{i}"));
-        }
-        let reply = line(&mut s, "health");
-        assert!(reply.starts_with("ok degraded"), "{reply}");
-        assert!(reply.contains("recovered=fresh"), "{reply}");
-        assert!(reply.contains("checkpoints=0"), "{reply}");
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn metrics_flush_lands_in_the_snapshot_dir() {
-        let dir = temp_dir("flush");
-        let (mut s, _) = open(&dir);
-        line(&mut s, "train /a,/b"); // rebuild + checkpoint -> flush
-        let path = std::path::Path::new(&dir).join("serve_metrics.json");
-        let json = std::fs::read_to_string(&path).unwrap();
-        let report = RunReport::from_json(&json).unwrap();
-        assert_eq!(report.command, "serve");
-        assert!(report
-            .metrics
-            .counters
-            .iter()
-            .any(|c| c.name == "serve.requests"));
-        let _ = std::fs::remove_dir_all(&dir);
-    }
 }

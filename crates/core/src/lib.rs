@@ -64,6 +64,7 @@ pub mod pb_online;
 pub mod popularity;
 pub mod predictor;
 pub mod prune;
+pub mod publish;
 pub mod render;
 pub mod snapshot;
 pub mod standard;
@@ -85,6 +86,7 @@ pub use pb_online::OnlinePbPpm;
 pub use popularity::{Grade, PopularityBuilder, PopularityTable, PopularityTracker};
 pub use predictor::{ModelKind, PredictUsage, Prediction, Predictor};
 pub use prune::PruneConfig;
+pub use publish::{shard_of, EpochPublisher, EpochReader};
 pub use snapshot::{
     CodecError, Generation, ModelImage, SnapshotFile, SnapshotIoError, SnapshotStore,
 };

@@ -84,6 +84,11 @@ struct Cursor {
 }
 
 /// Popularity-based PPM prediction model.
+///
+/// `Clone` exists for epoch publication: the serving writer clones the
+/// freshly rebuilt (finalized) model into an immutable snapshot that
+/// readers share via `Arc` — see [`crate::publish`].
+#[derive(Clone)]
 pub struct PbPpm {
     pub(crate) tree: Tree,
     pub(crate) pop: PopularityTable,

@@ -1,0 +1,30 @@
+//! # pbppm-serve — the sharded, epoch-published serving core
+//!
+//! The serving side of the toolkit, split out of the CLI so both the
+//! `pbppm serve` binary and the bench harness drive the same engine:
+//!
+//! * [`ServeSession`] — one shard's writer: an [`pbppm_core::OnlinePbPpm`]
+//!   behind the line protocol, with crash-safe checkpoints, a flight
+//!   recorder, and live prequential self-evaluation (moved here from
+//!   `pbppm-cli`, which now re-exports it).
+//! * [`ShardedServer`] — N such writers, keyed by client hash. Each shard
+//!   pairs its single writer with an epoch-published, immutable model
+//!   snapshot ([`PublishedModel`] behind
+//!   [`pbppm_core::publish::EpochPublisher`]) that any number of readers
+//!   can predict against without taking a lock in steady state. Requests
+//!   arrive in batches and are drained per shard, dispatched across worker
+//!   threads, and re-assembled in arrival order — responses are
+//!   deterministic for a given client-to-shard assignment regardless of
+//!   thread count.
+//!
+//! The structural audit (PR 5) gates publication: a writer only publishes
+//! a rebuilt model that passes `verify_model_with_urls`; a failing rebuild
+//! keeps serving the previous epoch and bumps `serve.publish_rejected`.
+
+#![forbid(unsafe_code)]
+
+pub mod session;
+pub mod sharded;
+
+pub use session::{Flow, Recovery, ServeOptions, ServeSession};
+pub use sharded::{PublishedModel, ShardedOptions, ShardedServer};

@@ -1,0 +1,128 @@
+//! ISSUE 8 concurrency test for the epoch publish path: readers running
+//! concurrently with a training/publishing writer must always observe a
+//! *coherent* snapshot — the model and interner of exactly one epoch,
+//! never a mix ("torn" state).
+//!
+//! Strategy: replay the same training sequence serially first and record,
+//! for every epoch, the exact predict response that epoch must produce.
+//! Then re-run the sequence with hammering reader threads: every reader
+//! response must byte-match the recorded response *for the epoch the
+//! reader saw*. A torn snapshot (new model + old interner, or vice versa)
+//! either desyncs (unresolvable URL -> the test unwraps an Err) or
+//! renders a response no single epoch ever produced.
+
+use pbppm_core::PbConfig;
+use pbppm_serve::sharded::predict_published;
+use pbppm_serve::{ServeOptions, ShardedOptions, ShardedServer};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const ROUNDS: usize = 200;
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!(
+        "pbppm-epoch-conc-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.display().to_string()
+}
+
+fn opts() -> ShardedOptions {
+    ShardedOptions {
+        shards: 1,
+        threads: 1,
+        serve: ServeOptions {
+            window: 1000,
+            rebuild_every: 1, // every train rebuilds and publishes
+            checkpoint_every: 1_000_000,
+            top: 5,
+            ..ServeOptions::default()
+        },
+    }
+}
+
+/// Round `k`'s training session: the target after `/a` keeps shifting so
+/// consecutive epochs answer differently (and keep introducing URLs the
+/// previous epoch's interner has never seen — the torn-state bait).
+fn train_line(k: usize) -> String {
+    format!("train /a,/t{k},/a,/t{k}")
+}
+
+fn predict_via_reader(
+    reader: &mut pbppm_core::EpochReader<pbppm_serve::PublishedModel>,
+) -> (u64, String) {
+    let published = std::sync::Arc::clone(reader.current());
+    let mut buf = Vec::new();
+    let mut top = Vec::new();
+    predict_published(&published, 5, "/a", &mut buf, &mut top)
+        .unwrap()
+        .unwrap_or_else(|id| panic!("torn snapshot: unresolvable url id {id}"));
+    (published.rebuilds, String::from_utf8(buf).unwrap())
+}
+
+#[test]
+fn concurrent_readers_always_see_a_coherent_epoch() {
+    // Phase 1: serial replay records the ground truth per epoch.
+    let dir = temp_dir("serial");
+    let mut server = ShardedServer::open(&dir, PbConfig::default(), opts()).unwrap();
+    let mut expected = Vec::with_capacity(ROUNDS + 1);
+    {
+        let mut reader = server.shard_reader(0);
+        expected.push(predict_via_reader(&mut reader).1); // epoch 0: empty model
+    }
+    let mut responses = Vec::new();
+    for k in 0..ROUNDS {
+        server
+            .handle_batch(&[train_line(k)], &mut responses)
+            .unwrap();
+        assert!(responses[0].starts_with("ok trained"), "{responses:?}");
+        let mut reader = server.shard_reader(0);
+        let (rebuilds, resp) = predict_via_reader(&mut reader);
+        assert_eq!(rebuilds, (k + 1) as u64, "every round publishes");
+        expected.push(resp);
+    }
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    // Sanity: the fixture's epochs are actually distinguishable.
+    assert_ne!(expected[1], expected[2]);
+
+    // Phase 2: the same sequence with reader threads hammering the
+    // publication handle while the writer trains.
+    let dir = temp_dir("concurrent");
+    let mut server = ShardedServer::open(&dir, PbConfig::default(), opts()).unwrap();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let mut reader = server.shard_reader(0);
+            let done = &done;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut seen_epochs = 0u64;
+                let mut last = 0u64;
+                while !done.load(Ordering::Acquire) || seen_epochs == 0 {
+                    let (rebuilds, resp) = predict_via_reader(&mut reader);
+                    assert_eq!(
+                        resp,
+                        expected[usize::try_from(rebuilds).unwrap()],
+                        "epoch {rebuilds} answered with another epoch's response"
+                    );
+                    assert!(rebuilds >= last, "epochs went backwards");
+                    if rebuilds != last {
+                        seen_epochs += 1;
+                        last = rebuilds;
+                    }
+                }
+                assert!(seen_epochs > 0, "readers actually observed publishes");
+            });
+        }
+        let mut responses = Vec::new();
+        for k in 0..ROUNDS {
+            server
+                .handle_batch(&[train_line(k)], &mut responses)
+                .unwrap();
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(server.shard_epoch(0), ROUNDS as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,9 +17,9 @@
 //! Both paths then execute the same `predict_ro` ranking on the same
 //! model — the counters must agree *exactly*, not approximately.
 
-use pbppm_cli::serve::{ServeOptions, ServeSession};
 use pbppm_core::eval::{evaluate, EvalConfig};
 use pbppm_core::{Interner, OnlinePbPpm, PbConfig, Predictor, UrlId};
+use pbppm_serve::{ServeOptions, ServeSession};
 
 const WARMUP_SESSIONS: usize = 30;
 const EVAL_SESSIONS: usize = 20;

@@ -1,0 +1,172 @@
+//! ISSUE 8 acceptance tests for the sharded server's determinism
+//! contract:
+//!
+//! 1. **Shard isolation** — an N-shard server answers a fixed trace
+//!    byte-identically to N independent single-shard servers, each fed
+//!    exactly the clients the N-shard router assigns to that shard.
+//! 2. **Thread-count invariance** — the same server, same shard count,
+//!    dispatched with 1 vs many worker threads produces byte-identical
+//!    responses (routing and per-shard order never depend on threads).
+//! 3. **Warm restart** — the sharded server recovers every shard's
+//!    checkpoint and keeps answering identically (the single-shard
+//!    warm-restart smoke, extended to N shards).
+
+use pbppm_core::{shard_of, PbConfig};
+use pbppm_serve::{ServeOptions, ShardedOptions, ShardedServer};
+
+const SHARDS: usize = 4;
+
+fn temp_dir(tag: &str) -> String {
+    let dir =
+        std::env::temp_dir().join(format!("pbppm-shard-det-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.display().to_string()
+}
+
+fn opts(shards: usize, threads: usize) -> ShardedOptions {
+    ShardedOptions {
+        shards,
+        threads,
+        serve: ServeOptions {
+            window: 1000,
+            rebuild_every: 3,
+            checkpoint_every: 1_000_000,
+            top: 5,
+            ..ServeOptions::default()
+        },
+    }
+}
+
+/// A deterministic mixed workload: 24 clients, interleaved train and
+/// predict traffic with overlapping URL spaces so predictions are
+/// non-trivial on every shard.
+fn workload() -> Vec<String> {
+    let mut lines = Vec::new();
+    for round in 0..6 {
+        for c in 0..24 {
+            lines.push(format!(
+                "train @c{c} /index.html,/cat{}.html,/shared.html,/leaf{}.html",
+                (c + round) % 3,
+                c % 2
+            ));
+            if round >= 2 {
+                lines.push(format!(
+                    "predict @c{c} /index.html,/cat{}.html",
+                    (c + round) % 3
+                ));
+                lines.push(format!("predict @c{c} /shared.html"));
+            }
+        }
+    }
+    lines
+}
+
+fn run(server: &mut ShardedServer, lines: &[String]) -> Vec<String> {
+    // Feed in small batches so routed traffic and barriers interleave the
+    // way the real front-end drains stdin.
+    let mut all = Vec::new();
+    let mut responses = Vec::new();
+    for chunk in lines.chunks(17) {
+        server.handle_batch(chunk, &mut responses).unwrap();
+        all.append(&mut responses);
+    }
+    all
+}
+
+#[test]
+fn n_shards_equal_n_independent_single_shard_servers() {
+    let lines = workload();
+
+    let dir_n = temp_dir("iso-n");
+    let mut sharded = ShardedServer::open(&dir_n, PbConfig::default(), opts(SHARDS, 1)).unwrap();
+    let sharded_responses = run(&mut sharded, &lines);
+
+    // N independent 1-shard servers, each fed only its clients — but the
+    // routing token must hash as the N-shard router does, so predictions
+    // compare against the same per-shard training history.
+    let mut solo_responses: Vec<Option<String>> = vec![None; lines.len()];
+    for k in 0..SHARDS {
+        let dir = temp_dir(&format!("iso-solo{k}"));
+        let mut solo = ShardedServer::open(&dir, PbConfig::default(), opts(1, 1)).unwrap();
+        let mut kept_idx = Vec::new();
+        let mut kept_lines = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let client = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|t| t.strip_prefix('@'))
+                .unwrap();
+            if shard_of(client, SHARDS) == k {
+                kept_idx.push(i);
+                kept_lines.push(line.clone());
+            }
+        }
+        let rs = run(&mut solo, &kept_lines);
+        assert_eq!(rs.len(), kept_idx.len());
+        for (i, r) in kept_idx.into_iter().zip(rs) {
+            solo_responses[i] = Some(r);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let mut predicts = 0;
+    let mut nonempty = 0;
+    for (i, (got, want)) in sharded_responses.iter().zip(&solo_responses).enumerate() {
+        let want = want.as_ref().expect("every line routed to some shard");
+        assert_eq!(got, want, "line {i} ({}) diverged", lines[i]);
+        if lines[i].starts_with("predict") {
+            predicts += 1;
+            if !got.starts_with("ok 0") {
+                nonempty += 1;
+            }
+        }
+    }
+    assert!(predicts > 100, "the workload actually predicts: {predicts}");
+    assert!(nonempty > 0, "some predictions are non-empty");
+    let _ = std::fs::remove_dir_all(&dir_n);
+}
+
+#[test]
+fn responses_are_thread_count_invariant() {
+    let lines = workload();
+    let dir_serial = temp_dir("threads-1");
+    let dir_parallel = temp_dir("threads-8");
+    let mut serial =
+        ShardedServer::open(&dir_serial, PbConfig::default(), opts(SHARDS, 1)).unwrap();
+    let mut parallel =
+        ShardedServer::open(&dir_parallel, PbConfig::default(), opts(SHARDS, 8)).unwrap();
+    assert_eq!(run(&mut serial, &lines), run(&mut parallel, &lines));
+    let _ = std::fs::remove_dir_all(&dir_serial);
+    let _ = std::fs::remove_dir_all(&dir_parallel);
+}
+
+#[test]
+fn sharded_warm_restart_restores_every_shard() {
+    let dir = temp_dir("warm");
+    let lines = workload();
+    let probe: Vec<String> = (0..24)
+        .map(|c| format!("predict @c{c} /index.html"))
+        .collect();
+
+    let mut server = ShardedServer::open(&dir, PbConfig::default(), opts(SHARDS, 2)).unwrap();
+    run(&mut server, &lines);
+    let mut responses = Vec::new();
+    server
+        .handle_batch(&["quit".to_owned()], &mut responses)
+        .unwrap();
+    assert!(
+        responses[0].starts_with("ok bye; checkpointed"),
+        "{responses:?}"
+    );
+    let before = run(&mut server, &probe);
+    drop(server);
+
+    let mut recovered = ShardedServer::open(&dir, PbConfig::default(), opts(SHARDS, 2)).unwrap();
+    assert_eq!(recovered.recovery_label(), "current");
+    assert_eq!(
+        run(&mut recovered, &probe),
+        before,
+        "recovered shards answer exactly like the pre-restart server"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

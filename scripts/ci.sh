@@ -22,6 +22,14 @@
 #                              discipline, then restart against the same
 #                              dir and assert the greeting reports a
 #                              recovered generation (warm start)
+#   7. sharded serve smoke   — the same protocol through `pbppm serve
+#                              --shards 4` with `@client` routing tokens,
+#                              asserting the sharded greeting and the
+#                              aggregated stats line
+#   8. loadgen smoke         — a short fixed-seed open-loop run of the
+#                              `loadgen` bench (4 shards, low rate) must
+#                              complete with zero errors and zero
+#                              rejected publishes
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -124,5 +132,48 @@ grep -Eq '^ok urls .* recovered (current|previous),' "$serveout" || {
     echo "ci: serve stats did not report the recovered generation" >&2
     exit 1
 }
+
+echo "== ci: sharded serve smoke" >&2
+sharddir="$tmp/serve-sharded"
+shardout="$tmp/serve-sharded-out.txt"
+printf '%s\n' \
+    "train @alice /a.html,/b.html,/c.html" \
+    "train @bob /a.html,/b.html,/d.html" \
+    "predict @alice /a.html,/b.html" \
+    "stats" \
+    "health" \
+    "quit" \
+    | "$pbppm" serve --dir "$sharddir" --shards 4 --rebuild-every 1 >"$shardout"
+if ! head -n1 "$shardout" | grep -q '^ready recovered=fresh shards=4 '; then
+    echo "ci: sharded serve did not greet with its shard count" >&2
+    exit 1
+fi
+grep -q '^ok shards 4, ' "$shardout" || {
+    echo "ci: sharded stats did not aggregate across shards" >&2
+    exit 1
+}
+if grep -q '^err' "$shardout"; then
+    echo "ci: sharded serve smoke produced err responses" >&2
+    exit 1
+fi
+
+echo "== ci: loadgen open-loop smoke" >&2
+# The loadgen binary always rewrites the committed BENCH_loadgen.json
+# baseline at the repo root; the smoke runs a non-baseline shape, so the
+# committed file is saved and restored around it.
+cp "$repo/BENCH_loadgen.json" "$tmp/BENCH_loadgen.committed"
+PBPPM_RESULTS="$tmp/results" \
+    cargo run --release -q -p pbppm-bench --bin loadgen -- \
+    --rate 300 --seconds 1 --shards 4 --seed 7 >"$tmp/loadgen-out.txt"
+mv "$tmp/BENCH_loadgen.committed" "$repo/BENCH_loadgen.json"
+python3 - "$tmp/results/loadgen.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["shards"] == 4, f"expected 4 shards, got {r['shards']}"
+assert r["requests"] > 0, "loadgen completed no requests"
+assert r["errors"] == 0, f"{r['errors']} err responses under load"
+assert r["publish_rejected"] == 0, f"{r['publish_rejected']} rejected publishes"
+assert all(c["p99_ns"] > 0 for c in r["commands"]), "empty latency percentiles"
+EOF
 
 echo "ci: all green" >&2

@@ -17,30 +17,46 @@
 #                                  (skipped against baselines predating
 #                                  the serve section)
 #
-# Usage: scripts/perf-gate.sh [baseline.json]
+# followed by the open-loop leg: the `loadgen` binary replays a Poisson
+# arrival process against the sharded serving core and gates each
+# command's p99 (scheduled arrival -> completion, so queueing delay
+# counts) against BENCH_loadgen.json, with a 100% tolerance sized for
+# open-loop tail noise.
 #
-# The baseline defaults to BENCH_throughput.json at the repo root. To
-# refresh it after an intentional perf change, run the throughput binary
-# without this script and commit the rewritten file:
+# Usage: scripts/perf-gate.sh [baseline.json [loadgen-baseline.json]]
+#
+# Baselines default to BENCH_throughput.json and BENCH_loadgen.json at
+# the repo root. To refresh after an intentional perf change, run the
+# binaries without this script and commit the rewritten files:
 #
 #   cargo run --release -p pbppm-bench --bin throughput
+#   cargo run --release -p pbppm-bench --bin loadgen
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 baseline="${1:-$repo/BENCH_throughput.json}"
+loadgen_baseline="${2:-$repo/BENCH_loadgen.json}"
 
 if [[ ! -f "$baseline" ]]; then
     echo "perf-gate: no baseline at $baseline" >&2
     echo "perf-gate: run 'cargo run --release -p pbppm-bench --bin throughput' once and commit BENCH_throughput.json" >&2
     exit 2
 fi
+if [[ ! -f "$loadgen_baseline" ]]; then
+    echo "perf-gate: no loadgen baseline at $loadgen_baseline" >&2
+    echo "perf-gate: run 'cargo run --release -p pbppm-bench --bin loadgen' once and commit BENCH_loadgen.json" >&2
+    exit 2
+fi
 
-# The fresh run overwrites BENCH_throughput.json at the repo root, so the
-# comparison reads a copy of the committed baseline. The throughput binary
-# itself performs the comparison and sets the exit code.
+# The fresh runs overwrite BENCH_throughput.json / BENCH_loadgen.json at
+# the repo root, so the comparisons read copies of the committed
+# baselines. The binaries themselves perform the comparison and set the
+# exit code.
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+lg_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$lg_tmp"' EXIT
 cp "$baseline" "$tmp"
+cp "$loadgen_baseline" "$lg_tmp"
 
 status=0
 PBPPM_PERF_BASELINE="$tmp" cargo run --release -p pbppm-bench --bin throughput || status=$?
@@ -53,6 +69,13 @@ if [[ "$status" -eq 1 && -f "$metrics" ]]; then
     echo >&2
     echo "perf-gate: span-level breakdown of the failing run ($metrics):" >&2
     cargo run -q --release -p pbppm-cli --bin pbppm -- stats "$metrics" >&2 || true
+fi
+
+echo "perf-gate: open-loop loadgen leg" >&2
+lg_status=0
+PBPPM_PERF_BASELINE_LOADGEN="$lg_tmp" cargo run --release -p pbppm-bench --bin loadgen || lg_status=$?
+if [[ "$status" -eq 0 ]]; then
+    status="$lg_status"
 fi
 
 exit "$status"
