@@ -10,6 +10,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod ingest;
 pub mod loadgen;
 pub mod network;
 pub mod quality;

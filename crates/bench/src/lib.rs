@@ -18,6 +18,7 @@
 //! | `network` | Crovella–Barford network effects under offered load |
 //! | `throughput` | predict/simulate throughput + the perf-regression gate |
 //! | `loadgen` | open-loop latency of the sharded serve core + its gate |
+//! | `ingest` | parallel log→model build-pipeline throughput + its gate |
 //! | `all`    | everything above, in sequence |
 //!
 //! Every binary prints an aligned text table *and* writes machine-readable

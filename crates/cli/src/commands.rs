@@ -10,7 +10,10 @@ use pbppm_core::{
 };
 use pbppm_sim::{run_experiment, ExperimentConfig, ModelSpec};
 use pbppm_trace::clf::{format_clf_line, ClfRecord};
-use pbppm_trace::combined::{format_combined_line, trace_from_log, CombinedRecord, LogIngest};
+use pbppm_trace::combined::{
+    detect_format, format_combined_line, trace_from_log, CombinedRecord, LogFormat, LogIngest,
+};
+use pbppm_trace::ingest::{trace_from_clf_path, IngestConfig};
 use pbppm_trace::{
     classify_clients, sessionize, ClassifyConfig, ClientClass, Session, SessionStats,
     SessionizerConfig, Trace, WorkloadConfig,
@@ -104,10 +107,54 @@ pub fn generate(args: &Args) -> CmdResult {
     Ok(())
 }
 
-fn load_trace_full(path: &str) -> Result<(Trace, LogIngest), Box<dyn std::error::Error>> {
+/// Reads just enough of `path` to detect the log dialect: the first line
+/// that parses in either format decides (mirroring [`trace_from_log`]'s
+/// first-parsable-line rule).
+fn sniff_format(path: &str) -> Result<Option<LogFormat>, std::io::Error> {
     let file = std::fs::File::open(path)?;
-    let lines = std::io::BufReader::new(file).lines().map_while(Result::ok);
-    let (trace, ingest) = trace_from_log(path, lines);
+    for line in std::io::BufReader::new(file).lines().map_while(Result::ok) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(f) = detect_format(&line) {
+            return Ok(Some(f));
+        }
+    }
+    Ok(None)
+}
+
+fn load_trace_full(
+    path: &str,
+    threads: usize,
+) -> Result<(Trace, LogIngest), Box<dyn std::error::Error>> {
+    // Common-format logs go through the chunked parallel ingester — same
+    // Trace bit-for-bit (see `pbppm_trace::ingest`), bounded memory, and
+    // parse parallelism. Combined logs (or undetectable ones) stay on the
+    // sequential whole-file path, which alone understands user agents.
+    let (trace, ingest) = if sniff_format(path)? == Some(LogFormat::Common) {
+        let cfg = IngestConfig {
+            threads,
+            ..IngestConfig::default()
+        };
+        let (trace, stats) = trace_from_clf_path(path, Path::new(path), &cfg)?;
+        let robot_clients = if stats.accepted > 0 {
+            // Plain CLF has no user-agent field: nobody is UA-identifiable
+            // as a robot, matching `trace_from_log`'s CLF behaviour.
+            vec![false; trace.clients.len()]
+        } else {
+            Vec::new()
+        };
+        let ingest = LogIngest {
+            stats,
+            format: Some(LogFormat::Common),
+            robot_clients,
+        };
+        (trace, ingest)
+    } else {
+        let file = std::fs::File::open(path)?;
+        let lines = std::io::BufReader::new(file).lines().map_while(Result::ok);
+        trace_from_log(path, lines)
+    };
     pbppm_obs::obs_info!(
         "parsed {path} ({:?}): {} accepted, {} filtered, {} malformed",
         ingest.format,
@@ -128,8 +175,8 @@ fn load_trace_full(path: &str) -> Result<(Trace, LogIngest), Box<dyn std::error:
     Ok((trace, ingest))
 }
 
-fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
-    Ok(load_trace_full(path)?.0)
+fn load_trace(path: &str, threads: usize) -> Result<Trace, Box<dyn std::error::Error>> {
+    Ok(load_trace_full(path, threads)?.0)
 }
 
 /// `pbppm analyze access.log [--json]`
@@ -139,7 +186,7 @@ pub fn analyze(args: &Args) -> CmdResult {
         .positional
         .first()
         .ok_or("usage: pbppm analyze <access.log>")?;
-    let (trace, ingest) = load_trace_full(path)?;
+    let (trace, ingest) = load_trace_full(path, 0)?;
     let ua_robots = ingest.robot_clients.iter().filter(|&&b| b).count();
     let sessions = sessionize(&trace.requests, &SessionizerConfig::default());
     let stats = SessionStats::of(&sessions);
@@ -204,21 +251,26 @@ pub fn analyze(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// The per-session URL paths, materialized once so the deterministic
+/// parallel trainers (`train_sessions`) can partition them.
+fn session_urls(sessions: &[Session]) -> Vec<Vec<pbppm_core::UrlId>> {
+    sessions
+        .iter()
+        .map(|s| s.views.iter().map(|v| v.url).collect())
+        .collect()
+}
+
 fn train_model(
     kind: &str,
     sessions: &[Session],
     aggressive: bool,
     no_links: bool,
+    threads: usize,
 ) -> Result<TrainedModel, Box<dyn std::error::Error>> {
-    let mut urls = Vec::new();
+    let urls = session_urls(sessions);
     match kind {
         "pb" => {
-            let mut counts = PopularityTable::builder();
-            for s in sessions {
-                for v in &s.views {
-                    counts.record(v.url);
-                }
-            }
+            let counts = pbppm_core::PopularityBuilder::count_sessions(&urls, threads);
             let cfg = PbConfig {
                 prune: if aggressive {
                     PruneConfig::aggressive()
@@ -229,33 +281,21 @@ fn train_model(
                 ..PbConfig::default()
             };
             let mut m = PbPpm::new(counts.build(), cfg);
-            for s in sessions {
-                urls.clear();
-                urls.extend(s.views.iter().map(|v| v.url));
-                m.train_session(&urls);
-            }
+            m.train_sessions(&urls, threads);
             m.finalize();
             let snap = ModelSnapshot::Pb(m.to_snapshot());
             Ok(("PB-PPM".into(), snap, Box::new(m)))
         }
         "standard" => {
             let mut m = StandardPpm::unbounded();
-            for s in sessions {
-                urls.clear();
-                urls.extend(s.views.iter().map(|v| v.url));
-                m.train_session(&urls);
-            }
+            m.train_sessions(&urls, threads);
             m.finalize();
             let snap = ModelSnapshot::Standard(m.to_snapshot());
             Ok(("PPM".into(), snap, Box::new(m)))
         }
         "lrs" => {
             let mut m = LrsPpm::new();
-            for s in sessions {
-                urls.clear();
-                urls.extend(s.views.iter().map(|v| v.url));
-                m.train_session(&urls);
-            }
+            m.train_sessions(&urls, threads);
             m.finalize();
             let snap = ModelSnapshot::Lrs(m.to_snapshot());
             Ok(("LRS".into(), snap, Box::new(m)))
@@ -272,6 +312,7 @@ pub fn train_image(
     sessions: &[Session],
     aggressive: bool,
     no_links: bool,
+    threads: usize,
 ) -> Result<TrainedImage, Box<dyn std::error::Error>> {
     match kind {
         "o1" => {
@@ -287,7 +328,7 @@ pub fn train_image(
             Ok(("O1".into(), image, Box::new(m)))
         }
         "pb" | "standard" | "lrs" => {
-            let (label, snap, model) = train_model(kind, sessions, aggressive, no_links)?;
+            let (label, snap, model) = train_model(kind, sessions, aggressive, no_links, threads)?;
             let image = match snap {
                 ModelSnapshot::Pb(s) => ModelImage::Pb(s),
                 ModelSnapshot::Standard(s) => ModelImage::Standard(s),
@@ -300,15 +341,16 @@ pub fn train_image(
 }
 
 /// `pbppm train access.log --out model.json [--model pb|standard|lrs]
-/// [--days N] [--aggressive-prune] [--no-links]`
+/// [--days N] [--threads N] [--aggressive-prune] [--no-links]`
 pub fn train(args: &Args) -> CmdResult {
-    args.reject_unknown(&["out", "model", "days"])?;
+    args.reject_unknown(&["out", "model", "days", "threads"])?;
     let path = args
         .positional
         .first()
         .ok_or("usage: pbppm train <access.log> --out model.json")?;
     let out = args.require("out")?;
-    let trace = load_trace(path)?;
+    let threads = args.get_parsed("threads", 0usize)?;
+    let trace = load_trace(path, threads)?;
     let days = args.get_parsed("days", usize::MAX)?;
     let requests = if days == usize::MAX {
         &trace.requests[..]
@@ -321,6 +363,7 @@ pub fn train(args: &Args) -> CmdResult {
         &sessions,
         args.switch("aggressive-prune"),
         args.switch("no-links"),
+        threads,
     )?;
     let bundle = TrainedBundle {
         version: TrainedBundle::VERSION,
@@ -466,19 +509,20 @@ pub fn run_predict(
 }
 
 /// `pbppm save access.log --out model.pbss [--model pb|standard|lrs|o1]
-/// [--days N] [--aggressive-prune] [--no-links]`
+/// [--days N] [--threads N] [--aggressive-prune] [--no-links]`
 ///
 /// `train`'s sibling for the binary snapshot format: same training
 /// pipeline, but the result is written with the versioned, checksummed
 /// codec that `load-predict` and `serve` read.
 pub fn save(args: &Args) -> CmdResult {
-    args.reject_unknown(&["out", "model", "days"])?;
+    args.reject_unknown(&["out", "model", "days", "threads"])?;
     let path = args
         .positional
         .first()
         .ok_or("usage: pbppm save <access.log> --out model.pbss")?;
     let out = args.require("out")?;
-    let trace = load_trace(path)?;
+    let threads = args.get_parsed("threads", 0usize)?;
+    let trace = load_trace(path, threads)?;
     let days = args.get_parsed("days", usize::MAX)?;
     let requests = if days == usize::MAX {
         &trace.requests[..]
@@ -491,6 +535,7 @@ pub fn save(args: &Args) -> CmdResult {
         &sessions,
         args.switch("aggressive-prune"),
         args.switch("no-links"),
+        threads,
     )?;
     let file = SnapshotFile {
         urls: interner_urls(&trace.urls),
@@ -510,7 +555,7 @@ pub fn save(args: &Args) -> CmdResult {
 pub fn simulate(args: &Args) -> CmdResult {
     args.reject_unknown(&["preset", "model", "train-days", "seed", "threads"])?;
     let trace = match args.positional.first() {
-        Some(path) => load_trace(path)?,
+        Some(path) => load_trace(path, args.get_parsed("threads", 0usize)?)?,
         None => {
             let seed = args.get_parsed("seed", 1u64)?;
             workload_preset(args.get("preset").unwrap_or("nasa"), seed)?.generate()

@@ -32,15 +32,17 @@ COMMANDS:
                --preset nasa|ucb|tiny  --out FILE  [--seed N] [--days D] [--sessions S]
     analyze    Parse a CLF log and report sessions, popularity and clients
                <access.log>  [--json]
-    train      Train a prediction model from a CLF log
+    train      Train a prediction model from a CLF log (parallel chunked
+               ingestion and deterministic parallel training; results are
+               bit-identical at every thread count)
                <access.log>  --out model.json  [--model pb|standard|lrs]
-               [--days N] [--aggressive-prune] [--no-links]
+               [--days N] [--threads N] [--aggressive-prune] [--no-links]
     predict    Query a trained model for prefetch candidates; separate
                multiple contexts with ';' for one batched query
                <model.json>  --context \"/a.html,/b.html\"  [--top N] [--json]
     save       Train a model and write it as a binary snapshot (.pbss)
                <access.log>  --out model.pbss  [--model pb|standard|lrs|o1]
-               [--days N] [--aggressive-prune] [--no-links]
+               [--days N] [--threads N] [--aggressive-prune] [--no-links]
     load-predict
                Query a binary snapshot; same interface and output as predict
                <model.pbss>  --context \"/a.html,/b.html\"  [--top N] [--json]

@@ -59,6 +59,7 @@ pub mod interner;
 pub mod live;
 pub mod lrs;
 pub mod order1;
+pub mod parallel;
 pub mod pb;
 pub mod pb_online;
 pub mod popularity;
@@ -81,6 +82,10 @@ pub use interner::{Interner, UrlId};
 pub use live::{traffic_increment, GradeAccuracy, LiveEval, LiveEvalConfig};
 pub use lrs::LrsPpm;
 pub use order1::Order1Markov;
+pub use parallel::{
+    parallel_map, parallel_map_with, parse_threads, partition_ranges, resolve_threads,
+    threads_from_env, THREADS_ENV,
+};
 pub use pb::{PbConfig, PbPpm};
 pub use pb_online::OnlinePbPpm;
 pub use popularity::{Grade, PopularityBuilder, PopularityTable, PopularityTracker};

@@ -83,6 +83,70 @@ struct Cursor {
     depth: u8,
 }
 
+/// Inserts one session into `tree` under the paper's four construction
+/// rules, against a frozen popularity table and config.
+///
+/// This is [`Predictor::train_session`] for [`PbPpm`] with the tree made
+/// explicit, so parallel training workers can grow private partial trees
+/// against the **shared** popularity table and config. Every decision here
+/// reads only `session`, `pop`, `cfg`, and the URL of the branch root the
+/// session itself created — never pre-existing tree contents — which is the
+/// property [`Tree::merge_from`]'s determinism contract rests on.
+fn train_session_into(tree: &mut Tree, pop: &PopularityTable, cfg: &PbConfig, session: &[UrlId]) {
+    let mut cursors: Vec<Cursor> = Vec::with_capacity(4);
+    let mut prev_grade = Grade::G0;
+    // A link's count answers "in how many of the branch's sessions was
+    // the popular URL revisited later?", so each (root, url) link is
+    // bumped at most once per session no matter how often the URL
+    // recurs.
+    let mut linked_this_session: Vec<(NodeId, UrlId)> = Vec::new();
+    for (i, &url) in session.iter().enumerate() {
+        let g = pop.grade(url);
+
+        // Rule 1/2: extend every branch that still has headroom.
+        cursors.retain_mut(|c| {
+            if c.remaining == 0 {
+                return false;
+            }
+            c.at = tree.child_or_insert(c.at, url);
+            tree.bump(c.at);
+            c.remaining -= 1;
+            c.depth += 1;
+            // Rule 3: duplicate-and-link popular URLs that are not the
+            // head's immediate successor. A link back to the head itself
+            // would predict the page currently being served, so skip it.
+            if cfg.special_links
+                && c.depth >= 3
+                && (g > c.head_grade || g == Grade::MAX)
+                && url != tree.node(c.root).url
+                && !linked_this_session.contains(&(c.root, url))
+            {
+                let dup = tree.link_or_insert(c.root, url);
+                tree.bump(dup);
+                linked_this_session.push((c.root, url));
+            }
+            true
+        });
+
+        // Rule 4: a new root at the session head or on a grade ascent.
+        if i == 0 || g > prev_grade {
+            let root = tree.root_or_insert(url);
+            tree.bump(root);
+            // If this root's branch is already being grown in this
+            // session, restart it rather than double-extend it.
+            cursors.retain(|c| c.root != root);
+            cursors.push(Cursor {
+                at: root,
+                root,
+                head_grade: g,
+                remaining: cfg.height_for(g) - 1,
+                depth: 1,
+            });
+        }
+        prev_grade = g;
+    }
+}
+
 /// Popularity-based PPM prediction model.
 ///
 /// `Clone` exists for epoch publication: the serving writer clones the
@@ -140,6 +204,38 @@ impl PbPpm {
             index: ContextIndex::default(),
             frozen: None,
             strategy: MatchStrategy::FingerprintIndex,
+        }
+    }
+
+    /// Trains on every session, deterministically parallel.
+    ///
+    /// Sessions are split into contiguous partitions, each worker grows a
+    /// private partial tree via [`train_session_into`] against the shared
+    /// frozen popularity table, and the partials are merged **in partition
+    /// order** by [`Tree::merge_from`] — bit-identical to a sequential
+    /// [`Predictor::train_session`] loop at every thread count (`0` = auto
+    /// via `PBPPM_THREADS`/available parallelism).
+    pub fn train_sessions<S: AsRef<[UrlId]> + Sync>(&mut self, sessions: &[S], threads: usize) {
+        debug_assert!(!self.finalized, "train_sessions after finalize");
+        let threads = crate::parallel::resolve_threads(threads).min(sessions.len().max(1));
+        if threads <= 1 {
+            for s in sessions {
+                train_session_into(&mut self.tree, &self.pop, &self.cfg, s.as_ref());
+            }
+            return;
+        }
+        let ranges = crate::parallel::partition_ranges(sessions.len(), threads);
+        let pop = &self.pop;
+        let cfg = &self.cfg;
+        let donors = crate::parallel::parallel_map_with(&ranges, threads, |r| {
+            let mut tree = Tree::new();
+            for s in &sessions[r.clone()] {
+                train_session_into(&mut tree, pop, cfg, s.as_ref());
+            }
+            tree
+        });
+        for donor in &donors {
+            self.tree.merge_from(donor);
         }
     }
 
@@ -686,58 +782,7 @@ impl Predictor for PbPpm {
 
     fn train_session(&mut self, session: &[UrlId]) {
         debug_assert!(!self.finalized, "train_session after finalize");
-        let mut cursors: Vec<Cursor> = Vec::with_capacity(4);
-        let mut prev_grade = Grade::G0;
-        // A link's count answers "in how many of the branch's sessions was
-        // the popular URL revisited later?", so each (root, url) link is
-        // bumped at most once per session no matter how often the URL
-        // recurs.
-        let mut linked_this_session: Vec<(NodeId, UrlId)> = Vec::new();
-        for (i, &url) in session.iter().enumerate() {
-            let g = self.pop.grade(url);
-
-            // Rule 1/2: extend every branch that still has headroom.
-            cursors.retain_mut(|c| {
-                if c.remaining == 0 {
-                    return false;
-                }
-                c.at = self.tree.child_or_insert(c.at, url);
-                self.tree.bump(c.at);
-                c.remaining -= 1;
-                c.depth += 1;
-                // Rule 3: duplicate-and-link popular URLs that are not the
-                // head's immediate successor. A link back to the head itself
-                // would predict the page currently being served, so skip it.
-                if self.cfg.special_links
-                    && c.depth >= 3
-                    && (g > c.head_grade || g == Grade::MAX)
-                    && url != self.tree.node(c.root).url
-                    && !linked_this_session.contains(&(c.root, url))
-                {
-                    let dup = self.tree.link_or_insert(c.root, url);
-                    self.tree.bump(dup);
-                    linked_this_session.push((c.root, url));
-                }
-                true
-            });
-
-            // Rule 4: a new root at the session head or on a grade ascent.
-            if i == 0 || g > prev_grade {
-                let root = self.tree.root_or_insert(url);
-                self.tree.bump(root);
-                // If this root's branch is already being grown in this
-                // session, restart it rather than double-extend it.
-                cursors.retain(|c| c.root != root);
-                cursors.push(Cursor {
-                    at: root,
-                    root,
-                    head_grade: g,
-                    remaining: self.cfg.height_for(g) - 1,
-                    depth: 1,
-                });
-            }
-            prev_grade = g;
-        }
+        train_session_into(&mut self.tree, &self.pop, &self.cfg, session);
     }
 
     /// Applies the paper's post-build space optimizations (relative access

@@ -16,7 +16,6 @@
 
 use crate::interner::UrlId;
 use crate::pb::{PbConfig, PbPpm};
-use crate::popularity::PopularityTable;
 use crate::predictor::{ModelKind, PredictUsage, Prediction, Predictor};
 use crate::stats::ModelStats;
 use std::collections::VecDeque;
@@ -30,6 +29,11 @@ pub struct OnlinePbPpm {
     pub(crate) since_rebuild: usize,
     pub(crate) rebuilds: u64,
     pub(crate) model: Option<PbPpm>,
+    /// Worker count for rebuilds (`0` = auto via `PBPPM_THREADS`/available
+    /// parallelism). Runtime tuning, not model state: deliberately absent
+    /// from [`OnlinePbSnapshot`] — rebuilds are deterministic at every
+    /// thread count, so this can never change what the model predicts.
+    pub(crate) threads: usize,
 }
 
 impl OnlinePbPpm {
@@ -44,7 +48,15 @@ impl OnlinePbPpm {
             since_rebuild: 0,
             rebuilds: 0,
             model: None,
+            threads: 0,
         }
+    }
+
+    /// Sets the rebuild worker count (`0` = auto). Rebuilds are
+    /// bit-identical at every thread count, so this only changes rebuild
+    /// wall time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
     }
 
     /// How many times the inner model has been rebuilt.
@@ -99,25 +111,38 @@ impl OnlinePbPpm {
             since_rebuild: snap.since_rebuild,
             rebuilds: snap.rebuilds,
             model,
+            threads: 0,
         })
     }
 
     /// Rebuilds the inner model from the window now.
+    ///
+    /// Popularity counting and tree training both run on
+    /// [`OnlinePbPpm::set_threads`] workers (deterministic: the rebuilt
+    /// model is bit-identical at every thread count). Wall time lands in
+    /// the `serve.rebuild_ms` histogram so a loadgen p999 spike can be
+    /// attributed to a rebuild stall.
     pub fn rebuild(&mut self) {
-        let mut counts = PopularityTable::builder();
-        for s in &self.window {
-            for &u in s {
-                counts.record(u);
-            }
-        }
+        let started = std::time::Instant::now();
+        let threads = self.threads;
+        // One contiguous slice of the window: the partition/merge training
+        // path wants `&[Vec<UrlId>]`, and a VecDeque that has wrapped is
+        // two slices. Rearranging is O(window) like the rebuild itself.
+        let sessions: &[Vec<UrlId>] = self.window.make_contiguous();
+        let counts = crate::popularity::PopularityBuilder::count_sessions(sessions, threads);
         let mut model = PbPpm::new(counts.build(), self.cfg);
-        for s in &self.window {
-            model.train_session(s);
-        }
+        model.train_sessions(sessions, threads);
         model.finalize();
         self.model = Some(model);
         self.since_rebuild = 0;
         self.rebuilds += 1;
+        if pbppm_obs::ENABLED {
+            let ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let reg = pbppm_obs::global();
+            reg.histogram("serve.rebuild_ms", "").observe(ms);
+            reg.counter("serve.rebuilds", "").add(1);
+            reg.gauge("serve.last_rebuild_ms", "").set(ms);
+        }
         // The inner finalize audited the fresh PbPpm; this pass also covers
         // the online wrapper's own window/schedule invariants.
         crate::verify::runtime_audit(
@@ -219,6 +244,7 @@ mod tests {
     #![allow(clippy::cast_sign_loss)] // tiny fixture indices
 
     use super::*;
+    use crate::popularity::PopularityTable;
     use crate::prune::PruneConfig;
 
     fn u(n: u32) -> UrlId {

@@ -111,9 +111,51 @@ impl PopularityBuilder {
         self.counts.get(url.index()).copied().unwrap_or(0)
     }
 
+    /// Adds every count accumulated by `other` into `self`.
+    ///
+    /// Counting is a commutative sum, so partial builders filled by
+    /// parallel training workers merge into the same table regardless of
+    /// partitioning or merge order.
+    pub fn merge(&mut self, other: &PopularityBuilder) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (acc, &c) in self.counts.iter_mut().zip(&other.counts) {
+            *acc += c;
+        }
+    }
+
     /// Freezes the counts into an immutable table of grades.
     pub fn build(self) -> PopularityTable {
         PopularityTable::from_counts(self.counts)
+    }
+
+    /// Counts every URL of every session, in parallel. Counting is a
+    /// commutative sum over independent requests, so the result is
+    /// identical at every thread count (`0` = auto via
+    /// `PBPPM_THREADS`/available parallelism) and equal to recording each
+    /// session sequentially.
+    pub fn count_sessions<S: AsRef<[UrlId]> + Sync>(sessions: &[S], threads: usize) -> Self {
+        let threads = crate::parallel::resolve_threads(threads).min(sessions.len().max(1));
+        let count_range = |r: &std::ops::Range<usize>| {
+            let mut b = PopularityBuilder::new();
+            for s in &sessions[r.clone()] {
+                for &url in s.as_ref() {
+                    b.record(url);
+                }
+            }
+            b
+        };
+        if threads <= 1 {
+            return count_range(&(0..sessions.len()));
+        }
+        let ranges = crate::parallel::partition_ranges(sessions.len(), threads);
+        let partials = crate::parallel::parallel_map_with(&ranges, threads, count_range);
+        let mut acc = PopularityBuilder::new();
+        for p in &partials {
+            acc.merge(p);
+        }
+        acc
     }
 }
 
@@ -355,6 +397,23 @@ mod tests {
         assert_eq!(t.count(UrlId(1)), 0);
         assert_eq!(t.total_accesses(), 6);
         assert_eq!(t.max_count(), 5);
+    }
+
+    #[test]
+    fn builder_merge_sums_counts() {
+        let mut a = PopularityBuilder::new();
+        a.record_n(UrlId(0), 3);
+        a.record(UrlId(2));
+        let mut b = PopularityBuilder::new();
+        b.record_n(UrlId(2), 4);
+        b.record(UrlId(5)); // longer than `a`: merge must grow it
+        a.merge(&b);
+        assert_eq!(a.count(UrlId(0)), 3);
+        assert_eq!(a.count(UrlId(2)), 5);
+        assert_eq!(a.count(UrlId(5)), 1);
+        // Merging an empty builder is a no-op.
+        a.merge(&PopularityBuilder::new());
+        assert_eq!(a.count(UrlId(5)), 1);
     }
 
     #[test]

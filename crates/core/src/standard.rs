@@ -67,6 +67,40 @@ impl StandardPpm {
         &self.tree
     }
 
+    /// Trains on every session, deterministically parallel: contiguous
+    /// session partitions grow private partial forests which merge back in
+    /// partition order ([`Tree::merge_from`]) — bit-identical to a
+    /// sequential [`Predictor::train_session`] loop at every thread count
+    /// (`0` = auto via `PBPPM_THREADS`/available parallelism).
+    pub fn train_sessions<S: AsRef<[UrlId]> + Sync>(&mut self, sessions: &[S], threads: usize) {
+        debug_assert!(!self.finalized, "train_sessions after finalize");
+        let threads = crate::parallel::resolve_threads(threads).min(sessions.len().max(1));
+        if threads <= 1 {
+            for s in sessions {
+                self.train_session(s.as_ref());
+            }
+            return;
+        }
+        let h = self
+            .max_height
+            .map_or(usize::from(u8::MAX), usize::from)
+            .max(1);
+        let ranges = crate::parallel::partition_ranges(sessions.len(), threads);
+        let donors = crate::parallel::parallel_map_with(&ranges, threads, |r| {
+            let mut tree = Tree::new();
+            for s in &sessions[r.clone()] {
+                let s = s.as_ref();
+                for start in 0..s.len() {
+                    tree.insert_path(&s[start..], h);
+                }
+            }
+            tree
+        });
+        for donor in &donors {
+            self.tree.merge_from(donor);
+        }
+    }
+
     /// Serializes the trained model for persistence.
     pub fn to_snapshot(&self) -> StandardSnapshot {
         StandardSnapshot {

@@ -704,6 +704,55 @@ impl Tree {
         }
     }
 
+    /// Merges a partial forest built by a training worker into `self` by
+    /// structural count-sum: every alive donor node is located (or created)
+    /// at the same structural position here and its count added.
+    ///
+    /// **Determinism contract.** Training decisions in every model depend
+    /// only on the session being inserted (plus, for PB-PPM, the frozen
+    /// popularity table) — never on what the tree already contains — so a
+    /// donor trained on a *contiguous* partition of the session list
+    /// allocates its arena in exactly the order sequential training would
+    /// first encounter those nodes. Donor ids are replayed ascending, and
+    /// nodes already present in `self` are reused rather than re-allocated;
+    /// merging donors **in partition order** therefore reproduces the
+    /// sequential arena allocation order exactly, and with it byte-identical
+    /// [`Tree::to_snapshot`] output. This is what lets `train_sessions` be
+    /// property-tested bit-identical to a sequential `train_session` loop at
+    /// every thread count.
+    ///
+    /// Requires the donor's arena to allocate parents before children (true
+    /// for any tree built through the insertion API; checked in debug
+    /// builds). Dead donor nodes are skipped.
+    pub fn merge_from(&mut self, donor: &Tree) {
+        let mut remap: Vec<NodeId> = vec![NodeId::NONE; donor.nodes.len()];
+        for (i, n) in donor.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            let here = if n.parent.is_none() {
+                self.root_or_insert(n.url)
+            } else {
+                debug_assert!(
+                    n.parent.index() < i,
+                    "donor arena must allocate parents before children"
+                );
+                let parent = remap[n.parent.index()];
+                if parent.is_none() {
+                    continue; // parent was dead: the whole subtree is dropped
+                }
+                if n.link_dup {
+                    self.link_or_insert(parent, n.url)
+                } else {
+                    self.child_or_insert(parent, n.url)
+                }
+            };
+            remap[i] = here;
+            self.nodes[here.index()].count += n.count;
+            self.nodes[here.index()].used |= n.used;
+        }
+    }
+
     /// Inserts the URL sequence `path` starting a branch at `path[0]`,
     /// bumping every node's count, limited to `max_height` nodes.
     ///
@@ -1126,6 +1175,78 @@ mod tests {
         let n = t.descend(&[u(1), u(2), u(3)]).unwrap();
         assert_eq!(frozen.count(n.0), t.node(n).count);
         assert!(frozen.root(u(4)).is_none());
+    }
+
+    #[test]
+    fn merge_from_sums_counts_structurally() {
+        let mut a = Tree::new();
+        a.insert_path(&[u(1), u(2), u(3)], usize::MAX);
+        a.insert_path(&[u(1), u(4)], usize::MAX);
+        let mut b = Tree::new();
+        b.insert_path(&[u(1), u(2)], usize::MAX);
+        b.insert_path(&[u(6), u(7)], usize::MAX);
+        let rb = b.root(u(6)).unwrap();
+        let lb = b.link_or_insert(rb, u(9));
+        b.bump(lb);
+
+        a.merge_from(&b);
+        assert_eq!(a.node(a.root(u(1)).unwrap()).count, 3);
+        assert_eq!(a.node(a.descend(&[u(1), u(2)]).unwrap()).count, 2);
+        assert_eq!(a.node(a.descend(&[u(1), u(2), u(3)]).unwrap()).count, 1);
+        assert_eq!(a.node(a.descend(&[u(6), u(7)]).unwrap()).count, 1);
+        let ra = a.root(u(6)).unwrap();
+        let links: Vec<(UrlId, u64)> = a
+            .links_of(ra)
+            .map(|id| (a.node(id).url, a.node(id).count))
+            .collect();
+        assert_eq!(links, vec![(u(9), 1)]);
+    }
+
+    #[test]
+    fn merge_in_partition_order_matches_sequential_insertion() {
+        // The determinism contract merge_from documents: splitting the
+        // session list into contiguous partitions, training each into its
+        // own tree, and merging in partition order yields a byte-identical
+        // snapshot to inserting every session sequentially.
+        let sessions: Vec<Vec<UrlId>> = vec![
+            vec![u(1), u(2), u(3)],
+            vec![u(1), u(5)],
+            vec![u(4), u(2), u(1)],
+            vec![u(1), u(2), u(6)],
+            vec![u(7)],
+        ];
+        let mut seq = Tree::new();
+        for s in &sessions {
+            seq.insert_path(s, usize::MAX);
+        }
+        for split in 1..sessions.len() {
+            let mut left = Tree::new();
+            for s in &sessions[..split] {
+                left.insert_path(s, usize::MAX);
+            }
+            let mut right = Tree::new();
+            for s in &sessions[split..] {
+                right.insert_path(s, usize::MAX);
+            }
+            left.merge_from(&right);
+            assert_eq!(
+                left.to_snapshot(),
+                seq.to_snapshot(),
+                "split at {split} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_from_skips_dead_donor_subtrees() {
+        let mut a = Tree::new();
+        a.insert_path(&[u(1)], usize::MAX);
+        let mut b = Tree::new();
+        b.insert_path(&[u(2), u(3)], usize::MAX);
+        b.kill_subtree(b.root(u(2)).unwrap());
+        a.merge_from(&b);
+        assert_eq!(a.node_count(), 1);
+        assert!(a.root(u(2)).is_none());
     }
 
     #[test]

@@ -21,6 +21,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 
 #[cfg(feature = "enabled")]
 static ALLOCATED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+#[cfg(feature = "enabled")]
+static LIVE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+#[cfg(feature = "enabled")]
+static PEAK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Total bytes allocated so far (0 when no [`CountingAllocator`] is
 /// installed or telemetry is compiled out).
@@ -35,16 +39,71 @@ pub fn allocated_bytes() -> u64 {
     }
 }
 
+/// Currently live (allocated minus freed) bytes. Unlike
+/// [`allocated_bytes`] this *does* subtract frees, so it tracks resident
+/// heap rather than churn.
+pub fn live_bytes() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        LIVE.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// High-water mark of [`live_bytes`] since process start or the last
+/// [`reset_peak_bytes`]. This is what bounded-memory claims are measured
+/// against (e.g. the `ingest` bench's chunked-vs-buffered comparison).
+pub fn peak_bytes() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        PEAK.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// Restarts the peak watermark from the current live level, so a caller
+/// can measure the peak of one phase in isolation.
+pub fn reset_peak_bytes() {
+    #[cfg(feature = "enabled")]
+    PEAK.store(
+        LIVE.load(std::sync::atomic::Ordering::Relaxed),
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
 /// A [`System`]-backed allocator that counts allocated bytes.
 pub struct CountingAllocator;
 
 #[cfg(feature = "enabled")]
 fn count(bytes: usize) {
-    ALLOCATED.fetch_add(bytes as u64, std::sync::atomic::Ordering::Relaxed);
+    use std::sync::atomic::Ordering::Relaxed;
+    ALLOCATED.fetch_add(bytes as u64, Relaxed);
+    let live = LIVE.fetch_add(bytes as u64, Relaxed) + bytes as u64;
+    PEAK.fetch_max(live, Relaxed);
 }
 
 #[cfg(not(feature = "enabled"))]
 fn count(_bytes: usize) {}
+
+#[cfg(feature = "enabled")]
+fn uncount(bytes: usize) {
+    // Saturating at zero: allocations made before the counter existed (or
+    // through a different allocator) may be freed through this one.
+    let _ = LIVE.fetch_update(
+        std::sync::atomic::Ordering::Relaxed,
+        std::sync::atomic::Ordering::Relaxed,
+        |live| Some(live.saturating_sub(bytes as u64)),
+    );
+}
+
+#[cfg(not(feature = "enabled"))]
+fn uncount(_bytes: usize) {}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
@@ -53,6 +112,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        uncount(layout.size());
         System.dealloc(ptr, layout)
     }
 
@@ -62,7 +122,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        count(new_size.saturating_sub(layout.size()));
+        if new_size >= layout.size() {
+            count(new_size - layout.size());
+        } else {
+            uncount(layout.size() - new_size);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }

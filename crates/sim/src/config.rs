@@ -79,25 +79,71 @@ impl ModelSpec {
         sessions: &[Session],
         popularity: &PopularityTable,
     ) -> Option<Box<dyn Predictor>> {
+        self.build_with(sessions, popularity, 1)
+    }
+
+    /// [`build`](Self::build) with `threads` training workers (`0` = auto).
+    ///
+    /// The tree models train via their deterministic partition-and-merge
+    /// `train_sessions`, so the result is **bit-identical** to sequential
+    /// training at every thread count (property-tested in pbppm-core's
+    /// `parallel_train` suite). Models with inherently sequential training
+    /// (order-1, top-N, the online window) ignore `threads` — except the
+    /// online model, whose periodic rebuilds train with them.
+    pub fn build_with(
+        &self,
+        sessions: &[Session],
+        popularity: &PopularityTable,
+        threads: usize,
+    ) -> Option<Box<dyn Predictor>> {
+        let urls: Vec<Vec<pbppm_core::UrlId>> = sessions
+            .iter()
+            .map(|s| s.views.iter().map(|v| v.url).collect())
+            .collect();
         let mut model: Box<dyn Predictor> = match self {
             ModelSpec::NoPrefetch => return None,
-            ModelSpec::Standard { max_height } => Box::new(StandardPpm::new(*max_height)),
-            ModelSpec::Lrs => Box::new(LrsPpm::new()),
-            ModelSpec::Pb(cfg) => Box::new(PbPpm::new(popularity.clone(), *cfg)),
-            ModelSpec::Order1 => Box::new(Order1Markov::new()),
-            ModelSpec::TopN { n } => Box::new(pbppm_core::TopN::new(*n)),
+            ModelSpec::Standard { max_height } => {
+                let mut m = StandardPpm::new(*max_height);
+                m.train_sessions(&urls, threads);
+                Box::new(m)
+            }
+            ModelSpec::Lrs => {
+                let mut m = LrsPpm::new();
+                m.train_sessions(&urls, threads);
+                Box::new(m)
+            }
+            ModelSpec::Pb(cfg) => {
+                let mut m = PbPpm::new(popularity.clone(), *cfg);
+                m.train_sessions(&urls, threads);
+                Box::new(m)
+            }
+            ModelSpec::Order1 => {
+                let mut m = Order1Markov::new();
+                for s in &urls {
+                    m.train_session(s);
+                }
+                Box::new(m)
+            }
+            ModelSpec::TopN { n } => {
+                let mut m = pbppm_core::TopN::new(*n);
+                for s in &urls {
+                    m.train_session(s);
+                }
+                Box::new(m)
+            }
             ModelSpec::PbOnline {
                 cfg,
                 window,
                 rebuild_every,
-            } => Box::new(pbppm_core::OnlinePbPpm::new(*cfg, *window, *rebuild_every)),
+            } => {
+                let mut m = pbppm_core::OnlinePbPpm::new(*cfg, *window, *rebuild_every);
+                m.set_threads(threads);
+                for s in &urls {
+                    m.train_session(s);
+                }
+                Box::new(m)
+            }
         };
-        let mut urls = Vec::new();
-        for s in sessions {
-            urls.clear();
-            urls.extend(s.views.iter().map(|v| v.url));
-            model.train_session(&urls);
-        }
         model.finalize();
         Some(model)
     }

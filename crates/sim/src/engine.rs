@@ -513,7 +513,8 @@ pub fn run_experiment_full(trace: &Trace, cfg: &ExperimentConfig) -> ExperimentO
     // Prefetching run with fresh, identically warmed caches.
     let model = {
         let _s = span!("train", model = label, sessions = train_sessions.len());
-        cfg.model.build(&train_sessions, &popularity)
+        cfg.model
+            .build_with(&train_sessions, &popularity, cfg.threads)
     };
     let (counters, model_stats, node_count, telemetry) = match model {
         None => (baseline, None, 0, baseline_telemetry.clone()),

@@ -217,7 +217,9 @@ pub fn run_network_experiment(
     views.sort_unstable_by_key(|&(t, c, _)| (t, c));
 
     let baseline = network_pass(None, &views, &catalog, cfg, bytes_per_sec);
-    let model = cfg.model.build(&train_sessions, &popularity);
+    let model = cfg
+        .model
+        .build_with(&train_sessions, &popularity, cfg.threads);
     let with_prefetch = match model {
         None => baseline,
         Some(model) => {

@@ -218,7 +218,9 @@ pub fn run_proxy_experiment(trace: &Trace, cfg: &ProxyExperimentConfig) -> Proxy
     // Carve disjoint groups of `clients_per_proxy` from the shuffled pool.
     let per_group = cfg.clients_per_proxy.max(1);
     let groups = cfg.proxy_groups.max(1).min(active.len().max(1));
-    let mut model = base.model.build(&train_sessions, &popularity);
+    let mut model = base
+        .model
+        .build_with(&train_sessions, &popularity, base.threads);
     let mut server = model.take().map(|m| PrefetchServer::new(m, base.policy));
 
     let mut outcome = ProxyPassOutcome {

@@ -2,164 +2,21 @@
 //!
 //! The paper's figures are grids of independent cells (model × training
 //! window × threshold × client count); each cell is a self-contained
-//! simulation over a shared read-only trace. This module distributes the
-//! cells over scoped worker threads: the trace and inputs are borrowed
-//! immutably (zero copies), workers pull indices from an atomic counter
-//! (dynamic load balancing — cells differ wildly in cost: unbounded PPM on
-//! 7 days vs PB-PPM on 1), and results land in their slot without locking
-//! on the hot path.
+//! simulation over a shared read-only trace, distributed over scoped worker
+//! threads with dynamic load balancing (cells differ wildly in cost:
+//! unbounded PPM on 7 days vs PB-PPM on 1).
+//!
+//! The thread-pool machinery itself now lives in [`pbppm_core::parallel`]
+//! so the parallel training and ingestion paths can share it; this module
+//! re-exports it unchanged for the sweep-facing callers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Environment variable overriding the worker count wherever a thread count
-/// of `0` ("auto") is in effect. The CLI `--threads` flag and
-/// `ExperimentConfig::threads` take precedence over it.
-pub const THREADS_ENV: &str = "PBPPM_THREADS";
-
-/// Parses a `PBPPM_THREADS`-style worker count: a positive integer.
-/// Rejects zero, negatives, and non-numeric input with a message naming
-/// the variable and the offending value.
-pub fn parse_threads(raw: &str) -> Result<usize, String> {
-    let trimmed = raw.trim();
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err(format!(
-            "invalid {THREADS_ENV} value \"0\": expected a positive worker count \
-             (unset the variable for auto parallelism)"
-        )),
-        Ok(n) => Ok(n),
-        Err(_) => Err(format!(
-            "invalid {THREADS_ENV} value {trimmed:?}: expected a positive integer"
-        )),
-    }
-}
-
-/// Reads and validates `PBPPM_THREADS`. `Ok(None)` when unset; `Err` with a
-/// clear message when set to anything but a positive integer. Binaries call
-/// this at startup so a typo fails loudly instead of silently running on
-/// the wrong worker count.
-pub fn threads_from_env() -> Result<Option<usize>, String> {
-    match std::env::var(THREADS_ENV) {
-        Ok(raw) => parse_threads(&raw).map(Some),
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(std::env::VarError::NotUnicode(_)) => {
-            Err(format!("invalid {THREADS_ENV} value: not valid UTF-8"))
-        }
-    }
-}
-
-/// Resolves a requested worker count: `0` means auto — `PBPPM_THREADS` if
-/// set to a positive integer, otherwise the machine's available
-/// parallelism (serial execution if even that is unknown). An invalid
-/// `PBPPM_THREADS` is reported (never a panic) and auto parallelism is
-/// used; front-ends reject it earlier via [`threads_from_env`].
-pub fn resolve_threads(threads: usize) -> usize {
-    if threads != 0 {
-        return threads;
-    }
-    match threads_from_env() {
-        Ok(Some(n)) => return n,
-        Ok(None) => {}
-        Err(msg) => pbppm_obs::obs_error!("{msg}; falling back to auto parallelism"),
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Applies `f` to every item, in parallel, preserving input order in the
-/// output. `threads == 0` (the default entry point [`parallel_map`]) uses
-/// [`resolve_threads`]: `PBPPM_THREADS` or the available parallelism.
-pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = resolve_threads(threads).min(items.len());
-
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("sweep slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("sweep slot poisoned")
-                .expect("every slot filled")
-        })
-        .collect()
-}
-
-/// [`parallel_map_with`] with an auto-resolved worker count.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    parallel_map_with(items, 0, f)
-}
+pub use pbppm_core::parallel::{
+    parallel_map, parallel_map_with, parse_threads, resolve_threads, threads_from_env, THREADS_ENV,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<u64> = parallel_map(&[] as &[u64], |&x: &u64| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        assert_eq!(parallel_map(&[7], |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn every_item_processed_exactly_once() {
-        let calls = AtomicU64::new(0);
-        let items: Vec<usize> = (0..57).collect();
-        let out = parallel_map_with(&items, 8, |&x| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x
-        });
-        assert_eq!(out.len(), 57);
-        assert_eq!(calls.load(Ordering::Relaxed), 57);
-    }
-
-    #[test]
-    fn explicit_thread_counts() {
-        let items: Vec<u64> = (0..20).collect();
-        for threads in [1, 2, 3, 16, 100] {
-            let out = parallel_map_with(&items, threads, |&x| x * x);
-            assert_eq!(out[19], 361, "threads={threads}");
-        }
-    }
 
     #[test]
     fn uneven_work_is_balanced() {
@@ -176,33 +33,10 @@ mod tests {
     }
 
     #[test]
-    fn parse_threads_accepts_positive_integers() {
-        assert_eq!(parse_threads("1"), Ok(1));
-        assert_eq!(parse_threads("16"), Ok(16));
-        assert_eq!(parse_threads(" 8 "), Ok(8), "whitespace is tolerated");
-    }
-
-    #[test]
-    fn parse_threads_rejects_garbage_with_a_clear_message() {
-        for bad in ["", "zero", "3.5", "-2", "0x10", "8 threads"] {
-            let err = parse_threads(bad).unwrap_err();
-            assert!(
-                err.contains(THREADS_ENV) && err.contains("positive integer"),
-                "unhelpful error for {bad:?}: {err}"
-            );
-        }
-    }
-
-    #[test]
-    fn parse_threads_rejects_zero_explicitly() {
-        let err = parse_threads("0").unwrap_err();
-        assert!(err.contains("unset the variable"), "{err}");
-    }
-
-    #[test]
-    fn explicit_count_wins_over_auto() {
-        // Non-zero counts pass through untouched; zero resolves to >= 1.
-        assert_eq!(resolve_threads(3), 3);
-        assert!(resolve_threads(0) >= 1);
+    fn reexports_resolve_through_core() {
+        assert_eq!(THREADS_ENV, pbppm_core::THREADS_ENV);
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert!(resolve_threads(2) == 2);
+        assert!(threads_from_env().is_ok() || std::env::var(THREADS_ENV).is_ok());
     }
 }

@@ -32,6 +32,50 @@ pub struct ClfRecord {
     pub size: u32,
 }
 
+/// One parsed CLF line *borrowing* its string fields from the input line.
+///
+/// This is the zero-copy form the chunked ingestion path
+/// ([`crate::ingest`]) parses on worker threads: no per-line `String`
+/// allocations — host/method/path are sub-slices of the chunk buffer, and
+/// only the strings that survive filtering get copied (once, into an
+/// interner). [`parse_clf_line`] is a thin owning wrapper over
+/// [`parse_clf_line_ref`], so both forms share one grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClfRecordRef<'a> {
+    /// Remote host (IP or name).
+    pub host: &'a str,
+    /// Seconds since the Unix epoch, UTC.
+    pub time: i64,
+    /// HTTP method (`GET`, `HEAD`, …).
+    pub method: &'a str,
+    /// Request path.
+    pub path: &'a str,
+    /// HTTP status code.
+    pub status: u16,
+    /// Response bytes (0 when logged as `-`).
+    pub size: u32,
+}
+
+impl ClfRecordRef<'_> {
+    /// Copies the borrowed fields into an owned [`ClfRecord`].
+    pub fn to_record(&self) -> ClfRecord {
+        ClfRecord {
+            host: self.host.to_owned(),
+            time: self.time,
+            method: self.method.to_owned(),
+            path: self.path.to_owned(),
+            status: self.status,
+            size: self.size,
+        }
+    }
+}
+
+impl From<ClfRecordRef<'_>> for ClfRecord {
+    fn from(r: ClfRecordRef<'_>) -> Self {
+        r.to_record()
+    }
+}
+
 /// Why a CLF line failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClfParseError {
@@ -141,8 +185,13 @@ fn format_clf_time(t: i64) -> String {
     )
 }
 
-/// Parses one CLF line.
+/// Parses one CLF line into an owned record.
 pub fn parse_clf_line(line: &str) -> Result<ClfRecord, ClfParseError> {
+    parse_clf_line_ref(line).map(|r| r.to_record())
+}
+
+/// Parses one CLF line without allocating: string fields borrow from `line`.
+pub fn parse_clf_line_ref(line: &str) -> Result<ClfRecordRef<'_>, ClfParseError> {
     let line = line.trim();
     // host [ident user are ignored]
     let (host, rest) = line
@@ -169,14 +218,12 @@ pub fn parse_clf_line(line: &str) -> Result<ClfRecord, ClfParseError> {
     let mut req_parts = request.split_ascii_whitespace();
     let method = req_parts
         .next()
-        .ok_or(ClfParseError::Malformed("no method"))?
-        .to_owned();
+        .ok_or(ClfParseError::Malformed("no method"))?;
     // Old logs sometimes have just "GET /path" with no protocol; and some
     // have a bare path. Treat a missing path as malformed.
     let path = req_parts
         .next()
-        .ok_or(ClfParseError::Malformed("no path"))?
-        .to_owned();
+        .ok_or(ClfParseError::Malformed("no path"))?;
     // status and size after the closing quote
     let mut tail = rest[q2 + 1..].split_ascii_whitespace();
     let status: u16 = tail
@@ -184,12 +231,17 @@ pub fn parse_clf_line(line: &str) -> Result<ClfRecord, ClfParseError> {
         .ok_or(ClfParseError::Malformed("no status"))?
         .parse()
         .map_err(|_| ClfParseError::BadStatus)?;
+    // `-` (and a missing field, which the NASA log contains) mean "no
+    // body"; anything else must be a number — garbage bytes must not
+    // silently enter traffic accounting as zero.
     let size = match tail.next() {
         None | Some("-") => 0,
-        Some(s) => s.parse().unwrap_or(0),
+        Some(s) => s
+            .parse()
+            .map_err(|_| ClfParseError::Malformed("bad size"))?,
     };
-    Ok(ClfRecord {
-        host: host.to_owned(),
+    Ok(ClfRecordRef {
+        host,
         time,
         method,
         path,
@@ -235,8 +287,11 @@ where
 {
     let mut trace = Trace::new(name);
     let mut stats = ClfStats::default();
-    let mut records = Vec::new();
-    for line in lines {
+    // (original line index, record): the index is the sort tie-break, which
+    // pins the ordering contract the parallel merge in [`crate::ingest`]
+    // must reproduce — equal timestamps stay in input order.
+    let mut records: Vec<(usize, ClfRecord)> = Vec::new();
+    for (line_idx, line) in lines.into_iter().enumerate() {
         let line = line.as_ref();
         if line.trim().is_empty() {
             continue;
@@ -248,14 +303,19 @@ where
                 if r.method != "GET" || !ok_status {
                     stats.filtered += 1;
                 } else {
-                    records.push(r);
+                    records.push((line_idx, r));
                 }
             }
         }
     }
-    records.sort_by_key(|r| r.time);
-    let epoch = records.first().map_or(0, |r| r.time);
-    for r in &records {
+    records.sort_by_key(|&(idx, ref r)| (r.time, idx));
+    let epoch = records.first().map_or(0, |(_, r)| r.time);
+    // Pre-size from the accepted-record count: requests exactly, the
+    // interners by an upper bound (every path/host distinct).
+    trace.requests.reserve_exact(records.len());
+    trace.urls = pbppm_core::Interner::with_capacity(records.len());
+    trace.clients = pbppm_core::Interner::with_capacity(records.len());
+    for (_, r) in &records {
         let url = trace.urls.intern(&r.path);
         let client = ClientId(trace.clients.intern(&r.host).0);
         trace.requests.push(Request {
@@ -308,6 +368,32 @@ mod tests {
             parse_clf_line(r#"h - - [01/Jul/1995:00:00:01 -0400] "GET / HTTP/1.0" xx 1"#).is_err()
         );
         assert!(parse_clf_line(r#"h - - [01/Jul/1995:00:00:01 -0400] no quotes 200 1"#).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_size() {
+        // Garbage in the size field must not silently become 0 bytes.
+        let bad = r#"h - - [01/Jul/1995:00:00:01 -0400] "GET /x.html HTTP/1.0" 200 12a4"#;
+        assert_eq!(
+            parse_clf_line(bad),
+            Err(ClfParseError::Malformed("bad size"))
+        );
+        // `-` and a missing field still mean "no body".
+        let dash = r#"h - - [01/Jul/1995:00:00:01 -0400] "GET /x.html HTTP/1.0" 304 -"#;
+        assert_eq!(parse_clf_line(dash).unwrap().size, 0);
+        let missing = r#"h - - [01/Jul/1995:00:00:01 -0400] "GET /x.html HTTP/1.0" 304"#;
+        assert_eq!(parse_clf_line(missing).unwrap().size, 0);
+    }
+
+    #[test]
+    fn borrowed_parse_matches_owned_parse() {
+        let r = parse_clf_line_ref(NASA_LINE).unwrap();
+        // Fields are sub-slices of the input line, not copies.
+        let line_range = NASA_LINE.as_ptr() as usize..NASA_LINE.as_ptr() as usize + NASA_LINE.len();
+        for field in [r.host, r.method, r.path] {
+            assert!(line_range.contains(&(field.as_ptr() as usize)), "{field}");
+        }
+        assert_eq!(r.to_record(), parse_clf_line(NASA_LINE).unwrap());
     }
 
     #[test]

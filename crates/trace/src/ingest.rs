@@ -1,0 +1,607 @@
+//! Parallel, bounded-memory CLF ingestion.
+//!
+//! [`crate::clf::trace_from_clf`] buffers every record of the log as owned
+//! `String`s before sorting — fine for test fixtures, hopeless for the
+//! multi-GB NASA/UCB-scale logs the paper's workloads come from. This
+//! module is the streaming replacement:
+//!
+//! 1. **Chunked read** — the log is read in newline-aligned chunks of
+//!    [`IngestConfig::chunk_bytes`]; a partial tail line is carried into
+//!    the next chunk, so no line is ever split.
+//! 2. **Zero-copy parallel parse** — each chunk goes to a worker that
+//!    parses lines with [`crate::clf::parse_clf_line_ref`] (string fields
+//!    borrow the chunk buffer; no per-line allocation) and interns the
+//!    surviving host/path strings into chunk-local tables, leaving a
+//!    compact fixed-size record per accepted line.
+//! 3. **Deterministic merge** — per-chunk records are stable-sorted by
+//!    timestamp; a k-way heap merge keyed `(time, chunk index)` then
+//!    replays them in exactly the order the sequential path's
+//!    `(time, original line index)` sort produces (chunk index + in-chunk
+//!    position *is* the original line order), interning each chunk-local
+//!    id into the global tables on first appearance in merge order.
+//!
+//! The result is **byte-identical** to `trace_from_clf` — same `Trace`
+//! contents, same interner orders, same [`ClfStats`] — at every chunk size
+//! and thread count (property-tested in this module's test suite). Peak
+//! raw-text memory is bounded by `chunks_in_flight × chunk_bytes` plus one
+//! chunk being read; only the compact parsed records and the surviving
+//! strings (which the sequential path must also keep) accumulate.
+//!
+//! One caveat: chunks are decoded with `String::from_utf8_lossy`. Chunk
+//! boundaries sit on `\n` bytes, which are never part of a multi-byte
+//! UTF-8 sequence, so for well-formed UTF-8 input (every real CLF log) the
+//! decoding — and therefore the equivalence guarantee — is exact.
+
+use crate::clf::{parse_clf_line_ref, ClfStats};
+use crate::event::{ClientId, DocKind, Request, Trace};
+use pbppm_core::{Interner, UrlId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{self, Read};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs for the chunked parallel ingestion pipeline.
+///
+/// The defaults are deliberately safe for any input; none of them can
+/// change the produced [`Trace`] — only wall time and peak memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Target raw-text chunk size in bytes (minimum 4 KiB enforced; a
+    /// single line longer than this grows its chunk as needed).
+    pub chunk_bytes: usize,
+    /// Parse worker count; `0` = auto (`PBPPM_THREADS` or the machine's
+    /// available parallelism).
+    pub threads: usize,
+    /// How many raw chunks may sit parsed-pending at once (the bounded
+    /// channel depth between the reader and the workers); `0` = twice the
+    /// worker count. Together with `chunk_bytes` this caps peak raw-text
+    /// memory at roughly `(chunks_in_flight + 1) × chunk_bytes`.
+    pub chunks_in_flight: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            chunk_bytes: 4 << 20,
+            threads: 0,
+            chunks_in_flight: 0,
+        }
+    }
+}
+
+/// One accepted record after chunk-local parsing: fixed-size, no strings —
+/// host/path are ids into the owning chunk's local interners.
+#[derive(Debug, Clone, Copy)]
+struct CompactRecord {
+    time: i64,
+    host: u32,
+    path: u32,
+    status: u16,
+    size: u32,
+    kind: DocKind,
+}
+
+/// A fully parsed chunk: compact records (stable-sorted by time) plus the
+/// chunk-local string tables and drop tallies.
+struct ParsedChunk {
+    idx: usize,
+    records: Vec<CompactRecord>,
+    paths: Interner,
+    hosts: Interner,
+    malformed: usize,
+    filtered: usize,
+}
+
+/// Parses one raw chunk. Pure function of the chunk bytes, so it can run
+/// on any worker in any order.
+fn parse_chunk(idx: usize, bytes: &[u8]) -> ParsedChunk {
+    let text = String::from_utf8_lossy(bytes);
+    let mut chunk = ParsedChunk {
+        idx,
+        records: Vec::new(),
+        paths: Interner::new(),
+        hosts: Interner::new(),
+        malformed: 0,
+        filtered: 0,
+    };
+    for line in text.split('\n') {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_clf_line_ref(line) {
+            Err(_) => chunk.malformed += 1,
+            Ok(r) => {
+                let ok_status = (200..300).contains(&r.status) || r.status == 304;
+                if r.method != "GET" || !ok_status {
+                    chunk.filtered += 1;
+                } else {
+                    chunk.records.push(CompactRecord {
+                        time: r.time,
+                        host: chunk.hosts.intern(r.host).0,
+                        path: chunk.paths.intern(r.path).0,
+                        status: r.status,
+                        size: r.size,
+                        kind: DocKind::from_url(r.path),
+                    });
+                }
+            }
+        }
+    }
+    // Stable sort: records with equal timestamps keep their in-chunk input
+    // order, which the merge's `(time, chunk idx)` key extends to the
+    // global input order — the sequential path's exact tie-break.
+    chunk.records.sort_by_key(|r| r.time);
+    chunk
+}
+
+/// Reads newline-aligned chunks of roughly `chunk_bytes` from a reader,
+/// carrying the partial tail line into the next chunk.
+struct ChunkReader<R: Read> {
+    inner: R,
+    chunk_bytes: usize,
+    carry: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> ChunkReader<R> {
+    fn new(inner: R, chunk_bytes: usize) -> Self {
+        Self {
+            inner,
+            chunk_bytes: chunk_bytes.max(4096),
+            carry: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// The next newline-aligned chunk, or `None` at end of input. Every
+    /// returned chunk either ends with `\n` or is the final bytes of the
+    /// stream; a single line longer than `chunk_bytes` simply grows its
+    /// chunk until its newline arrives.
+    fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.done {
+            if self.carry.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(std::mem::take(&mut self.carry)));
+        }
+        let mut chunk = std::mem::take(&mut self.carry);
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            while !self.done && chunk.len() < self.chunk_bytes {
+                let n = self.inner.read(&mut buf)?;
+                if n == 0 {
+                    self.done = true;
+                } else {
+                    chunk.extend_from_slice(&buf[..n]);
+                }
+            }
+            if self.done {
+                return Ok(if chunk.is_empty() { None } else { Some(chunk) });
+            }
+            if let Some(p) = chunk.iter().rposition(|&b| b == b'\n') {
+                self.carry = chunk.split_off(p + 1);
+                return Ok(Some(chunk));
+            }
+            // No newline yet: an over-long line. Keep growing this chunk.
+            let grow_to = chunk.len() + self.chunk_bytes;
+            while !self.done && chunk.len() < grow_to {
+                let n = self.inner.read(&mut buf)?;
+                if n == 0 {
+                    self.done = true;
+                } else {
+                    chunk.extend_from_slice(&buf[..n]);
+                }
+            }
+        }
+    }
+}
+
+/// Streams CLF lines from `reader` into a [`Trace`], byte-identical to
+/// [`crate::clf::trace_from_clf`] over the same lines (same requests, same
+/// interner orders, same stats) at every chunk size and thread count.
+///
+/// Filtering matches the sequential path: successful (`2xx`/`304`) `GET`s
+/// only, times rebased so the first accepted request is at second 0.
+pub fn trace_from_clf_reader<R: Read>(
+    name: &str,
+    reader: R,
+    cfg: &IngestConfig,
+) -> io::Result<(Trace, ClfStats)> {
+    let _span = pbppm_obs::span!("trace.ingest", name = name);
+    let threads = pbppm_core::resolve_threads(cfg.threads);
+    let in_flight = if cfg.chunks_in_flight == 0 {
+        threads.saturating_mul(2).max(2)
+    } else {
+        cfg.chunks_in_flight
+    };
+    let mut reader = ChunkReader::new(reader, cfg.chunk_bytes);
+    let mut raw_bytes: u64 = 0;
+
+    let mut chunks: Vec<ParsedChunk> = Vec::new();
+    if threads <= 1 {
+        // Same chunked code path, run inline: the equivalence tests cover
+        // single- and multi-threaded ingestion through identical logic.
+        let mut idx = 0;
+        while let Some(chunk) = reader.next_chunk()? {
+            raw_bytes += chunk.len() as u64;
+            chunks.push(parse_chunk(idx, &chunk));
+            idx += 1;
+        }
+    } else {
+        let (chunk_tx, chunk_rx) = mpsc::sync_channel::<(usize, Vec<u8>)>(in_flight);
+        let chunk_rx = Arc::new(Mutex::new(chunk_rx));
+        let (parsed_tx, parsed_rx) = mpsc::channel::<ParsedChunk>();
+        let mut io_err: Option<io::Error> = None;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let chunk_rx = Arc::clone(&chunk_rx);
+                let parsed_tx = parsed_tx.clone();
+                scope.spawn(move || loop {
+                    // Take the lock only to receive; parse with it released
+                    // so workers drain the queue concurrently.
+                    let msg = match chunk_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break, // a sibling worker panicked
+                    };
+                    match msg {
+                        Ok((idx, bytes)) => {
+                            if parsed_tx.send(parse_chunk(idx, &bytes)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break, // reader finished and closed the channel
+                    }
+                });
+            }
+            drop(parsed_tx);
+            // The scope's own thread is the reader: the bounded channel
+            // blocks it whenever `in_flight` chunks are already pending,
+            // which is what caps peak raw-text memory.
+            let mut idx = 0;
+            loop {
+                match reader.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        raw_bytes += chunk.len() as u64;
+                        if chunk_tx.send((idx, chunk)).is_err() {
+                            break; // all workers died; scope will propagate
+                        }
+                        idx += 1;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        io_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(chunk_tx);
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        chunks = parsed_rx.into_iter().collect();
+        chunks.sort_by_key(|c| c.idx);
+    }
+
+    let mut stats = ClfStats::default();
+    let mut total_accepted = 0usize;
+    for c in &chunks {
+        stats.malformed += c.malformed;
+        stats.filtered += c.filtered;
+        total_accepted += c.records.len();
+    }
+
+    // Deterministic k-way merge. Each chunk's records are sorted by time
+    // with in-chunk input order on ties; the heap key `(time, chunk idx)`
+    // therefore yields the global `(time, original line index)` order the
+    // sequential sort pins. Chunk-local interner ids are remapped into the
+    // global tables on first appearance *in merge order*, which reproduces
+    // the sequential path's interning order exactly.
+    let mut trace = Trace::new(name);
+    trace.requests.reserve_exact(total_accepted);
+    trace.urls = Interner::with_capacity(total_accepted);
+    trace.clients = Interner::with_capacity(total_accepted);
+    let mut url_remap: Vec<Vec<Option<UrlId>>> =
+        chunks.iter().map(|c| vec![None; c.paths.len()]).collect();
+    let mut client_remap: Vec<Vec<Option<ClientId>>> =
+        chunks.iter().map(|c| vec![None; c.hosts.len()]).collect();
+    let mut heads: Vec<usize> = vec![0; chunks.len()];
+    let mut heap: BinaryHeap<Reverse<(i64, usize)>> = chunks
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.records.is_empty())
+        .map(|(ci, c)| Reverse((c.records[0].time, ci)))
+        .collect();
+    let mut epoch: Option<i64> = None;
+    while let Some(Reverse((time, ci))) = heap.pop() {
+        let pos = heads[ci];
+        heads[ci] += 1;
+        if let Some(next) = chunks[ci].records.get(pos + 1) {
+            heap.push(Reverse((next.time, ci)));
+        }
+        let r = chunks[ci].records[pos];
+        let epoch = *epoch.get_or_insert(time);
+        let url = match url_remap[ci][r.path as usize] {
+            Some(u) => u,
+            None => {
+                let s = chunks[ci].paths.resolve(UrlId(r.path)).unwrap_or("");
+                let u = trace.urls.intern(s);
+                url_remap[ci][r.path as usize] = Some(u);
+                u
+            }
+        };
+        let client = match client_remap[ci][r.host as usize] {
+            Some(c) => c,
+            None => {
+                let s = chunks[ci].hosts.resolve(UrlId(r.host)).unwrap_or("");
+                let c = ClientId(trace.clients.intern(s).0);
+                client_remap[ci][r.host as usize] = Some(c);
+                c
+            }
+        };
+        trace.requests.push(Request {
+            time: u64::try_from((r.time - epoch).max(0)).unwrap_or(0),
+            client,
+            url,
+            size: r.size,
+            status: r.status,
+            kind: r.kind,
+        });
+        stats.accepted += 1;
+    }
+
+    if pbppm_obs::ENABLED {
+        let reg = pbppm_obs::global();
+        reg.counter("trace.parse.accepted", "")
+            .add(stats.accepted as u64);
+        reg.counter("trace.parse.filtered", "")
+            .add(stats.filtered as u64);
+        reg.counter("trace.parse.malformed", "")
+            .add(stats.malformed as u64);
+        reg.counter("ingest.chunks", "").add(chunks.len() as u64);
+        reg.counter("ingest.bytes", "").add(raw_bytes);
+        reg.gauge("ingest.threads", "").set(threads as u64);
+    }
+    pbppm_obs::obs_debug!(
+        "ingested log {name:?}: {} accepted, {} filtered, {} malformed \
+         ({} chunks, {raw_bytes} bytes, {threads} threads)",
+        stats.accepted,
+        stats.filtered,
+        stats.malformed,
+        chunks.len(),
+    );
+    Ok((trace, stats))
+}
+
+/// Opens `path` and streams it through [`trace_from_clf_reader`].
+pub fn trace_from_clf_path(
+    name: &str,
+    path: &std::path::Path,
+    cfg: &IngestConfig,
+) -> io::Result<(Trace, ClfStats)> {
+    let file = std::fs::File::open(path)?;
+    trace_from_clf_reader(name, file, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clf::trace_from_clf;
+    use proptest::prelude::*;
+
+    fn cfg(chunk_bytes: usize, threads: usize) -> IngestConfig {
+        IngestConfig {
+            chunk_bytes,
+            threads,
+            chunks_in_flight: 2,
+        }
+    }
+
+    /// Both paths over the same text; panics on any divergence.
+    fn assert_equivalent(text: &str, chunk_bytes: usize, threads: usize) {
+        let (seq_trace, seq_stats) = trace_from_clf("t", text.lines());
+        let (par_trace, par_stats) =
+            trace_from_clf_reader("t", text.as_bytes(), &cfg(chunk_bytes, threads)).unwrap();
+        assert_eq!(
+            seq_stats, par_stats,
+            "chunk={chunk_bytes} threads={threads}"
+        );
+        assert_eq!(
+            seq_trace.requests, par_trace.requests,
+            "chunk={chunk_bytes} threads={threads}"
+        );
+        // Interner *order* must match, not just content.
+        let urls = |t: &Trace| -> Vec<String> {
+            (0..t.urls.len())
+                .map(|i| {
+                    t.urls
+                        .resolve(UrlId(u32::try_from(i).unwrap()))
+                        .unwrap()
+                        .to_owned()
+                })
+                .collect()
+        };
+        let clients = |t: &Trace| -> Vec<String> {
+            (0..t.clients.len())
+                .map(|i| {
+                    t.clients
+                        .resolve(UrlId(u32::try_from(i).unwrap()))
+                        .unwrap()
+                        .to_owned()
+                })
+                .collect()
+        };
+        assert_eq!(urls(&seq_trace), urls(&par_trace));
+        assert_eq!(clients(&seq_trace), clients(&par_trace));
+    }
+
+    fn clf_line(host: u32, t: i64, method: &str, path: u32, status: u16, size: &str) -> String {
+        let base = crate::clf::format_clf_line(&crate::clf::ClfRecord {
+            host: format!("h{host}"),
+            time: t,
+            method: method.to_owned(),
+            path: format!("/p{path}.html"),
+            status,
+            size: 0,
+        });
+        // Swap the numeric size for a string form, so callers can inject a
+        // malformed size ("12a4") as well as a valid one.
+        format!("{} {size}", base.rsplit_once(' ').unwrap().0)
+    }
+
+    #[test]
+    fn matches_sequential_on_a_small_log() {
+        let mut text = String::new();
+        for i in 0..50i64 {
+            text.push_str(&clf_line(
+                u32::try_from(i % 7).unwrap(),
+                800_000_000 + (i % 13),
+                if i % 9 == 0 { "POST" } else { "GET" },
+                u32::try_from(i % 11).unwrap(),
+                if i % 5 == 0 { 404 } else { 200 },
+                "100",
+            ));
+            text.push('\n');
+        }
+        text.push_str("garbage line\n\n");
+        for chunk in [64, 4096, 1 << 20] {
+            for threads in [1, 2, 8] {
+                assert_equivalent(&text, chunk, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_equivalent("", 4096, 4);
+        assert_equivalent("\n\n\n", 4096, 4);
+        assert_equivalent("not a log line", 4096, 4);
+        let one = clf_line(1, 804_571_201, "GET", 1, 200, "5");
+        assert_equivalent(&one, 4096, 4); // no trailing newline
+        assert_equivalent(&format!("{one}\n"), 4096, 4);
+    }
+
+    #[test]
+    fn lines_longer_than_a_chunk_survive() {
+        // chunk_bytes floors at 4096; build lines longer than that.
+        let long_path = "x".repeat(9000);
+        let mut text = String::new();
+        for i in 0..5 {
+            text.push_str(&format!(
+                "h{i} - - [01/Jul/1995:00:00:0{i} -0400] \"GET /{long_path}{i} HTTP/1.0\" 200 10\n"
+            ));
+        }
+        for threads in [1, 3] {
+            assert_equivalent(&text, 4096, threads);
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_match_sequential() {
+        let text = format!(
+            "{}\r\n{}\r\n",
+            clf_line(1, 804_571_210, "GET", 1, 200, "5"),
+            clf_line(2, 804_571_205, "GET", 2, 200, "7"),
+        );
+        assert_equivalent(&text, 4096, 2);
+    }
+
+    #[test]
+    fn path_variant_reads_from_disk() {
+        let dir = std::env::temp_dir().join(format!("pbppm-ingest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.log");
+        let text = format!(
+            "{}\n{}\n",
+            clf_line(1, 804_571_201, "GET", 1, 200, "5"),
+            clf_line(1, 804_571_202, "GET", 2, 200, "9"),
+        );
+        std::fs::write(&path, &text).unwrap();
+        let (trace, stats) = trace_from_clf_path("disk", &path, &IngestConfig::default()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(trace.requests.len(), 2);
+        assert_eq!(trace.requests[1].time, 1);
+    }
+
+    /// One arbitrary log line: valid, malformed, filtered, or blank.
+    fn arb_line() -> impl Strategy<Value = String> {
+        prop_oneof![
+            // Valid GET lines with clustered timestamps (ties exercise the
+            // input-order tie-break) and a small URL/host universe
+            // (collisions exercise interner remapping).
+            (
+                0u32..6,
+                0i64..20,
+                0u32..8,
+                prop_oneof![Just(200u16), Just(304u16)]
+            )
+                .prop_map(|(h, t, p, s)| clf_line(
+                    h,
+                    804_571_200 + t,
+                    "GET",
+                    p,
+                    s,
+                    "10"
+                )),
+            // Filtered: wrong method or error status.
+            (0u32..4, 0i64..20, 0u32..4).prop_map(|(h, t, p)| clf_line(
+                h,
+                804_571_200 + t,
+                "POST",
+                p,
+                200,
+                "10"
+            )),
+            (0u32..4, 0i64..20, 0u32..4).prop_map(|(h, t, p)| clf_line(
+                h,
+                804_571_200 + t,
+                "GET",
+                p,
+                500,
+                "10"
+            )),
+            // Malformed: garbage, bad size, bad timestamp.
+            Just("complete garbage".to_owned()),
+            (0u32..4, 0i64..20, 0u32..4).prop_map(|(h, t, p)| clf_line(
+                h,
+                804_571_200 + t,
+                "GET",
+                p,
+                200,
+                "12a4"
+            )),
+            Just(r#"h - - [99/Foo/1995:00:00:01 -0400] "GET /x HTTP/1.0" 200 1"#.to_owned()),
+            // Blank-ish lines.
+            Just(String::new()),
+            Just("   ".to_owned()),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The ISSUE's pinned equivalence grid: arbitrary (valid ∪ malformed
+        /// ∪ filtered) lines through both paths at chunk sizes {1, 7, 4096}
+        /// (the floor clamps 1 and 7 to 4 KiB — still multiple chunks once
+        /// the log outgrows it, and the clamp itself is part of the
+        /// contract) × threads {1, 2, 8}: identical Trace, interner order,
+        /// and stats.
+        #[test]
+        fn chunked_ingest_is_bit_identical_to_sequential(
+            lines in proptest::collection::vec(arb_line(), 0..120),
+            trailing_newline in (0u8..2).prop_map(|b| b == 1),
+        ) {
+            let mut text = lines.join("\n");
+            if trailing_newline {
+                text.push('\n');
+            }
+            for chunk_bytes in [1usize, 7, 4096] {
+                for threads in [1usize, 2, 8] {
+                    assert_equivalent(&text, chunk_bytes, threads);
+                }
+            }
+        }
+    }
+}

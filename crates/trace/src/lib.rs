@@ -5,6 +5,8 @@
 //! * [`event`] — the request record and trace container types;
 //! * [`clf`] — a Common Log Format parser (and writer), so the genuine
 //!   NASA-KSC / UCB-CS logs the paper used can be fed in unchanged;
+//! * [`ingest`] — chunked, parallel, bounded-memory streaming ingestion of
+//!   CLF logs, byte-identical to the sequential [`clf`] path;
 //! * [`session`] — the paper's §2.2 preprocessing: 30-minute idle
 //!   sessionization and 10-second embedded-image folding;
 //! * [`classify`] — the proxy-vs-browser client classification;
@@ -27,6 +29,7 @@ pub mod classify;
 pub mod clf;
 pub mod combined;
 pub mod event;
+pub mod ingest;
 pub mod session;
 pub mod site;
 pub mod synth;
@@ -35,12 +38,16 @@ pub mod zipf;
 
 pub use catalog::DocCatalog;
 pub use classify::{classify_clients, ClassifyConfig, ClientClass};
-pub use clf::{format_clf_line, parse_clf_line, ClfParseError, ClfRecord};
+pub use clf::{
+    format_clf_line, parse_clf_line, parse_clf_line_ref, trace_from_clf, ClfParseError, ClfRecord,
+    ClfRecordRef, ClfStats,
+};
 pub use combined::{
     detect_format, format_combined_line, is_robot_agent, parse_combined_line, trace_from_log,
     CombinedRecord, LogFormat, LogIngest,
 };
 pub use event::{ClientId, DocKind, Request, Trace, DAY_SECS};
+pub use ingest::{trace_from_clf_path, trace_from_clf_reader, IngestConfig};
 pub use session::{
     sessionize, sessionize_trace, PageView, Session, SessionStats, SessionizerConfig,
 };

@@ -30,6 +30,13 @@
 #                              `loadgen` bench (4 shards, low rate) must
 #                              complete with zero errors and zero
 #                              rejected publishes
+#   9. parallel ingest smoke — `pbppm train` on the same log at
+#                              --threads 1 and --threads 4 must produce
+#                              byte-identical bundles (the deterministic
+#                              parallel-training contract through the
+#                              real binary), then a short `ingest` bench
+#                              run must report nonzero throughput in all
+#                              three phases
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -174,6 +181,31 @@ assert r["requests"] > 0, "loadgen completed no requests"
 assert r["errors"] == 0, f"{r['errors']} err responses under load"
 assert r["publish_rejected"] == 0, f"{r['publish_rejected']} rejected publishes"
 assert all(c["p99_ns"] > 0 for c in r["commands"]), "empty latency percentiles"
+EOF
+
+echo "== ci: parallel ingest smoke" >&2
+# Parallel training is bit-identical to sequential at any worker count;
+# prove it through the real binary by diffing whole trained bundles.
+"$pbppm" train "$tmp/access.log" --out "$tmp/model-t1.json" --threads 1 >/dev/null
+"$pbppm" train "$tmp/access.log" --out "$tmp/model-t4.json" --threads 4 >/dev/null
+cmp -s "$tmp/model-t1.json" "$tmp/model-t4.json" || {
+    echo "ci: parallel training (--threads 4) diverged from --threads 1" >&2
+    exit 1
+}
+# Short ingest bench run: like loadgen, the binary rewrites the committed
+# BENCH_ingest.json at the repo root, so save and restore it.
+cp "$repo/BENCH_ingest.json" "$tmp/BENCH_ingest.committed"
+PBPPM_RESULTS="$tmp/results" \
+    cargo run --release -q -p pbppm-bench --bin ingest -- --days 1 >"$tmp/ingest-out.txt"
+mv "$tmp/BENCH_ingest.committed" "$repo/BENCH_ingest.json"
+python3 - "$tmp/results/ingest.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["lines"] > 0, "ingest bench parsed no lines"
+assert r["sessions"] > 0, "ingest bench trained no sessions"
+assert len(r["phases"]) == 3, f"expected 3 phases, got {len(r['phases'])}"
+assert all(p["parallel_secs"] > 0 for p in r["phases"]), "empty phase timings"
+assert r["parse_lines_per_sec"] > 0, "zero parse throughput"
 EOF
 
 echo "ci: all green" >&2

@@ -23,19 +23,39 @@
 # counts) against BENCH_loadgen.json, with a 100% tolerance sized for
 # open-loop tail noise.
 #
-# Usage: scripts/perf-gate.sh [baseline.json [loadgen-baseline.json]]
+# followed by the ingest leg: the `ingest` binary measures the build
+# pipeline (CLF log -> parsed trace -> sessions -> frozen PB-PPM model)
+# sequentially and through the chunked parallel path, and gates against
+# BENCH_ingest.json:
 #
-# Baselines default to BENCH_throughput.json and BENCH_loadgen.json at
-# the repo root. To refresh after an intentional perf change, run the
-# binaries without this script and commit the rewritten files:
+#   * parse/train/end_to_end wall — each phase, both paths, >100% slower
+#                                   than baseline fails (tolerance sized
+#                                   like loadgen's: short wall times on a
+#                                   busy box jitter hard)
+#   * end-to-end speedup          — baseline-independent floor: >= 2x on
+#                                   hosts with >= 4 cores (skipped on
+#                                   narrower machines, where there is no
+#                                   parallelism to win)
+#   * parse peak heap             — baseline-independent: the chunked
+#                                   parse may peak at most 1.25x the
+#                                   buffer-everything sequential parse
+#
+# Usage: scripts/perf-gate.sh [baseline.json [loadgen-baseline.json [ingest-baseline.json]]]
+#
+# Baselines default to BENCH_throughput.json, BENCH_loadgen.json, and
+# BENCH_ingest.json at the repo root. To refresh after an intentional
+# perf change, run the binaries without this script and commit the
+# rewritten files:
 #
 #   cargo run --release -p pbppm-bench --bin throughput
 #   cargo run --release -p pbppm-bench --bin loadgen
+#   cargo run --release -p pbppm-bench --bin ingest
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 baseline="${1:-$repo/BENCH_throughput.json}"
 loadgen_baseline="${2:-$repo/BENCH_loadgen.json}"
+ingest_baseline="${3:-$repo/BENCH_ingest.json}"
 
 if [[ ! -f "$baseline" ]]; then
     echo "perf-gate: no baseline at $baseline" >&2
@@ -47,16 +67,23 @@ if [[ ! -f "$loadgen_baseline" ]]; then
     echo "perf-gate: run 'cargo run --release -p pbppm-bench --bin loadgen' once and commit BENCH_loadgen.json" >&2
     exit 2
 fi
+if [[ ! -f "$ingest_baseline" ]]; then
+    echo "perf-gate: no ingest baseline at $ingest_baseline" >&2
+    echo "perf-gate: run 'cargo run --release -p pbppm-bench --bin ingest' once and commit BENCH_ingest.json" >&2
+    exit 2
+fi
 
-# The fresh runs overwrite BENCH_throughput.json / BENCH_loadgen.json at
-# the repo root, so the comparisons read copies of the committed
-# baselines. The binaries themselves perform the comparison and set the
-# exit code.
+# The fresh runs overwrite BENCH_throughput.json / BENCH_loadgen.json /
+# BENCH_ingest.json at the repo root, so the comparisons read copies of
+# the committed baselines. The binaries themselves perform the
+# comparison and set the exit code.
 tmp="$(mktemp)"
 lg_tmp="$(mktemp)"
-trap 'rm -f "$tmp" "$lg_tmp"' EXIT
+in_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$lg_tmp" "$in_tmp"' EXIT
 cp "$baseline" "$tmp"
 cp "$loadgen_baseline" "$lg_tmp"
+cp "$ingest_baseline" "$in_tmp"
 
 status=0
 PBPPM_PERF_BASELINE="$tmp" cargo run --release -p pbppm-bench --bin throughput || status=$?
@@ -76,6 +103,13 @@ lg_status=0
 PBPPM_PERF_BASELINE_LOADGEN="$lg_tmp" cargo run --release -p pbppm-bench --bin loadgen || lg_status=$?
 if [[ "$status" -eq 0 ]]; then
     status="$lg_status"
+fi
+
+echo "perf-gate: build-pipeline ingest leg" >&2
+in_status=0
+PBPPM_PERF_BASELINE_INGEST="$in_tmp" cargo run --release -p pbppm-bench --bin ingest || in_status=$?
+if [[ "$status" -eq 0 ]]; then
+    status="$in_status"
 fi
 
 exit "$status"
