@@ -81,7 +81,7 @@ fn bench_clf(c: &mut Criterion) {
         b.iter(|| {
             lines
                 .iter()
-                .map(|l| parse_clf_line(l).unwrap().size as u64)
+                .map(|l| u64::from(parse_clf_line(l).unwrap().size))
                 .sum::<u64>()
         })
     });

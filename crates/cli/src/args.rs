@@ -47,6 +47,7 @@ const SWITCHES: &[&str] = &[
     "help",
     "verbose",
     "prom",
+    "self-test",
 ];
 
 /// Value options recognized by every command (handled by the driver, not

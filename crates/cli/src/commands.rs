@@ -636,6 +636,45 @@ pub fn audit(args: &Args) -> CmdResult {
     }
 }
 
+/// `pbppm lint [--json] [--self-test] [workspace-root]`
+///
+/// Runs the workspace linter (panic and concurrency policy; see
+/// DESIGN.md §15). `--self-test` lints the planted-violation corpus
+/// instead and requires every rule to trip exactly once.
+pub fn lint(args: &Args) -> CmdResult {
+    args.reject_unknown(&[])?;
+    let start = args.positional.first().map_or(".", String::as_str);
+    let root = pbppm_lint::find_workspace_root(Path::new(start))?;
+    if args.switch("self-test") {
+        pbppm_lint::self_test(&root)?;
+        println!(
+            "pbppm-lint self-test OK: {} rules each tripped exactly once",
+            pbppm_lint::ALL_RULES.len()
+        );
+        return Ok(());
+    }
+    let report = pbppm_lint::lint_workspace(&root)?;
+    if args.switch("json") {
+        println!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        println!(
+            "pbppm-lint: {} files, {} checks, {} allowed, {} violation(s)",
+            report.files,
+            report.checks,
+            report.allowed,
+            report.violations.len()
+        );
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} lint violation(s)", report.violations.len()).into())
+    }
+}
+
 /// `pbppm stats run_metrics.json [--prom]`
 ///
 /// Renders a telemetry report exported by `--metrics-out`: a human-readable

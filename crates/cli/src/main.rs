@@ -65,6 +65,11 @@ COMMANDS:
                (<access.log> | --preset nasa|ucb|tiny [--seed N])
                [--model pb|standard|3ppm|lrs|o1|top10|none] [--train-days N]
                [--threads N] [--json]
+    lint       Run the workspace source linter (panic + concurrency
+               policy: unsafe attrs, core unwraps, codec casts, atomic
+               orderings, Relaxed justifications, thread spawns,
+               hot-path locks, Drop panics, allowlist staleness)
+               [workspace-root]  [--json] [--self-test]
     stats      Render an exported telemetry report
                <run_metrics.json>  [--prom]
     help       Show this message
@@ -133,6 +138,7 @@ fn main() {
         "audit" => commands::audit(&args),
         "serve" => pbppm_cli::serve::serve(&args),
         "simulate" => commands::simulate(&args),
+        "lint" => commands::lint(&args),
         "stats" => commands::stats(&args),
         "help" | "--help" | "-h" => {
             print!("{HELP}");

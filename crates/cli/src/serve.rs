@@ -98,17 +98,8 @@ pub fn serve(args: &Args) -> CmdResult {
     stdout.flush()?;
 
     // Reader thread: stdin drains into the channel while the core is
-    // busy, so pipelined commands dispatch as one batch. The thread may
-    // stay blocked on a final read after `quit`; process exit reaps it.
-    let (tx, rx) = std::sync::mpsc::channel::<String>();
-    let _reader = std::thread::spawn(move || {
-        for line in std::io::stdin().lines() {
-            let Ok(line) = line else { break };
-            if tx.send(line).is_err() {
-                break;
-            }
-        }
-    });
+    // busy, so pipelined commands dispatch as one batch.
+    let rx = pbppm_serve::spawn_stdin_reader();
 
     let mut batch: Vec<String> = Vec::new();
     let mut responses: Vec<String> = Vec::new();

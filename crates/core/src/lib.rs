@@ -83,8 +83,8 @@ pub use live::{traffic_increment, GradeAccuracy, LiveEval, LiveEvalConfig};
 pub use lrs::LrsPpm;
 pub use order1::Order1Markov;
 pub use parallel::{
-    parallel_map, parallel_map_with, parse_threads, partition_ranges, resolve_threads,
-    threads_from_env, THREADS_ENV,
+    parallel_map, parallel_map_progress, parallel_map_with, parse_threads, partition_ranges,
+    resolve_threads, threads_from_env, THREADS_ENV,
 };
 pub use pb::{PbConfig, PbPpm};
 pub use pb_online::OnlinePbPpm;

@@ -94,13 +94,16 @@ pub fn partition_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>>
 }
 
 /// Applies `f` to every item, in parallel, preserving input order in the
-/// output. `threads == 0` (the default entry point [`parallel_map`]) uses
-/// [`resolve_threads`]: `PBPPM_THREADS` or the available parallelism.
-pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// output, and reports completion counts: `progress(n)` is called after
+/// the `n`-th item (in completion order, 1-based) finishes. Callers use
+/// it for "k/total done" logging without owning an atomic counter of
+/// their own — cross-thread coordination stays confined to this module.
+pub fn parallel_map_progress<T, R, F, P>(items: &[T], threads: usize, f: F, progress: P) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
+    P: Fn(usize) + Sync,
 {
     if items.is_empty() {
         return Vec::new();
@@ -108,20 +111,34 @@ where
     let threads = resolve_threads(threads).min(items.len());
 
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = f(item);
+                progress(i + 1);
+                r
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // Relaxed: the counters order nothing — `next` only hands
+                // out distinct indices and `done` only counts completions;
+                // the scope join is the synchronization point for results.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
                 *slots[i].lock().expect("sweep slot poisoned") = Some(r);
+                // Relaxed: pure completion count, no ordering obligation.
+                progress(done.fetch_add(1, Ordering::Relaxed) + 1);
             });
         }
     });
@@ -133,6 +150,18 @@ where
                 .expect("every slot filled")
         })
         .collect()
+}
+
+/// Applies `f` to every item, in parallel, preserving input order in the
+/// output. `threads == 0` (the default entry point [`parallel_map`]) uses
+/// [`resolve_threads`]: `PBPPM_THREADS` or the available parallelism.
+pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_progress(items, threads, f, |_| {})
 }
 
 /// [`parallel_map_with`] with an auto-resolved worker count.
@@ -178,6 +207,25 @@ mod tests {
         });
         assert_eq!(out.len(), 57);
         assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn progress_reports_every_completion_once() {
+        let items: Vec<u64> = (0..40).collect();
+        for threads in [1, 4] {
+            let seen = Mutex::new(Vec::new());
+            let out = parallel_map_progress(
+                &items,
+                threads,
+                |&x| x + 1,
+                |n| seen.lock().unwrap().push(n),
+            );
+            assert_eq!(out.len(), 40, "threads={threads}");
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            // Completion counts are 1..=len, each reported exactly once.
+            assert_eq!(seen, (1..=40).collect::<Vec<_>>(), "threads={threads}");
+        }
     }
 
     #[test]

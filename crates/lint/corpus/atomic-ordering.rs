@@ -1,0 +1,13 @@
+//@path crates/sim/src/planted.rs
+// Planted violation: exactly one atomic Ordering use outside the
+// approved concurrency modules. The cmp::Ordering function is a decoy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn planted(a: &AtomicU64) -> u64 {
+    a.load(Ordering::SeqCst)
+}
+
+pub fn cmp_ordering_is_fine(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

@@ -1,0 +1,11 @@
+//@path crates/core/src/snapshot.rs
+// Planted violation: exactly one lossy `as` cast in the snapshot codec.
+// The comment mentioning len as u64 and the float cast are decoys.
+
+pub fn planted(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn float_casts_are_fine(n: u64) -> f64 {
+    n as f64
+}

@@ -1,0 +1,22 @@
+//@path crates/core/src/planted.rs
+// Planted violation: exactly one real `.unwrap()` in non-test core code.
+// The string literal and the test-module unwraps are decoys the retired
+// grep gate got wrong in both directions: it flagged the string, and it
+// never saw below the first `#[cfg(test)]`.
+
+pub fn decoy() -> &'static str {
+    "documentation may say .unwrap() without tripping the rule"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}
+
+pub fn planted(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

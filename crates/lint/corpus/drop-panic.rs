@@ -1,0 +1,16 @@
+//@path crates/serve/src/planted.rs
+// Planted violation: exactly one panicking construct inside a Drop impl.
+// The panic in a free function is a decoy (drop-panic only polices Drop
+// bodies; core-unwrap does not apply outside crates/core).
+
+pub struct Guard;
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        panic!("planted: panicking during drop aborts mid-unwind");
+    }
+}
+
+pub fn panicking_outside_drop_is_another_rules_problem() {
+    unreachable!("decoy");
+}

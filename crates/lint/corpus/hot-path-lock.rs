@@ -1,0 +1,9 @@
+//@path crates/core/src/frozen.rs
+// Planted violation: exactly one lock type named in a hot-path module.
+// The word Mutex inside the string literal is a decoy.
+
+use std::sync::Mutex;
+
+pub fn decoy() -> &'static str {
+    "a Mutex in prose does not trip the rule"
+}

@@ -1,0 +1,16 @@
+//@path crates/core/src/publish.rs
+// Planted violation: a Relaxed op in an approved atomics module with no
+// adjacent justification comment. The justified op below is a decoy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn justified(a: &AtomicU64) -> u64 {
+    // Relaxed: monotone counter read, no ordering obligation.
+    a.load(Ordering::Relaxed)
+}
+
+pub fn planted(a: &AtomicU64) {
+    let _ = a;
+
+    a.fetch_add(1, Ordering::Relaxed);
+}

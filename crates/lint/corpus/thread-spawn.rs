@@ -1,0 +1,13 @@
+//@path crates/sim/src/planted.rs
+// Planted violation: exactly one thread spawn outside the approved
+// parallelism modules. The fn named spawn is a decoy (declaration, not
+// a call into std::thread).
+
+pub fn planted() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+}
+
+pub fn spawn(work: u64) -> u64 {
+    work
+}

@@ -1,0 +1,3 @@
+//@path crates/core/src/lib.rs
+// Planted violation: a crate root with no `#![forbid(unsafe_code)]`.
+pub mod planted;

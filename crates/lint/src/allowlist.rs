@@ -1,0 +1,165 @@
+//! The lint allowlist: narrowly-scoped permission slips, with staleness
+//! detection.
+//!
+//! Format (one entry per line, `#` comments and blank lines ignored):
+//!
+//! ```text
+//! <rule-id><TAB><path><TAB><substring>
+//! ```
+//!
+//! A finding is forgiven when an entry's rule id and path match exactly
+//! and the finding's snippet contains the substring. Unlike the retired
+//! grep gate — which silently ignored entries that no longer matched
+//! anything — every entry must forgive at least one finding in the tree it
+//! was written for; a dead entry becomes a [`RuleId::StaleAllowlist`]
+//! violation, so the allowlist can only ever shrink to fit reality.
+
+use crate::report::Finding;
+use crate::rules::RuleId;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule the entry forgives.
+    pub rule: RuleId,
+    /// Workspace-relative path the entry is scoped to.
+    pub path: String,
+    /// Substring the forgiven snippet must contain.
+    pub pattern: String,
+    /// 1-indexed line in the allowlist file (for staleness reports).
+    pub line: usize,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+    /// Path the list was loaded from (workspace-relative, for reports).
+    pub source: String,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Unknown rule ids and malformed lines are
+    /// hard errors — a typo must not silently stop forgiving.
+    pub fn parse(source: &str, text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = raw.splitn(3, '\t');
+            let (rule, path, pattern) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(s)) if !p.is_empty() && !s.is_empty() => (r, p, s),
+                _ => {
+                    return Err(format!(
+                        "{source}:{}: malformed entry (expected <rule-id>\\t<path>\\t<substring>): {raw:?}",
+                        idx + 1
+                    ))
+                }
+            };
+            let rule = RuleId::parse(rule.trim())
+                .ok_or_else(|| format!("{source}:{}: unknown rule id {rule:?}", idx + 1))?;
+            entries.push(Entry {
+                rule,
+                path: path.trim().to_owned(),
+                pattern: pattern.to_owned(),
+                line: idx + 1,
+            });
+        }
+        Ok(Allowlist {
+            entries,
+            source: source.to_owned(),
+        })
+    }
+
+    /// Splits `findings` into surviving violations and a forgiven count,
+    /// then appends one [`RuleId::StaleAllowlist`] violation per entry
+    /// that forgave nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut used = vec![false; self.entries.len()];
+        let mut surviving = Vec::with_capacity(findings.len());
+        let mut allowed = 0usize;
+        for f in findings {
+            let hit = self.entries.iter().position(|e| {
+                e.rule == f.rule && e.path == f.file && f.snippet.contains(&e.pattern)
+            });
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    allowed += 1;
+                }
+                None => surviving.push(f),
+            }
+        }
+        for (entry, used) in self.entries.iter().zip(&used) {
+            if !used {
+                surviving.push(Finding {
+                    rule: RuleId::StaleAllowlist,
+                    file: self.source.clone(),
+                    line: entry.line,
+                    snippet: format!(
+                        "{}\t{}\t{} (matches nothing — delete it)",
+                        entry.rule.as_str(),
+                        entry.path,
+                        entry.pattern
+                    ),
+                });
+            }
+        }
+        (surviving, allowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn forgives_matching_findings_only() {
+        let list = Allowlist::parse(
+            "allow.txt",
+            "# comment\ncore-unwrap\tcrates/core/src/a.rs\t.unwrap()\n",
+        )
+        .unwrap();
+        let (surviving, allowed) = list.apply(vec![
+            finding(RuleId::CoreUnwrap, "crates/core/src/a.rs", "x.unwrap()"),
+            finding(RuleId::CoreUnwrap, "crates/core/src/b.rs", "y.unwrap()"),
+        ]);
+        assert_eq!(allowed, 1);
+        assert_eq!(surviving.len(), 1);
+        assert_eq!(surviving[0].file, "crates/core/src/b.rs");
+    }
+
+    #[test]
+    fn dead_entries_become_stale_violations() {
+        let list = Allowlist::parse(
+            "allow.txt",
+            "core-unwrap\tcrates/core/src/gone.rs\t.unwrap()\n",
+        )
+        .unwrap();
+        let (surviving, allowed) = list.apply(Vec::new());
+        assert_eq!(allowed, 0);
+        assert_eq!(surviving.len(), 1);
+        assert_eq!(surviving[0].rule, RuleId::StaleAllowlist);
+        assert_eq!(surviving[0].file, "allow.txt");
+        assert_eq!(surviving[0].line, 1);
+    }
+
+    #[test]
+    fn malformed_and_unknown_entries_are_errors() {
+        assert!(Allowlist::parse("a.txt", "no tabs here\n").is_err());
+        assert!(Allowlist::parse("a.txt", "bogus-rule\tp\ts\n").is_err());
+        assert!(Allowlist::parse("a.txt", "core-unwrap\t\tpattern\n").is_err());
+    }
+}

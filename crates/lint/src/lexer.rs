@@ -1,0 +1,600 @@
+//! A small hand-rolled Rust lexer: exactly the token awareness the rules
+//! need, and nothing more.
+//!
+//! The old grep gate could not tell code from a comment, a string literal,
+//! or a `#[cfg(test)]` module that happens to sit above production code.
+//! This lexer fixes all three classes in one pass:
+//!
+//! * [`scrub`] produces a byte-for-byte copy of the source in which every
+//!   comment body and literal body is blanked with spaces (newlines kept,
+//!   so byte offsets and line numbers stay aligned with the original).
+//!   Substring rules run on the scrubbed text and therefore cannot match
+//!   inside `"..."`, `r#"..."#`, `'c'`, `// ...`, or `/* ... */`.
+//! * The scrub records which lines carry a comment (for the
+//!   `relaxed-comment` adjacency check) and which byte ranges belong to
+//!   `#[cfg(test)]`-scoped items — brace-matched, so a test module may sit
+//!   anywhere in the file, not just at the bottom.
+//! * [`tokenize`] re-reads the scrubbed text as a flat identifier/punct
+//!   token stream for the structural rules (cast detection, `Drop` impl
+//!   spans, attribute checks).
+//!
+//! Handled literal forms: line comments (`//`, `///`, `//!`), nested block
+//! comments, strings with escapes, raw strings `r"…"` / `r#"…"#` with any
+//! hash count, byte/C variants (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`),
+//! char and byte-char literals, and the `'a` lifetime / `'a'` char-literal
+//! ambiguity (an identifier run after `'` is a char literal only when a
+//! closing `'` follows it immediately).
+
+use std::ops::Range;
+
+/// The result of scrubbing one source file.
+pub struct Scrub {
+    /// The source with comment and literal bodies blanked. Same length and
+    /// newline positions as the input.
+    pub code: String,
+    /// `comment_lines[i]` is true when 0-indexed line `i` carries (part of)
+    /// a comment in the original source.
+    pub comment_lines: Vec<bool>,
+    /// Byte offset of the start of each 0-indexed line.
+    pub line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]`-scoped items (attribute
+    /// through the matching close brace or semicolon).
+    pub test_spans: Vec<Range<usize>>,
+}
+
+impl Scrub {
+    /// 0-indexed line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(line) => line,
+            Err(next) => next - 1,
+        }
+    }
+
+    /// True when byte `offset` falls inside a `#[cfg(test)]` scope.
+    pub fn in_test_scope(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(&offset))
+    }
+
+    /// True when 0-indexed line `line`, or one of the `above` lines
+    /// immediately preceding it, carries a comment.
+    pub fn comment_adjacent(&self, line: usize, above: usize) -> bool {
+        let lo = line.saturating_sub(above);
+        (lo..=line).any(|l| self.comment_lines.get(l).copied().unwrap_or(false))
+    }
+}
+
+/// Blanks comment and literal bodies out of `src`. Never panics: malformed
+/// input (an unterminated literal or comment) scrubs to end of file.
+pub fn scrub(src: &str) -> Scrub {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comment_lines = vec![false; src.lines().count().max(1)];
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(line) => line,
+            Err(next) => next - 1,
+        }
+    };
+    // Blanks out[lo..hi], preserving newlines, and optionally marks the
+    // touched lines as comment lines.
+    let mark_comment = |comment_lines: &mut Vec<bool>, lo: usize, hi: usize| {
+        for line in line_of(lo)..=line_of(hi.saturating_sub(1).max(lo)) {
+            if line < comment_lines.len() {
+                comment_lines[line] = true;
+            }
+        }
+    };
+    let blank = |out: &mut Vec<u8>, lo: usize, hi: usize| {
+        for b in &mut out[lo..hi] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                mark_comment(&mut comment_lines, i, end);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                mark_comment(&mut comment_lines, i, j);
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                blank(&mut out, i + 1, end.saturating_sub(1).max(i + 1));
+                i = end;
+            }
+            b'\'' => {
+                let (end, is_char) = skip_char_or_lifetime(bytes, i);
+                if is_char {
+                    blank(&mut out, i + 1, end.saturating_sub(1).max(i + 1));
+                }
+                i = end;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // A raw/byte/C string or byte-char may follow its prefix
+                // identifier with no separator.
+                match ident {
+                    "r" | "br" | "cr" => {
+                        if let Some(end) = skip_raw_string(bytes, i) {
+                            blank(&mut out, i, end);
+                            i = end;
+                        }
+                    }
+                    "b" | "c" => {
+                        if bytes.get(i) == Some(&b'"') {
+                            let end = skip_string(bytes, i);
+                            blank(&mut out, i + 1, end.saturating_sub(1).max(i + 1));
+                            i = end;
+                        } else if ident == "b" && bytes.get(i) == Some(&b'\'') {
+                            let (end, is_char) = skip_char_or_lifetime(bytes, i);
+                            if is_char {
+                                blank(&mut out, i + 1, end.saturating_sub(1).max(i + 1));
+                            }
+                            i = end;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Blanking normally covers multi-byte sequences whole, but malformed
+    // input (an unterminated literal ending mid-char, say) can leave a
+    // dangling continuation byte. Overwrite any invalid byte with a space
+    // — never a multi-byte replacement char — so byte offsets and line
+    // structure always match the original exactly.
+    let code = loop {
+        match String::from_utf8(out) {
+            Ok(s) => break s,
+            Err(e) => {
+                let bad = e.utf8_error().valid_up_to();
+                out = e.into_bytes();
+                out[bad] = b' ';
+            }
+        }
+    };
+    let mut scrub = Scrub {
+        code,
+        comment_lines,
+        line_starts,
+        test_spans: Vec::new(),
+    };
+    scrub.test_spans = find_test_spans(&scrub.code);
+    scrub
+}
+
+/// Advances past a `"..."` string starting at the opening quote at `i`.
+/// Returns the offset just past the closing quote (or EOF).
+fn skip_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Advances past a raw string whose hashes/quote start at `i` (the prefix
+/// identifier has already been consumed). Returns `None` when `i` does not
+/// actually start a raw string (e.g. the identifier `r` used as a name).
+fn skip_raw_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'"'
+            && bytes[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) starting at the
+/// quote at `i`. Returns `(end offset, was a char literal)`; a lifetime
+/// consumes only the quote so its identifier stays in the token stream.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize) -> (usize, bool) {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char literal: skip the escape, then scan to the quote.
+            let mut j = i + 3;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            ((j + 1).min(bytes.len()), true)
+        }
+        Some(&c) if c == b'_' || c.is_ascii_alphanumeric() => {
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                (j + 1, true) // 'a'
+            } else {
+                (i + 1, false) // 'a — a lifetime; leave the identifier
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '(' or ' '.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            ((j + 1).min(bytes.len()), true)
+        }
+        None => (i + 1, false),
+    }
+}
+
+/// One token of scrubbed source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation byte.
+    Punct,
+}
+
+/// A token: its kind, text, and byte offset into the (scrubbed) source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// Identifier or punctuation.
+    pub kind: TokKind,
+    /// The token's text.
+    pub text: &'a str,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+}
+
+/// Tokenizes scrubbed source into identifiers and single-byte puncts.
+/// Numbers are skipped (no rule needs them); `::` is reported as two `:`
+/// puncts and matched by the rules via adjacency.
+pub fn tokenize(code: &str) -> Vec<Tok<'_>> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::with_capacity(code.len() / 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'_' || b.is_ascii_alphabetic() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: &code[start..i],
+                start,
+            });
+        } else if b.is_ascii_digit() {
+            // A `.` continues the number only when a digit follows, so
+            // `self.0.method()` keeps `method` and `0..n` keeps its dots.
+            while i < bytes.len() {
+                let c = bytes[i];
+                let number_continues = c == b'_'
+                    || c.is_ascii_alphanumeric()
+                    || (c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit));
+                if !number_continues {
+                    break;
+                }
+                i += 1;
+            }
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if !b.is_ascii() {
+            // Non-ASCII code text (a Unicode identifier, say): skip the
+            // whole UTF-8 sequence. No rule keys on non-ASCII tokens, and
+            // a single-byte slice here would split a char boundary.
+            i += 1;
+            while i < bytes.len() && bytes[i] & 0xC0 == 0x80 {
+                i += 1;
+            }
+        } else {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: &code[i..i + 1],
+                start: i,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Locates `#[cfg(test)]`-scoped items in scrubbed source: the attribute,
+/// any further attributes, and the item through its matching close brace
+/// (or terminating semicolon). Brace-matched — the item may sit anywhere
+/// in the file.
+fn find_test_spans(code: &str) -> Vec<Range<usize>> {
+    let toks = tokenize(code);
+    let mut spans: Vec<Range<usize>> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_attr_start(&toks, i) {
+            i += 1;
+            continue;
+        }
+        let attr_start = toks[i].start;
+        let (attr_end, is_cfg_test) = parse_attr(&toks, i);
+        if !is_cfg_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between #[cfg(test)] and the item.
+        let mut j = attr_end;
+        while is_attr_start(&toks, j) {
+            let (next, _) = parse_attr(&toks, j);
+            j = next;
+        }
+        // Scan to the item's opening `{` or terminating `;`.
+        let mut depth = 0usize;
+        let mut end = code.len();
+        while j < toks.len() {
+            match toks[j].text {
+                ";" if depth == 0 => {
+                    end = toks[j].start + 1;
+                    break;
+                }
+                "{" => {
+                    depth += 1;
+                    if depth == 1 {
+                        // Found the body: run to the matching close.
+                        let mut k = j + 1;
+                        while k < toks.len() && depth > 0 {
+                            match toks[k].text {
+                                "{" => depth += 1,
+                                "}" => depth -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        end = toks
+                            .get(k.saturating_sub(1))
+                            .map_or(code.len(), |t| t.start + 1);
+                        j = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push(attr_start..end);
+        i = j.max(attr_end);
+    }
+    spans
+}
+
+/// True when `toks[i..]` starts an attribute: `#` `[` (outer) — inner
+/// attributes `#![...]` are not test scopes and are skipped by the caller
+/// via `parse_attr`'s cfg check.
+fn is_attr_start(toks: &[Tok<'_>], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.text == "#")
+        && (toks.get(i + 1).is_some_and(|t| t.text == "[")
+            || (toks.get(i + 1).is_some_and(|t| t.text == "!")
+                && toks.get(i + 2).is_some_and(|t| t.text == "[")))
+}
+
+/// Parses the attribute starting at token `i`. Returns the token index
+/// just past the closing `]` and whether the attribute is a `cfg(...)`
+/// whose arguments mention the bare `test` flag.
+fn parse_attr<'a>(toks: &[Tok<'a>], i: usize) -> (usize, bool) {
+    let mut j = i + 1; // past '#'
+    if toks.get(j).is_some_and(|t| t.text == "!") {
+        j += 1;
+    }
+    debug_assert!(toks.get(j).is_some_and(|t| t.text == "["));
+    j += 1;
+    let body_start = j;
+    let mut depth = 1usize;
+    while j < toks.len() && depth > 0 {
+        match toks[j].text {
+            "[" => depth += 1,
+            "]" => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    let body = &toks[body_start..j.saturating_sub(1).max(body_start)];
+    let is_cfg_test = body.first().is_some_and(|t| t.text == "cfg")
+        && body
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test");
+    (j, is_cfg_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrubbed(src: &str) -> String {
+        scrub(src).code
+    }
+
+    #[test]
+    fn line_comment_is_blanked_and_marked() {
+        let s = scrub("let x = 1; // x.unwrap()\nlet y = 2;\n");
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let y"));
+        assert_eq!(s.comment_lines, vec![true, false]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrubbed("a /* outer /* inner */ still comment */ b");
+        assert_eq!(s.trim(), "a                                       b".trim());
+        assert!(s.contains('a') && s.contains('b'));
+        assert!(!s.contains("comment"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_including_comment_markers() {
+        let s = scrubbed(r#"let s = "no // comment and .unwrap() here"; s.len();"#);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("//"));
+        assert!(s.contains("s.len()"));
+        // The comment marker inside the string must not eat the rest.
+        let t = scrub(r#"let s = "//"; real_code();"#);
+        assert!(t.code.contains("real_code"));
+        assert_eq!(t.comment_lines, vec![false]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrubbed(r###"let s = r#"quote " inside and .unwrap()"#; after();"###);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("after()"));
+        let t = scrubbed("let s = r\"plain raw .expect(\"; after();");
+        assert!(!t.contains("expect"));
+        assert!(t.contains("after()"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let s = scrubbed(r#"let b = b"bytes .unwrap()"; let c = c"cstr .unwrap()"; ok();"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("ok()"));
+        let t = scrubbed(r##"let b = br#"raw bytes .unwrap()"#; ok();"##);
+        assert!(!t.contains("unwrap"));
+        assert!(t.contains("ok()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = scrubbed("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(s.contains("'a str"), "lifetime kept: {s}");
+        assert!(!s.contains("'x'"), "char literal blanked: {s}");
+        // '\'' and '\\' escapes terminate correctly.
+        let t = scrubbed(r"let q = '\''; let b = '\\'; after();");
+        assert!(t.contains("after()"));
+        // A char literal holding a quote must not open a string.
+        let u = scrubbed(r#"let q = '"'; real();"#);
+        assert!(u.contains("real()"));
+    }
+
+    #[test]
+    fn static_lifetime_and_labels() {
+        let s = scrubbed("static S: &'static str = \"x\"; 'outer: loop { break 'outer; }");
+        assert!(s.contains("'static str"));
+        assert!(s.contains("'outer: loop"));
+    }
+
+    #[test]
+    fn test_span_covers_brace_matched_module_anywhere() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+
+pub fn production() -> u32 { 7 }
+";
+        let s = scrub(src);
+        let unwrap_at = s.code.find("unwrap").unwrap();
+        let prod_at = s.code.find("production").unwrap();
+        assert!(s.in_test_scope(unwrap_at), "test module body is test scope");
+        assert!(!s.in_test_scope(prod_at), "code below the module is not");
+    }
+
+    #[test]
+    fn cfg_test_attr_on_single_item() {
+        let src = "#[cfg(test)]\nuse helper::Thing;\npub fn live() {}\n";
+        let s = scrub(src);
+        assert!(s.in_test_scope(s.code.find("Thing").unwrap()));
+        assert!(!s.in_test_scope(s.code.find("live").unwrap()));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\nfn g() {}\n";
+        let s = scrub(src);
+        assert!(s.in_test_scope(s.code.find("fn f").unwrap()));
+        assert!(!s.in_test_scope(s.code.find("fn g").unwrap()));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_test_span() {
+        let src = "#[cfg(feature = \"enabled\")]\nmod imp { fn f() {} }\n";
+        let s = scrub(src);
+        assert!(!s.in_test_scope(s.code.find("fn f").unwrap()));
+    }
+
+    #[test]
+    fn unterminated_forms_never_panic() {
+        for src in [
+            "let s = \"unterminated",
+            "let s = r#\"unterminated",
+            "/* unterminated",
+            "let c = '",
+            "let c = '\\",
+            "#[cfg(test)] mod t {",
+            "r",
+            "b",
+        ] {
+            let _ = scrub(src);
+        }
+    }
+
+    #[test]
+    fn tokenize_skips_numbers_and_keeps_offsets() {
+        let toks = tokenize("foo(1.5e3, bar)");
+        let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["foo", "(", ",", "bar", ")"]);
+        assert_eq!(toks[3].start, 11);
+    }
+}

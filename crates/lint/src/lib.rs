@@ -1,0 +1,243 @@
+//! `pbppm-lint` — the workspace's panic and concurrency policy as an
+//! executable, Rust-aware linter.
+//!
+//! Replaces the retired `scripts/lint-rules.sh` grep gate. Where grep saw
+//! flat lines, the hand-rolled lexer ([`lexer`]) sees comments, string and
+//! raw-string literals, lifetimes-vs-char-literals, brace depth, and
+//! `#[cfg(test)]` scopes — so `".unwrap()"` inside a string no longer
+//! false-positives, and a real `.unwrap()` *below* a test module is no
+//! longer invisible. On top of that sit the concurrency-policy rules
+//! ([`rules`]) the grep gate could never express: atomics confined to
+//! approved modules, justification comments on every `Relaxed`, thread
+//! spawns confined to the parallelism substrate, lock-free hot paths, and
+//! panic-free `Drop` impls.
+//!
+//! Entry points:
+//!
+//! * [`lint_workspace`] — lint every workspace source file against
+//!   `scripts/lint-allowlist.txt`; stale allowlist entries are violations.
+//! * [`self_test`] — lint the planted-violation corpus in
+//!   `crates/lint/corpus/` and require every rule id to trip exactly once;
+//!   this guards the linter against pattern rot exactly like the old
+//!   gate's `--self-test`, but per rule.
+//! * `pbppm lint [--json]` (CLI) and `cargo run -p pbppm-lint` (binary)
+//!   both call the above.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use allowlist::Allowlist;
+pub use report::{Finding, LintReport};
+pub use rules::{check_file, RuleId, SourceFile, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative location of the allowlist.
+pub const ALLOWLIST_PATH: &str = "scripts/lint-allowlist.txt";
+
+/// Workspace-relative location of the planted-violation corpus.
+pub const CORPUS_DIR: &str = "crates/lint/corpus";
+
+/// Directories scanned for `.rs` files, relative to the workspace root.
+/// `vendor/` (mimicked external crates) and `target/` are deliberately
+/// outside this list; `crates/lint/corpus/` holds intentional violations
+/// and is outside every `src/` tree.
+fn scan_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src"), root.join("tests"), root.join("examples")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            roots.push(krate.join("src"));
+            roots.push(krate.join("tests"));
+            roots.push(krate.join("benches"));
+        }
+    }
+    roots
+}
+
+/// Collects every workspace `.rs` file, sorted by path for deterministic
+/// reports.
+pub fn workspace_files(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    for dir in scan_roots(root) {
+        collect_rs(&dir, &mut paths)?;
+    }
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            Ok(SourceFile {
+                path: relative_slash_path(root, &p),
+                text,
+            })
+        })
+        .collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(()), // optional directory (no tests/, no benches/)
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints a set of files against an allowlist and assembles the report.
+pub fn lint_files(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
+    let mut findings = Vec::new();
+    let mut checks = 0u64;
+    for file in files {
+        let (f, c) = check_file(file);
+        findings.extend(f);
+        checks += c;
+    }
+    checks += allowlist.entries.len() as u64; // each entry is a staleness check
+    let (mut violations, allowed) = allowlist.apply(findings);
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    LintReport {
+        files: files.len(),
+        checks,
+        violations,
+        allowed,
+    }
+}
+
+/// Lints the whole workspace rooted at `root` against its allowlist.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let files = workspace_files(root)?;
+    let allowlist_file = root.join(ALLOWLIST_PATH);
+    let allowlist = if allowlist_file.is_file() {
+        let text = std::fs::read_to_string(&allowlist_file)
+            .map_err(|e| format!("cannot read {ALLOWLIST_PATH}: {e}"))?;
+        Allowlist::parse(ALLOWLIST_PATH, &text)?
+    } else {
+        Allowlist::default()
+    };
+    Ok(lint_files(&files, &allowlist))
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory holding both a `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve {}: {e}", start.display()))?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml + crates/) at or above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// Runs the planted-violation self-test: every corpus file must trip
+/// exactly the rule it is named for, exactly once, and the corpus
+/// allowlist's deliberately-dead entry must trip `stale-allowlist` — so
+/// every rule id fires exactly once across the corpus. Guards the rules
+/// against pattern rot.
+pub fn self_test(root: &Path) -> Result<(), String> {
+    let corpus = root.join(CORPUS_DIR);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut planted = 0usize;
+    let entries =
+        std::fs::read_dir(&corpus).map_err(|e| format!("cannot read {CORPUS_DIR}: {e}"))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let first = text.lines().next().unwrap_or("");
+        let virtual_path = first
+            .strip_prefix("//@path ")
+            .ok_or_else(|| {
+                format!(
+                    "{}: corpus files must start with `//@path <virtual workspace path>`",
+                    path.display()
+                )
+            })?
+            .trim()
+            .to_owned();
+        planted += 1;
+        let (f, _) = check_file(&SourceFile {
+            path: virtual_path,
+            text,
+        });
+        findings.extend(f);
+    }
+    // The corpus allowlist holds one entry that matches nothing, planting
+    // the stale-allowlist violation.
+    let allow_path = corpus.join("allowlist.txt");
+    let allow_text = std::fs::read_to_string(&allow_path)
+        .map_err(|e| format!("cannot read {}: {e}", allow_path.display()))?;
+    let allowlist = Allowlist::parse("crates/lint/corpus/allowlist.txt", &allow_text)?;
+    let (findings, _) = allowlist.apply(findings);
+
+    let mut errors = Vec::new();
+    for &rule in ALL_RULES {
+        let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
+        if hits.len() != 1 {
+            errors.push(format!(
+                "rule {} tripped {} times (want exactly 1): {}",
+                rule.as_str(),
+                hits.len(),
+                hits.iter()
+                    .map(|f| format!("{f}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
+    }
+    if findings.len() != ALL_RULES.len() {
+        errors.push(format!(
+            "{} findings across {} corpus files, want exactly {} (one per rule)",
+            findings.len(),
+            planted,
+            ALL_RULES.len()
+        ));
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "self-test FAILED — the linter no longer catches its own corpus:\n  {}",
+            errors.join("\n  ")
+        ))
+    }
+}

@@ -1,0 +1,83 @@
+//! `pbppm-lint` binary: `cargo run -p pbppm-lint -- [--json] [--self-test] [root]`.
+//!
+//! Exit status 0 when the workspace is clean (or the self-test passes),
+//! 1 on violations, 2 on usage or I/O errors. The `pbppm lint`
+//! subcommand drives the same library entry points.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut self_test = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                println!("usage: pbppm-lint [--json] [--self-test] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            _ if !arg.starts_with('-') && root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("pbppm-lint: unknown argument {arg:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let start = root.unwrap_or_else(|| PathBuf::from("."));
+    let root = match pbppm_lint::find_workspace_root(&start) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pbppm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if self_test {
+        return match pbppm_lint::self_test(&root) {
+            Ok(()) => {
+                println!(
+                    "pbppm-lint self-test OK: {} rules each tripped exactly once",
+                    pbppm_lint::ALL_RULES.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pbppm-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match pbppm_lint::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                println!(
+                    "pbppm-lint: {} files, {} checks, {} allowed, {} violation(s)",
+                    report.files,
+                    report.checks,
+                    report.allowed,
+                    report.violations.len()
+                );
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("pbppm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

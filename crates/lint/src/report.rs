@@ -1,0 +1,134 @@
+//! Typed findings and the JSON report, mirroring `pbppm_core::verify`'s
+//! `AuditReport` shape: a tool tag, a check count, a clean flag, and a
+//! list of typed violations — here `(rule, file, line, snippet)` instead
+//! of `(kind, message, path)`.
+
+use crate::rules::RuleId;
+use std::fmt;
+
+/// One policy violation: which rule, where, and the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// The trimmed original source line.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.as_str(),
+            self.snippet
+        )
+    }
+}
+
+/// The outcome of one lint pass over a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files: usize,
+    /// Individual rule applications (rule × file where the rule is in
+    /// scope), mirroring `AuditReport::checks`.
+    pub checks: u64,
+    /// Violations that survived the allowlist, in path/line order.
+    pub violations: Vec<Finding>,
+    /// Findings forgiven by allowlist entries.
+    pub allowed: usize,
+}
+
+impl LintReport {
+    /// True when no violation survived.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report as JSON (no dependencies, same hand-rolled style
+    /// as `AuditReport::to_json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128 + self.violations.len() * 128);
+        s.push_str("{\"tool\":\"pbppm-lint\",\"files\":");
+        s.push_str(&self.files.to_string());
+        s.push_str(",\"checks\":");
+        s.push_str(&self.checks.to_string());
+        s.push_str(",\"allowed\":");
+        s.push_str(&self.allowed.to_string());
+        s.push_str(",\"clean\":");
+        s.push_str(if self.is_clean() { "true" } else { "false" });
+        s.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"rule\":\"");
+            s.push_str(v.rule.as_str());
+            s.push_str("\",\"file\":\"");
+            json_escape_into(&v.file, &mut s);
+            s.push_str("\",\"line\":");
+            s.push_str(&v.line.to_string());
+            s.push_str(",\"snippet\":\"");
+            json_escape_into(&v.snippet, &mut s);
+            s.push_str("\"}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes `raw` into `out` as JSON string content.
+fn json_escape_into(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_mirrors_audit_report() {
+        let mut r = LintReport {
+            files: 2,
+            checks: 10,
+            ..LintReport::default()
+        };
+        assert!(r.is_clean());
+        assert_eq!(
+            r.to_json(),
+            "{\"tool\":\"pbppm-lint\",\"files\":2,\"checks\":10,\"allowed\":0,\
+             \"clean\":true,\"violations\":[]}"
+        );
+        r.violations.push(Finding {
+            rule: RuleId::CoreUnwrap,
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            snippet: "a \"quoted\" snippet".into(),
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("\"rule\":\"core-unwrap\""));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+}

@@ -31,6 +31,7 @@ static PEAK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0)
 pub fn allocated_bytes() -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // Relaxed: monotone statistic read, no ordering obligation.
         ALLOCATED.load(std::sync::atomic::Ordering::Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -45,6 +46,7 @@ pub fn allocated_bytes() -> u64 {
 pub fn live_bytes() -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // Relaxed: approximate statistic read, no ordering obligation.
         LIVE.load(std::sync::atomic::Ordering::Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -59,6 +61,7 @@ pub fn live_bytes() -> u64 {
 pub fn peak_bytes() -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // Relaxed: watermark read, no ordering obligation.
         PEAK.load(std::sync::atomic::Ordering::Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -71,6 +74,8 @@ pub fn peak_bytes() -> u64 {
 /// can measure the peak of one phase in isolation.
 pub fn reset_peak_bytes() {
     #[cfg(feature = "enabled")]
+    // Relaxed: the reset races benignly with concurrent allocation; the
+    // counters never order anything.
     PEAK.store(
         LIVE.load(std::sync::atomic::Ordering::Relaxed),
         std::sync::atomic::Ordering::Relaxed,
@@ -83,6 +88,9 @@ pub struct CountingAllocator;
 #[cfg(feature = "enabled")]
 fn count(bytes: usize) {
     use std::sync::atomic::Ordering::Relaxed;
+    // Relaxed throughout: these are statistics on the allocation hot
+    // path — independent counters with no ordering obligation, where any
+    // fence would tax every allocation in the process.
     ALLOCATED.fetch_add(bytes as u64, Relaxed);
     let live = LIVE.fetch_add(bytes as u64, Relaxed) + bytes as u64;
     PEAK.fetch_max(live, Relaxed);

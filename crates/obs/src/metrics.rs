@@ -130,6 +130,8 @@ impl Default for Histogram {
 impl Histogram {
     /// Records one observation.
     pub fn observe(&self, value: u64) {
+        // Relaxed: independent statistic cells; a reader may see count,
+        // sum, and buckets mid-update, which snapshots tolerate.
         self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(value, Ordering::Relaxed);
@@ -140,9 +142,11 @@ impl Histogram {
     pub fn absorb(&self, local: &LocalHist) {
         for (i, &n) in local.buckets.iter().enumerate() {
             if n > 0 {
+                // Relaxed: same tearing-tolerant statistics as observe().
                 self.0.buckets[i].fetch_add(n, Ordering::Relaxed);
             }
         }
+        // Relaxed: same tearing-tolerant statistics as observe().
         self.0.count.fetch_add(local.count, Ordering::Relaxed);
         self.0.sum.fetch_add(local.sum, Ordering::Relaxed);
     }
@@ -164,6 +168,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
+                // Relaxed: statistic read, no ordering obligation.
                 let count = b.load(Ordering::Relaxed);
                 (count > 0).then_some(BucketCount {
                     le: bucket_bound(i),

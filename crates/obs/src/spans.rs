@@ -124,10 +124,14 @@ mod imp {
     }
 
     impl Drop for SpanGuard {
+        // Drops run during unwinding, so this body must not panic: an
+        // empty stack (impossible while enter() pairs every guard) drops
+        // the record instead of asserting, and a poisoned ROOTS lock is
+        // recovered — span telemetry is not worth an abort.
         fn drop(&mut self) {
             let root = STACK.with(|s| {
                 let mut stack = s.borrow_mut();
-                let frame = stack.pop().expect("span stack underflow");
+                let frame = stack.pop()?;
                 let record = SpanRecord {
                     name: frame.name.to_owned(),
                     detail: frame.detail,
@@ -145,7 +149,9 @@ mod imp {
                 }
             });
             if let Some(record) = root {
-                let mut roots = ROOTS.lock().unwrap();
+                let mut roots = ROOTS
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 if roots.len() < MAX_ROOTS {
                     roots.push(record);
                 }

@@ -28,3 +28,25 @@ pub mod sharded;
 
 pub use session::{Flow, Recovery, ServeOptions, ServeSession};
 pub use sharded::{PublishedModel, ShardedOptions, ShardedServer};
+
+/// Spawns the stdin reader thread and hands back the line channel.
+///
+/// Stdin drains into the channel while the serving core is busy, so
+/// pipelined commands dispatch as one batch; the receiver returning
+/// `Err` means stdin hit EOF. The thread may stay blocked on a final
+/// read after `quit`; process exit reaps it. Lives here rather than in
+/// the CLI because thread creation is confined to the serving and
+/// parallelism crates (see `pbppm lint`'s `thread-spawn` rule).
+#[must_use]
+pub fn spawn_stdin_reader() -> std::sync::mpsc::Receiver<String> {
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in std::io::stdin().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}

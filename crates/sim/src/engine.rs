@@ -19,14 +19,13 @@ use crate::cache::{Lookup, LruCache};
 use crate::config::{ExperimentConfig, ModelSpec};
 use crate::metrics::{latency_reduction, Counters};
 use crate::server::PrefetchServer;
-use crate::sweep::parallel_map_with;
+use crate::sweep::parallel_map_progress;
 use pbppm_core::{FxHashMap, ModelStats, PopularityTable, PredictUsage, Prediction, UrlId};
 use pbppm_obs::{obs_debug, span, LocalHist};
 use pbppm_trace::{
     classify_clients, sessionize, ClientClass, ClientId, DocCatalog, Session, Trace,
 };
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// The outcome of one experiment cell (one model × one training window).
@@ -368,15 +367,16 @@ fn eval_pass(
 ) -> (Counters, PredictUsage, RunTelemetry) {
     let shards = shard_by_client(warm_sessions, eval_sessions, classes, cfg);
     let total = shards.len();
-    let done = AtomicUsize::new(0);
-    let per_shard = parallel_map_with(&shards, cfg.threads, |shard| {
-        let out = eval_client_shard(server, shard, catalog, popularity, cfg);
-        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-        if n.is_multiple_of(64) || n == total {
-            obs_debug!("eval pass: {n}/{total} client shards done");
-        }
-        out
-    });
+    let per_shard = parallel_map_progress(
+        &shards,
+        cfg.threads,
+        |shard| eval_client_shard(server, shard, catalog, popularity, cfg),
+        |n| {
+            if n.is_multiple_of(64) || n == total {
+                obs_debug!("eval pass: {n}/{total} client shards done");
+            }
+        },
+    );
     let mut counters = Counters::default();
     let mut usage = PredictUsage::default();
     let mut telemetry = RunTelemetry::default();

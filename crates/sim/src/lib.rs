@@ -40,5 +40,6 @@ pub use network::{run_network_experiment, NetworkCounters, NetworkRunResult, Sha
 pub use proxy::{run_proxy_experiment, ProxyExperimentConfig, ProxyRunResult};
 pub use server::PrefetchServer;
 pub use sweep::{
-    parallel_map, parallel_map_with, parse_threads, resolve_threads, threads_from_env, THREADS_ENV,
+    parallel_map, parallel_map_progress, parallel_map_with, parse_threads, resolve_threads,
+    threads_from_env, THREADS_ENV,
 };

@@ -11,7 +11,8 @@
 //! re-exports it unchanged for the sweep-facing callers.
 
 pub use pbppm_core::parallel::{
-    parallel_map, parallel_map_with, parse_threads, resolve_threads, threads_from_env, THREADS_ENV,
+    parallel_map, parallel_map_progress, parallel_map_with, parse_threads, resolve_threads,
+    threads_from_env, THREADS_ENV,
 };
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ proptest! {
         let mut total_service = 0.0f64;
         let mut total_bytes = 0u64;
         for &(dt, size) in &jobs {
-            now += dt as f64 / 100.0;
+            now += f64::from(dt) / 100.0;
             let done = link.transfer(now, size);
             let service = size as f64 / capacity;
             total_service += service;

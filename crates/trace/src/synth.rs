@@ -108,7 +108,7 @@ impl SessionGen {
             let n = p.links.len();
             let l = p.level as usize;
             if n > 0 && link_samplers[l][n].is_none() {
-                let skew = cfg.link_skew * cfg.link_skew_level_decay.powi(p.level as i32);
+                let skew = cfg.link_skew * cfg.link_skew_level_decay.powi(i32::from(p.level));
                 link_samplers[l][n] = Some(ZipfSampler::new(n, skew.max(0.0)));
             }
         }

@@ -4,7 +4,8 @@
 # Usage: scripts/check.sh
 #
 # Runs, in order, failing fast:
-#   1. scripts/lint-rules.sh — repo-specific grep lints (unsafe, unwrap, casts)
+#   1. pbppm-lint            — the workspace's Rust-aware linter (panic +
+#                              concurrency policy; see DESIGN.md §15)
 #   2. cargo fmt --check     — no unformatted code
 #   3. cargo clippy          — workspace + all targets, warnings are errors
 #   4. cargo test -q         — the tier-1 suite
@@ -16,8 +17,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== lint-rules.sh" >&2
-scripts/lint-rules.sh
+echo "== pbppm lint" >&2
+cargo run -q -p pbppm-lint -- .
 
 echo "== cargo fmt --check" >&2
 cargo fmt --all -- --check

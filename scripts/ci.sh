@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # The whole CI pipeline in one command:
 #
-#   1. scripts/lint-rules.sh — repo-specific grep lints, plus the gate's
-#                              own self-test (planted violations must trip)
-#   2. scripts/check.sh      — fmt --check, clippy -D warnings, tests
+#   1. pbppm-lint            — the workspace linter's per-rule self-test
+#                              (every planted corpus violation must trip),
+#                              then the tree itself, timed: the full pass
+#                              must finish in under two seconds
+#   2. scripts/check.sh      — pbppm lint, fmt --check, clippy -D
+#                              warnings, tests
 #   3. scripts/perf-gate.sh  — throughput must stay within 15% of baseline
 #   4. snapshot smoke        — generate a tiny trace, then for each tree
 #                              model (pb, standard, lrs): `pbppm save`
@@ -44,8 +47,18 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
-echo "== ci: lint-rules.sh --self-test" >&2
-scripts/lint-rules.sh --self-test
+echo "== ci: pbppm-lint --self-test" >&2
+cargo build -q -p pbppm-lint
+lint="$repo/target/debug/pbppm-lint"
+"$lint" --self-test .
+# The lint pass is cheap enough to run on every edit; keep it that way.
+lint_start="$(date +%s%N)"
+"$lint" .
+lint_ns=$(( $(date +%s%N) - lint_start ))
+if (( lint_ns > 2000000000 )); then
+    echo "ci: pbppm-lint took $((lint_ns / 1000000)) ms (budget: 2000 ms)" >&2
+    exit 1
+fi
 
 echo "== ci: check.sh" >&2
 scripts/check.sh
@@ -59,6 +72,13 @@ trap 'rm -rf "$tmp"' EXIT
 
 cargo build --release -q -p pbppm-cli
 pbppm="$repo/target/release/pbppm"
+
+# The CLI front-end must agree with the standalone binary: a clean tree
+# and the machine-readable report shape.
+"$pbppm" lint --json . | grep -q '"clean":true' || {
+    echo "ci: pbppm lint --json did not report a clean tree" >&2
+    exit 1
+}
 
 "$pbppm" generate --preset tiny --out "$tmp/access.log" >/dev/null
 for model in pb standard lrs; do
